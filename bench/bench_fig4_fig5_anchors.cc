@@ -1,0 +1,115 @@
+// Figures 4 and 5: the paper's two concept illustrations, as
+// computable anchors.
+//
+//   Figure 4 — three series with identical mean (0) and standard
+//   deviation (1) but visibly different smoothness; roughness (the
+//   first-difference standard deviation) separates them where
+//   mean/stddev cannot. (The paper quotes roughness 2.04 / 0.4 / 0 for
+//   its jagged / bent / straight examples.)
+//
+//   Figure 5 — normal vs Laplace samples with equal mean (0) and
+//   variance (2): kurtosis 3 vs 6 captures the difference in tendency
+//   to produce outliers; the tail-mass histograms make it visible.
+
+#include <cmath>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/metrics.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+#include "stats/normalize.h"
+#include "ts/generators.h"
+
+namespace {
+
+// Fig. 4 series A: a jagged alternating line, z-normalized.
+std::vector<double> JaggedSeries(size_t n) {
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = i % 2 == 0 ? 1.0 : -1.0;
+  }
+  return asap::stats::ZScore(x);
+}
+
+// Fig. 4 series B: a line with one bend, z-normalized.
+std::vector<double> BentSeries(size_t n) {
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    x[i] = i < n / 2 ? 0.4 * t : 0.4 * (n / 2) + 1.6 * (t - n / 2);
+  }
+  return asap::stats::ZScore(x);
+}
+
+// Fig. 4 series C: a straight line, z-normalized.
+std::vector<double> StraightSeries(size_t n) {
+  return asap::stats::ZScore(asap::gen::Linear(n, 0.0, 1.0));
+}
+
+}  // namespace
+
+int main() {
+  using asap::bench::Banner;
+  using asap::bench::Fmt;
+  using asap::bench::Row;
+  using asap::bench::Rule;
+
+  Banner(
+      "Figure 4: mean/stddev cannot distinguish visual smoothness;\n"
+      "roughness can (all three series have mean 0, stddev 1)");
+
+  const size_t n = 100;
+  Row({"Series", "Mean", "StdDev", "Roughness"}, 14);
+  Rule(4, 14);
+  struct NamedSeries {
+    const char* name;
+    std::vector<double> values;
+  };
+  const NamedSeries series[] = {
+      {"A (jagged)", JaggedSeries(n)},
+      {"B (bent)", BentSeries(n)},
+      {"C (straight)", StraightSeries(n)},
+  };
+  for (const NamedSeries& s : series) {
+    Row({s.name, Fmt(asap::stats::Mean(s.values), 2),
+         Fmt(asap::stats::StdDev(s.values), 2),
+         Fmt(asap::Roughness(s.values), 3)},
+        14);
+  }
+  std::printf(
+      "\nPaper reference: roughness 2.04 / 0.4 / 0 — identical first two\n"
+      "columns, strictly ordered third (exact values depend on the\n"
+      "illustrative series' shapes; the ordering is the claim).\n");
+
+  Banner(
+      "Figure 5: equal mean and variance, different kurtosis — the\n"
+      "Laplace series produces few large deviations, the normal many\n"
+      "moderate ones");
+
+  asap::Pcg32 rng(2017);
+  const std::vector<double> normal =
+      asap::GaussianVector(&rng, 200'000, 0.0, std::sqrt(2.0));
+  const std::vector<double> laplace =
+      asap::LaplaceVector(&rng, 200'000, 0.0, 1.0);  // variance 2b^2 = 2
+
+  Row({"Distribution", "Mean", "Variance", "Kurtosis", ">3sd mass"}, 14);
+  Rule(5, 14);
+  for (const auto& [name, sample] :
+       {std::pair<const char*, const std::vector<double>&>{"Normal", normal},
+        {"Laplace", laplace}}) {
+    asap::stats::Histogram hist(-12, 12, 240);
+    hist.AddAll(sample);
+    Row({name, Fmt(asap::stats::Mean(sample), 3),
+         Fmt(asap::stats::Variance(sample), 3),
+         Fmt(asap::stats::Kurtosis(sample), 2),
+         Fmt(hist.TailFraction(0.0, std::sqrt(2.0), 3.0) * 100.0, 3) + "%"},
+        14);
+  }
+  std::printf(
+      "\nPaper reference: kurtosis 3 (normal) vs 6 (Laplace) at equal\n"
+      "mean 0 / variance 2; the Laplace tail beyond 3 standard units\n"
+      "carries several times the normal's mass.\n");
+  return 0;
+}

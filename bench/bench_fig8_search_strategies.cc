@@ -1,0 +1,120 @@
+// Figure 8: throughput and quality of ASAP, grid search (steps 2 and
+// 10) and binary search relative to exhaustive search, all over
+// pixel-aware preaggregated series, as the target resolution varies
+// from 1000 to 5000 pixels. Averages are over the seven largest
+// datasets (Table 2), exactly as the paper reports.
+//
+// "Speed-up" = exhaustive search time / strategy search time (search
+// only; all strategies consume the same preaggregated series).
+// "Roughness ratio" = strategy roughness / exhaustive roughness.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/search.h"
+#include "core/smooth.h"
+#include "datasets/datasets.h"
+#include "window/preaggregate.h"
+
+namespace {
+
+struct Strategy {
+  const char* name;
+  asap::SearchStrategy kind;
+  size_t grid_step;
+};
+
+constexpr Strategy kStrategies[] = {
+    {"Grid2", asap::SearchStrategy::kGrid, 2},
+    {"Grid10", asap::SearchStrategy::kGrid, 10},
+    {"Binary", asap::SearchStrategy::kBinary, 0},
+    {"ASAP", asap::SearchStrategy::kAsap, 0},
+};
+
+asap::SearchResult RunStrategy(const std::vector<double>& x,
+                               const Strategy& strategy) {
+  asap::SearchOptions options;
+  options.grid_step = strategy.grid_step == 0 ? 1 : strategy.grid_step;
+  switch (strategy.kind) {
+    case asap::SearchStrategy::kGrid:
+      return asap::GridSearch(x, options);
+    case asap::SearchStrategy::kBinary:
+      return asap::BinarySearch(x, options);
+    case asap::SearchStrategy::kAsap:
+      return asap::AsapSearch(x, options);
+    case asap::SearchStrategy::kExhaustive:
+      return asap::ExhaustiveSearch(x, options);
+  }
+  return {};
+}
+
+}  // namespace
+
+int main() {
+  using asap::bench::Banner;
+  using asap::bench::Fmt;
+  using asap::bench::Row;
+  using asap::bench::Rule;
+  using asap::bench::TimeBest;
+
+  Banner(
+      "Figure 8: search-strategy throughput and quality vs exhaustive\n"
+      "search on preaggregated series (average over 7 largest datasets)");
+
+  const std::vector<size_t> resolutions = {1000, 2000, 3000, 4000, 5000};
+
+  // Generate the seven largest datasets once.
+  std::vector<asap::datasets::Dataset> datasets;
+  for (const std::string& name : asap::datasets::LargestDatasetNames()) {
+    datasets.push_back(asap::datasets::MakeByName(name).ValueOrDie());
+  }
+
+  Row({"Resolution", "Strategy", "Avg speed-up", "Avg rough.ratio"}, 16);
+  Rule(4, 16);
+
+  for (size_t resolution : resolutions) {
+    // Preaggregate every dataset at this resolution and time exhaustive
+    // search as the baseline.
+    std::vector<std::vector<double>> aggregated;
+    std::vector<double> exhaustive_seconds;
+    std::vector<double> exhaustive_roughness;
+    for (const auto& ds : datasets) {
+      aggregated.push_back(
+          asap::window::Preaggregate(ds.series.values(), resolution).series);
+      const std::vector<double>& x = aggregated.back();
+      asap::SearchResult result;
+      exhaustive_seconds.push_back(TimeBest(
+          [&x, &result]() { result = asap::ExhaustiveSearch(x, {}); }));
+      exhaustive_roughness.push_back(result.roughness);
+    }
+
+    for (const Strategy& strategy : kStrategies) {
+      double speedup_sum = 0.0;
+      double ratio_sum = 0.0;
+      for (size_t d = 0; d < aggregated.size(); ++d) {
+        const std::vector<double>& x = aggregated[d];
+        asap::SearchResult result;
+        const double seconds = TimeBest(
+            [&x, &strategy, &result]() { result = RunStrategy(x, strategy); });
+        speedup_sum += exhaustive_seconds[d] / std::max(seconds, 1e-9);
+        ratio_sum += exhaustive_roughness[d] > 0.0
+                         ? result.roughness / exhaustive_roughness[d]
+                         : 1.0;
+      }
+      Row({std::to_string(resolution), strategy.name,
+           Fmt(speedup_sum / aggregated.size(), 1),
+           Fmt(ratio_sum / aggregated.size(), 2)},
+          16);
+    }
+  }
+
+  std::printf(
+      "\nPaper reference: ASAP reaches up to 60x speed-up over exhaustive\n"
+      "with near-identical roughness ratio; binary search is comparably\n"
+      "fast (ASAP lags by <= ~50%% due to the ACF) but up to 7.5x\n"
+      "rougher; Grid2 matches quality but does not scale; Grid10 is\n"
+      "worst overall.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Figure 9: impact of pixel-aware preaggregation. Compares, against
+// the baseline of exhaustive search over the ORIGINAL series:
+//   * Exhaustive  (raw series)          — the baseline itself,
+//   * ASAPraw     (ASAP on raw series)  — ACF pruning only,
+//   * Grid1       (exhaustive on preaggregated series),
+//   * ASAP        (ASAP on preaggregated series) — the full operator,
+// under target resolutions 1000..5000.
+//
+// Quality ("roughness ratio") compares the roughness of the DISPLAYED
+// series: each strategy's smoothed output is reduced to the target
+// resolution before measuring, since that is what the user sees
+// (otherwise series of different lengths are incomparable).
+//
+// Datasets: the mid-sized datasets where raw exhaustive search
+// completes in seconds (machine_temp, traffic_data, Power, EEG). The
+// paper's hour-long 1M-point baseline is represented by gas_sensor in
+// bench_figA2 via per-candidate extrapolation.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/metrics.h"
+#include "core/search.h"
+#include "datasets/datasets.h"
+#include "window/preaggregate.h"
+#include "window/sma.h"
+
+namespace {
+
+double DisplayedRoughness(const std::vector<double>& smoothed,
+                          size_t resolution) {
+  return asap::Roughness(
+      asap::window::Preaggregate(smoothed, resolution).series);
+}
+
+}  // namespace
+
+int main() {
+  using asap::bench::Banner;
+  using asap::bench::Fmt;
+  using asap::bench::FmtEng;
+  using asap::bench::Row;
+  using asap::bench::Rule;
+  using asap::bench::TimeBest;
+
+  Banner(
+      "Figure 9: preaggregation on/off — speed-up and displayed\n"
+      "roughness ratio vs exhaustive search on the raw series");
+
+  const std::vector<const char*> names = {"machine_temp", "traffic_data",
+                                          "Power", "EEG"};
+  const std::vector<size_t> resolutions = {1000, 2000, 3000, 4000, 5000};
+
+  std::vector<asap::datasets::Dataset> datasets;
+  for (const char* name : names) {
+    datasets.push_back(asap::datasets::MakeByName(name).ValueOrDie());
+  }
+
+  // Baseline per dataset: exhaustive on raw (resolution-independent).
+  std::vector<double> baseline_seconds;
+  std::vector<asap::SearchResult> baseline_results;
+  std::vector<double> asap_raw_seconds;
+  std::vector<asap::SearchResult> asap_raw_results;
+  for (const auto& ds : datasets) {
+    const std::vector<double>& x = ds.series.values();
+    asap::SearchResult result;
+    baseline_seconds.push_back(TimeBest(
+        [&x, &result]() { result = asap::ExhaustiveSearch(x, {}); }, 1));
+    baseline_results.push_back(result);
+    asap::SearchResult araw;
+    asap_raw_seconds.push_back(
+        TimeBest([&x, &araw]() { araw = asap::AsapSearch(x, {}); }, 2));
+    asap_raw_results.push_back(araw);
+  }
+
+  Row({"Resolution", "Strategy", "Avg speed-up", "Avg rough.ratio"}, 16);
+  Rule(4, 16);
+
+  for (size_t resolution : resolutions) {
+    double grid1_speedup = 0.0;
+    double grid1_ratio = 0.0;
+    double asap_speedup = 0.0;
+    double asap_ratio = 0.0;
+    double asap_raw_speedup = 0.0;
+    double asap_raw_ratio = 0.0;
+
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      const std::vector<double>& raw = datasets[d].series.values();
+      const std::vector<double> agg =
+          asap::window::Preaggregate(raw, resolution).series;
+
+      const double base_rough = DisplayedRoughness(
+          asap::window::Sma(raw, baseline_results[d].window), resolution);
+
+      asap::SearchResult grid1;
+      const double grid1_seconds = TimeBest(
+          [&agg, &grid1]() { grid1 = asap::ExhaustiveSearch(agg, {}); });
+      asap::SearchResult asap_result;
+      const double asap_seconds = TimeBest([&agg, &asap_result]() {
+        asap_result = asap::AsapSearch(agg, {});
+      });
+
+      grid1_speedup += baseline_seconds[d] / std::max(grid1_seconds, 1e-9);
+      asap_speedup += baseline_seconds[d] / std::max(asap_seconds, 1e-9);
+      asap_raw_speedup +=
+          baseline_seconds[d] / std::max(asap_raw_seconds[d], 1e-9);
+
+      const double safe_base = std::max(base_rough, 1e-12);
+      grid1_ratio += DisplayedRoughness(
+                         asap::window::Sma(agg, grid1.window), resolution) /
+                     safe_base;
+      asap_ratio +=
+          DisplayedRoughness(asap::window::Sma(agg, asap_result.window),
+                             resolution) /
+          safe_base;
+      asap_raw_ratio +=
+          DisplayedRoughness(
+              asap::window::Sma(raw, asap_raw_results[d].window),
+              resolution) /
+          safe_base;
+    }
+
+    const double n = static_cast<double>(datasets.size());
+    Row({std::to_string(resolution), "Exhaustive", "1.0", "1.00"}, 16);
+    Row({std::to_string(resolution), "ASAPraw",
+         FmtEng(asap_raw_speedup / n), Fmt(asap_raw_ratio / n, 2)},
+        16);
+    Row({std::to_string(resolution), "Grid1", FmtEng(grid1_speedup / n),
+         Fmt(grid1_ratio / n, 2)},
+        16);
+    Row({std::to_string(resolution), "ASAP", FmtEng(asap_speedup / n),
+         Fmt(asap_ratio / n, 2)},
+        16);
+    Rule(4, 16);
+  }
+
+  std::printf(
+      "\nPaper reference: ASAP on aggregated series is up to 4 orders of\n"
+      "magnitude faster than raw exhaustive search while keeping\n"
+      "roughness within ~1.2x of the baseline (sometimes better, because\n"
+      "preaggregation lowers the initial kurtosis).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure A.1: accuracy of the Eq. 5 roughness estimate on the Temp
+// dataset — true roughness of SMA(X, w) vs the ACF-based estimate, for
+// all window sizes up to N/10 (plus margin). The paper reports
+// estimate errors within 1.2% across all window sizes, with sharp
+// roughness drops at the annual-period multiples.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/metrics.h"
+#include "datasets/datasets.h"
+#include "fft/autocorrelation.h"
+#include "stats/descriptive.h"
+#include "window/preaggregate.h"
+#include "window/sma.h"
+
+int main() {
+  using asap::bench::Banner;
+  using asap::bench::Fmt;
+  using asap::bench::Row;
+  using asap::bench::Rule;
+
+  Banner(
+      "Figure A.1: Eq. 5 roughness estimate vs measured roughness on\n"
+      "the Temp dataset, across window sizes");
+
+  const asap::datasets::Dataset temp = asap::datasets::MakeTemp();
+  // The paper preaggregates Temp only lightly (2976 pts at 1200 px ->
+  // ratio 2); we evaluate on the same preaggregated series the search
+  // would see.
+  const std::vector<double> x =
+      asap::window::Preaggregate(temp.series.values(), 1200).series;
+
+  const size_t max_window = std::min<size_t>(140, x.size() / 8);
+  const double sigma = asap::stats::StdDev(x);
+  const std::vector<double> acf =
+      asap::fft::AutocorrelationFft(x, max_window);
+
+  Row({"Window", "Measured", "Estimated", "Error (%)"}, 14);
+  Rule(4, 14);
+
+  double max_err = 0.0;
+  double sum_err = 0.0;
+  size_t count = 0;
+  for (size_t w = 2; w <= max_window; ++w) {
+    const double measured = asap::Roughness(asap::window::Sma(x, w));
+    const double estimated =
+        asap::RoughnessEstimate(sigma, x.size(), w, acf[w]);
+    const double err = measured > 0.0
+                           ? 100.0 * std::fabs(estimated - measured) / measured
+                           : 0.0;
+    max_err = std::max(max_err, err);
+    sum_err += err;
+    ++count;
+    if (w % 6 == 0 || w <= 4) {  // annual multiples + small windows
+      Row({std::to_string(w), Fmt(measured, 5), Fmt(estimated, 5),
+           Fmt(err, 2)},
+          14);
+    }
+  }
+  Rule(4, 14);
+  std::printf("\nMean error: %.2f%%, max error: %.2f%% over %zu windows.\n",
+              sum_err / static_cast<double>(count), max_err, count);
+  std::printf(
+      "Paper reference: estimate within 1.2%% of the true value across\n"
+      "all window sizes; roughness drops sharply at multiples of the\n"
+      "annual period.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure A.2: throughput of exhaustive search and ASAP, with and
+// without pixel-aware preaggregation, on machine_temp and traffic_data
+// at a target resolution of 1200 pixels. Throughput = dataset points /
+// search seconds. The paper also quotes the 1M-point raw exhaustive
+// search as "over an hour"; we reproduce that claim for gas_sensor by
+// measuring a candidate sample and extrapolating (printed last).
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/search.h"
+#include "datasets/datasets.h"
+#include "window/preaggregate.h"
+#include "window/sma.h"
+
+namespace {
+
+// Measures exhaustive-search cost per candidate on a sample and
+// extrapolates to the full candidate count (for series where the full
+// search is impractical, like the paper's hour-long 1M-point run).
+double ExtrapolateExhaustiveSeconds(const std::vector<double>& x,
+                                    size_t sample_candidates) {
+  asap::SearchOptions options;
+  const size_t max_window = options.ResolveMaxWindow(x.size());
+  asap::Stopwatch watch;
+  size_t measured = 0;
+  for (size_t w = 2; w < 2 + sample_candidates && w <= max_window; ++w) {
+    asap::EvaluateWindow(x, w);
+    ++measured;
+  }
+  const double per_candidate = watch.ElapsedSeconds() /
+                               static_cast<double>(std::max<size_t>(measured, 1));
+  return per_candidate * static_cast<double>(max_window);
+}
+
+}  // namespace
+
+int main() {
+  using asap::bench::Banner;
+  using asap::bench::FmtEng;
+  using asap::bench::Row;
+  using asap::bench::Rule;
+  using asap::bench::TimeBest;
+
+  Banner(
+      "Figure A.2: throughput with/without pixel-aware preaggregation\n"
+      "(target resolution 1200 px)");
+
+  Row({"Dataset", "Algorithm", "Throughput (pts/s)"}, 20);
+  Rule(3, 20);
+
+  for (const char* name : {"machine_temp", "traffic_data"}) {
+    const asap::datasets::Dataset ds =
+        asap::datasets::MakeByName(name).ValueOrDie();
+    const std::vector<double>& raw = ds.series.values();
+    const std::vector<double> agg =
+        asap::window::Preaggregate(raw, 1200).series;
+    const double n = static_cast<double>(raw.size());
+
+    const double exhaustive_raw = TimeBest(
+        [&raw]() { asap::ExhaustiveSearch(raw, {}); }, 1);
+    const double asap_raw =
+        TimeBest([&raw]() { asap::AsapSearch(raw, {}); }, 2);
+    const double grid1 =
+        TimeBest([&agg]() { asap::ExhaustiveSearch(agg, {}); });
+    const double asap_agg = TimeBest([&agg]() { asap::AsapSearch(agg, {}); });
+
+    Row({name, "Exhaustive (raw)", FmtEng(n / exhaustive_raw)}, 20);
+    Row({name, "ASAP no-agg", FmtEng(n / asap_raw)}, 20);
+    Row({name, "Grid1 (agg)", FmtEng(n / grid1)}, 20);
+    Row({name, "ASAP (agg)", FmtEng(n / asap_agg)}, 20);
+    Rule(3, 20);
+  }
+
+  // The 1M+-point claim, extrapolated.
+  const asap::datasets::Dataset gas = asap::datasets::MakeGasSensor();
+  const double est_seconds =
+      ExtrapolateExhaustiveSeconds(gas.series.values(), 12);
+  const std::vector<double> gas_agg =
+      asap::window::Preaggregate(gas.series.values(), 1200).series;
+  const double gas_asap =
+      asap::bench::TimeBest([&gas_agg]() { asap::AsapSearch(gas_agg, {}); });
+  std::printf(
+      "\ngas_sensor (4.2M pts): raw exhaustive search extrapolates to\n"
+      "%.0f seconds (%.1f hours) from a 12-candidate sample; ASAP on the\n"
+      "1200-px preaggregated series takes %.4f s — the \"sub-second vs\n"
+      "hours\" contrast of §5.2.2 (preaggregation itself is O(N)).\n",
+      est_seconds, est_seconds / 3600.0, gas_asap);
+  std::printf(
+      "Paper reference (Fig. A.2): ASAP on aggregated data is up to 5\n"
+      "orders of magnitude faster than raw exhaustive search (57 vs\n"
+      "5.9M pts/s on machine_temp).\n");
+  return 0;
+}

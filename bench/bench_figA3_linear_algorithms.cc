@@ -1,0 +1,71 @@
+// Figure A.3: end-to-end runtime of ASAP vs the linear-time
+// visualization algorithms PAA and M4 on the Table-2 datasets at a
+// target resolution of 1200 pixels. ASAP pays an extra (bounded)
+// factor for its search; PAA and M4 are single-pass.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "baselines/m4.h"
+#include "baselines/paa.h"
+#include "core/smooth.h"
+#include "datasets/datasets.h"
+
+int main() {
+  using asap::bench::Banner;
+  using asap::bench::Fmt;
+  using asap::bench::Row;
+  using asap::bench::Rule;
+  using asap::bench::TimeBest;
+
+  Banner(
+      "Figure A.3: runtime (ms) of ASAP vs PAA vs M4 at 1200 px\n"
+      "(end to end, including ASAP's preaggregation and search)");
+
+  Row({"Dataset", "ASAP (ms)", "PAA (ms)", "M4 (ms)", "ASAP/PAA"}, 15);
+  Rule(5, 15);
+
+  double asap_total = 0.0;
+  double paa_total = 0.0;
+  double m4_total = 0.0;
+  size_t rows = 0;
+
+  for (const std::string& name : asap::datasets::AllDatasetNames()) {
+    const asap::datasets::Dataset ds =
+        asap::datasets::MakeByName(name).ValueOrDie();
+    const std::vector<double>& raw = ds.series.values();
+
+    asap::SmoothOptions options;
+    options.resolution = 1200;
+    const double asap_seconds = TimeBest(
+        [&raw, &options]() { asap::Smooth(raw, options).ValueOrDie(); },
+        raw.size() > 1'000'000 ? 1 : 3);
+    const double paa_seconds =
+        TimeBest([&raw]() { asap::baselines::PaaReduce(raw, 1200); },
+                 raw.size() > 1'000'000 ? 1 : 3);
+    const double m4_seconds =
+        TimeBest([&raw]() { asap::baselines::M4Reduce(raw, 1200); },
+                 raw.size() > 1'000'000 ? 1 : 3);
+
+    asap_total += asap_seconds;
+    paa_total += paa_seconds;
+    m4_total += m4_seconds;
+    ++rows;
+
+    Row({name, Fmt(asap_seconds * 1e3, 2), Fmt(paa_seconds * 1e3, 2),
+         Fmt(m4_seconds * 1e3, 2),
+         Fmt(asap_seconds / std::max(paa_seconds, 1e-9), 1)},
+        15);
+  }
+  Rule(5, 15);
+  Row({"mean", Fmt(asap_total / rows * 1e3, 2), Fmt(paa_total / rows * 1e3, 2),
+       Fmt(m4_total / rows * 1e3, 2), "-"},
+      15);
+
+  std::printf(
+      "\nPaper reference: ASAP averages 72.9 ms vs PAA 33.4 ms and M4\n"
+      "35.9 ms across the datasets (up to ~20x slower on individual\n"
+      "sets) — the cost of the window search on top of one linear pass.\n");
+  return 0;
+}

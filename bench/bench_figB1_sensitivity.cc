@@ -1,0 +1,178 @@
+// Figure B.1 (Appendix B.2): sensitivity of user accuracy / response
+// time to the target roughness and the kurtosis constraint.
+//
+//   Roughness variants: plots whose roughness is 8x / 4x / 2x / 0.5x
+//   ASAP's achieved roughness (window chosen by nearest-roughness scan
+//   on the same preaggregated series).
+//   Kurtosis variants: ASAP's search rerun with the constraint
+//   Kurt(Y) >= c * Kurt(X) for c in {0.5, 1.5, 2}.
+//
+// Each variant is scored by the simulated-observer study
+// (SUBSTITUTION, DESIGN.md §4).
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/metrics.h"
+#include "core/search.h"
+#include "core/smooth.h"
+#include "datasets/datasets.h"
+#include "perception/observer.h"
+#include "stats/normalize.h"
+#include "window/preaggregate.h"
+#include "window/sma.h"
+
+namespace {
+
+// Window whose smoothed roughness is closest to `target` on x.
+size_t NearestRoughnessWindow(const std::vector<double>& x, double target) {
+  size_t best_w = 1;
+  double best_err = std::numeric_limits<double>::infinity();
+  const size_t max_window = std::max<size_t>(2, x.size() / 4);
+  for (size_t w = 1; w <= max_window; ++w) {
+    const double rough = asap::Roughness(asap::window::Sma(x, w));
+    const double err = std::fabs(rough - target);
+    if (err < best_err) {
+      best_err = err;
+      best_w = w;
+    }
+  }
+  return best_w;
+}
+
+// Exhaustive search under a scaled kurtosis constraint.
+size_t ScaledKurtosisWindow(const std::vector<double>& x, double scale) {
+  const double threshold = scale * asap::Kurtosis(x);
+  size_t best_w = 1;
+  double best_rough = std::numeric_limits<double>::infinity();
+  const size_t max_window = std::max<size_t>(2, x.size() / 10);
+  for (size_t w = 1; w <= max_window; ++w) {
+    const asap::CandidateScore score = asap::EvaluateWindow(x, w);
+    if (score.kurtosis >= threshold && score.roughness < best_rough) {
+      best_rough = score.roughness;
+      best_w = w;
+    }
+  }
+  return best_w;
+}
+
+}  // namespace
+
+int main() {
+  using asap::bench::Banner;
+  using asap::bench::Fmt;
+  using asap::bench::Row;
+  using asap::bench::Rule;
+
+  Banner(
+      "Figure B.1: sensitivity of observer accuracy/time to target\n"
+      "roughness (x ASAP's) and kurtosis constraint (x original)");
+
+  const std::vector<std::pair<std::string, double>> rough_variants = {
+      {"ASAP", 1.0}, {"8x", 8.0}, {"4x", 4.0}, {"2x", 2.0}, {"1/2x", 0.5}};
+  const std::vector<std::pair<std::string, double>> kurt_variants = {
+      {"k0.5", 0.5}, {"k1.5", 1.5}, {"k2", 2.0}};
+
+  std::vector<std::string> header = {"Dataset"};
+  for (const auto& v : rough_variants) {
+    header.push_back(v.first);
+  }
+  for (const auto& v : kurt_variants) {
+    header.push_back(v.first);
+  }
+
+  std::printf("\n-- Accuracy (%%) --\n");
+  Row(header, 10);
+  Rule(header.size(), 10);
+
+  std::vector<double> acc_sums(header.size() - 1, 0.0);
+  std::vector<double> time_sums(header.size() - 1, 0.0);
+  std::vector<std::vector<std::string>> time_rows;
+  size_t n_datasets = 0;
+
+  for (const std::string& name : asap::datasets::UserStudyDatasetNames()) {
+    const asap::datasets::Dataset ds =
+        asap::datasets::MakeByName(name).ValueOrDie();
+    const std::vector<double> raw = asap::stats::ZScore(ds.series.values());
+    const std::vector<double> x =
+        asap::window::Preaggregate(raw, 800).series;
+
+    // ASAP's achieved roughness is the reference.
+    asap::SearchResult asap_result = asap::AsapSearch(x, {});
+    const double ref_rough = asap_result.roughness;
+
+    std::vector<std::string> acc_cells = {name};
+    std::vector<std::string> time_cells = {name};
+    size_t col = 0;
+    auto score_window = [&](size_t w) {
+      // Window-center alignment (as in the Fig. 6 harness): without
+      // it, wide windows shift the anomaly into the wrong region.
+      const std::vector<double> displayed = asap::window::Sma(x, w);
+      std::vector<double> xs(displayed.size());
+      const double half = 0.5 * static_cast<double>(w - 1);
+      for (size_t i = 0; i < xs.size(); ++i) {
+        xs[i] = static_cast<double>(i) + half;
+      }
+      const asap::perception::Saliency saliency =
+          asap::perception::ScoreIndexedSeries(
+              xs, displayed, static_cast<double>(x.size() - 1));
+      return asap::perception::RunTrials(
+          saliency, ds.info.anomaly_region, /*trials=*/50,
+          /*seed=*/1000 + n_datasets * 100 + col);
+    };
+
+    for (const auto& variant : rough_variants) {
+      const size_t w = variant.second == 1.0
+                           ? asap_result.window
+                           : NearestRoughnessWindow(
+                                 x, ref_rough * variant.second);
+      const asap::perception::StudyCell cell = score_window(w);
+      acc_sums[col] += cell.accuracy_percent;
+      time_sums[col] += cell.mean_response_seconds;
+      acc_cells.push_back(Fmt(cell.accuracy_percent, 0));
+      time_cells.push_back(Fmt(cell.mean_response_seconds, 1));
+      ++col;
+    }
+    for (const auto& variant : kurt_variants) {
+      const size_t w = ScaledKurtosisWindow(x, variant.second);
+      const asap::perception::StudyCell cell = score_window(w);
+      acc_sums[col] += cell.accuracy_percent;
+      time_sums[col] += cell.mean_response_seconds;
+      acc_cells.push_back(Fmt(cell.accuracy_percent, 0));
+      time_cells.push_back(Fmt(cell.mean_response_seconds, 1));
+      ++col;
+    }
+    Row(acc_cells, 10);
+    time_rows.push_back(time_cells);
+    ++n_datasets;
+  }
+  Rule(header.size(), 10);
+  std::vector<std::string> acc_avg = {"average"};
+  for (double s : acc_sums) {
+    acc_avg.push_back(Fmt(s / n_datasets, 0));
+  }
+  Row(acc_avg, 10);
+
+  std::printf("\n-- Response time (s) --\n");
+  Row(header, 10);
+  Rule(header.size(), 10);
+  for (const auto& cells : time_rows) {
+    Row(cells, 10);
+  }
+  Rule(header.size(), 10);
+  std::vector<std::string> time_avg = {"average"};
+  for (double s : time_sums) {
+    time_avg.push_back(Fmt(s / n_datasets, 1));
+  }
+  Row(time_avg, 10);
+
+  std::printf(
+      "\nPaper reference: rougher plots lose accuracy (61.5%% at 8x,\n"
+      "55.8%% at 4x vs 78.6%% at 2x / 79.8%% at 1/2x); ASAP's own\n"
+      "configuration achieves the best accuracy and lowest time;\n"
+      "kurtosis scaling matters less than roughness.\n");
+  return 0;
+}

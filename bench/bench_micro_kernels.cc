@@ -1,0 +1,156 @@
+// Google-benchmark microbenches for libasap's hot kernels: FFT,
+// autocorrelation, SMA, rolling moments, candidate evaluation, the
+// end-to-end Smooth() operator, and the reduction baselines.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/m4.h"
+#include "baselines/paa.h"
+#include "baselines/visvalingam.h"
+#include "common/random.h"
+#include "core/search.h"
+#include "core/smooth.h"
+#include "fft/autocorrelation.h"
+#include "fft/fft.h"
+#include "stats/rolling.h"
+#include "ts/generators.h"
+#include "window/sma.h"
+
+namespace {
+
+std::vector<double> MakeSignal(size_t n) {
+  asap::Pcg32 rng(n);
+  return asap::gen::Add(asap::gen::Sine(n, 48.0, 1.0),
+                        asap::gen::WhiteNoise(&rng, n, 0.4));
+}
+
+void BM_FftRadix2(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  asap::Pcg32 rng(7);
+  std::vector<asap::fft::Complex> data(n);
+  for (auto& c : data) {
+    c = asap::fft::Complex(rng.Uniform(-1, 1), 0.0);
+  }
+  for (auto _ : state) {
+    std::vector<asap::fft::Complex> copy = data;
+    asap::fft::TransformRadix2(&copy, false);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftRadix2)->Range(1 << 10, 1 << 20);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0)) - 1;  // odd size
+  asap::Pcg32 rng(7);
+  std::vector<asap::fft::Complex> data(n);
+  for (auto& c : data) {
+    c = asap::fft::Complex(rng.Uniform(-1, 1), 0.0);
+  }
+  for (auto _ : state) {
+    std::vector<asap::fft::Complex> copy = data;
+    asap::fft::TransformBluestein(&copy, false);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftBluestein)->Range(1 << 10, 1 << 16);
+
+void BM_AutocorrelationFft(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x = MakeSignal(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asap::fft::AutocorrelationFft(x, n / 10));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AutocorrelationFft)->Range(1 << 10, 1 << 20);
+
+void BM_Sma(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x = MakeSignal(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asap::window::Sma(x, n / 20));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Sma)->Range(1 << 10, 1 << 20);
+
+void BM_RollingMoments(benchmark::State& state) {
+  const size_t n = 1 << 16;
+  std::vector<double> x = MakeSignal(n);
+  for (auto _ : state) {
+    asap::stats::RollingMoments roll(256);
+    for (double v : x) {
+      roll.Push(v);
+    }
+    benchmark::DoNotOptimize(roll.kurtosis());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RollingMoments);
+
+void BM_EvaluateWindow(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x = MakeSignal(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asap::EvaluateWindow(x, n / 20));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EvaluateWindow)->Range(1 << 10, 1 << 16);
+
+void BM_AsapSearch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x = MakeSignal(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asap::AsapSearch(x, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AsapSearch)->Range(1 << 10, 1 << 13);
+
+void BM_SmoothEndToEnd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x = MakeSignal(n);
+  asap::SmoothOptions options;
+  options.resolution = 800;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asap::Smooth(x, options).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SmoothEndToEnd)->Range(1 << 12, 1 << 20);
+
+void BM_M4Reduce(benchmark::State& state) {
+  std::vector<double> x = MakeSignal(1 << 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asap::baselines::M4Reduce(x, 1200));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 17));
+}
+BENCHMARK(BM_M4Reduce);
+
+void BM_PaaReduce(benchmark::State& state) {
+  std::vector<double> x = MakeSignal(1 << 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asap::baselines::PaaReduce(x, 1200));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 17));
+}
+BENCHMARK(BM_PaaReduce);
+
+void BM_VisvalingamSimplify(benchmark::State& state) {
+  std::vector<double> x = MakeSignal(1 << 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asap::baselines::VisvalingamSimplify(x, 800));
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 15));
+}
+BENCHMARK(BM_VisvalingamSimplify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Table 2: per-dataset batch results of ASAP vs. exhaustive search
+// over pixel-aware preaggregated data at a target resolution of
+// 1200 pixels. The paper reports, per dataset: the chosen window size
+// and the number of candidate windows each search evaluates; ASAP
+// finds the same (or equivalent-quality) window while checking ~13x
+// fewer candidates on average.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/smooth.h"
+#include "datasets/datasets.h"
+
+int main() {
+  using asap::bench::Banner;
+  using asap::bench::Fmt;
+  using asap::bench::Row;
+  using asap::bench::Rule;
+
+  Banner(
+      "Table 2: dataset descriptions and batch results, exhaustive vs\n"
+      "ASAP over preaggregated data (target resolution 1200 px)");
+
+  Row({"Dataset", "#points", "Duration", "Exh.win", "Exh.#cand", "ASAP.win",
+       "ASAP.#cand", "rough.ratio"},
+      12);
+  Rule(8, 12);
+
+  double total_exhaustive_candidates = 0.0;
+  double total_asap_candidates = 0.0;
+  size_t window_matches = 0;
+  size_t rows = 0;
+
+  for (const std::string& name : asap::datasets::AllDatasetNames()) {
+    const asap::datasets::Dataset ds =
+        asap::datasets::MakeByName(name).ValueOrDie();
+
+    asap::SmoothOptions exhaustive_options;
+    exhaustive_options.resolution = 1200;
+    exhaustive_options.strategy = asap::SearchStrategy::kExhaustive;
+    const asap::SmoothingResult exhaustive =
+        asap::Smooth(ds.series.values(), exhaustive_options).ValueOrDie();
+
+    asap::SmoothOptions asap_options = exhaustive_options;
+    asap_options.strategy = asap::SearchStrategy::kAsap;
+    const asap::SmoothingResult asap_result =
+        asap::Smooth(ds.series.values(), asap_options).ValueOrDie();
+
+    // Candidate counts include the implicit w = 1 evaluation both
+    // searches start from.
+    const size_t exh_cand = exhaustive.diag.candidates_evaluated + 1;
+    const size_t asap_cand = asap_result.diag.candidates_evaluated + 1;
+    total_exhaustive_candidates += static_cast<double>(exh_cand);
+    total_asap_candidates += static_cast<double>(asap_cand);
+    window_matches += asap_result.window == exhaustive.window ? 1 : 0;
+    ++rows;
+
+    const double rough_ratio =
+        exhaustive.roughness_after > 0.0
+            ? asap_result.roughness_after / exhaustive.roughness_after
+            : 1.0;
+
+    Row({name, std::to_string(ds.series.size()), ds.info.duration_label,
+         std::to_string(exhaustive.window), std::to_string(exh_cand),
+         std::to_string(asap_result.window), std::to_string(asap_cand),
+         Fmt(rough_ratio, 3)},
+        12);
+  }
+
+  Rule(8, 12);
+  std::printf(
+      "\nSummary: ASAP evaluated %.1fx fewer candidates on average\n"
+      "(%.1f vs %.1f per dataset); identical window choice on %zu/%zu\n"
+      "datasets (roughness ratio == 1.000 means equal quality even when\n"
+      "the window differs).\n",
+      total_exhaustive_candidates / total_asap_candidates,
+      total_asap_candidates / static_cast<double>(rows),
+      total_exhaustive_candidates / static_cast<double>(rows),
+      window_matches, rows);
+  std::printf(
+      "Paper reference: same window on all 11 datasets; 8.64 vs 113.64\n"
+      "candidates on average (13x fewer); Twitter_AAPL left unsmoothed\n"
+      "(window 1).\n");
+  return 0;
+}

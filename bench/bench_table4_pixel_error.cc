@@ -1,0 +1,93 @@
+// Table 4 (Appendix B.1): pixel error of ASAP, M4, Visvalingam–Whyatt
+// line simplification, and PAA800 against the raw rendering of the
+// five user-study datasets (800-px study resolution).
+//
+// Pixel error = Jaccard distance of lit pixels between the original
+// polyline raster and the technique's raster on a shared canvas and
+// value range (DESIGN.md §6). ASAP is *designed* to be lossy here —
+// the paper's point is that pixel fidelity and attention prioritization
+// are different objectives.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "baselines/m4.h"
+#include "baselines/paa.h"
+#include "baselines/visvalingam.h"
+#include "core/smooth.h"
+#include "datasets/datasets.h"
+#include "render/canvas.h"
+#include "render/pixel_error.h"
+#include "render/rasterize.h"
+#include "stats/normalize.h"
+
+namespace {
+
+constexpr size_t kWidth = 800;
+constexpr size_t kHeight = 600;
+
+double IndexedPixelError(const std::vector<double>& raw,
+                         const asap::baselines::ReducedSeries& reduced) {
+  const asap::render::ValueRange range =
+      asap::render::RangeOf(raw, reduced.value);
+  asap::render::Canvas a(kWidth, kHeight);
+  asap::render::PlotSeries(&a, raw, range);
+  asap::render::Canvas b(kWidth, kHeight);
+  asap::render::PlotIndexedSeries(&b, reduced.index, reduced.value,
+                                  static_cast<double>(raw.size() - 1), range);
+  return asap::render::CanvasPixelError(a, b);
+}
+
+double DensePixelError(const std::vector<double>& raw,
+                       const std::vector<double>& displayed) {
+  return asap::render::PixelError(raw, displayed, kWidth, kHeight);
+}
+
+}  // namespace
+
+int main() {
+  using asap::bench::Banner;
+  using asap::bench::Fmt;
+  using asap::bench::Row;
+  using asap::bench::Rule;
+
+  Banner(
+      "Table 4: pixel error of ASAP, M4, VW line simplification and\n"
+      "PAA800 on the user-study datasets (800x600 raster)");
+
+  Row({"Dataset", "ASAP", "M4", "Line Simpl.", "PAA800"}, 14);
+  Rule(5, 14);
+
+  for (const std::string& name : asap::datasets::UserStudyDatasetNames()) {
+    const asap::datasets::Dataset ds =
+        asap::datasets::MakeByName(name).ValueOrDie();
+    const std::vector<double> raw =
+        asap::stats::ZScore(ds.series.values());
+
+    asap::SmoothOptions options;
+    options.resolution = 800;
+    const asap::SmoothingResult smoothed =
+        asap::Smooth(raw, options).ValueOrDie();
+    const double asap_err = DensePixelError(raw, smoothed.series);
+
+    const double m4_err =
+        IndexedPixelError(raw, asap::baselines::M4Reduce(raw, 800));
+    const double vw_err = IndexedPixelError(
+        raw, asap::baselines::VisvalingamSimplify(raw, 800));
+    const double paa_err =
+        IndexedPixelError(raw, asap::baselines::PaaReduce(raw, 800));
+
+    Row({name, Fmt(asap_err, 2), Fmt(m4_err, 2), Fmt(vw_err, 2),
+         Fmt(paa_err, 2)},
+        14);
+  }
+  Rule(5, 14);
+
+  std::printf(
+      "\nPaper reference: ASAP ~0.92-0.94 pixel error vs M4 ~0.00-0.04,\n"
+      "line simplification 0.00-0.21, PAA800 0.00-0.61 — ASAP trades\n"
+      "pixel fidelity for trend visibility by design (Sine, whose raw\n"
+      "form is already compact, can score low for every technique).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Sub-threshold alerting on smoothed telemetry — the paper's §1
+// electrical-utility scenario plus its §7 "alerting" future-work
+// direction.
+//
+//   $ ./anomaly_alerts
+//
+// A generator metric runs for two weeks with a systematic shift that
+// stays well below any reasonable raw-value alarm threshold. Alerting
+// on ASAP's smoothed output catches it; alerting on the raw values at
+// the same threshold cannot (without drowning in false positives).
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/random.h"
+#include "stream/alerts.h"
+#include "ts/generators.h"
+
+namespace {
+
+// Two weeks of per-minute generator output: daily cycle + heavy jitter
+// + a sustained 1.5%-of-range shift starting on day 10.
+std::vector<double> MakeGeneratorTelemetry() {
+  const size_t day = 1440;
+  const size_t n = 14 * day;
+  asap::Pcg32 rng(7);
+  std::vector<double> mw(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double tod = static_cast<double>(i % day) / day;
+    mw[i] = 500.0 + 24.0 * std::sin(2.0 * M_PI * tod) +
+            rng.Gaussian(0.0, 18.0);
+  }
+  asap::gen::InjectLevelShift(&mw, 10 * day, n, 9.0);  // sub-threshold
+  return mw;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> mw = MakeGeneratorTelemetry();
+  std::printf(
+      "Streaming %zu per-minute generator readings; a +9 MW systematic\n"
+      "shift (0.5 raw sigma — far below any raw alarm) begins on day "
+      "10.\n\n",
+      mw.size());
+
+  asap::StreamingOptions stream_options;
+  stream_options.resolution = 400;
+  stream_options.visible_points = mw.size();
+  stream_options.refresh_every_points = 1440;  // re-check daily
+
+  asap::stream::AlertOptions alert_options;
+  alert_options.threshold_sigmas = 3.0;
+  alert_options.min_duration = 4;
+
+  asap::stream::SmoothedAlertMonitor monitor =
+      asap::stream::SmoothedAlertMonitor::Create(stream_options,
+                                                 alert_options)
+          .ValueOrDie();
+
+  size_t first_alert_point = 0;
+  for (size_t i = 0; i < mw.size(); ++i) {
+    if (monitor.Push(mw[i]) && first_alert_point == 0) {
+      first_alert_point = i + 1;
+      std::printf(
+          "ALERT at point %zu (day %.1f): %zu sustained deviation(s) in "
+          "the smoothed view\n",
+          first_alert_point, static_cast<double>(first_alert_point) / 1440.0,
+          monitor.current_alerts().size());
+      for (const asap::stream::Alert& alert : monitor.current_alerts()) {
+        std::printf(
+            "  span [%zu, %zu) of the frame, peak z=%.1f (%s baseline)\n",
+            alert.begin, alert.end, alert.peak_z,
+            alert.is_high ? "above" : "below");
+      }
+    }
+  }
+
+  // Contrast: the same threshold on RAW values never sustains.
+  const asap::Result<std::vector<asap::stream::Alert>> raw_alerts =
+      asap::stream::FindDeviations(mw, alert_options);
+  std::printf(
+      "\nRaw-value detector at the same 3-sigma / 4-point policy found "
+      "%zu alerts\n(the shift is 0.5 raw sigma: invisible without "
+      "smoothing).\n",
+      raw_alerts.ok() ? raw_alerts.ValueOrDie().size() : 0);
+
+  if (first_alert_point == 0) {
+    std::printf("No alert fired — unexpected for this scenario.\n");
+    return 1;
+  }
+  std::printf(
+      "\nThe smoothed detector paged the operator %.1f days after onset,\n"
+      "without any manual threshold tuning for this metric's noise.\n",
+      static_cast<double>(first_alert_point) / 1440.0 - 10.0);
+  return 0;
+}

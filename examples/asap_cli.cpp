@@ -1,0 +1,178 @@
+// asap_cli: command-line smoothing for CSV time series — the
+// integration path for users whose data lives outside C++ ("ASAP acts
+// as a modular tool in time series visualization", §2).
+//
+//   Usage:
+//     asap_cli <input.csv> [options]
+//
+//   Options:
+//     --resolution N     target display width in pixels (default 800;
+//                        0 disables pixel-aware preaggregation)
+//     --strategy S       asap | exhaustive | binary | grid (default asap)
+//     --grid-step K      stride for --strategy grid (default 10)
+//     --max-window W     cap the window search (default: N/10)
+//     --out FILE         write the smoothed series as CSV
+//     --chart            print before/after ASCII charts
+//     --alerts SIGMA     run the deviation detector on the smoothed
+//                        series at the given threshold
+//
+//   Input: one- or two-column CSV ("value" or "time,value", header
+//   optional), as produced by most TSDB exporters.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/smooth.h"
+#include "render/ascii_chart.h"
+#include "stats/normalize.h"
+#include "stream/alerts.h"
+#include "ts/csv.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <input.csv> [--resolution N] [--strategy "
+               "asap|exhaustive|binary|grid]\n"
+               "       [--grid-step K] [--max-window W] [--out FILE] "
+               "[--chart] [--alerts SIGMA]\n",
+               argv0);
+}
+
+bool ParseStrategy(const std::string& name, asap::SearchStrategy* out) {
+  if (name == "asap") {
+    *out = asap::SearchStrategy::kAsap;
+  } else if (name == "exhaustive") {
+    *out = asap::SearchStrategy::kExhaustive;
+  } else if (name == "binary") {
+    *out = asap::SearchStrategy::kBinary;
+  } else if (name == "grid") {
+    *out = asap::SearchStrategy::kGrid;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage(argv[0]);
+    return 2;
+  }
+  const std::string input_path = argv[1];
+  asap::SmoothOptions options;
+  options.resolution = 800;
+  options.search.grid_step = 10;
+  std::string out_path;
+  bool chart = false;
+  double alert_sigma = 0.0;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--resolution") {
+      options.resolution = static_cast<size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--strategy") {
+      if (!ParseStrategy(next(), &options.strategy)) {
+        std::fprintf(stderr, "unknown strategy\n");
+        return 2;
+      }
+    } else if (arg == "--grid-step") {
+      options.search.grid_step =
+          static_cast<size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--max-window") {
+      options.search.max_window =
+          static_cast<size_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--chart") {
+      chart = true;
+    } else if (arg == "--alerts") {
+      alert_sigma = std::strtod(next(), nullptr);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  asap::Result<asap::TimeSeries> series = asap::ReadCsv(input_path);
+  if (!series.ok()) {
+    std::fprintf(stderr, "read failed: %s\n",
+                 series.status().ToString().c_str());
+    return 1;
+  }
+
+  asap::Result<asap::SmoothingResult> result = asap::Smooth(*series, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "smooth failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s: %zu points, strategy=%s, resolution=%zu\n",
+              input_path.c_str(), series->size(),
+              asap::SearchStrategyName(options.strategy),
+              options.resolution);
+  std::printf(
+      "window: %zu buckets (%zu raw points); roughness %.6g -> %.6g "
+      "(ratio %.3f);\nkurtosis %.4g -> %.4g; candidates evaluated: %zu\n",
+      result->window, result->window_raw_points, result->roughness_before,
+      result->roughness_after, result->RoughnessRatio(),
+      result->kurtosis_before, result->kurtosis_after,
+      result->diag.candidates_evaluated);
+
+  if (chart) {
+    asap::render::AsciiChartOptions chart_options;
+    chart_options.width = 76;
+    chart_options.height = 11;
+    std::printf("%s", asap::render::AsciiChartPair(
+                          asap::stats::ZScore(series->values()),
+                          "-- Original (z-scores) --",
+                          asap::stats::ZScore(result->series),
+                          "-- ASAP smoothed --", chart_options)
+                          .c_str());
+  }
+
+  if (alert_sigma > 0.0) {
+    asap::stream::AlertOptions alert_options;
+    alert_options.threshold_sigmas = alert_sigma;
+    asap::Result<std::vector<asap::stream::Alert>> alerts =
+        asap::stream::FindDeviations(result->series, alert_options);
+    if (alerts.ok()) {
+      std::printf("deviations beyond %.1f sigma: %zu\n", alert_sigma,
+                  alerts->size());
+      for (const asap::stream::Alert& alert : *alerts) {
+        const size_t raw_begin = alert.begin * result->points_per_pixel;
+        const size_t raw_end = alert.end * result->points_per_pixel;
+        std::printf("  raw points [%zu, %zu): peak z=%.1f (%s)\n", raw_begin,
+                    raw_end, alert.peak_z,
+                    alert.is_high ? "high" : "low");
+      }
+    }
+  }
+
+  if (!out_path.empty()) {
+    asap::TimeSeries out(
+        result->series, series->start(),
+        series->interval() * static_cast<double>(result->points_per_pixel),
+        "asap_smoothed");
+    const asap::Status status = asap::WriteCsv(out, out_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu points)\n", out_path.c_str(), out.size());
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// The §2 "Historical Analyses" case study: 248 years of monthly
+// temperature readings where seasonal cycles obscure a long-term
+// warming trend (Figure 3). Also demonstrates comparing ASAP against
+// an oversmoothed view and exporting both to CSV.
+//
+//   $ ./climate_analysis [out_dir]
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/oversmooth.h"
+#include "core/metrics.h"
+#include "core/smooth.h"
+#include "datasets/datasets.h"
+#include "render/ascii_chart.h"
+#include "stats/descriptive.h"
+#include "stats/normalize.h"
+#include "ts/csv.h"
+#include "window/preaggregate.h"
+
+int main(int argc, char** argv) {
+  const asap::datasets::Dataset temp = asap::datasets::MakeTemp();
+  std::printf("Dataset: %s (%zu monthly readings, %s)\n\n",
+              temp.info.description.c_str(), temp.series.size(),
+              temp.info.duration_label.c_str());
+
+  asap::SmoothOptions options;
+  options.resolution = 800;
+  const asap::SmoothingResult result =
+      asap::Smooth(temp.series.values(), options).ValueOrDie();
+
+  // How much of the annual cycle did ASAP remove?
+  std::printf("ASAP chose a window of %zu buckets (%.1f months of data):\n",
+              result.window,
+              static_cast<double>(result.window_raw_points));
+  std::printf("  roughness %.3f -> %.3f, kurtosis %.2f -> %.2f\n\n",
+              result.roughness_before, result.roughness_after,
+              result.kurtosis_before, result.kurtosis_after);
+
+  asap::render::AsciiChartOptions chart;
+  chart.width = 76;
+  chart.height = 11;
+  std::printf("%s\n", asap::render::AsciiChartPair(
+                          asap::stats::ZScore(temp.series.values()),
+                          "-- Monthly average (raw) --",
+                          asap::stats::ZScore(result.series),
+                          "-- ASAP --", chart)
+                          .c_str());
+
+  // Quantify the trend the smoothing exposes: compare the first and
+  // last decades of the smoothed series.
+  const std::vector<double>& y = result.series;
+  const size_t decade = 120 / result.points_per_pixel + 1;
+  std::vector<double> head(y.begin(), y.begin() + decade);
+  std::vector<double> tail(y.end() - decade, y.end());
+  std::printf(
+      "Smoothed trend: first-decade mean %.2f C vs last-decade mean "
+      "%.2f C\n(+%.2f C): the 20th-century warming is visible at a "
+      "glance.\n\n",
+      asap::stats::Mean(head), asap::stats::Mean(tail),
+      asap::stats::Mean(tail) - asap::stats::Mean(head));
+
+  // For this dataset the paper's users preferred an even smoother plot;
+  // show the n/4 oversmoothed variant too.
+  const std::vector<double> preagg =
+      asap::window::Preaggregate(temp.series.values(), 800).series;
+  const std::vector<double> oversmoothed =
+      asap::baselines::Oversmooth(preagg);
+  asap::render::AsciiChartOptions os_chart = chart;
+  os_chart.title = "-- Oversmoothed (n/4): the decade-scale view --";
+  std::printf("%s\n",
+              asap::render::AsciiChart(asap::stats::ZScore(oversmoothed),
+                                       os_chart)
+                  .c_str());
+
+  if (argc > 1) {
+    const std::string dir = argv[1];
+    asap::TimeSeries asap_out(
+        result.series, temp.series.start(),
+        temp.series.interval() *
+            static_cast<double>(result.points_per_pixel),
+        "temp_asap");
+    asap::TimeSeries over_out(
+        oversmoothed, temp.series.start(),
+        temp.series.interval() *
+            static_cast<double>(asap::window::PointToPixelRatio(
+                temp.series.size(), 800)),
+        "temp_oversmoothed");
+    asap::WriteCsv(asap_out, dir + "/temp_asap.csv").Abort();
+    asap::WriteCsv(over_out, dir + "/temp_oversmoothed.csv").Abort();
+    std::printf("Wrote %s/temp_asap.csv and %s/temp_oversmoothed.csv\n",
+                dir.c_str(), dir.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: smooth a noisy series with one call and inspect what
+// ASAP decided.
+//
+//   $ ./quickstart
+//
+// Walks through the core API: generate (or load) a series, call
+// asap::Smooth() with a target resolution, read the chosen window and
+// quality metrics, and render before/after charts.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/smooth.h"
+#include "render/ascii_chart.h"
+#include "stats/normalize.h"
+#include "ts/generators.h"
+
+int main() {
+  // 1. A noisy periodic signal: 20k points of a daily-cycle metric.
+  //    (Real applications would load a TimeSeries via asap::ReadCsv.)
+  asap::Pcg32 rng(42);
+  std::vector<double> values = asap::gen::Add(
+      asap::gen::Sine(20'000, /*period=*/500.0, /*amplitude=*/1.0),
+      asap::gen::WhiteNoise(&rng, 20'000, /*stddev=*/0.6));
+  // Hide a sustained dip in the second half — the kind of deviation a
+  // dashboard should surface.
+  asap::gen::InjectLevelShift(&values, 14'000, 16'000, -1.5);
+
+  // 2. Smooth for an 800-pixel display.
+  asap::SmoothOptions options;
+  options.resolution = 800;
+  asap::Result<asap::SmoothingResult> result = asap::Smooth(values, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "Smooth failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Inspect the decision.
+  std::printf("ASAP smoothing decision\n");
+  std::printf("  points per pixel    : %zu\n", result->points_per_pixel);
+  std::printf("  chosen window       : %zu preaggregated points"
+              " (= %zu raw points)\n",
+              result->window, result->window_raw_points);
+  std::printf("  roughness           : %.4f -> %.4f (%.1f%% reduction)\n",
+              result->roughness_before, result->roughness_after,
+              100.0 * (1.0 - result->RoughnessRatio()));
+  std::printf("  kurtosis            : %.3f -> %.3f (preserved: %s)\n",
+              result->kurtosis_before, result->kurtosis_after,
+              result->kurtosis_after >= result->kurtosis_before ? "yes"
+                                                                : "no");
+  std::printf("  candidates evaluated: %zu (ACF peaks found: %zu)\n\n",
+              result->diag.candidates_evaluated, result->diag.acf_peaks);
+
+  // 4. Render before/after, z-normalized like the paper's figures.
+  asap::render::AsciiChartOptions chart;
+  chart.width = 76;
+  chart.height = 12;
+  std::printf("%s\n", asap::render::AsciiChartPair(
+                          asap::stats::ZScore(values), "-- Original --",
+                          asap::stats::ZScore(result->series),
+                          "-- ASAP smoothed --", chart)
+                          .c_str());
+  std::printf(
+      "Note how the dip around three-quarters of the way through is\n"
+      "obvious after smoothing but buried in noise before.\n");
+  return 0;
+}

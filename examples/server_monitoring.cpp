@@ -1,0 +1,84 @@
+// The §2 "Application Monitoring" case study, in streaming mode: a
+// cluster metric streams into the operator; the dashboard refreshes at
+// a human timescale; a sub-threshold usage shift that raw plots bury
+// becomes visible.
+//
+//   $ ./server_monitoring
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/streaming_asap.h"
+#include "render/ascii_chart.h"
+#include "stats/normalize.h"
+#include "stream/engine.h"
+#include "stream/source.h"
+#include "ts/generators.h"
+
+namespace {
+
+// Ten days of per-5-minute CPU utilization for one server: daily load
+// cycle + heavy jitter + a sustained (sub-alarm) usage step on day 8 —
+// the Figure 2 scenario.
+std::vector<double> MakeCpuTelemetry() {
+  const size_t day = 288;
+  const size_t n = 10 * day;
+  asap::Pcg32 rng(2024);
+  std::vector<double> cpu(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double tod = static_cast<double>(i % day) / day;
+    double load = 35.0 + 18.0 * std::exp(-std::pow((tod - 0.6) / 0.22, 2.0));
+    cpu[i] = load + rng.Gaussian(0.0, 7.0);
+  }
+  asap::gen::InjectLevelShift(&cpu, 8 * day, n, 14.0);  // the incident
+  return cpu;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> cpu = MakeCpuTelemetry();
+  std::printf(
+      "Streaming 10 days of CPU telemetry (%zu readings, 5-minute\n"
+      "interval) through streaming ASAP...\n\n",
+      cpu.size());
+
+  asap::StreamingOptions options;
+  options.resolution = 400;            // a phone-sized plot
+  options.visible_points = cpu.size(); // "CPU usage over the past ten days"
+  options.refresh_every_points = 288;  // re-render once per day of data
+  asap::StreamingAsap core =
+      asap::StreamingAsap::Create(options).ValueOrDie();
+  asap::stream::StreamingAsapOperator op(std::move(core));
+
+  asap::stream::VectorSource source(cpu);
+  const asap::stream::RunReport report =
+      asap::stream::RunToCompletion(&source, &op);
+
+  const auto& frame = op.asap().frame();
+  std::printf("Operator stats\n");
+  std::printf("  throughput          : %.0f points/sec\n",
+              report.points_per_second);
+  std::printf("  refreshes           : %llu (%llu warm-started)\n",
+              static_cast<unsigned long long>(frame.refreshes),
+              static_cast<unsigned long long>(frame.seeded_searches));
+  std::printf("  pane size           : %zu raw points/pixel bucket\n",
+              op.asap().pane_size());
+  std::printf("  final window        : %zu buckets\n\n", frame.window);
+
+  asap::render::AsciiChartOptions chart;
+  chart.width = 76;
+  chart.height = 11;
+  std::printf("%s\n",
+              asap::render::AsciiChartPair(
+                  asap::stats::ZScore(cpu), "-- Raw CPU utilization --",
+                  asap::stats::ZScore(frame.series),
+                  "-- ASAP dashboard view --", chart)
+                  .c_str());
+  std::printf(
+      "The day-8 usage step is sub-threshold against the raw jitter but\n"
+      "unmistakable in the smoothed view — the on-call engineer can see\n"
+      "it from the first glance at her phone (cf. paper §2, Figure 2).\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 1 reproduction: the NYC taxi dashboard.
+//
+//   $ ./taxi_dashboard [output.csv]
+//
+// Renders the taxi passenger series three ways — raw (hourly-scale
+// fluctuations), ASAP-smoothed, and oversmoothed — and shows that only
+// the ASAP plot makes the Thanksgiving-week dip unmistakable without
+// erasing the rest of the structure. Optionally writes the smoothed
+// series to CSV for an external plotting tool.
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/oversmooth.h"
+#include "core/smooth.h"
+#include "datasets/datasets.h"
+#include "render/ascii_chart.h"
+#include "stats/normalize.h"
+#include "ts/csv.h"
+#include "window/preaggregate.h"
+
+int main(int argc, char** argv) {
+  const asap::datasets::Dataset taxi = asap::datasets::MakeTaxi();
+  std::printf("Dataset: %s — %s (%zu points, %s)\n", taxi.info.name.c_str(),
+              taxi.info.description.c_str(), taxi.series.size(),
+              taxi.info.duration_label.c_str());
+  std::printf("Ground truth: sustained dip in region %d (Thanksgiving).\n\n",
+              taxi.info.anomaly_region);
+
+  // ASAP at the study resolution.
+  asap::SmoothOptions options;
+  options.resolution = 800;
+  const asap::SmoothingResult result =
+      asap::Smooth(taxi.series.values(), options).ValueOrDie();
+
+  // The deliberately oversmoothed alternative (window = n/4).
+  const std::vector<double> preagg =
+      asap::window::Preaggregate(taxi.series.values(), 800).series;
+  const std::vector<double> oversmoothed =
+      asap::baselines::Oversmooth(preagg);
+
+  asap::render::AsciiChartOptions chart;
+  chart.width = 76;
+  chart.height = 10;
+
+  std::printf("%s\n",
+              asap::render::AsciiChart(
+                  asap::stats::ZScore(taxi.series.values()),
+                  [&chart]() {
+                    auto c = chart;
+                    c.title = "-- Unsmoothed (hourly average) --";
+                    return c;
+                  }())
+                  .c_str());
+  std::printf("%s\n", asap::render::AsciiChart(
+                          asap::stats::ZScore(result.series),
+                          [&chart, &result]() {
+                            auto c = chart;
+                            c.title = "-- ASAP (window = " +
+                                      std::to_string(result.window) +
+                                      " buckets) --";
+                            return c;
+                          }())
+                          .c_str());
+  std::printf("%s\n", asap::render::AsciiChart(
+                          asap::stats::ZScore(oversmoothed),
+                          [&chart]() {
+                            auto c = chart;
+                            c.title = "-- Oversmoothed (window = n/4) --";
+                            return c;
+                          }())
+                          .c_str());
+
+  std::printf(
+      "ASAP cut roughness %.1fx while preserving kurtosis (%.2f -> "
+      "%.2f);\nthe dip survives, the daily noise does not.\n",
+      result.roughness_before / result.roughness_after,
+      result.kurtosis_before, result.kurtosis_after);
+
+  if (argc > 1) {
+    asap::TimeSeries out(result.series, taxi.series.start(),
+                         taxi.series.interval() *
+                             static_cast<double>(result.points_per_pixel),
+                         "taxi_asap");
+    const asap::Status status = asap::WriteCsv(out, argv[1]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "CSV write failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("Smoothed series written to %s\n", argv[1]);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "baselines/fft_smoother.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+#include "fft/fft.h"
+
+namespace asap {
+namespace baselines {
+
+namespace {
+
+// Frequencies come in conjugate pairs (bin f and bin n-f) for real
+// signals; keeping a "component" means keeping both bins.
+std::vector<double> ReconstructKeeping(const std::vector<double>& x,
+                                       const std::vector<size_t>& keep_bins) {
+  const size_t n = x.size();
+  std::vector<fft::Complex> spectrum = fft::RealTransform(x);
+  std::vector<bool> keep(n, false);
+  keep[0] = true;  // always keep DC (the mean)
+  for (size_t f : keep_bins) {
+    keep[f] = true;
+    keep[(n - f) % n] = true;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!keep[i]) {
+      spectrum[i] = fft::Complex(0.0, 0.0);
+    }
+  }
+  return fft::InverseRealTransform(spectrum);
+}
+
+}  // namespace
+
+std::vector<double> FftLowPass(const std::vector<double>& x, size_t k) {
+  ASAP_CHECK_GE(x.size(), 2u);
+  const size_t n = x.size();
+  const size_t max_component = n / 2;  // unique nonzero frequencies
+  k = std::min(k, max_component);
+  std::vector<size_t> keep;
+  keep.reserve(k);
+  for (size_t f = 1; f <= k; ++f) {
+    keep.push_back(f);
+  }
+  return ReconstructKeeping(x, keep);
+}
+
+std::vector<double> FftDominant(const std::vector<double>& x, size_t k) {
+  ASAP_CHECK_GE(x.size(), 2u);
+  const size_t n = x.size();
+  const std::vector<fft::Complex> spectrum = fft::RealTransform(x);
+  const size_t max_component = n / 2;
+  k = std::min(k, max_component);
+
+  std::vector<size_t> freqs(max_component);
+  std::iota(freqs.begin(), freqs.end(), 1);
+  std::partial_sort(
+      freqs.begin(), freqs.begin() + static_cast<long>(k), freqs.end(),
+      [&spectrum](size_t a, size_t b) {
+        return std::norm(spectrum[a]) > std::norm(spectrum[b]);
+      });
+  freqs.resize(k);
+  return ReconstructKeeping(x, freqs);
+}
+
+}  // namespace baselines
+}  // namespace asap

@@ -1,0 +1,28 @@
+// FFT-reconstruction smoothing (Appendix B.2): reconstruct the signal
+// from a subset of its frequency components.
+//
+//   * FFT-low      — keep the k lowest frequencies (a low-pass filter).
+//   * FFT-dominant — keep the k highest-power components; the paper
+//     shows this preserves dominant *high* frequencies and therefore
+//     smooths poorly, which the Fig. B.2 bench reproduces.
+
+#ifndef ASAP_BASELINES_FFT_SMOOTHER_H_
+#define ASAP_BASELINES_FFT_SMOOTHER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace asap {
+namespace baselines {
+
+/// Keeps the DC bin plus the `k` lowest nonzero frequencies (and their
+/// conjugate bins); zeroes the rest; returns the real reconstruction.
+std::vector<double> FftLowPass(const std::vector<double>& x, size_t k);
+
+/// Keeps the DC bin plus the `k` nonzero frequencies of largest power.
+std::vector<double> FftDominant(const std::vector<double>& x, size_t k);
+
+}  // namespace baselines
+}  // namespace asap
+
+#endif  // ASAP_BASELINES_FFT_SMOOTHER_H_

@@ -1,0 +1,77 @@
+#include "baselines/m4.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace asap {
+namespace baselines {
+
+std::vector<double> InterpolateToGrid(const ReducedSeries& reduced, size_t n) {
+  ASAP_CHECK(!reduced.empty());
+  ASAP_CHECK_EQ(reduced.index.size(), reduced.value.size());
+  std::vector<double> out(n);
+  size_t seg = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    while (seg + 1 < reduced.index.size() && reduced.index[seg + 1] < t) {
+      ++seg;
+    }
+    if (t <= reduced.index.front()) {
+      out[i] = reduced.value.front();
+    } else if (t >= reduced.index.back()) {
+      out[i] = reduced.value.back();
+    } else {
+      const double x0 = reduced.index[seg];
+      const double x1 = reduced.index[seg + 1];
+      const double y0 = reduced.value[seg];
+      const double y1 = reduced.value[seg + 1];
+      const double frac = x1 > x0 ? (t - x0) / (x1 - x0) : 0.0;
+      out[i] = y0 + frac * (y1 - y0);
+    }
+  }
+  return out;
+}
+
+ReducedSeries M4Reduce(const std::vector<double>& x, size_t buckets) {
+  ASAP_CHECK(!x.empty());
+  ASAP_CHECK_GE(buckets, 1u);
+  const size_t n = x.size();
+  buckets = std::min(buckets, n);
+
+  ReducedSeries out;
+  out.index.reserve(4 * buckets);
+  out.value.reserve(4 * buckets);
+
+  for (size_t b = 0; b < buckets; ++b) {
+    const size_t begin = b * n / buckets;
+    const size_t end = (b + 1) * n / buckets;
+    if (begin >= end) {
+      continue;
+    }
+    size_t min_i = begin;
+    size_t max_i = begin;
+    for (size_t i = begin; i < end; ++i) {
+      if (x[i] < x[min_i]) {
+        min_i = i;
+      }
+      if (x[i] > x[max_i]) {
+        max_i = i;
+      }
+    }
+    // first, min, max, last — emitted in time order, deduplicated.
+    size_t picks[4] = {begin, min_i, max_i, end - 1};
+    std::sort(std::begin(picks), std::end(picks));
+    for (size_t k = 0; k < 4; ++k) {
+      if (k > 0 && picks[k] == picks[k - 1]) {
+        continue;
+      }
+      out.index.push_back(static_cast<double>(picks[k]));
+      out.value.push_back(x[picks[k]]);
+    }
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace asap

@@ -1,0 +1,26 @@
+// M4 (Jugel et al., VLDB 2014): the pixel-perfect visualization-oriented
+// aggregation the paper compares against (§5.1, §6, Appendix B.1).
+//
+// M4 splits the x-axis into `buckets` groups (one per pixel column) and
+// keeps, per group, the first, last, minimum and maximum points — the
+// four extrema that determine the rasterized line within the column.
+
+#ifndef ASAP_BASELINES_M4_H_
+#define ASAP_BASELINES_M4_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/reduced.h"
+
+namespace asap {
+namespace baselines {
+
+/// Reduces x to at most 4 * buckets points (deduplicated, in time
+/// order). buckets must be >= 1.
+ReducedSeries M4Reduce(const std::vector<double>& x, size_t buckets);
+
+}  // namespace baselines
+}  // namespace asap
+
+#endif  // ASAP_BASELINES_M4_H_

@@ -1,0 +1,48 @@
+#include "baselines/minmax.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace asap {
+namespace baselines {
+
+ReducedSeries MinMaxReduce(const std::vector<double>& x, size_t buckets) {
+  ASAP_CHECK(!x.empty());
+  ASAP_CHECK_GE(buckets, 1u);
+  const size_t n = x.size();
+  buckets = std::min(buckets, n);
+
+  ReducedSeries out;
+  out.index.reserve(2 * buckets);
+  out.value.reserve(2 * buckets);
+  for (size_t b = 0; b < buckets; ++b) {
+    const size_t begin = b * n / buckets;
+    const size_t end = (b + 1) * n / buckets;
+    if (begin >= end) {
+      continue;
+    }
+    size_t min_i = begin;
+    size_t max_i = begin;
+    for (size_t i = begin; i < end; ++i) {
+      if (x[i] < x[min_i]) {
+        min_i = i;
+      }
+      if (x[i] > x[max_i]) {
+        max_i = i;
+      }
+    }
+    const size_t first = std::min(min_i, max_i);
+    const size_t second = std::max(min_i, max_i);
+    out.index.push_back(static_cast<double>(first));
+    out.value.push_back(x[first]);
+    if (second != first) {
+      out.index.push_back(static_cast<double>(second));
+      out.value.push_back(x[second]);
+    }
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace asap

@@ -1,0 +1,24 @@
+// MinMax aggregation: per x-bucket, keep the minimum and maximum
+// points. Used as a smoothing-function alternative in Appendix B.2
+// (where it scores worst — by construction it maximizes the distance
+// between consecutive plotted points).
+
+#ifndef ASAP_BASELINES_MINMAX_H_
+#define ASAP_BASELINES_MINMAX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/reduced.h"
+
+namespace asap {
+namespace baselines {
+
+/// Reduces x to at most 2 * buckets points (min and max per bucket, in
+/// time order, deduplicated).
+ReducedSeries MinMaxReduce(const std::vector<double>& x, size_t buckets);
+
+}  // namespace baselines
+}  // namespace asap
+
+#endif  // ASAP_BASELINES_MINMAX_H_

@@ -1,0 +1,19 @@
+#include "baselines/oversmooth.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "window/sma.h"
+
+namespace asap {
+namespace baselines {
+
+size_t OversmoothWindow(size_t n) { return std::max<size_t>(1, n / 4); }
+
+std::vector<double> Oversmooth(const std::vector<double>& x) {
+  ASAP_CHECK(!x.empty());
+  return window::Sma(x, OversmoothWindow(x.size()));
+}
+
+}  // namespace baselines
+}  // namespace asap

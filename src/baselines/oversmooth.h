@@ -1,0 +1,23 @@
+// The "oversmoothed" reference plot of the user studies (§5.1):
+// SMA with a window of one quarter of the series length — deliberately
+// beyond what the kurtosis constraint would allow.
+
+#ifndef ASAP_BASELINES_OVERSMOOTH_H_
+#define ASAP_BASELINES_OVERSMOOTH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace asap {
+namespace baselines {
+
+/// SMA(x, max(1, n/4)).
+std::vector<double> Oversmooth(const std::vector<double>& x);
+
+/// The window Oversmooth uses for a series of length n.
+size_t OversmoothWindow(size_t n);
+
+}  // namespace baselines
+}  // namespace asap
+
+#endif  // ASAP_BASELINES_OVERSMOOTH_H_

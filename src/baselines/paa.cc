@@ -1,0 +1,40 @@
+#include "baselines/paa.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace asap {
+namespace baselines {
+
+ReducedSeries PaaReduce(const std::vector<double>& x, size_t segments) {
+  ASAP_CHECK(!x.empty());
+  ASAP_CHECK_GE(segments, 1u);
+  const size_t n = x.size();
+  segments = std::min(segments, n);
+
+  ReducedSeries out;
+  out.index.reserve(segments);
+  out.value.reserve(segments);
+  for (size_t s = 0; s < segments; ++s) {
+    const size_t begin = s * n / segments;
+    const size_t end = (s + 1) * n / segments;
+    if (begin >= end) {
+      continue;
+    }
+    double sum = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      sum += x[i];
+    }
+    out.index.push_back(0.5 * static_cast<double>(begin + end - 1));
+    out.value.push_back(sum / static_cast<double>(end - begin));
+  }
+  return out;
+}
+
+std::vector<double> PaaMeans(const std::vector<double>& x, size_t segments) {
+  return PaaReduce(x, segments).value;
+}
+
+}  // namespace baselines
+}  // namespace asap

@@ -1,0 +1,27 @@
+// Piecewise Aggregate Approximation (Keogh et al., KAIS 2001): the
+// dimensionality-reduction baseline (PAA100 / PAA800 in §5.1).
+//
+// PAA replaces each of `segments` equal spans with its mean, plotted at
+// the span's center.
+
+#ifndef ASAP_BASELINES_PAA_H_
+#define ASAP_BASELINES_PAA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/reduced.h"
+
+namespace asap {
+namespace baselines {
+
+/// Reduces x to `segments` mean points. segments must be >= 1.
+ReducedSeries PaaReduce(const std::vector<double>& x, size_t segments);
+
+/// Just the segment means (no positions) — the classic PAA vector.
+std::vector<double> PaaMeans(const std::vector<double>& x, size_t segments);
+
+}  // namespace baselines
+}  // namespace asap
+
+#endif  // ASAP_BASELINES_PAA_H_

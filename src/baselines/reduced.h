@@ -1,0 +1,33 @@
+// Common output type of the data-reduction baselines (M4, PAA, MinMax,
+// Visvalingam–Whyatt): a subset/summary of the original points with
+// their original x-positions, so they rasterize at the correct pixels.
+
+#ifndef ASAP_BASELINES_REDUCED_H_
+#define ASAP_BASELINES_REDUCED_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace asap {
+namespace baselines {
+
+/// A reduced representation: points (index[i], value[i]) with index
+/// strictly increasing in [0, n-1] of the source series.
+struct ReducedSeries {
+  std::vector<double> index;
+  std::vector<double> value;
+
+  size_t size() const { return value.size(); }
+  bool empty() const { return value.empty(); }
+};
+
+/// Reconstructs the displayed polyline on the original grid by linear
+/// interpolation between reduced points (constant extrapolation before
+/// the first / after the last point). This is what the rendered chart
+/// visually shows, and is what the perception proxy scores.
+std::vector<double> InterpolateToGrid(const ReducedSeries& reduced, size_t n);
+
+}  // namespace baselines
+}  // namespace asap
+
+#endif  // ASAP_BASELINES_REDUCED_H_

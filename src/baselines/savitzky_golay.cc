@@ -1,0 +1,135 @@
+#include "baselines/savitzky_golay.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace asap {
+namespace baselines {
+
+namespace {
+
+// Solves the square system a * x = b by Gaussian elimination with
+// partial pivoting. a is row-major n x n and is destroyed.
+std::vector<double> SolveLinearSystem(std::vector<double> a,
+                                      std::vector<double> b, size_t n) {
+  for (size_t col = 0; col < n; ++col) {
+    // Pivot.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) {
+        pivot = r;
+      }
+    }
+    ASAP_CHECK(std::fabs(a[pivot * n + col]) > 1e-12);
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(a[col * n + c], a[pivot * n + c]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] / a[col * n + col];
+      for (size_t c = col; c < n; ++c) {
+        a[r * n + c] -= factor * a[col * n + c];
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (size_t row = n; row-- > 0;) {
+    double sum = b[row];
+    for (size_t c = row + 1; c < n; ++c) {
+      sum -= a[row * n + c] * x[c];
+    }
+    x[row] = sum / a[row * n + row];
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<double> SavitzkyGolayCoefficients(size_t half_window,
+                                              size_t degree) {
+  const size_t window = 2 * half_window + 1;
+  ASAP_CHECK_LT(degree, window);
+  const size_t terms = degree + 1;
+
+  // Normal equations A^T A c = A^T e0, where A[i][j] = t_i^j with
+  // t_i in {-m..m}, and we want the filter weight of each sample in the
+  // center estimate: h_i = sum_j (ATA^{-1})_{0j} t_i^j.
+  // Build ATA.
+  std::vector<double> ata(terms * terms, 0.0);
+  for (size_t r = 0; r < terms; ++r) {
+    for (size_t c = 0; c < terms; ++c) {
+      double sum = 0.0;
+      for (long t = -static_cast<long>(half_window);
+           t <= static_cast<long>(half_window); ++t) {
+        sum += std::pow(static_cast<double>(t), static_cast<double>(r + c));
+      }
+      ata[r * terms + c] = sum;
+    }
+  }
+  // Solve ATA * g = e0 to get the first row of ATA^{-1}.
+  std::vector<double> e0(terms, 0.0);
+  e0[0] = 1.0;
+  const std::vector<double> g = SolveLinearSystem(ata, e0, terms);
+
+  std::vector<double> coeffs(window, 0.0);
+  for (size_t i = 0; i < window; ++i) {
+    const double t =
+        static_cast<double>(static_cast<long>(i) -
+                            static_cast<long>(half_window));
+    double weight = 0.0;
+    double power = 1.0;
+    for (size_t j = 0; j < terms; ++j) {
+      weight += g[j] * power;
+      power *= t;
+    }
+    coeffs[i] = weight;
+  }
+  return coeffs;
+}
+
+std::vector<double> SavitzkyGolay(const std::vector<double>& x,
+                                  size_t half_window, size_t degree) {
+  ASAP_CHECK(!x.empty());
+  const size_t n = x.size();
+  if (half_window == 0) {
+    return x;
+  }
+  ASAP_CHECK_LT(degree, 2 * half_window + 1);
+  const std::vector<double> coeffs =
+      SavitzkyGolayCoefficients(half_window, degree);
+
+  // Reflected padding: index -k maps to k, index n-1+k maps to n-1-k.
+  const auto sample = [&x, n](long i) {
+    if (i < 0) {
+      i = -i;
+    }
+    if (i >= static_cast<long>(n)) {
+      i = 2 * static_cast<long>(n) - 2 - i;
+    }
+    if (i < 0) {
+      i = 0;  // degenerate: window wider than the series
+    }
+    return x[static_cast<size_t>(i)];
+  };
+
+  std::vector<double> out(n, 0.0);
+  const long m = static_cast<long>(half_window);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (long k = -m; k <= m; ++k) {
+      acc += coeffs[static_cast<size_t>(k + m)] *
+             sample(static_cast<long>(i) + k);
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace asap

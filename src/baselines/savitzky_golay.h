@@ -1,0 +1,28 @@
+// Savitzky–Golay smoothing (Analytical Chemistry 1964): least-squares
+// polynomial convolution, the SG1/SG4 alternative smoothing functions
+// of Appendix B.2.
+
+#ifndef ASAP_BASELINES_SAVITZKY_GOLAY_H_
+#define ASAP_BASELINES_SAVITZKY_GOLAY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace asap {
+namespace baselines {
+
+/// Convolution coefficients for the window center: fitting a polynomial
+/// of `degree` to 2*half_window+1 equally spaced points and evaluating
+/// at the center. degree < 2*half_window+1 required.
+std::vector<double> SavitzkyGolayCoefficients(size_t half_window,
+                                              size_t degree);
+
+/// Smooths x with a (2*half_window+1)-point degree-`degree` SG filter.
+/// Edges use reflected padding; output length equals input length.
+std::vector<double> SavitzkyGolay(const std::vector<double>& x,
+                                  size_t half_window, size_t degree);
+
+}  // namespace baselines
+}  // namespace asap
+
+#endif  // ASAP_BASELINES_SAVITZKY_GOLAY_H_

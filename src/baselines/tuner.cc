@@ -1,0 +1,114 @@
+#include "baselines/tuner.h"
+
+#include <limits>
+
+#include "baselines/fft_smoother.h"
+#include "baselines/minmax.h"
+#include "baselines/savitzky_golay.h"
+#include "common/macros.h"
+#include "core/metrics.h"
+#include "window/sma.h"
+
+namespace asap {
+namespace baselines {
+
+TunedSmoother TuneSmoother(const std::string& name,
+                           const std::vector<double>& x,
+                           const SmootherFn& smoother, size_t param_lo,
+                           size_t param_hi, size_t param_step) {
+  ASAP_CHECK_GE(param_step, 1u);
+  ASAP_CHECK_LE(param_lo, param_hi);
+  const double kurtosis_x = Kurtosis(x);
+
+  TunedSmoother best;
+  best.name = name;
+  best.roughness = std::numeric_limits<double>::infinity();
+  double best_infeasible_kurtosis = -std::numeric_limits<double>::infinity();
+  size_t best_infeasible_param = param_lo;
+  double best_infeasible_roughness = 0.0;
+
+  for (size_t p = param_lo; p <= param_hi; p += param_step) {
+    const std::vector<double> y = smoother(x, p);
+    if (y.size() < 4) {
+      continue;
+    }
+    const double rough = Roughness(y);
+    const double kurt = Kurtosis(y);
+    if (kurt >= kurtosis_x) {
+      if (rough < best.roughness) {
+        best.parameter = p;
+        best.roughness = rough;
+        best.kurtosis = kurt;
+        best.feasible = true;
+      }
+    } else if (!best.feasible && kurt > best_infeasible_kurtosis) {
+      best_infeasible_kurtosis = kurt;
+      best_infeasible_param = p;
+      best_infeasible_roughness = rough;
+    }
+  }
+
+  if (!best.feasible) {
+    best.parameter = best_infeasible_param;
+    best.roughness = best_infeasible_roughness;
+    best.kurtosis = best_infeasible_kurtosis;
+  }
+  return best;
+}
+
+std::vector<TunedSmoother> TuneAppendixSuite(const std::vector<double>& x) {
+  const size_t n = x.size();
+  const size_t max_window = std::max<size_t>(2, n / 10);
+  std::vector<TunedSmoother> out;
+
+  out.push_back(TuneSmoother(
+      "SMA", x,
+      [](const std::vector<double>& v, size_t w) {
+        return window::Sma(v, w);
+      },
+      1, max_window));
+
+  out.push_back(TuneSmoother(
+      "FFT-low", x,
+      [](const std::vector<double>& v, size_t k) {
+        return FftLowPass(v, k);
+      },
+      1, std::max<size_t>(2, n / 8)));
+
+  out.push_back(TuneSmoother(
+      "FFT-dominant", x,
+      [](const std::vector<double>& v, size_t k) {
+        return FftDominant(v, k);
+      },
+      1, std::max<size_t>(2, n / 8)));
+
+  out.push_back(TuneSmoother(
+      "SG1", x,
+      [](const std::vector<double>& v, size_t half) {
+        return SavitzkyGolay(v, half, /*degree=*/1);
+      },
+      1, max_window / 2 + 2));
+
+  out.push_back(TuneSmoother(
+      "SG4", x,
+      [](const std::vector<double>& v, size_t half) {
+        return SavitzkyGolay(v, half, /*degree=*/4);
+      },
+      3, max_window / 2 + 4));
+
+  out.push_back(TuneSmoother(
+      "minmax", x,
+      [](const std::vector<double>& v, size_t buckets) {
+        // Interpolate the min/max skeleton back to the grid so the
+        // roughness comparison is on equal footing.
+        const ReducedSeries r =
+            MinMaxReduce(v, std::max<size_t>(2, v.size() / (buckets + 1)));
+        return InterpolateToGrid(r, v.size());
+      },
+      1, 16));
+
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace asap

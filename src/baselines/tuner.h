@@ -1,0 +1,46 @@
+// Parameter selection for alternative smoothing functions under ASAP's
+// criterion (Appendix B.2): choose each smoother's parameter to
+// minimize roughness subject to kurtosis preservation, then compare
+// achieved roughness against SMA's.
+
+#ifndef ASAP_BASELINES_TUNER_H_
+#define ASAP_BASELINES_TUNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace asap {
+namespace baselines {
+
+/// A smoothing family: parameter -> smoothed series.
+using SmootherFn =
+    std::function<std::vector<double>(const std::vector<double>&, size_t)>;
+
+/// Result of tuning one smoother on one series.
+struct TunedSmoother {
+  std::string name;
+  size_t parameter = 0;
+  double roughness = 0.0;
+  double kurtosis = 0.0;
+  bool feasible = false;  // met the kurtosis constraint at some parameter
+};
+
+/// Scans parameter in [param_lo, param_hi] (step `param_step`),
+/// smooths, and keeps the feasible parameter (kurtosis >= original's)
+/// of minimum roughness. If no parameter is feasible, returns the
+/// parameter with the highest kurtosis (least destructive), with
+/// feasible = false.
+TunedSmoother TuneSmoother(const std::string& name,
+                           const std::vector<double>& x,
+                           const SmootherFn& smoother, size_t param_lo,
+                           size_t param_hi, size_t param_step = 1);
+
+/// The Appendix B.2 smoother suite, each tuned under the same
+/// criterion: SMA, FFT-low, FFT-dominant, SG1, SG4, MinMax.
+std::vector<TunedSmoother> TuneAppendixSuite(const std::vector<double>& x);
+
+}  // namespace baselines
+}  // namespace asap
+
+#endif  // ASAP_BASELINES_TUNER_H_

@@ -1,0 +1,115 @@
+#include "baselines/visvalingam.h"
+
+#include <cmath>
+#include <cstdint>
+#include <queue>
+
+#include "common/macros.h"
+
+namespace asap {
+namespace baselines {
+
+namespace {
+
+// Twice the area of the triangle (a, x[a]), (b, x[b]), (c, x[c]).
+double TriangleArea2(const std::vector<double>& x, size_t a, size_t b,
+                     size_t c) {
+  const double ax = static_cast<double>(a);
+  const double bx = static_cast<double>(b);
+  const double cx = static_cast<double>(c);
+  return std::fabs((bx - ax) * (x[c] - x[a]) - (cx - ax) * (x[b] - x[a]));
+}
+
+struct HeapEntry {
+  double area;
+  size_t index;
+  uint64_t version;  // lazy-deletion stamp
+
+  bool operator>(const HeapEntry& other) const { return area > other.area; }
+};
+
+}  // namespace
+
+ReducedSeries VisvalingamSimplify(const std::vector<double>& x,
+                                  size_t target_points) {
+  ASAP_CHECK_GE(x.size(), 2u);
+  ASAP_CHECK_GE(target_points, 2u);
+  const size_t n = x.size();
+
+  ReducedSeries out;
+  if (target_points >= n) {
+    out.index.reserve(n);
+    out.value.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.index.push_back(static_cast<double>(i));
+      out.value.push_back(x[i]);
+    }
+    return out;
+  }
+
+  // Doubly linked list over surviving points.
+  std::vector<size_t> prev(n);
+  std::vector<size_t> next(n);
+  std::vector<bool> alive(n, true);
+  std::vector<uint64_t> version(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    prev[i] = i == 0 ? n : i - 1;  // n = sentinel "none"
+    next[i] = i + 1 == n ? n : i + 1;
+  }
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  for (size_t i = 1; i + 1 < n; ++i) {
+    heap.push(HeapEntry{TriangleArea2(x, i - 1, i, i + 1), i, 0});
+  }
+
+  size_t remaining = n;
+  double last_area = 0.0;
+  while (remaining > target_points && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    const size_t i = top.index;
+    if (!alive[i] || top.version != version[i]) {
+      continue;  // stale entry
+    }
+    // Effective-area rule: a point may never be removed with a smaller
+    // area than the last removal (prevents oversimplifying flat runs
+    // adjacent to removed detail).
+    const double area = std::max(top.area, last_area);
+    last_area = area;
+
+    alive[i] = false;
+    --remaining;
+    const size_t p = prev[i];
+    const size_t q = next[i];
+    if (p != n) {
+      next[p] = q;
+    }
+    if (q != n) {
+      prev[q] = p;
+    }
+    // Re-score the neighbors with their new neighborhoods.
+    if (p != n && prev[p] != n && next[p] != n) {
+      version[p] += 1;
+      heap.push(HeapEntry{TriangleArea2(x, prev[p], p, next[p]), p,
+                          version[p]});
+    }
+    if (q != n && prev[q] != n && next[q] != n) {
+      version[q] += 1;
+      heap.push(HeapEntry{TriangleArea2(x, prev[q], q, next[q]), q,
+                          version[q]});
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (alive[i]) {
+      out.index.push_back(static_cast<double>(i));
+      out.value.push_back(x[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace asap

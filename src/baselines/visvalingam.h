@@ -1,0 +1,28 @@
+// Visvalingam–Whyatt line simplification (Cartographic Journal 1993):
+// the "simp" baseline of the user study (§5.1).
+//
+// Iteratively removes the point whose triangle with its neighbors has
+// the smallest ("effective") area until only `target_points` remain.
+// Endpoints are always retained. O(n log n) via a lazy-deletion heap
+// over a doubly linked list.
+
+#ifndef ASAP_BASELINES_VISVALINGAM_H_
+#define ASAP_BASELINES_VISVALINGAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/reduced.h"
+
+namespace asap {
+namespace baselines {
+
+/// Simplifies x (plotted at x-positions 0..n-1) down to
+/// `target_points` points (>= 2).
+ReducedSeries VisvalingamSimplify(const std::vector<double>& x,
+                                  size_t target_points);
+
+}  // namespace baselines
+}  // namespace asap
+
+#endif  // ASAP_BASELINES_VISVALINGAM_H_

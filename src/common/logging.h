@@ -1,0 +1,58 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: ASAP_LOG(INFO) << "searched " << n << " candidates";
+// The default threshold is WARNING so library internals stay quiet in
+// tests and benches; raise verbosity with SetLogLevel.
+
+#ifndef ASAP_COMMON_LOGGING_H_
+#define ASAP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace asap {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace asap
+
+#define ASAP_LOG(severity)                                        \
+  ::asap::internal::LogMessage(::asap::LogLevel::k##severity,     \
+                               __FILE__, __LINE__)
+
+#endif  // ASAP_COMMON_LOGGING_H_

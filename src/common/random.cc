@@ -1,0 +1,109 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace asap {
+
+Pcg32::Pcg32(uint64_t seed, uint64_t seq) : state_(0), inc_((seq << 1u) | 1u) {
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Pcg32::NextU32() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint32_t Pcg32::NextBounded(uint32_t bound) {
+  ASAP_CHECK_GT(bound, 0u);
+  // Lemire-style rejection to avoid modulo bias.
+  uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    uint32_t r = NextU32();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+double Pcg32::NextDouble() {
+  // 53 random bits -> [0, 1).
+  uint64_t hi = NextU32();
+  uint64_t lo = NextU32();
+  uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * (1.0 / 9007199254740992.0);  // 2^-53
+}
+
+double Pcg32::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Pcg32::Gaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  // Box–Muller; guard against log(0).
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  double two_pi_u2 = 2.0 * M_PI * u2;
+  spare_ = mag * std::sin(two_pi_u2);
+  has_spare_ = true;
+  return mag * std::cos(two_pi_u2);
+}
+
+double Pcg32::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Pcg32::Laplace(double mu, double b) {
+  double u = NextDouble() - 0.5;
+  double sign = u < 0 ? -1.0 : 1.0;
+  return mu - b * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+double Pcg32::Exponential(double lambda) {
+  ASAP_CHECK_GT(lambda, 0.0);
+  double u = 0.0;
+  do {
+    u = NextDouble();
+  } while (u <= 1e-300);
+  return -std::log(u) / lambda;
+}
+
+std::vector<double> GaussianVector(Pcg32* rng, size_t n, double mean,
+                                   double stddev) {
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = rng->Gaussian(mean, stddev);
+  }
+  return out;
+}
+
+std::vector<double> LaplaceVector(Pcg32* rng, size_t n, double mu, double b) {
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = rng->Laplace(mu, b);
+  }
+  return out;
+}
+
+std::vector<double> UniformVector(Pcg32* rng, size_t n, double lo, double hi) {
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = rng->Uniform(lo, hi);
+  }
+  return out;
+}
+
+}  // namespace asap

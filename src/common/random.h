@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of libasap (synthetic datasets, observer
+// noise in the perception proxy, property-test inputs) draw from this
+// PCG32 generator so experiments are exactly reproducible across
+// platforms — std::normal_distribution is implementation-defined, so we
+// implement the distributions ourselves.
+
+#ifndef ASAP_COMMON_RANDOM_H_
+#define ASAP_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace asap {
+
+/// PCG32 (O'Neill 2014): 64-bit state, 32-bit output, period 2^64.
+/// Small, fast, and statistically strong enough for simulation workloads.
+class Pcg32 {
+ public:
+  /// Seeds the generator; `seq` selects one of 2^63 independent streams.
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t seq = 0xda3e39cb94b95bdbULL);
+
+  /// Next uniformly distributed 32-bit value.
+  uint32_t NextU32();
+
+  /// Uniform integer in [0, bound) without modulo bias. bound must be > 0.
+  uint32_t NextBounded(uint32_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (deterministic across platforms).
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Laplace(mu, b) via inverse CDF; variance = 2 b^2, kurtosis = 6.
+  double Laplace(double mu, double b);
+
+  /// Exponential with the given rate (lambda > 0).
+  double Exponential(double lambda);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  // Box–Muller produces pairs; cache the spare value.
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Convenience: n IID standard-normal samples.
+std::vector<double> GaussianVector(Pcg32* rng, size_t n, double mean = 0.0,
+                                   double stddev = 1.0);
+
+/// Convenience: n IID Laplace samples.
+std::vector<double> LaplaceVector(Pcg32* rng, size_t n, double mu = 0.0,
+                                  double b = 1.0);
+
+/// Convenience: n IID Uniform(lo, hi) samples.
+std::vector<double> UniformVector(Pcg32* rng, size_t n, double lo = 0.0,
+                                  double hi = 1.0);
+
+}  // namespace asap
+
+#endif  // ASAP_COMMON_RANDOM_H_

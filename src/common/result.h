@@ -1,0 +1,82 @@
+// Result<T>: value-or-Status, the return type of fallible functions
+// that produce a value (Arrow's Result / absl::StatusOr idiom).
+
+#ifndef ASAP_COMMON_RESULT_H_
+#define ASAP_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace asap {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+///
+/// Typical use:
+///
+///   Result<SmoothingResult> r = Smooth(values, options);
+///   if (!r.ok()) return r.status();
+///   Use(r->window);
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, enables
+  /// `return Status::InvalidArgument(...);`).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    ASAP_CHECK(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error; Status::OK() when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void CheckOk() const {
+    if (ASAP_PREDICT_FALSE(!ok())) {
+      status_.Abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace asap
+
+#endif  // ASAP_COMMON_RESULT_H_

@@ -1,0 +1,102 @@
+// Status: the library-wide error model.
+//
+// libasap follows the database-engine convention (Arrow, RocksDB) of
+// returning Status / Result<T> from fallible operations instead of
+// throwing exceptions. A Status is cheap to copy in the OK case (no
+// allocation) and carries a code plus a human-readable message
+// otherwise.
+
+#ifndef ASAP_COMMON_STATUS_H_
+#define ASAP_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace asap {
+
+/// Machine-readable classification of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kIOError = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: either OK or a (code, message) pair.
+class Status {
+ public:
+  /// Constructs an OK status. Never allocates.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers mirroring the StatusCode enumerators.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// The failure message; empty for OK statuses.
+  const std::string& message() const;
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process if this status is not OK. For use at API
+  /// boundaries where failure indicates a programming error.
+  void Abort() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // nullptr <=> OK; keeps sizeof(Status) == sizeof(void*).
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace asap
+
+#endif  // ASAP_COMMON_STATUS_H_

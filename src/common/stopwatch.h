@@ -1,0 +1,36 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+
+#ifndef ASAP_COMMON_STOPWATCH_H_
+#define ASAP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace asap {
+
+/// Monotonic stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the clock.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / last Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed microseconds since construction / last Reset.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace asap
+
+#endif  // ASAP_COMMON_STOPWATCH_H_

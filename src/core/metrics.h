@@ -1,0 +1,54 @@
+// ASAP's two quality metrics (paper §3) plus the closed-form roughness
+// estimate used for pruning (paper §4.3, Eq. 5).
+//
+//   roughness(X) = stddev of the first-difference series  (minimize)
+//   kurtosis(X)  = fourth standardized moment             (preserve)
+
+#ifndef ASAP_CORE_METRICS_H_
+#define ASAP_CORE_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace asap {
+
+/// Roughness: population standard deviation of {x_{i+1} - x_i}.
+/// 0 for series shorter than 3 points (a two-point series is a straight
+/// line segment; the paper's Fig. 4 anchors: a straight line has
+/// roughness exactly 0).
+double Roughness(const std::vector<double>& x);
+
+/// Non-excess kurtosis (normal = 3, Laplace = 6); 0 for degenerate input.
+double Kurtosis(const std::vector<double>& x);
+
+/// Eq. 2: expected roughness of SMA(X, w) when X is IID with standard
+/// deviation sigma: sqrt(2) * sigma / w.
+double IidRoughness(double sigma, size_t w);
+
+/// Eq. 4: expected kurtosis of SMA(X, w) when X is IID with kurtosis k:
+/// 3 + (k - 3) / w.
+double IidKurtosis(double kurtosis_x, size_t w);
+
+/// Eq. 5: estimated roughness of SMA(X, w) for weakly stationary X with
+/// standard deviation sigma, length n, and lag-w autocorrelation acf_w:
+///
+///   sqrt(2) * sigma / w * sqrt(1 - n / (n - w) * acf_w)
+///
+/// The radicand is clamped at 0 (it can dip below for strongly
+/// correlated lags where the estimator's assumptions fray).
+double RoughnessEstimate(double sigma, size_t n, size_t w, double acf_w);
+
+/// The pruning comparator of Algorithm 1 (IsRoughER): true iff the
+/// Eq.-5 *relative* roughness of window `w_candidate` exceeds that of
+/// `w_best`, i.e. sqrt(1-acf[cand])/cand > sqrt(1-acf[best])/best.
+bool EstimatedRougher(size_t w_candidate, double acf_candidate, size_t w_best,
+                      double acf_best);
+
+/// Eq. 6 lower-bound update (UpdateLB): the smallest window that could
+/// beat a feasible window `w` with autocorrelation acf_w, given the
+/// global maximum ACF peak max_acf:  w * sqrt((1 - max_acf)/(1 - acf_w)).
+double WindowLowerBound(size_t w, double acf_w, double max_acf);
+
+}  // namespace asap
+
+#endif  // ASAP_CORE_METRICS_H_

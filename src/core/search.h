@@ -1,0 +1,124 @@
+// Window-length search strategies (paper §4.1–4.3).
+//
+// All strategies solve the same optimization (§3.4): over candidate
+// windows w in [1, max_window], minimize roughness(SMA(X, w)) subject
+// to Kurt(SMA(X, w)) >= Kurt(X). They differ only in which candidates
+// they evaluate:
+//
+//   * Exhaustive  — every w (the quality gold standard; O(N^2)).
+//   * Grid(k)     — every k-th w.
+//   * Binary      — bisection assuming monotonicity (exact for IID
+//                   data per Eq. 2/4; approximate otherwise).
+//   * Asap        — ACF-peak candidates with Eq. 5/6 pruning, then a
+//                   binary-search sweep of the remaining range
+//                   (Algorithms 1 & 2).
+//
+// Searches run on the (already preaggregated) series; the public API
+// in core/smooth.h composes preaggregation with a strategy.
+
+#ifndef ASAP_CORE_SEARCH_H_
+#define ASAP_CORE_SEARCH_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/acf_peaks.h"
+
+namespace asap {
+
+/// Instrumentation shared by all strategies (reported in Table 2 and
+/// the Fig. 8/9 benches).
+struct SearchDiagnostics {
+  /// Number of candidate windows actually smoothed and scored
+  /// (each costs O(N)).
+  size_t candidates_evaluated = 0;
+  /// Candidates skipped by the Eq. 6 lower-bound rule.
+  size_t pruned_lower_bound = 0;
+  /// Candidates skipped by the Eq. 5 roughness-estimate rule.
+  size_t pruned_roughness = 0;
+  /// ACF peaks found (ASAP only).
+  size_t acf_peaks = 0;
+};
+
+/// Outcome of a search over one series.
+struct SearchResult {
+  /// Chosen window (1 = leave unsmoothed).
+  size_t window = 1;
+  /// Roughness of SMA(X, window).
+  double roughness = std::numeric_limits<double>::infinity();
+  /// Kurtosis of SMA(X, window).
+  double kurtosis = 0.0;
+  SearchDiagnostics diag;
+};
+
+/// Search-space configuration.
+struct SearchOptions {
+  /// Largest window to consider; 0 = auto (N / max_window_divisor).
+  size_t max_window = 0;
+  /// Divisor for the automatic max window (paper's implementations use
+  /// N/10, which reproduces Table 2's candidate counts).
+  size_t max_window_divisor = 10;
+  /// ACF peak detection threshold (ASAP only).
+  double acf_threshold = 0.2;
+  /// Step for grid search.
+  size_t grid_step = 1;
+
+  /// Ablation switches (bench_ablation_pruning): disable the Eq. 6
+  /// lower-bound rule / the Eq. 5 roughness-estimate rule to measure
+  /// each rule's contribution. Production code leaves both enabled.
+  bool disable_lower_bound_pruning = false;
+  bool disable_roughness_pruning = false;
+
+  /// Resolved maximum window for a series of length n (>= 1, <= n).
+  size_t ResolveMaxWindow(size_t n) const;
+};
+
+/// Evaluation of a single candidate window.
+struct CandidateScore {
+  double roughness = 0.0;
+  double kurtosis = 0.0;
+};
+
+/// Smooths with window w and scores the result (O(N)).
+CandidateScore EvaluateWindow(const std::vector<double>& x, size_t w);
+
+/// Exhaustive scan of w = 1..max_window.
+SearchResult ExhaustiveSearch(const std::vector<double>& x,
+                              const SearchOptions& options);
+
+/// Grid scan of w = 1, 1+k, 1+2k, ...
+SearchResult GridSearch(const std::vector<double>& x,
+                        const SearchOptions& options);
+
+/// Bisection on the kurtosis constraint (largest feasible window under
+/// the monotonicity assumption of §4.2).
+SearchResult BinarySearch(const std::vector<double>& x,
+                          const SearchOptions& options);
+
+/// Mutable search state threaded through ASAP's pruning rules; the
+/// streaming operator re-seeds it across refreshes (§4.5).
+struct AsapState {
+  size_t window = 1;
+  double roughness = std::numeric_limits<double>::infinity();
+  double lower_bound = 1.0;  // wLB of Algorithm 1
+  bool has_feasible = false;
+};
+
+/// Full ASAP search (Algorithms 1 + 2). If `seed` is non-null it is
+/// used as the starting state (streaming warm start) and updated in
+/// place; otherwise a fresh state is used.
+SearchResult AsapSearch(const std::vector<double>& x,
+                        const SearchOptions& options,
+                        AsapState* seed = nullptr);
+
+/// ASAP search when the ACF is already available (streaming path keeps
+/// it incrementally refreshed).
+SearchResult AsapSearchWithAcf(const std::vector<double>& x,
+                               const AcfInfo& acf,
+                               const SearchOptions& options,
+                               AsapState* seed = nullptr);
+
+}  // namespace asap
+
+#endif  // ASAP_CORE_SEARCH_H_

@@ -1,0 +1,92 @@
+// The public batch API: Smooth() — "given a window of time to
+// visualize, select and apply an appropriate smoothing parameter to
+// the target series" (paper §1).
+//
+// Composes pixel-aware preaggregation (§4.4) with a window search
+// strategy (§4.1–4.3) and applies the chosen SMA. The strategy is
+// configurable so the Fig. 8/9 comparison benches can run alternatives
+// through the identical pipeline.
+
+#ifndef ASAP_CORE_SMOOTH_H_
+#define ASAP_CORE_SMOOTH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/search.h"
+#include "ts/timeseries.h"
+
+namespace asap {
+
+/// Which candidate-enumeration strategy Smooth() uses.
+enum class SearchStrategy {
+  kAsap,        // ACF pruning + binary fallback (the paper's operator)
+  kExhaustive,  // quality gold standard
+  kGrid,        // exhaustive with stride `grid_step`
+  kBinary,      // bisection on the kurtosis constraint
+};
+
+const char* SearchStrategyName(SearchStrategy strategy);
+
+/// End-to-end smoothing configuration.
+struct SmoothOptions {
+  /// Target display width in pixels; also the preaggregation budget.
+  /// 0 disables pixel-aware preaggregation ("users can still choose to
+  /// disable pixel-aware preaggregation", §5.2.2).
+  size_t resolution = 800;
+
+  /// Search-space options (max window, ACF threshold, grid step).
+  SearchOptions search;
+
+  SearchStrategy strategy = SearchStrategy::kAsap;
+};
+
+/// Everything the operator learned while smoothing, for rendering and
+/// for the benches.
+struct SmoothingResult {
+  /// The smoothed (and preaggregated) series to plot.
+  std::vector<double> series;
+
+  /// Chosen SMA window, in preaggregated points (1 = unsmoothed).
+  size_t window = 1;
+
+  /// Points per pixel bucket used by preaggregation (1 = none).
+  size_t points_per_pixel = 1;
+
+  /// Chosen window expressed in raw input points.
+  size_t window_raw_points = 1;
+
+  /// Metrics before (preaggregated) and after smoothing.
+  double roughness_before = 0.0;
+  double roughness_after = 0.0;
+  double kurtosis_before = 0.0;
+  double kurtosis_after = 0.0;
+
+  SearchDiagnostics diag;
+
+  /// Convenience: roughness_after / roughness_before (0 when the input
+  /// was already perfectly smooth).
+  double RoughnessRatio() const;
+};
+
+/// Smooths `values` for a `resolution`-pixel display. Fails with
+/// InvalidArgument for inputs shorter than 4 points (no meaningful
+/// roughness/kurtosis exists).
+Result<SmoothingResult> Smooth(const std::vector<double>& values,
+                               const SmoothOptions& options);
+
+/// TimeSeries overload; the result series keeps the input's grid
+/// rescaled by the preaggregation and window slide.
+Result<SmoothingResult> Smooth(const TimeSeries& series,
+                               const SmoothOptions& options);
+
+/// Applies an already-chosen window to a raw series using the same
+/// preaggregation pipeline (used by overlays and sensitivity benches).
+Result<std::vector<double>> ApplyWindow(const std::vector<double>& values,
+                                        size_t resolution, size_t window);
+
+}  // namespace asap
+
+#endif  // ASAP_CORE_SMOOTH_H_

@@ -1,0 +1,128 @@
+#include "core/streaming_asap.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "core/metrics.h"
+#include "window/preaggregate.h"
+#include "window/sma.h"
+
+namespace asap {
+
+StreamingAsap::StreamingAsap(const StreamingOptions& options)
+    : options_(options),
+      pane_size_(options.enable_preaggregation
+                     ? window::PointToPixelRatio(options.visible_points,
+                                                 options.resolution)
+                     : 1),
+      refresh_interval_points_(options.refresh_every_points != 0
+                                   ? options.refresh_every_points
+                                   : pane_size_),
+      panes_(pane_size_,
+             /*max_panes=*/std::max<size_t>(options.visible_points /
+                                                std::max<size_t>(pane_size_, 1),
+                                            4)) {}
+
+Result<StreamingAsap> StreamingAsap::Create(const StreamingOptions& options) {
+  if (options.visible_points < 8) {
+    return Status::InvalidArgument(
+        "visible_points must be >= 8 (got " +
+        std::to_string(options.visible_points) + ")");
+  }
+  return StreamingAsap(options);
+}
+
+bool StreamingAsap::Push(double x) {
+  ++points_consumed_;
+  ++points_since_refresh_;
+  panes_.Push(x);
+  if (points_since_refresh_ >= refresh_interval_points_ &&
+      panes_.size() >= 4) {
+    Refresh();
+    points_since_refresh_ = 0;
+    return true;
+  }
+  return false;
+}
+
+void StreamingAsap::Prefill(const std::vector<double>& xs) {
+  for (double x : xs) {
+    ++points_consumed_;
+    panes_.Push(x);
+  }
+  points_since_refresh_ = 0;
+}
+
+size_t StreamingAsap::PushBatch(const std::vector<double>& xs) {
+  size_t refreshes = 0;
+  for (double x : xs) {
+    refreshes += Push(x) ? 1 : 0;
+  }
+  return refreshes;
+}
+
+void StreamingAsap::Refresh() {
+  const std::vector<double> x = panes_.PaneMeans();
+  if (x.size() < 4) {
+    return;
+  }
+  const size_t max_window = options_.search.ResolveMaxWindow(x.size());
+
+  // UpdateAcf: the visible window changed, recompute its ACF (one
+  // extra lag so a period at exactly max_window remains detectable).
+  const AcfInfo acf =
+      ComputeAcfInfo(x, max_window + 1, options_.search.acf_threshold);
+  const double kurtosis_x = Kurtosis(x);
+
+  // CheckLastWindow: seed with the previous solution if it is still
+  // feasible on the refreshed data; otherwise search from scratch.
+  state_ = AsapState{};
+  bool seeded = false;
+  if (has_previous_window_ && previous_window_ >= 1 &&
+      previous_window_ <= x.size()) {
+    const CandidateScore score = EvaluateWindow(x, previous_window_);
+    frame_.candidates_evaluated += 1;
+    if (score.kurtosis >= kurtosis_x) {
+      state_.window = previous_window_;
+      state_.roughness = score.roughness;
+      state_.has_feasible = true;
+      const double corr = previous_window_ < acf.correlations.size()
+                              ? acf.correlations[previous_window_]
+                              : 0.0;
+      state_.lower_bound =
+          std::max(1.0, WindowLowerBound(previous_window_, corr, acf.max_acf));
+      seeded = true;
+    }
+  }
+
+  SearchResult result;
+  switch (options_.strategy) {
+    case SearchStrategy::kAsap:
+      result = AsapSearchWithAcf(x, acf, options_.search, &state_);
+      break;
+    case SearchStrategy::kExhaustive:
+      result = ExhaustiveSearch(x, options_.search);
+      break;
+    case SearchStrategy::kGrid:
+      result = GridSearch(x, options_.search);
+      break;
+    case SearchStrategy::kBinary:
+      result = BinarySearch(x, options_.search);
+      break;
+  }
+
+  frame_.series = window::Sma(x, result.window);
+  frame_.window = result.window;
+  frame_.refreshes += 1;
+  frame_.candidates_evaluated += result.diag.candidates_evaluated;
+  if (seeded) {
+    frame_.seeded_searches += 1;
+  } else {
+    frame_.cold_searches += 1;
+  }
+
+  has_previous_window_ = true;
+  previous_window_ = result.window;
+}
+
+}  // namespace asap

@@ -1,0 +1,125 @@
+// Streaming ASAP (paper §4.5, Algorithm 3).
+//
+// The operator ingests raw points, sub-aggregates them into panes
+// sized at the point-to-pixel ratio (§4.4 applied to streams), retains
+// the panes covering the visible time window, and re-runs the window
+// search only at a configurable, human-perceptible refresh interval
+// (on-demand updates). Each refresh:
+//
+//   1. UpdateAcf      — recompute the ACF over the visible panes;
+//   2. CheckLastWindow — test whether the previous window is still
+//      feasible; if so, seed the new search with it (warm start that
+//      arms the roughness-estimate pruning immediately);
+//   3. FindWindow     — run the (seeded) ASAP search and re-render.
+//
+// The preaggregation/strategy/refresh knobs exist so the Fig. 11
+// factor analysis and lesion study can disable each optimization
+// independently while exercising the identical pipeline.
+
+#ifndef ASAP_CORE_STREAMING_ASAP_H_
+#define ASAP_CORE_STREAMING_ASAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/smooth.h"
+#include "window/panes.h"
+
+namespace asap {
+
+/// Configuration of the streaming operator.
+struct StreamingOptions {
+  /// Target display width in pixels.
+  size_t resolution = 800;
+
+  /// Raw points covered by the visible window (e.g. 30 min of 1 Hz
+  /// telemetry = 1800). Required.
+  size_t visible_points = 0;
+
+  /// Raw points between refreshes. 0 = refresh whenever a pane
+  /// completes (the non-lazy default); larger values are the
+  /// "on-demand update" optimization (e.g. one day's worth of points).
+  size_t refresh_every_points = 0;
+
+  /// Disable to make panes one point wide (the Fig. 11 "no pixel"
+  /// lesion).
+  bool enable_preaggregation = true;
+
+  /// Search strategy run at each refresh (the Fig. 11 "no AC" lesion
+  /// replaces ASAP with exhaustive search).
+  SearchStrategy strategy = SearchStrategy::kAsap;
+
+  /// Window-search options.
+  SearchOptions search;
+};
+
+/// The streaming ASAP operator.
+class StreamingAsap {
+ public:
+  /// The most recent rendered frame plus lifetime counters.
+  struct Frame {
+    /// Smoothed visible series (empty until the first refresh).
+    std::vector<double> series;
+    /// Chosen SMA window in panes.
+    size_t window = 1;
+    /// Number of refreshes so far.
+    uint64_t refreshes = 0;
+    /// Searches that reused the previous window as a warm start.
+    uint64_t seeded_searches = 0;
+    /// Searches started from scratch (first refresh or failed
+    /// CheckLastWindow).
+    uint64_t cold_searches = 0;
+    /// Total candidate windows evaluated across all refreshes.
+    uint64_t candidates_evaluated = 0;
+  };
+
+  /// Validates options; fails if visible_points < 8 or resolution
+  /// semantics are inconsistent.
+  static Result<StreamingAsap> Create(const StreamingOptions& options);
+
+  /// Ingests one raw point; returns true iff a refresh happened.
+  bool Push(double x);
+
+  /// Loads historical points into the pane buffer WITHOUT triggering
+  /// refreshes (bootstrap from a backfill, or bench warm-up so that
+  /// steady-state throughput is measured against a full window).
+  void Prefill(const std::vector<double>& xs);
+
+  /// Ingests a batch; returns the number of refreshes triggered.
+  size_t PushBatch(const std::vector<double>& xs);
+
+  /// Forces a refresh now (used when the user scrolls/zooms).
+  /// No-op until at least 4 panes are buffered.
+  void Refresh();
+
+  const Frame& frame() const { return frame_; }
+
+  /// Raw points consumed so far.
+  uint64_t points_consumed() const { return points_consumed_; }
+
+  /// Points per pane (the point-to-pixel ratio in effect).
+  size_t pane_size() const { return pane_size_; }
+
+  /// Raw points between refreshes in effect.
+  size_t refresh_interval_points() const { return refresh_interval_points_; }
+
+ private:
+  explicit StreamingAsap(const StreamingOptions& options);
+
+  StreamingOptions options_;
+  size_t pane_size_ = 1;
+  size_t refresh_interval_points_ = 1;
+  window::PaneBuffer panes_;
+  uint64_t points_consumed_ = 0;
+  uint64_t points_since_refresh_ = 0;
+
+  AsapState state_;
+  bool has_previous_window_ = false;
+  size_t previous_window_ = 1;
+  Frame frame_;
+};
+
+}  // namespace asap
+
+#endif  // ASAP_CORE_STREAMING_ASAP_H_

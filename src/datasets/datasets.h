@@ -1,0 +1,94 @@
+// Synthetic reproductions of the paper's 11 evaluation datasets
+// (Table 2).
+//
+// The originals are public but unavailable offline; per DESIGN.md §4
+// each generator matches the original's length, sampling interval,
+// dominant period(s), noise character, and anomaly type/location —
+// the only properties ASAP's metrics and search consume. Every
+// generator is deterministic given its seed.
+//
+// Ground-truth anomaly regions follow the user-study protocol (§5.1):
+// the series is divided into five equal regions and the anomaly lies
+// inside exactly one of them.
+
+#ifndef ASAP_DATASETS_DATASETS_H_
+#define ASAP_DATASETS_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ts/timeseries.h"
+
+namespace asap {
+namespace datasets {
+
+/// Metadata mirroring Table 2 plus anomaly ground truth.
+struct DatasetInfo {
+  std::string name;
+  std::string description;   // Table 2's description column
+  size_t num_points = 0;
+  double interval_seconds = 1.0;
+  std::string duration_label;  // Table 2's human-readable duration
+
+  /// Anomaly span in point indices ([begin, end); begin == end when the
+  /// dataset has no single labeled anomaly).
+  size_t anomaly_begin = 0;
+  size_t anomaly_end = 0;
+
+  /// 1-based index of the five equal regions containing the anomaly
+  /// (0 = none labeled).
+  int anomaly_region = 0;
+
+  /// The user-study prompt for this dataset (empty if not in the study).
+  std::string task_description;
+
+  /// True for series whose few extreme outliers should keep ASAP from
+  /// smoothing at all (the Twitter AAPL behavior in Table 2).
+  bool expect_unsmoothed = false;
+
+  bool HasAnomaly() const { return anomaly_region != 0; }
+};
+
+/// A generated dataset: metadata plus the series itself.
+struct Dataset {
+  DatasetInfo info;
+  TimeSeries series;
+
+  /// Which of the 5 equal regions a point index falls into (1-based).
+  int RegionOf(size_t index) const;
+};
+
+// --- Individual generators (Table 2 order, largest first). -----------------
+
+Dataset MakeGasSensor(uint64_t seed = 41);
+Dataset MakeEeg(uint64_t seed = 42);
+Dataset MakePower(uint64_t seed = 43);
+Dataset MakeTrafficData(uint64_t seed = 44);
+Dataset MakeMachineTemp(uint64_t seed = 45);
+Dataset MakeTwitterAapl(uint64_t seed = 46);
+Dataset MakeRampTraffic(uint64_t seed = 47);
+Dataset MakeSimDaily(uint64_t seed = 48);
+Dataset MakeTaxi(uint64_t seed = 49);
+Dataset MakeTemp(uint64_t seed = 50);
+Dataset MakeSine(uint64_t seed = 51);
+
+// --- Registry. --------------------------------------------------------------
+
+/// All Table-2 dataset names, largest first (Table 2 order).
+std::vector<std::string> AllDatasetNames();
+
+/// The five user-study datasets (§5.1): Taxi, Power, Sine, EEG, Temp.
+std::vector<std::string> UserStudyDatasetNames();
+
+/// The seven largest datasets (used by the Fig. 8 sweep).
+std::vector<std::string> LargestDatasetNames();
+
+/// Builds a dataset by Table-2 name; NotFound for unknown names.
+Result<Dataset> MakeByName(const std::string& name, uint64_t seed = 0);
+
+}  // namespace datasets
+}  // namespace asap
+
+#endif  // ASAP_DATASETS_DATASETS_H_

@@ -1,0 +1,81 @@
+#include "fft/autocorrelation.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "fft/fft.h"
+
+namespace asap {
+namespace fft {
+
+namespace {
+double Mean(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) {
+    sum += x;
+  }
+  return v.empty() ? 0.0 : sum / static_cast<double>(v.size());
+}
+}  // namespace
+
+std::vector<double> AutocorrelationFft(const std::vector<double>& series,
+                                       size_t max_lag) {
+  const size_t n = series.size();
+  ASAP_CHECK_GE(n, 1u);
+  ASAP_CHECK_LT(max_lag, n);
+
+  const double mean = Mean(series);
+  // Zero-pad to >= 2n so the circular correlation equals the linear one
+  // for all lags of interest.
+  const size_t m = NextPowerOfTwo(2 * n);
+  std::vector<Complex> buf(m, Complex(0.0, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    buf[i] = Complex(series[i] - mean, 0.0);
+  }
+  TransformRadix2(&buf, /*inverse=*/false);
+  for (Complex& c : buf) {
+    c = Complex(std::norm(c), 0.0);
+  }
+  TransformRadix2(&buf, /*inverse=*/true);
+
+  std::vector<double> acf(max_lag + 1, 0.0);
+  const double c0 = buf[0].real();
+  acf[0] = 1.0;
+  if (c0 <= 0.0 || !std::isfinite(c0)) {
+    return acf;  // constant series: no correlation structure
+  }
+  for (size_t k = 1; k <= max_lag; ++k) {
+    acf[k] = buf[k].real() / c0;
+  }
+  return acf;
+}
+
+std::vector<double> AutocorrelationBruteForce(const std::vector<double>& series,
+                                              size_t max_lag) {
+  const size_t n = series.size();
+  ASAP_CHECK_GE(n, 1u);
+  ASAP_CHECK_LT(max_lag, n);
+
+  const double mean = Mean(series);
+  double c0 = 0.0;
+  for (double x : series) {
+    c0 += (x - mean) * (x - mean);
+  }
+
+  std::vector<double> acf(max_lag + 1, 0.0);
+  acf[0] = 1.0;
+  if (c0 <= 0.0) {
+    return acf;
+  }
+  for (size_t k = 1; k <= max_lag; ++k) {
+    double ck = 0.0;
+    for (size_t i = 0; i + k < n; ++i) {
+      ck += (series[i] - mean) * (series[i + k] - mean);
+    }
+    acf[k] = ck / c0;
+  }
+  return acf;
+}
+
+}  // namespace fft
+}  // namespace asap

@@ -1,0 +1,32 @@
+// Autocorrelation estimation.
+//
+// ASAP prunes its window search using the peaks of the sample
+// autocorrelation function (paper §4.3). The brute-force estimator is
+// O(n * maxLag); the FFT path (demean -> zero-pad -> FFT -> power
+// spectrum -> inverse FFT -> normalize by lag 0) is O(n log n), the
+// "two FFTs" optimization the paper describes.
+
+#ifndef ASAP_FFT_AUTOCORRELATION_H_
+#define ASAP_FFT_AUTOCORRELATION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace asap {
+namespace fft {
+
+/// Sample ACF for lags 0..max_lag via FFT. Uses the biased estimator
+///   acf[k] = sum_{i<n-k} (x_i - mean)(x_{i+k} - mean) / sum (x_i - mean)^2
+/// so acf[0] == 1. Returns max_lag + 1 values. If the series is constant
+/// (zero variance) all lags are defined as 0 except lag 0 which is 1.
+std::vector<double> AutocorrelationFft(const std::vector<double>& series,
+                                       size_t max_lag);
+
+/// Quadratic-time reference estimator (identical definition).
+std::vector<double> AutocorrelationBruteForce(const std::vector<double>& series,
+                                              size_t max_lag);
+
+}  // namespace fft
+}  // namespace asap
+
+#endif  // ASAP_FFT_AUTOCORRELATION_H_

@@ -1,0 +1,209 @@
+#include "fft/fft.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace asap {
+namespace fft {
+
+bool IsPowerOfTwo(size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+size_t NextPowerOfTwo(size_t n) {
+  ASAP_CHECK_GE(n, 1u);
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+namespace {
+
+// Bit-reversal permutation for the iterative radix-2 transform.
+void BitReversePermute(std::vector<Complex>* data) {
+  const size_t n = data->size();
+  size_t j = 0;
+  for (size_t i = 1; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap((*data)[i], (*data)[j]);
+    }
+  }
+}
+
+}  // namespace
+
+void TransformRadix2(std::vector<Complex>* data, bool inverse) {
+  const size_t n = data->size();
+  ASAP_CHECK(IsPowerOfTwo(n));
+  if (n == 1) {
+    return;
+  }
+  BitReversePermute(data);
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        Complex u = (*data)[i + k];
+        Complex v = (*data)[i + k + len / 2] * w;
+        (*data)[i + k] = u + v;
+        (*data)[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (Complex& c : *data) {
+      c *= inv_n;
+    }
+  }
+}
+
+void TransformBluestein(std::vector<Complex>* data, bool inverse) {
+  const size_t n = data->size();
+  ASAP_CHECK_GE(n, 1u);
+  if (n == 1) {
+    return;
+  }
+  // Chirp-z: x_k e^{-i pi k^2 / n} convolved with e^{+i pi k^2 / n}.
+  // Convolution length >= 2n - 1, padded to a power of two.
+  const size_t m = NextPowerOfTwo(2 * n - 1);
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // Precompute the chirp. k^2 mod 2n avoids precision loss for large k.
+  std::vector<Complex> chirp(n);
+  for (size_t k = 0; k < n; ++k) {
+    uint64_t k2 = (static_cast<uint64_t>(k) * k) % (2 * n);
+    double angle = sign * M_PI * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  std::vector<Complex> a(m, Complex(0.0, 0.0));
+  std::vector<Complex> b(m, Complex(0.0, 0.0));
+  for (size_t k = 0; k < n; ++k) {
+    a[k] = (*data)[k] * chirp[k];
+    b[k] = std::conj(chirp[k]);
+  }
+  for (size_t k = 1; k < n; ++k) {
+    b[m - k] = std::conj(chirp[k]);  // symmetric wrap for circular conv
+  }
+
+  TransformRadix2(&a, /*inverse=*/false);
+  TransformRadix2(&b, /*inverse=*/false);
+  for (size_t k = 0; k < m; ++k) {
+    a[k] *= b[k];
+  }
+  TransformRadix2(&a, /*inverse=*/true);
+
+  for (size_t k = 0; k < n; ++k) {
+    (*data)[k] = a[k] * chirp[k];
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (Complex& c : *data) {
+      c *= inv_n;
+    }
+  }
+}
+
+void Transform(std::vector<Complex>* data) {
+  if (IsPowerOfTwo(data->size())) {
+    TransformRadix2(data, /*inverse=*/false);
+  } else {
+    TransformBluestein(data, /*inverse=*/false);
+  }
+}
+
+void InverseTransform(std::vector<Complex>* data) {
+  if (IsPowerOfTwo(data->size())) {
+    TransformRadix2(data, /*inverse=*/true);
+  } else {
+    TransformBluestein(data, /*inverse=*/true);
+  }
+}
+
+std::vector<Complex> RealTransform(const std::vector<double>& input) {
+  std::vector<Complex> data(input.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    data[i] = Complex(input[i], 0.0);
+  }
+  Transform(&data);
+  return data;
+}
+
+std::vector<double> InverseRealTransform(const std::vector<Complex>& spectrum) {
+  std::vector<Complex> data = spectrum;
+  InverseTransform(&data);
+  std::vector<double> out(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    out[i] = data[i].real();
+  }
+  return out;
+}
+
+std::vector<Complex> NaiveDft(const std::vector<Complex>& input, bool inverse) {
+  const size_t n = input.size();
+  std::vector<Complex> out(n, Complex(0.0, 0.0));
+  const double sign = inverse ? 2.0 : -2.0;
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t t = 0; t < n; ++t) {
+      double angle = sign * M_PI * static_cast<double>(k) *
+                     static_cast<double>(t) / static_cast<double>(n);
+      out[k] += input[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  if (inverse) {
+    for (Complex& c : out) {
+      c /= static_cast<double>(n);
+    }
+  }
+  return out;
+}
+
+std::vector<double> CircularConvolve(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  ASAP_CHECK_EQ(a.size(), b.size());
+  std::vector<Complex> fa = RealTransform(a);
+  std::vector<Complex> fb = RealTransform(b);
+  for (size_t i = 0; i < fa.size(); ++i) {
+    fa[i] *= fb[i];
+  }
+  return InverseRealTransform(fa);
+}
+
+std::vector<double> LinearConvolve(const std::vector<double>& a,
+                                   const std::vector<double>& b) {
+  ASAP_CHECK(!a.empty());
+  ASAP_CHECK(!b.empty());
+  const size_t out_size = a.size() + b.size() - 1;
+  const size_t m = NextPowerOfTwo(out_size);
+  std::vector<double> pa(m, 0.0);
+  std::vector<double> pb(m, 0.0);
+  std::copy(a.begin(), a.end(), pa.begin());
+  std::copy(b.begin(), b.end(), pb.begin());
+  std::vector<double> conv = CircularConvolve(pa, pb);
+  conv.resize(out_size);
+  return conv;
+}
+
+std::vector<double> PowerSpectrum(const std::vector<double>& input) {
+  std::vector<Complex> spectrum = RealTransform(input);
+  std::vector<double> power(spectrum.size());
+  for (size_t i = 0; i < spectrum.size(); ++i) {
+    power[i] = std::norm(spectrum[i]);
+  }
+  return power;
+}
+
+}  // namespace fft
+}  // namespace asap

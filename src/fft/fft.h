@@ -1,0 +1,68 @@
+// Fast Fourier transforms, built from scratch (no FFTW dependency).
+//
+// ASAP needs O(n log n) autocorrelation ("two FFTs", paper §4.3.3) and
+// FFT-based smoothing baselines (Appendix B.2). We provide:
+//
+//   * an iterative radix-2 Cooley–Tukey transform for power-of-two sizes,
+//   * Bluestein's chirp-z algorithm for arbitrary sizes (decomposed into
+//     power-of-two convolutions), and
+//   * helpers for real input, inverse transforms and FFT convolution.
+//
+// All transforms are unnormalized in the forward direction; the inverse
+// divides by N, so Inverse(Forward(x)) == x.
+
+#ifndef ASAP_FFT_FFT_H_
+#define ASAP_FFT_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace asap {
+namespace fft {
+
+using Complex = std::complex<double>;
+
+/// True iff n is a power of two (n >= 1).
+bool IsPowerOfTwo(size_t n);
+
+/// Smallest power of two >= n (n >= 1).
+size_t NextPowerOfTwo(size_t n);
+
+/// In-place forward FFT; data.size() must be a power of two.
+void TransformRadix2(std::vector<Complex>* data, bool inverse);
+
+/// Forward DFT of arbitrary length via Bluestein's algorithm (in place).
+void TransformBluestein(std::vector<Complex>* data, bool inverse);
+
+/// Forward DFT for any size; dispatches to radix-2 or Bluestein.
+void Transform(std::vector<Complex>* data);
+
+/// Inverse DFT for any size (normalized by 1/N).
+void InverseTransform(std::vector<Complex>* data);
+
+/// Forward DFT of real input; returns n complex bins.
+std::vector<Complex> RealTransform(const std::vector<double>& input);
+
+/// Inverse of a spectrum known to come from real input; returns the real
+/// part of the inverse DFT (imaginary residue is discarded).
+std::vector<double> InverseRealTransform(const std::vector<Complex>& spectrum);
+
+/// Quadratic-time reference DFT for testing the fast paths.
+std::vector<Complex> NaiveDft(const std::vector<Complex>& input, bool inverse);
+
+/// Circular convolution of equal-length vectors via FFT.
+std::vector<double> CircularConvolve(const std::vector<double>& a,
+                                     const std::vector<double>& b);
+
+/// Linear convolution via zero-padded FFT; result size = |a| + |b| - 1.
+std::vector<double> LinearConvolve(const std::vector<double>& a,
+                                   const std::vector<double>& b);
+
+/// Power spectrum |X_k|^2 of a real signal (n bins).
+std::vector<double> PowerSpectrum(const std::vector<double>& input);
+
+}  // namespace fft
+}  // namespace asap
+
+#endif  // ASAP_FFT_FFT_H_

@@ -1,0 +1,163 @@
+#include "perception/observer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "core/metrics.h"
+#include "stats/descriptive.h"
+#include "stats/normalize.h"
+
+namespace asap {
+namespace perception {
+
+namespace {
+
+// Mean over [begin, end).
+double MeanRange(const std::vector<double>& v, size_t begin, size_t end) {
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    sum += v[i];
+  }
+  return end > begin ? sum / static_cast<double>(end - begin) : 0.0;
+}
+
+double StdDevRange(const std::vector<double>& v, size_t begin, size_t end,
+                   double mean) {
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double d = v[i] - mean;
+    sum += d * d;
+  }
+  return end > begin ? std::sqrt(sum / static_cast<double>(end - begin)) : 0.0;
+}
+
+}  // namespace
+
+Saliency ScoreColumnStats(const render::ColumnStats& stats,
+                          const ObserverParams& params) {
+  Saliency out;
+  const size_t width = stats.center.size();
+  ASAP_CHECK_GE(width, 20u);
+
+  // Normalize the line's vertical position to z-units across columns so
+  // level deviations are comparable across plots and value ranges.
+  const std::vector<double> center_z = stats::ZScore(stats.center);
+  const double global_extent = MeanRange(stats.extent, 0, width);
+  const double global_extent_sd =
+      StdDevRange(stats.extent, 0, width, global_extent);
+
+  // Visual clutter: ink density (mean column extent) plus line jitter
+  // (column-to-column movement of the line's center).
+  const double jitter = Roughness(center_z);
+  out.clutter = params.ink_weight * global_extent +
+                params.jitter_weight * jitter;
+
+  const size_t chunks = 5 * params.chunks_per_region;
+  for (size_t r = 0; r < 5; ++r) {
+    double best = 0.0;
+    for (size_t c = 0; c < params.chunks_per_region; ++c) {
+      const size_t chunk_idx = r * params.chunks_per_region + c;
+      const size_t begin = chunk_idx * width / chunks;
+      const size_t end = (chunk_idx + 1) * width / chunks;
+      if (begin >= end) {
+        continue;
+      }
+      // Level deviation: how far the line sits from its typical level.
+      const double level = std::fabs(MeanRange(center_z, begin, end));
+      // Spread deviation: how unusual the ink span is in this chunk.
+      const double chunk_extent = MeanRange(stats.extent, begin, end);
+      const double spread =
+          std::fabs(chunk_extent - global_extent) /
+          (0.02 + global_extent_sd);
+      const double dev = level + params.spread_weight * std::min(spread, 4.0);
+      best = std::max(best, dev);
+    }
+    out.region_scores[r] = best / (params.clutter_offset + out.clutter);
+  }
+  return out;
+}
+
+Saliency ScoreDenseSeries(const std::vector<double>& displayed,
+                          const ObserverParams& params) {
+  ASAP_CHECK_GE(displayed.size(), 2u);
+  const render::ValueRange range = render::RangeOf(displayed);
+  const render::Canvas canvas = render::RasterizeSeries(
+      displayed, params.canvas_width, params.canvas_height, range);
+  return ScoreColumnStats(render::ComputeColumnStats(canvas, range), params);
+}
+
+Saliency ScoreIndexedSeries(const std::vector<double>& xs,
+                            const std::vector<double>& ys, double x_max,
+                            const ObserverParams& params) {
+  ASAP_CHECK_GE(ys.size(), 2u);
+  const render::ValueRange range = render::RangeOf(ys);
+  render::Canvas canvas(params.canvas_width, params.canvas_height);
+  render::PlotIndexedSeries(&canvas, xs, ys, x_max, range);
+  return ScoreColumnStats(render::ComputeColumnStats(canvas, range), params);
+}
+
+TrialOutcome SimulateTrial(const Saliency& saliency, int true_region,
+                           Pcg32* rng, const ObserverParams& params) {
+  ASAP_CHECK_GE(true_region, 1);
+  ASAP_CHECK_LE(true_region, 5);
+
+  // Normalize scores so decision noise has a scale-free meaning.
+  double total = 0.0;
+  for (double s : saliency.region_scores) {
+    total += s;
+  }
+  std::array<double, 5> noisy{};
+  for (size_t r = 0; r < 5; ++r) {
+    const double p = total > 0.0 ? saliency.region_scores[r] / total : 0.2;
+    noisy[r] = p + rng->Gaussian(0.0, params.decision_noise);
+  }
+
+  TrialOutcome outcome;
+  size_t arg = 0;
+  for (size_t r = 1; r < 5; ++r) {
+    if (noisy[r] > noisy[arg]) {
+      arg = r;
+    }
+  }
+  outcome.chosen_region = static_cast<int>(arg) + 1;
+  outcome.correct = outcome.chosen_region == true_region;
+
+  // Response time: tight margins take longer to resolve (a standard
+  // diffusion-model simplification).
+  std::array<double, 5> sorted{};
+  for (size_t r = 0; r < 5; ++r) {
+    sorted[r] = total > 0.0 ? saliency.region_scores[r] / total : 0.2;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const double margin = sorted[4] - sorted[3];
+  outcome.response_seconds =
+      params.time_base_seconds +
+      params.time_scale_seconds * std::exp(-margin / params.margin_scale) +
+      rng->Gaussian(0.0, 1.0);
+  outcome.response_seconds = std::max(outcome.response_seconds, 1.0);
+  return outcome;
+}
+
+StudyCell RunTrials(const Saliency& saliency, int true_region, size_t trials,
+                    uint64_t seed, const ObserverParams& params) {
+  Pcg32 rng(seed, 0x6f62736572766572ULL);
+  StudyCell cell;
+  size_t correct = 0;
+  double time_sum = 0.0;
+  for (size_t t = 0; t < trials; ++t) {
+    const TrialOutcome outcome =
+        SimulateTrial(saliency, true_region, &rng, params);
+    correct += outcome.correct ? 1 : 0;
+    time_sum += outcome.response_seconds;
+  }
+  if (trials > 0) {
+    cell.accuracy_percent =
+        100.0 * static_cast<double>(correct) / static_cast<double>(trials);
+    cell.mean_response_seconds = time_sum / static_cast<double>(trials);
+  }
+  return cell;
+}
+
+}  // namespace perception
+}  // namespace asap

@@ -1,0 +1,98 @@
+// Simulated-observer model for the anomaly-identification task
+// (paper §5.1).
+//
+// SUBSTITUTION (DESIGN.md §4): the paper measures 700 Mechanical Turk
+// workers; offline we simulate the mechanism their accuracy depends
+// on. The observer looks at the *rendered plot* (the same raster a
+// human sees), splits it into the study's five regions, and scores
+// each region by how far the drawn line deviates from the plot's
+// typical behavior, discounted by visual clutter (ink density +
+// line jitter). Monte-Carlo observer noise then turns scores into
+// accuracy percentages and response times.
+//
+// The model is intentionally simple and fixed across techniques: every
+// visualization is rendered to the same canvas and scored by the same
+// rules, so differences between techniques come from the plots alone.
+
+#ifndef ASAP_PERCEPTION_OBSERVER_H_
+#define ASAP_PERCEPTION_OBSERVER_H_
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "render/rasterize.h"
+
+namespace asap {
+namespace perception {
+
+/// Tunable constants of the observer (defaults calibrated so the
+/// paper's orderings reproduce; see bench_fig6_user_study).
+struct ObserverParams {
+  size_t canvas_width = 800;
+  size_t canvas_height = 240;
+  /// Chunks per region when scanning for localized deviations.
+  size_t chunks_per_region = 8;
+  /// Weight of spread (extent) deviations vs. level deviations.
+  double spread_weight = 0.6;
+  /// Weight of ink density in the clutter term.
+  double ink_weight = 2.2;
+  /// Weight of line jitter in the clutter term.
+  double jitter_weight = 1.0;
+  /// Softening constant added to clutter in the denominator.
+  double clutter_offset = 0.25;
+  /// Standard deviation of observer noise on normalized scores.
+  double decision_noise = 0.16;
+  /// Response-time model: base + scale * exp(-margin / margin_scale).
+  double time_base_seconds = 6.0;
+  double time_scale_seconds = 26.0;
+  double margin_scale = 0.10;
+};
+
+/// Saliency of the five study regions (higher = more eye-catching) and
+/// the plot-wide clutter that produced it.
+struct Saliency {
+  std::array<double, 5> region_scores{};
+  double clutter = 0.0;
+};
+
+/// Renders `displayed` (a dense series spanning the full time range)
+/// and scores the five regions.
+Saliency ScoreDenseSeries(const std::vector<double>& displayed,
+                          const ObserverParams& params = {});
+
+/// Same, for a series with explicit x-positions in [0, x_max]
+/// (reduced representations such as M4 / simplification output).
+Saliency ScoreIndexedSeries(const std::vector<double>& xs,
+                            const std::vector<double>& ys, double x_max,
+                            const ObserverParams& params = {});
+
+/// Scores an already-rasterized plot via its column statistics.
+Saliency ScoreColumnStats(const render::ColumnStats& stats,
+                          const ObserverParams& params);
+
+/// One simulated trial: noisy argmax over region scores.
+struct TrialOutcome {
+  int chosen_region = 0;  // 1-based
+  bool correct = false;
+  double response_seconds = 0.0;
+};
+
+TrialOutcome SimulateTrial(const Saliency& saliency, int true_region,
+                           Pcg32* rng, const ObserverParams& params = {});
+
+/// Runs `trials` simulated observers; returns (accuracy %, mean
+/// response seconds).
+struct StudyCell {
+  double accuracy_percent = 0.0;
+  double mean_response_seconds = 0.0;
+};
+
+StudyCell RunTrials(const Saliency& saliency, int true_region, size_t trials,
+                    uint64_t seed, const ObserverParams& params = {});
+
+}  // namespace perception
+}  // namespace asap
+
+#endif  // ASAP_PERCEPTION_OBSERVER_H_

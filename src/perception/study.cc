@@ -1,0 +1,225 @@
+#include "perception/study.h"
+
+#include <algorithm>
+
+#include "baselines/m4.h"
+#include "baselines/oversmooth.h"
+#include "baselines/paa.h"
+#include "baselines/visvalingam.h"
+#include "common/macros.h"
+#include "core/smooth.h"
+#include "stats/normalize.h"
+#include "window/preaggregate.h"
+
+namespace asap {
+namespace perception {
+
+namespace {
+// The paper renders all study plots at 800 pixels (§5.1).
+constexpr size_t kStudyResolution = 800;
+}  // namespace
+
+const char* TechniqueName(Technique technique) {
+  switch (technique) {
+    case Technique::kAsap:
+      return "ASAP";
+    case Technique::kOriginal:
+      return "Original";
+    case Technique::kM4:
+      return "M4";
+    case Technique::kSimplification:
+      return "simp";
+    case Technique::kPaa800:
+      return "PAA800";
+    case Technique::kPaa100:
+      return "PAA100";
+    case Technique::kOversmooth:
+      return "Oversmooth";
+  }
+  return "Unknown";
+}
+
+std::vector<Technique> AllTechniques() {
+  return {Technique::kAsap,   Technique::kOriginal, Technique::kM4,
+          Technique::kSimplification, Technique::kPaa800,
+          Technique::kPaa100, Technique::kOversmooth};
+}
+
+std::vector<Technique> PreferenceTechniques() {
+  return {Technique::kOriginal, Technique::kAsap, Technique::kPaa100,
+          Technique::kOversmooth};
+}
+
+Result<BuiltVisualization> BuildVisualization(const datasets::Dataset& dataset,
+                                              Technique technique) {
+  // The study displays z-scores (paper Fig. 1 footnote).
+  const std::vector<double> raw = stats::ZScore(dataset.series.values());
+  if (raw.size() < 8) {
+    return Status::InvalidArgument("dataset too small for the study");
+  }
+
+  BuiltVisualization vis;
+  vis.technique = technique;
+  vis.x_max = static_cast<double>(raw.size() - 1);
+
+  // A trailing SMA's i-th output summarizes raw positions
+  // [i*ppp, i*ppp + w*ppp); charts draw moving averages centered, so
+  // the study assigns each smoothed point its window-center position.
+  // Without this, a wide window visually shifts anomalies left by w/2
+  // and the observer blames the wrong region.
+  const auto centered_positions = [](size_t count, size_t window,
+                                     size_t points_per_pixel) {
+    std::vector<double> xs(count);
+    const double half_span =
+        0.5 * static_cast<double>(window * points_per_pixel - 1);
+    for (size_t i = 0; i < count; ++i) {
+      xs[i] = static_cast<double>(i * points_per_pixel) + half_span;
+    }
+    return xs;
+  };
+
+  switch (technique) {
+    case Technique::kOriginal: {
+      vis.displayed = raw;
+      return vis;
+    }
+    case Technique::kAsap: {
+      SmoothOptions options;
+      options.resolution = kStudyResolution;
+      ASAP_ASSIGN_OR_RETURN(SmoothingResult result, Smooth(raw, options));
+      vis.x_positions = centered_positions(result.series.size(),
+                                           result.window,
+                                           result.points_per_pixel);
+      vis.displayed = std::move(result.series);
+      return vis;
+    }
+    case Technique::kOversmooth: {
+      // Oversmooth operates on the same preaggregated series ASAP sees.
+      const window::Preaggregated agg =
+          window::Preaggregate(raw, kStudyResolution);
+      vis.displayed = baselines::Oversmooth(agg.series);
+      vis.x_positions = centered_positions(
+          vis.displayed.size(),
+          baselines::OversmoothWindow(agg.series.size()),
+          agg.points_per_pixel);
+      return vis;
+    }
+    case Technique::kM4: {
+      const baselines::ReducedSeries reduced =
+          baselines::M4Reduce(raw, kStudyResolution);
+      vis.displayed = reduced.value;
+      vis.x_positions = reduced.index;
+      return vis;
+    }
+    case Technique::kSimplification: {
+      const baselines::ReducedSeries reduced =
+          baselines::VisvalingamSimplify(raw, kStudyResolution);
+      vis.displayed = reduced.value;
+      vis.x_positions = reduced.index;
+      return vis;
+    }
+    case Technique::kPaa800: {
+      const baselines::ReducedSeries reduced = baselines::PaaReduce(raw, 800);
+      vis.displayed = reduced.value;
+      vis.x_positions = reduced.index;
+      return vis;
+    }
+    case Technique::kPaa100: {
+      const baselines::ReducedSeries reduced = baselines::PaaReduce(raw, 100);
+      vis.displayed = reduced.value;
+      vis.x_positions = reduced.index;
+      return vis;
+    }
+  }
+  return Status::InvalidArgument("unknown technique");
+}
+
+Saliency ScoreVisualization(const BuiltVisualization& vis,
+                            const ObserverParams& params) {
+  if (!vis.x_positions.empty()) {
+    return ScoreIndexedSeries(vis.x_positions, vis.displayed, vis.x_max,
+                              params);
+  }
+  return ScoreDenseSeries(vis.displayed, params);
+}
+
+std::vector<StudyResult> RunAnomalyStudy(size_t trials, uint64_t seed,
+                                         const ObserverParams& params) {
+  std::vector<StudyResult> results;
+  uint64_t cell_seed = seed;
+  for (const std::string& name : datasets::UserStudyDatasetNames()) {
+    const datasets::Dataset dataset =
+        datasets::MakeByName(name).ValueOrDie();
+    ASAP_CHECK(dataset.info.HasAnomaly());
+    for (Technique technique : AllTechniques()) {
+      const BuiltVisualization vis =
+          BuildVisualization(dataset, technique).ValueOrDie();
+      const Saliency saliency = ScoreVisualization(vis, params);
+      StudyResult result;
+      result.dataset = name;
+      result.technique = technique;
+      result.cell = RunTrials(saliency, dataset.info.anomaly_region, trials,
+                              ++cell_seed, params);
+      results.push_back(std::move(result));
+    }
+  }
+  return results;
+}
+
+std::vector<PreferenceResult> RunPreferenceStudy(
+    size_t trials, uint64_t seed, const ObserverParams& params) {
+  std::vector<PreferenceResult> results;
+  Pcg32 rng(seed, 0x70726566657265ULL);
+  for (const std::string& name : datasets::UserStudyDatasetNames()) {
+    const datasets::Dataset dataset =
+        datasets::MakeByName(name).ValueOrDie();
+    ASAP_CHECK(dataset.info.HasAnomaly());
+    const int true_region = dataset.info.anomaly_region;
+
+    PreferenceResult pref;
+    pref.dataset = name;
+    pref.techniques = PreferenceTechniques();
+    pref.preference_percent.assign(pref.techniques.size(), 0.0);
+
+    // Per-technique margin: score of the true region minus the best
+    // competing region (how unambiguously the plot highlights the
+    // described anomaly).
+    std::vector<double> margins;
+    for (Technique technique : pref.techniques) {
+      const BuiltVisualization vis =
+          BuildVisualization(dataset, technique).ValueOrDie();
+      const Saliency saliency = ScoreVisualization(vis, params);
+      double total = 0.0;
+      for (double s : saliency.region_scores) {
+        total += s;
+      }
+      double truth = saliency.region_scores[true_region - 1];
+      double best_other = 0.0;
+      for (int r = 0; r < 5; ++r) {
+        if (r != true_region - 1) {
+          best_other = std::max(best_other, saliency.region_scores[r]);
+        }
+      }
+      margins.push_back(total > 0.0 ? (truth - best_other) / total : 0.0);
+    }
+
+    for (size_t t = 0; t < trials; ++t) {
+      size_t arg = 0;
+      double best = -1e300;
+      for (size_t i = 0; i < margins.size(); ++i) {
+        const double noisy =
+            margins[i] + rng.Gaussian(0.0, params.decision_noise);
+        if (noisy > best) {
+          best = noisy;
+          arg = i;
+        }
+      }
+      pref.preference_percent[arg] += 100.0 / static_cast<double>(trials);
+    }
+    results.push_back(std::move(pref));
+  }
+  return results;
+}
+
+}  // namespace perception
+}  // namespace asap

@@ -1,0 +1,88 @@
+// The user-study harness (paper §5.1): builds each visualization
+// technique's displayed plot for a dataset and runs the simulated
+// observers over it. Used by bench_fig6_user_study,
+// bench_fig7_preference and bench_figB1_sensitivity.
+
+#ifndef ASAP_PERCEPTION_STUDY_H_
+#define ASAP_PERCEPTION_STUDY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datasets/datasets.h"
+#include "perception/observer.h"
+
+namespace asap {
+namespace perception {
+
+/// The visualization techniques compared in Figure 6.
+enum class Technique {
+  kAsap,
+  kOriginal,
+  kM4,
+  kSimplification,  // Visvalingam–Whyatt ("simp")
+  kPaa800,
+  kPaa100,
+  kOversmooth,
+};
+
+const char* TechniqueName(Technique technique);
+
+/// The Figure 6 technique list.
+std::vector<Technique> AllTechniques();
+
+/// The Figure 7 subset (original, ASAP, PAA100, oversmooth).
+std::vector<Technique> PreferenceTechniques();
+
+/// A built visualization, ready for scoring or rasterization.
+struct BuiltVisualization {
+  Technique technique;
+  /// Dense displayed values (possibly interpolated back to a grid).
+  std::vector<double> displayed;
+  /// Explicit x-positions if the technique produces a reduced point set
+  /// (empty = uniform spacing over the full range).
+  std::vector<double> x_positions;
+  double x_max = 0.0;
+};
+
+/// Renders technique `t` for the dataset's series at an 800-px study
+/// resolution (the paper renders all study plots at 800 px).
+Result<BuiltVisualization> BuildVisualization(const datasets::Dataset& dataset,
+                                              Technique technique);
+
+/// Scores a built visualization with the observer model.
+Saliency ScoreVisualization(const BuiltVisualization& vis,
+                            const ObserverParams& params = {});
+
+/// Accuracy/time of one dataset x technique cell.
+struct StudyResult {
+  std::string dataset;
+  Technique technique;
+  StudyCell cell;
+};
+
+/// Runs the full Figure 6 grid: every user-study dataset x technique,
+/// `trials` observers each.
+std::vector<StudyResult> RunAnomalyStudy(size_t trials = 50,
+                                         uint64_t seed = 7,
+                                         const ObserverParams& params = {});
+
+/// Figure 7: fraction of observers preferring each technique per
+/// dataset. An observer prefers the technique whose true-region margin
+/// (score of the anomalous region minus the best other region) is
+/// largest after decision noise.
+struct PreferenceResult {
+  std::string dataset;
+  std::vector<double> preference_percent;  // parallel to techniques
+  std::vector<Technique> techniques;
+};
+
+std::vector<PreferenceResult> RunPreferenceStudy(
+    size_t trials = 20, uint64_t seed = 11,
+    const ObserverParams& params = {});
+
+}  // namespace perception
+}  // namespace asap
+
+#endif  // ASAP_PERCEPTION_STUDY_H_

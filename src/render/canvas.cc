@@ -1,0 +1,92 @@
+#include "render/canvas.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace asap {
+namespace render {
+
+Canvas::Canvas(size_t width, size_t height)
+    : width_(width), height_(height), pixels_(width * height, false) {
+  ASAP_CHECK_GE(width, 1u);
+  ASAP_CHECK_GE(height, 1u);
+}
+
+void Canvas::Set(long x, long y) {
+  if (x < 0 || y < 0 || static_cast<size_t>(x) >= width_ ||
+      static_cast<size_t>(y) >= height_) {
+    return;
+  }
+  pixels_[Index(static_cast<size_t>(x), static_cast<size_t>(y))] = true;
+}
+
+bool Canvas::Get(long x, long y) const {
+  if (x < 0 || y < 0 || static_cast<size_t>(x) >= width_ ||
+      static_cast<size_t>(y) >= height_) {
+    return false;
+  }
+  return pixels_[Index(static_cast<size_t>(x), static_cast<size_t>(y))];
+}
+
+void Canvas::Clear() { pixels_.assign(pixels_.size(), false); }
+
+size_t Canvas::CountLit() const {
+  size_t count = 0;
+  for (bool p : pixels_) {
+    count += p ? 1 : 0;
+  }
+  return count;
+}
+
+size_t Canvas::CountIntersection(const Canvas& other) const {
+  ASAP_CHECK_EQ(width_, other.width_);
+  ASAP_CHECK_EQ(height_, other.height_);
+  size_t count = 0;
+  for (size_t i = 0; i < pixels_.size(); ++i) {
+    count += (pixels_[i] && other.pixels_[i]) ? 1 : 0;
+  }
+  return count;
+}
+
+size_t Canvas::CountUnion(const Canvas& other) const {
+  ASAP_CHECK_EQ(width_, other.width_);
+  ASAP_CHECK_EQ(height_, other.height_);
+  size_t count = 0;
+  for (size_t i = 0; i < pixels_.size(); ++i) {
+    count += (pixels_[i] || other.pixels_[i]) ? 1 : 0;
+  }
+  return count;
+}
+
+Canvas Canvas::DilatedVertically(size_t radius) const {
+  Canvas out(width_, height_);
+  for (size_t y = 0; y < height_; ++y) {
+    for (size_t x = 0; x < width_; ++x) {
+      if (!pixels_[Index(x, y)]) {
+        continue;
+      }
+      const size_t y_lo = y >= radius ? y - radius : 0;
+      const size_t y_hi = std::min(height_ - 1, y + radius);
+      for (size_t yy = y_lo; yy <= y_hi; ++yy) {
+        out.pixels_[out.Index(x, yy)] = true;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Canvas::ToString() const {
+  std::string out;
+  out.reserve((width_ + 1) * height_);
+  for (size_t y = 0; y < height_; ++y) {
+    for (size_t x = 0; x < width_; ++x) {
+      out += pixels_[Index(x, y)] ? '#' : '.';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace render
+}  // namespace asap

@@ -1,0 +1,63 @@
+// A binary pixel canvas.
+//
+// ASAP co-designs with the display: the pixel raster is both the
+// motivation for preaggregation (§4.4) and the measurement instrument
+// for the pixel-error comparison against M4/PAA/line simplification
+// (Appendix B.1 / Table 4).
+
+#ifndef ASAP_RENDER_CANVAS_H_
+#define ASAP_RENDER_CANVAS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace asap {
+namespace render {
+
+/// Fixed-size monochrome raster; (0, 0) is the top-left pixel.
+class Canvas {
+ public:
+  Canvas(size_t width, size_t height);
+
+  size_t width() const { return width_; }
+  size_t height() const { return height_; }
+
+  /// Sets pixel (x, y); out-of-bounds coordinates are ignored (clipped).
+  void Set(long x, long y);
+
+  /// True iff (x, y) is in bounds and lit.
+  bool Get(long x, long y) const;
+
+  /// Clears all pixels.
+  void Clear();
+
+  /// Number of lit pixels.
+  size_t CountLit() const;
+
+  /// Number of pixels lit in both this and other (same dimensions).
+  size_t CountIntersection(const Canvas& other) const;
+
+  /// Number of pixels lit in this or other (same dimensions).
+  size_t CountUnion(const Canvas& other) const;
+
+  /// Multi-line string with '#' for lit pixels (debugging aid).
+  std::string ToString() const;
+
+  /// Returns a copy with every lit pixel extended `radius` pixels up
+  /// and down — the standard tolerance band when comparing 1-px line
+  /// plots (a plot one pixel off should not count as fully disjoint).
+  Canvas DilatedVertically(size_t radius) const;
+
+ private:
+  size_t Index(size_t x, size_t y) const { return y * width_ + x; }
+
+  size_t width_;
+  size_t height_;
+  std::vector<bool> pixels_;
+};
+
+}  // namespace render
+}  // namespace asap
+
+#endif  // ASAP_RENDER_CANVAS_H_

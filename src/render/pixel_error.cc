@@ -1,0 +1,35 @@
+#include "render/pixel_error.h"
+
+#include "common/macros.h"
+#include "render/rasterize.h"
+
+namespace asap {
+namespace render {
+
+double CanvasPixelError(const Canvas& a, const Canvas& b,
+                        size_t tolerance_px) {
+  const Canvas da =
+      tolerance_px > 0 ? a.DilatedVertically(tolerance_px) : a;
+  const Canvas db =
+      tolerance_px > 0 ? b.DilatedVertically(tolerance_px) : b;
+  const size_t uni = da.CountUnion(db);
+  if (uni == 0) {
+    return 0.0;
+  }
+  const size_t inter = da.CountIntersection(db);
+  return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double PixelError(const std::vector<double>& original,
+                  const std::vector<double>& reduced, size_t width,
+                  size_t height, size_t tolerance_px) {
+  ASAP_CHECK(!original.empty());
+  ASAP_CHECK(!reduced.empty());
+  const ValueRange range = RangeOf(original, reduced);
+  const Canvas a = RasterizeSeries(original, width, height, range);
+  const Canvas b = RasterizeSeries(reduced, width, height, range);
+  return CanvasPixelError(a, b, tolerance_px);
+}
+
+}  // namespace render
+}  // namespace asap

@@ -1,0 +1,38 @@
+// Pixel error between the rendering of an original series and a
+// reduced/smoothed representation (Appendix B.1 / Table 4).
+//
+// Both series are rasterized as 1-px polylines on the same canvas and
+// y-range; the error is the Jaccard distance of the lit pixel sets:
+//   1 - |A ∩ B| / |A ∪ B|.
+// Identical plots score 0; disjoint plots score 1. This reproduces the
+// paper's ordering (M4 nearly pixel-perfect, ASAP intentionally very
+// lossy).
+
+#ifndef ASAP_RENDER_PIXEL_ERROR_H_
+#define ASAP_RENDER_PIXEL_ERROR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "render/canvas.h"
+
+namespace asap {
+namespace render {
+
+/// Rasterizes both series at width x height over their joint value
+/// range and returns the Jaccard pixel distance in [0, 1]. Both
+/// rasters are vertically dilated by `tolerance_px` before comparison
+/// (1-px default: lines one pixel apart are near-identical visually).
+double PixelError(const std::vector<double>& original,
+                  const std::vector<double>& reduced, size_t width,
+                  size_t height, size_t tolerance_px = 1);
+
+/// Jaccard pixel distance of two prepared canvases (same dimensions),
+/// with vertical dilation tolerance.
+double CanvasPixelError(const Canvas& a, const Canvas& b,
+                        size_t tolerance_px = 1);
+
+}  // namespace render
+}  // namespace asap
+
+#endif  // ASAP_RENDER_PIXEL_ERROR_H_

@@ -1,0 +1,165 @@
+#include "render/rasterize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace asap {
+namespace render {
+
+void DrawLine(Canvas* canvas, long x0, long y0, long x1, long y1) {
+  // Standard integer Bresenham over all octants.
+  const long dx = std::labs(x1 - x0);
+  const long dy = -std::labs(y1 - y0);
+  const long sx = x0 < x1 ? 1 : -1;
+  const long sy = y0 < y1 ? 1 : -1;
+  long err = dx + dy;
+  for (;;) {
+    canvas->Set(x0, y0);
+    if (x0 == x1 && y0 == y1) {
+      break;
+    }
+    const long e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+ValueRange RangeOf(const std::vector<double>& values) {
+  ASAP_CHECK(!values.empty());
+  ValueRange range;
+  range.lo = *std::min_element(values.begin(), values.end());
+  range.hi = *std::max_element(values.begin(), values.end());
+  if (range.hi <= range.lo) {
+    range.lo -= 0.5;
+    range.hi += 0.5;
+  }
+  return range;
+}
+
+ValueRange RangeOf(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  ValueRange ra = RangeOf(a);
+  ValueRange rb = RangeOf(b);
+  return ValueRange{std::min(ra.lo, rb.lo), std::max(ra.hi, rb.hi)};
+}
+
+namespace {
+
+long YPixel(double value, const ValueRange& range, size_t height) {
+  const double t = (value - range.lo) / (range.hi - range.lo);
+  // range.hi maps to row 0 (top), range.lo to the bottom row.
+  const double y = (1.0 - t) * static_cast<double>(height - 1);
+  return std::lround(y);
+}
+
+}  // namespace
+
+void PlotSeries(Canvas* canvas, const std::vector<double>& values,
+                const ValueRange& range) {
+  ASAP_CHECK(canvas != nullptr);
+  if (values.empty()) {
+    return;
+  }
+  const size_t n = values.size();
+  const size_t width = canvas->width();
+  const size_t height = canvas->height();
+  if (n == 1) {
+    canvas->Set(0, YPixel(values[0], range, height));
+    return;
+  }
+  long prev_x = 0;
+  long prev_y = YPixel(values[0], range, height);
+  for (size_t i = 1; i < n; ++i) {
+    const long x = std::lround(static_cast<double>(i) *
+                               static_cast<double>(width - 1) /
+                               static_cast<double>(n - 1));
+    const long y = YPixel(values[i], range, height);
+    DrawLine(canvas, prev_x, prev_y, x, y);
+    prev_x = x;
+    prev_y = y;
+  }
+}
+
+Canvas RasterizeSeries(const std::vector<double>& values, size_t width,
+                       size_t height, const ValueRange& range) {
+  Canvas canvas(width, height);
+  PlotSeries(&canvas, values, range);
+  return canvas;
+}
+
+void PlotIndexedSeries(Canvas* canvas, const std::vector<double>& xs,
+                       const std::vector<double>& ys, double x_max,
+                       const ValueRange& range) {
+  ASAP_CHECK(canvas != nullptr);
+  ASAP_CHECK_EQ(xs.size(), ys.size());
+  if (xs.empty()) {
+    return;
+  }
+  const size_t width = canvas->width();
+  const size_t height = canvas->height();
+  const double x_scale =
+      x_max > 0.0 ? static_cast<double>(width - 1) / x_max : 0.0;
+  long prev_x = std::lround(xs[0] * x_scale);
+  long prev_y = YPixel(ys[0], range, height);
+  if (xs.size() == 1) {
+    canvas->Set(prev_x, prev_y);
+    return;
+  }
+  for (size_t i = 1; i < xs.size(); ++i) {
+    const long x = std::lround(xs[i] * x_scale);
+    const long y = YPixel(ys[i], range, height);
+    DrawLine(canvas, prev_x, prev_y, x, y);
+    prev_x = x;
+    prev_y = y;
+  }
+}
+
+ColumnStats ComputeColumnStats(const Canvas& canvas, const ValueRange& range) {
+  ColumnStats stats;
+  const size_t width = canvas.width();
+  const size_t height = canvas.height();
+  stats.center.resize(width, 0.0);
+  stats.extent.resize(width, 0.0);
+  double prev_center = 0.5 * (range.lo + range.hi);
+  for (size_t x = 0; x < width; ++x) {
+    long first = -1;
+    long last = -1;
+    long sum = 0;
+    long count = 0;
+    for (size_t y = 0; y < height; ++y) {
+      if (canvas.Get(static_cast<long>(x), static_cast<long>(y))) {
+        if (first < 0) {
+          first = static_cast<long>(y);
+        }
+        last = static_cast<long>(y);
+        sum += static_cast<long>(y);
+        ++count;
+      }
+    }
+    if (count == 0) {
+      stats.center[x] = prev_center;
+      stats.extent[x] = 0.0;
+      continue;
+    }
+    const double mean_row =
+        static_cast<double>(sum) / static_cast<double>(count);
+    // Invert the row-0-at-top convention back into value units.
+    const double frac = 1.0 - mean_row / static_cast<double>(height - 1);
+    stats.center[x] = range.lo + frac * (range.hi - range.lo);
+    stats.extent[x] = static_cast<double>(last - first + 1) /
+                      static_cast<double>(height);
+    prev_center = stats.center[x];
+  }
+  return stats;
+}
+
+}  // namespace render
+}  // namespace asap

@@ -1,0 +1,67 @@
+// Series-to-raster plotting: Bresenham polylines over a value range.
+//
+// The pixel-error metric (Appendix B.1) compares rasterizations of the
+// original and the reduced/smoothed series on the same canvas with the
+// same y-range, exactly as a chart would draw them.
+
+#ifndef ASAP_RENDER_RASTERIZE_H_
+#define ASAP_RENDER_RASTERIZE_H_
+
+#include <vector>
+
+#include "render/canvas.h"
+
+namespace asap {
+namespace render {
+
+/// Draws the line segment (x0, y0) -> (x1, y1) (inclusive endpoints)
+/// with Bresenham's algorithm, clipping to the canvas.
+void DrawLine(Canvas* canvas, long x0, long y0, long x1, long y1);
+
+/// Value range used for the y-axis.
+struct ValueRange {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Range spanning min/max of the series (padded slightly to keep the
+/// extremes inside the raster).
+ValueRange RangeOf(const std::vector<double>& values);
+
+/// Range covering both series.
+ValueRange RangeOf(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Plots `values` as a connected polyline: the i-th point maps to
+/// x = round(i * (width-1) / (n-1)), y scaled into [0, height-1] with
+/// `range` (values at range.hi map to the top row). Series with a
+/// single point draw one pixel.
+void PlotSeries(Canvas* canvas, const std::vector<double>& values,
+                const ValueRange& range);
+
+/// Convenience: rasterizes a series on a fresh canvas.
+Canvas RasterizeSeries(const std::vector<double>& values, size_t width,
+                       size_t height, const ValueRange& range);
+
+/// Plots a polyline whose points carry explicit x-positions in
+/// [0, x_max] (e.g. the retained indices of a reduced series); used so
+/// M4 / line-simplification outputs rasterize at the correct pixels.
+void PlotIndexedSeries(Canvas* canvas, const std::vector<double>& xs,
+                       const std::vector<double>& ys, double x_max,
+                       const ValueRange& range);
+
+/// Per-column statistics of a raster — the measurement the perception
+/// proxy consumes. Columns with no lit pixel report extent 0 and carry
+/// the previous column's center (continuation, like a line chart).
+struct ColumnStats {
+  std::vector<double> center;  // mean lit row per column (in value units)
+  std::vector<double> extent;  // lit row span per column, 0..1 of height
+};
+
+/// Extracts per-column center/extent from a canvas; centers are mapped
+/// back into value units using `range`.
+ColumnStats ComputeColumnStats(const Canvas& canvas, const ValueRange& range);
+
+}  // namespace render
+}  // namespace asap
+
+#endif  // ASAP_RENDER_RASTERIZE_H_

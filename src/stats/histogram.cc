@@ -1,0 +1,74 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace asap {
+namespace stats {
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  ASAP_CHECK_LT(lo, hi);
+  ASAP_CHECK_GE(bins, 1u);
+}
+
+void Histogram::Add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  long bin = static_cast<long>(std::floor((x - lo_) / width));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  counts_[static_cast<size_t>(bin)] += 1;
+  total_ += 1;
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) {
+    Add(v);
+  }
+}
+
+size_t Histogram::count(size_t bin) const {
+  ASAP_CHECK_LT(bin, counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::BinCenter(size_t bin) const {
+  ASAP_CHECK_LT(bin, counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+double Histogram::TailFraction(double center, double unit, double k) const {
+  if (total_ == 0 || unit <= 0.0) {
+    return 0.0;
+  }
+  size_t tail = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (std::fabs(BinCenter(b) - center) > k * unit) {
+      tail += counts_[b];
+    }
+  }
+  return static_cast<double>(tail) / static_cast<double>(total_);
+}
+
+std::string Histogram::ToAscii(size_t width) const {
+  size_t max_count = 0;
+  for (size_t c : counts_) {
+    max_count = std::max(max_count, c);
+  }
+  std::string out;
+  char label[64];
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    std::snprintf(label, sizeof(label), "%9.3f | ", BinCenter(b));
+    out += label;
+    const size_t bar =
+        max_count == 0 ? 0 : counts_[b] * width / max_count;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace stats
+}  // namespace asap

@@ -1,0 +1,47 @@
+// Fixed-bin histogram, used by the Fig. 5 reproduction (normal vs.
+// Laplace tail mass) and by dataset diagnostics.
+
+#ifndef ASAP_STATS_HISTOGRAM_H_
+#define ASAP_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace asap {
+namespace stats {
+
+/// Equal-width histogram over [lo, hi); values outside the range are
+/// clamped into the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+  void AddAll(const std::vector<double>& values);
+
+  size_t bins() const { return counts_.size(); }
+  size_t total() const { return total_; }
+  size_t count(size_t bin) const;
+
+  /// Fraction of mass in bins whose center is more than `k` standard
+  /// units from `center` (a crude tail-mass probe).
+  double TailFraction(double center, double unit, double k) const;
+
+  /// Center of bin `bin`.
+  double BinCenter(size_t bin) const;
+
+  /// Multi-line ASCII rendering (one row per bin), for examples.
+  std::string ToAscii(size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace stats
+}  // namespace asap
+
+#endif  // ASAP_STATS_HISTOGRAM_H_

@@ -1,0 +1,56 @@
+#include "stats/normalize.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace asap {
+namespace stats {
+
+std::vector<double> ZScore(const std::vector<double>& v) {
+  if (v.empty()) {
+    return {};
+  }
+  const double mean = Mean(v);
+  const double sd = StdDev(v);
+  std::vector<double> out(v.size());
+  if (sd <= 0.0) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return out;
+  }
+  for (size_t i = 0; i < v.size(); ++i) {
+    out[i] = (v[i] - mean) / sd;
+  }
+  return out;
+}
+
+std::vector<double> MinMaxScale(const std::vector<double>& v, double lo,
+                                double hi) {
+  if (v.empty()) {
+    return {};
+  }
+  const double mn = Min(v);
+  const double mx = Max(v);
+  std::vector<double> out(v.size());
+  if (mx <= mn) {
+    std::fill(out.begin(), out.end(), 0.5 * (lo + hi));
+    return out;
+  }
+  const double scale = (hi - lo) / (mx - mn);
+  for (size_t i = 0; i < v.size(); ++i) {
+    out[i] = lo + (v[i] - mn) * scale;
+  }
+  return out;
+}
+
+std::vector<double> Demean(const std::vector<double>& v) {
+  const double mean = Mean(v);
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    out[i] = v[i] - mean;
+  }
+  return out;
+}
+
+}  // namespace stats
+}  // namespace asap

@@ -1,0 +1,30 @@
+// Normalization utilities.
+//
+// The paper plots z-scores instead of raw values ("a means of
+// normalizing the visual field across plots", Fig. 1 footnote); the
+// perception proxy and examples use the same convention.
+
+#ifndef ASAP_STATS_NORMALIZE_H_
+#define ASAP_STATS_NORMALIZE_H_
+
+#include <vector>
+
+namespace asap {
+namespace stats {
+
+/// Returns (v - mean) / stddev elementwise. A constant series maps to
+/// all zeros.
+std::vector<double> ZScore(const std::vector<double>& v);
+
+/// Linearly rescales v into [lo, hi]. A constant series maps to the
+/// midpoint.
+std::vector<double> MinMaxScale(const std::vector<double>& v, double lo,
+                                double hi);
+
+/// Centers v at zero mean (no scaling).
+std::vector<double> Demean(const std::vector<double>& v);
+
+}  // namespace stats
+}  // namespace asap
+
+#endif  // ASAP_STATS_NORMALIZE_H_

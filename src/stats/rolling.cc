@@ -1,0 +1,143 @@
+#include "stats/rolling.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace asap {
+namespace stats {
+
+namespace {
+// Refresh power sums from scratch periodically so floating-point drift
+// from incremental add/subtract stays bounded.
+constexpr size_t kRecomputeInterval = 1u << 16;
+}  // namespace
+
+RollingMoments::RollingMoments(size_t capacity) : capacity_(capacity) {
+  ASAP_CHECK_GE(capacity, 1u);
+}
+
+void RollingMoments::Push(double x) {
+  if (window_.size() == capacity_) {
+    const double old = window_.front();
+    window_.pop_front();
+    const double o2 = old * old;
+    s1_ -= old;
+    s2_ -= o2;
+    s3_ -= o2 * old;
+    s4_ -= o2 * o2;
+  }
+  window_.push_back(x);
+  const double x2 = x * x;
+  s1_ += x;
+  s2_ += x2;
+  s3_ += x2 * x;
+  s4_ += x2 * x2;
+  if (++pushes_since_recompute_ >= kRecomputeInterval) {
+    RecomputeSums();
+  }
+}
+
+void RollingMoments::Reset() {
+  window_.clear();
+  s1_ = s2_ = s3_ = s4_ = 0.0;
+  pushes_since_recompute_ = 0;
+}
+
+void RollingMoments::RecomputeSums() {
+  s1_ = s2_ = s3_ = s4_ = 0.0;
+  for (double x : window_) {
+    const double x2 = x * x;
+    s1_ += x;
+    s2_ += x2;
+    s3_ += x2 * x;
+    s4_ += x2 * x2;
+  }
+  pushes_since_recompute_ = 0;
+}
+
+double RollingMoments::mean() const {
+  if (window_.empty()) {
+    return 0.0;
+  }
+  return s1_ / static_cast<double>(window_.size());
+}
+
+double RollingMoments::variance() const {
+  const size_t n = window_.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  const double nn = static_cast<double>(n);
+  const double m = s1_ / nn;
+  const double var = s2_ / nn - m * m;
+  return var > 0.0 ? var : 0.0;
+}
+
+double RollingMoments::stddev() const { return std::sqrt(variance()); }
+
+double RollingMoments::kurtosis() const {
+  const size_t n = window_.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  const double nn = static_cast<double>(n);
+  const double m = s1_ / nn;
+  const double var = variance();
+  if (var <= 0.0) {
+    return 0.0;
+  }
+  // Central fourth moment from raw sums:
+  // E[(X-m)^4] = E[X^4] - 4m E[X^3] + 6m^2 E[X^2] - 3m^4.
+  const double e2 = s2_ / nn;
+  const double e3 = s3_ / nn;
+  const double e4 = s4_ / nn;
+  const double m4 = e4 - 4.0 * m * e3 + 6.0 * m * m * e2 - 3.0 * m * m * m * m;
+  return m4 / (var * var);
+}
+
+double RollingMoments::Front() const {
+  ASAP_CHECK(!window_.empty());
+  return window_.front();
+}
+
+double RollingMoments::Back() const {
+  ASAP_CHECK(!window_.empty());
+  return window_.back();
+}
+
+RollingMean::RollingMean(size_t window) : window_size_(window) {
+  ASAP_CHECK_GE(window, 1u);
+}
+
+void RollingMean::Push(double x) {
+  if (window_.size() == window_size_) {
+    sum_ -= window_.front();
+    window_.pop_front();
+  }
+  window_.push_back(x);
+  sum_ += x;
+  if (++pushes_since_recompute_ >= kRecomputeInterval) {
+    sum_ = 0.0;
+    for (double v : window_) {
+      sum_ += v;
+    }
+    pushes_since_recompute_ = 0;
+  }
+}
+
+void RollingMean::Reset() {
+  window_.clear();
+  sum_ = 0.0;
+  pushes_since_recompute_ = 0;
+}
+
+double RollingMean::Current() const {
+  if (window_.empty()) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(window_.size());
+}
+
+}  // namespace stats
+}  // namespace asap

@@ -1,0 +1,87 @@
+// Rolling (sliding-window) statistics with O(1) amortized updates.
+//
+// The window-search inner loop evaluates roughness and kurtosis of
+// SMA(X, w) for many w; rolling moment maintenance turns each
+// evaluation from O(N * w) into O(N). RollingMoments maintains raw
+// power sums over a fixed-capacity window; central moments are derived
+// on demand. Raw-sum maintenance can lose precision after very long
+// runs, so the deque variant recomputes sums from the retained values
+// on demand if drift is detected.
+
+#ifndef ASAP_STATS_ROLLING_H_
+#define ASAP_STATS_ROLLING_H_
+
+#include <cstddef>
+#include <deque>
+
+namespace asap {
+namespace stats {
+
+/// Fixed-capacity sliding window maintaining sum, sum of squares, and
+/// (optionally) 3rd/4th power sums for O(1) moment queries.
+class RollingMoments {
+ public:
+  /// capacity: number of most-recent observations retained. Must be >= 1.
+  explicit RollingMoments(size_t capacity);
+
+  /// Pushes a new observation, evicting the oldest once at capacity.
+  void Push(double x);
+
+  /// Resets to empty (capacity unchanged).
+  void Reset();
+
+  size_t size() const { return window_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool full() const { return window_.size() == capacity_; }
+
+  double mean() const;
+  /// Population variance over the current window.
+  double variance() const;
+  double stddev() const;
+  /// Non-excess kurtosis over the current window (0 if degenerate).
+  double kurtosis() const;
+
+  /// Oldest retained observation; aborts if empty.
+  double Front() const;
+  /// Newest retained observation; aborts if empty.
+  double Back() const;
+
+ private:
+  void RecomputeSums();
+
+  size_t capacity_;
+  std::deque<double> window_;
+  double s1_ = 0.0;  // sum x
+  double s2_ = 0.0;  // sum x^2
+  double s3_ = 0.0;  // sum x^3
+  double s4_ = 0.0;  // sum x^4
+  size_t pushes_since_recompute_ = 0;
+};
+
+/// Simple-moving-average maintained incrementally over a stream:
+/// push values; once `window` values have been seen, Current() is the
+/// mean of the last `window` observations.
+class RollingMean {
+ public:
+  explicit RollingMean(size_t window);
+
+  void Push(double x);
+  void Reset();
+
+  bool Ready() const { return window_.size() == window_size_; }
+  size_t window() const { return window_size_; }
+
+  /// Mean of the retained observations (partial window allowed).
+  double Current() const;
+
+ private:
+  size_t window_size_;
+  std::deque<double> window_;
+  double sum_ = 0.0;
+  size_t pushes_since_recompute_ = 0;
+};
+
+}  // namespace stats
+}  // namespace asap
+
+#endif  // ASAP_STATS_ROLLING_H_

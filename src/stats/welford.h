@@ -1,0 +1,56 @@
+// Streaming (single-pass, mergeable) moment accumulation.
+//
+// Streaming ASAP needs running moments of unbounded streams without
+// storing the data. WelfordAccumulator extends Welford's algorithm to
+// the third and fourth central moments (Pébay 2008) and supports
+// merging, which is what pane-based sub-aggregation requires.
+
+#ifndef ASAP_STATS_WELFORD_H_
+#define ASAP_STATS_WELFORD_H_
+
+#include <cstddef>
+
+namespace asap {
+namespace stats {
+
+/// Online accumulator for count/mean/M2/M3/M4.
+class WelfordAccumulator {
+ public:
+  WelfordAccumulator() = default;
+
+  /// Folds one observation into the accumulator.
+  void Add(double x);
+
+  /// Merges another accumulator (order-independent up to FP rounding).
+  void Merge(const WelfordAccumulator& other);
+
+  /// Resets to the empty state.
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance (divide by N).
+  double variance() const;
+
+  /// Population standard deviation.
+  double stddev() const;
+
+  /// Third standardized moment; 0 for degenerate input.
+  double skewness() const;
+
+  /// Non-excess fourth standardized moment; 0 for degenerate input.
+  double kurtosis() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+};
+
+}  // namespace stats
+}  // namespace asap
+
+#endif  // ASAP_STATS_WELFORD_H_

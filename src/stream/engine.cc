@@ -1,0 +1,57 @@
+#include "stream/engine.h"
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+
+namespace asap {
+namespace stream {
+
+namespace {
+
+RunReport RunInternal(Source* source, Operator* op, size_t batch_size,
+                      double budget_seconds) {
+  ASAP_CHECK(source != nullptr);
+  ASAP_CHECK(op != nullptr);
+  ASAP_CHECK_GE(batch_size, 1u);
+
+  RunReport report;
+  Stopwatch watch;
+  std::vector<double> batch;
+  batch.reserve(batch_size);
+  for (;;) {
+    if (budget_seconds > 0.0 && watch.ElapsedSeconds() >= budget_seconds) {
+      break;
+    }
+    batch.clear();
+    const size_t n = source->NextBatch(batch_size, &batch);
+    if (n == 0) {
+      break;
+    }
+    op->Consume(batch);
+    report.points += n;
+  }
+  report.seconds = watch.ElapsedSeconds();
+  report.points_per_second =
+      report.seconds > 0.0 ? static_cast<double>(report.points) /
+                                 report.seconds
+                           : 0.0;
+  if (auto* asap_op = dynamic_cast<StreamingAsapOperator*>(op)) {
+    report.refreshes = asap_op->asap().frame().refreshes;
+  }
+  return report;
+}
+
+}  // namespace
+
+RunReport RunToCompletion(Source* source, Operator* op, size_t batch_size) {
+  return RunInternal(source, op, batch_size, /*budget_seconds=*/0.0);
+}
+
+RunReport RunForBudget(Source* source, Operator* op, double budget_seconds,
+                       size_t batch_size) {
+  ASAP_CHECK_GT(budget_seconds, 0.0);
+  return RunInternal(source, op, batch_size, budget_seconds);
+}
+
+}  // namespace stream
+}  // namespace asap

@@ -1,0 +1,74 @@
+// A minimal streaming runtime in the MacroBase mold: operators consume
+// batches; the engine drives a source through an operator and measures
+// throughput. This is the execution harness behind the Fig. 10/11
+// streaming experiments.
+
+#ifndef ASAP_STREAM_ENGINE_H_
+#define ASAP_STREAM_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/streaming_asap.h"
+#include "stream/source.h"
+
+namespace asap {
+namespace stream {
+
+/// A push-based streaming operator.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Consumes one batch of raw points.
+  virtual void Consume(const std::vector<double>& batch) = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Wraps StreamingAsap as an Operator.
+class StreamingAsapOperator : public Operator {
+ public:
+  explicit StreamingAsapOperator(StreamingAsap asap)
+      : asap_(std::move(asap)) {}
+
+  void Consume(const std::vector<double>& batch) override {
+    asap_.PushBatch(batch);
+  }
+
+  std::string name() const override { return "streaming-asap"; }
+
+  const StreamingAsap& asap() const { return asap_; }
+  StreamingAsap& asap() { return asap_; }
+
+ private:
+  StreamingAsap asap_;
+};
+
+/// Result of one engine run.
+struct RunReport {
+  uint64_t points = 0;
+  double seconds = 0.0;
+  double points_per_second = 0.0;
+  uint64_t refreshes = 0;
+};
+
+/// Pulls `source` to exhaustion through `op` in batches of `batch_size`
+/// and reports wall-clock throughput. If `op` is a
+/// StreamingAsapOperator the refresh count is filled in.
+RunReport RunToCompletion(Source* source, Operator* op,
+                          size_t batch_size = 4096);
+
+/// Like RunToCompletion but stops after `budget_seconds` of wall time
+/// (checked between batches). Lets benches measure the throughput of
+/// configurations whose full-stream runtime would be impractical
+/// (e.g. the Fig. 11 unoptimized baseline).
+RunReport RunForBudget(Source* source, Operator* op, double budget_seconds,
+                       size_t batch_size = 4096);
+
+}  // namespace stream
+}  // namespace asap
+
+#endif  // ASAP_STREAM_ENGINE_H_

@@ -1,0 +1,39 @@
+#include "stream/source.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace asap {
+namespace stream {
+
+VectorSource::VectorSource(std::vector<double> values)
+    : values_(std::move(values)) {}
+
+size_t VectorSource::NextBatch(size_t max_points, std::vector<double>* out) {
+  ASAP_CHECK(out != nullptr);
+  const size_t n = std::min(max_points, values_.size() - position_);
+  out->insert(out->end(), values_.begin() + position_,
+              values_.begin() + position_ + n);
+  position_ += n;
+  return n;
+}
+
+LoopingSource::LoopingSource(std::vector<double> values, size_t total_points)
+    : values_(std::move(values)), total_points_(total_points) {
+  ASAP_CHECK(!values_.empty());
+}
+
+size_t LoopingSource::NextBatch(size_t max_points, std::vector<double>* out) {
+  ASAP_CHECK(out != nullptr);
+  size_t produced = 0;
+  while (produced < max_points && emitted_ < total_points_) {
+    out->push_back(values_[emitted_ % values_.size()]);
+    ++emitted_;
+    ++produced;
+  }
+  return produced;
+}
+
+}  // namespace stream
+}  // namespace asap

@@ -1,0 +1,65 @@
+// Stream sources: adapters that feed time series data into streaming
+// operators. ASAP "can ingest and process raw data from time series
+// databases as well as from visualization clients" (§2); sources are
+// the ingestion half of that contract.
+
+#ifndef ASAP_STREAM_SOURCE_H_
+#define ASAP_STREAM_SOURCE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "ts/timeseries.h"
+
+namespace asap {
+namespace stream {
+
+/// Pull-based source of raw points.
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  /// Appends up to `max_points` new points to *out; returns the number
+  /// appended (0 = exhausted).
+  virtual size_t NextBatch(size_t max_points, std::vector<double>* out) = 0;
+
+  /// Total points this source will ever produce (0 if unbounded).
+  virtual size_t TotalPoints() const = 0;
+};
+
+/// Replays a fixed vector once.
+class VectorSource : public Source {
+ public:
+  explicit VectorSource(std::vector<double> values);
+
+  size_t NextBatch(size_t max_points, std::vector<double>* out) override;
+  size_t TotalPoints() const override { return values_.size(); }
+
+  void Rewind() { position_ = 0; }
+
+ private:
+  std::vector<double> values_;
+  size_t position_ = 0;
+};
+
+/// Replays a vector cyclically until `total_points` have been emitted —
+/// used to stretch a dataset into an arbitrarily long stream for
+/// throughput runs.
+class LoopingSource : public Source {
+ public:
+  LoopingSource(std::vector<double> values, size_t total_points);
+
+  size_t NextBatch(size_t max_points, std::vector<double>* out) override;
+  size_t TotalPoints() const override { return total_points_; }
+
+ private:
+  std::vector<double> values_;
+  size_t total_points_;
+  size_t emitted_ = 0;
+};
+
+}  // namespace stream
+}  // namespace asap
+
+#endif  // ASAP_STREAM_SOURCE_H_

@@ -1,0 +1,128 @@
+#include "ts/csv.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace asap {
+
+namespace {
+
+bool LooksNumeric(const std::string& field) {
+  if (field.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  std::strtod(field.c_str(), &end);
+  while (end != nullptr && *end != '\0' && std::isspace(*end)) {
+    ++end;
+  }
+  return end != nullptr && *end == '\0';
+}
+
+std::vector<std::string> SplitComma(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) {
+    fields.push_back(field);
+  }
+  return fields;
+}
+
+}  // namespace
+
+std::string ToCsvString(const TimeSeries& series) {
+  std::string out = "time,value\n";
+  char row[96];
+  for (size_t i = 0; i < series.size(); ++i) {
+    // Full double precision for both columns: a fine-grained grid at a
+    // large epoch (e.g. millisecond intervals at unix-seconds scale)
+    // must survive the round trip.
+    std::snprintf(row, sizeof(row), "%.17g,%.17g\n", series.TimeAt(i),
+                  series.value(i));
+    out += row;
+  }
+  return out;
+}
+
+Status WriteCsv(const TimeSeries& series, const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  file << ToCsvString(series);
+  if (!file.good()) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<TimeSeries> FromCsvString(const std::string& text) {
+  std::stringstream ss(text);
+  std::string line;
+  std::vector<double> times;
+  std::vector<double> values;
+  bool first_line = true;
+  size_t line_no = 0;
+  while (std::getline(ss, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string> fields = SplitComma(line);
+    if (first_line) {
+      first_line = false;
+      // Skip a header row (any non-numeric first field).
+      if (!LooksNumeric(fields[0])) {
+        continue;
+      }
+    }
+    if (fields.size() == 1) {
+      if (!LooksNumeric(fields[0])) {
+        return Status::InvalidArgument("non-numeric value at line " +
+                                       std::to_string(line_no));
+      }
+      values.push_back(std::strtod(fields[0].c_str(), nullptr));
+    } else {
+      if (!LooksNumeric(fields[0]) || !LooksNumeric(fields[1])) {
+        return Status::InvalidArgument("non-numeric row at line " +
+                                       std::to_string(line_no));
+      }
+      times.push_back(std::strtod(fields[0].c_str(), nullptr));
+      values.push_back(std::strtod(fields[1].c_str(), nullptr));
+    }
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("CSV contains no data rows");
+  }
+  double start = 0.0;
+  double interval = 1.0;
+  if (times.size() >= 2) {
+    start = times[0];
+    interval = times[1] - times[0];
+    if (interval <= 0.0) {
+      return Status::InvalidArgument("non-increasing time grid");
+    }
+  } else if (times.size() == 1) {
+    start = times[0];
+  }
+  return TimeSeries(std::move(values), start, interval);
+}
+
+Result<TimeSeries> ReadCsv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return FromCsvString(buffer.str());
+}
+
+}  // namespace asap

@@ -1,0 +1,34 @@
+// CSV import/export for time series.
+//
+// ASAP is "a modular tool" that ingests from time series databases and
+// plotting clients (§2); the CSV layer is the file-based equivalent so
+// examples can round-trip data with external tools.
+
+#ifndef ASAP_TS_CSV_H_
+#define ASAP_TS_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ts/timeseries.h"
+
+namespace asap {
+
+/// Writes "time,value" rows (with header) to `path`.
+Status WriteCsv(const TimeSeries& series, const std::string& path);
+
+/// Reads a two-column "time,value" CSV (header optional). The time grid
+/// is inferred from the first two rows; irregular rows are accepted and
+/// snapped to the inferred grid (values are taken in file order).
+/// A single-column file is read as values on a unit grid.
+Result<TimeSeries> ReadCsv(const std::string& path);
+
+/// Serializes to a CSV string (same format as WriteCsv).
+std::string ToCsvString(const TimeSeries& series);
+
+/// Parses a CSV string (same format as ReadCsv).
+Result<TimeSeries> FromCsvString(const std::string& text);
+
+}  // namespace asap
+
+#endif  // ASAP_TS_CSV_H_

@@ -1,0 +1,163 @@
+#include "ts/generators.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace asap {
+namespace gen {
+
+std::vector<double> Sine(size_t n, double period, double amplitude,
+                         double phase) {
+  ASAP_CHECK_GT(period, 0.0);
+  std::vector<double> out(n);
+  const double omega = 2.0 * M_PI / period;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = amplitude * std::sin(omega * static_cast<double>(i) + phase);
+  }
+  return out;
+}
+
+std::vector<double> Linear(size_t n, double intercept, double slope) {
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = intercept + slope * static_cast<double>(i);
+  }
+  return out;
+}
+
+std::vector<double> WhiteNoise(Pcg32* rng, size_t n, double stddev) {
+  return GaussianVector(rng, n, 0.0, stddev);
+}
+
+std::vector<double> Ar1(Pcg32* rng, size_t n, double phi, double stddev) {
+  ASAP_CHECK_LT(std::fabs(phi), 1.0);
+  std::vector<double> out(n);
+  double prev = 0.0;
+  // Start from the stationary distribution so early samples are not
+  // systematically closer to zero.
+  const double stationary_sd = stddev / std::sqrt(1.0 - phi * phi);
+  prev = rng->Gaussian(0.0, stationary_sd);
+  for (size_t i = 0; i < n; ++i) {
+    prev = phi * prev + rng->Gaussian(0.0, stddev);
+    out[i] = prev;
+  }
+  return out;
+}
+
+std::vector<double> RandomWalk(Pcg32* rng, size_t n, double step_stddev) {
+  std::vector<double> out(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += rng->Gaussian(0.0, step_stddev);
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<double> SeasonalComposite(Pcg32* rng, size_t n,
+                                      const std::vector<double>& periods,
+                                      const std::vector<double>& amplitudes,
+                                      double noise_stddev) {
+  ASAP_CHECK_EQ(periods.size(), amplitudes.size());
+  std::vector<double> out(n, 0.0);
+  for (size_t s = 0; s < periods.size(); ++s) {
+    const double omega = 2.0 * M_PI / periods[s];
+    for (size_t i = 0; i < n; ++i) {
+      out[i] += amplitudes[s] * std::sin(omega * static_cast<double>(i));
+    }
+  }
+  if (noise_stddev > 0.0) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] += rng->Gaussian(0.0, noise_stddev);
+    }
+  }
+  return out;
+}
+
+std::vector<double> DailyProfile(Pcg32* rng, size_t n, double period,
+                                 double amplitude, double noise_stddev) {
+  ASAP_CHECK_GT(period, 0.0);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = std::fmod(static_cast<double>(i), period) / period;
+    // Smooth plateau: raised cosine shaped to spend ~60% of the day
+    // near the maximum (morning ramp, evening decline, quiet night).
+    double base = 0.5 * (1.0 - std::cos(2.0 * M_PI * t));
+    base = std::pow(base, 0.6);
+    out[i] = amplitude * base +
+             (noise_stddev > 0.0 ? rng->Gaussian(0.0, noise_stddev) : 0.0);
+  }
+  return out;
+}
+
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  ASAP_CHECK_EQ(a.size(), b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] + b[i];
+  }
+  return out;
+}
+
+std::vector<double> Scale(const std::vector<double>& v, double factor) {
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    out[i] = v[i] * factor;
+  }
+  return out;
+}
+
+void InjectLevelShift(std::vector<double>* values, size_t begin, size_t end,
+                      double delta) {
+  ASAP_CHECK_LE(begin, end);
+  ASAP_CHECK_LE(end, values->size());
+  for (size_t i = begin; i < end; ++i) {
+    (*values)[i] += delta;
+  }
+}
+
+void InjectRamp(std::vector<double>* values, size_t begin, size_t end,
+                double delta) {
+  ASAP_CHECK_LE(begin, end);
+  ASAP_CHECK_LE(end, values->size());
+  if (begin == end) {
+    return;
+  }
+  const double span = static_cast<double>(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    (*values)[i] += delta * static_cast<double>(i - begin + 1) / span;
+  }
+  for (size_t i = end; i < values->size(); ++i) {
+    (*values)[i] += delta;
+  }
+}
+
+void InjectAmplitudeChange(std::vector<double>* values, size_t begin,
+                           size_t end, double factor) {
+  ASAP_CHECK_LE(begin, end);
+  ASAP_CHECK_LE(end, values->size());
+  for (size_t i = begin; i < end; ++i) {
+    (*values)[i] *= factor;
+  }
+}
+
+void InjectSpike(std::vector<double>* values, size_t index, double height) {
+  ASAP_CHECK_LT(index, values->size());
+  (*values)[index] += height;
+}
+
+void InjectFrequencyChange(std::vector<double>* values, size_t begin,
+                           size_t end, double new_period, double amplitude) {
+  ASAP_CHECK_LE(begin, end);
+  ASAP_CHECK_LE(end, values->size());
+  ASAP_CHECK_GT(new_period, 0.0);
+  const double omega = 2.0 * M_PI / new_period;
+  for (size_t i = begin; i < end; ++i) {
+    (*values)[i] = amplitude * std::sin(omega * static_cast<double>(i - begin));
+  }
+}
+
+}  // namespace gen
+}  // namespace asap

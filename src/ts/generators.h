@@ -1,0 +1,87 @@
+// Synthetic signal generators.
+//
+// Building blocks for the dataset suite (src/datasets) and for property
+// tests: pure tones, composite seasonal signals, autoregressive noise,
+// random walks, and anomaly injectors. All generators are deterministic
+// given a Pcg32.
+
+#ifndef ASAP_TS_GENERATORS_H_
+#define ASAP_TS_GENERATORS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace asap {
+namespace gen {
+
+/// amplitude * sin(2 pi i / period + phase), i = 0..n-1. period > 0.
+std::vector<double> Sine(size_t n, double period, double amplitude = 1.0,
+                         double phase = 0.0);
+
+/// Straight line a + b * i.
+std::vector<double> Linear(size_t n, double intercept, double slope);
+
+/// IID Gaussian noise.
+std::vector<double> WhiteNoise(Pcg32* rng, size_t n, double stddev = 1.0);
+
+/// AR(1): x_i = phi * x_{i-1} + e_i, e ~ N(0, stddev). |phi| < 1 gives a
+/// stationary series with geometric ACF decay — a useful "aperiodic but
+/// correlated" test signal.
+std::vector<double> Ar1(Pcg32* rng, size_t n, double phi, double stddev = 1.0);
+
+/// Gaussian random walk (non-stationary; integrates white noise).
+std::vector<double> RandomWalk(Pcg32* rng, size_t n, double step_stddev = 1.0);
+
+/// A daily/weekly style composite: sum of sines at the given periods
+/// with the given amplitudes, plus Gaussian noise.
+std::vector<double> SeasonalComposite(Pcg32* rng, size_t n,
+                                      const std::vector<double>& periods,
+                                      const std::vector<double>& amplitudes,
+                                      double noise_stddev);
+
+/// Asymmetric daily "activity" profile: low at night, ramping to a broad
+/// daytime plateau — more realistic than a sine for traffic/CPU loads.
+/// `period` points per day.
+std::vector<double> DailyProfile(Pcg32* rng, size_t n, double period,
+                                 double amplitude, double noise_stddev);
+
+/// Elementwise sum; vectors must have equal length.
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Elementwise scale.
+std::vector<double> Scale(const std::vector<double>& v, double factor);
+
+// ---------------------------------------------------------------------------
+// Anomaly injectors (mutate in place). These create the "large-scale
+// deviations" ASAP is designed to preserve.
+// ---------------------------------------------------------------------------
+
+/// Adds `delta` to values[begin, end): a sustained level shift
+/// (Taxi Thanksgiving dip, Power holiday dip).
+void InjectLevelShift(std::vector<double>* values, size_t begin, size_t end,
+                      double delta);
+
+/// Linearly interpolated level change over [begin, end), reaching
+/// `delta` at end and persisting afterwards (gradual regime change).
+void InjectRamp(std::vector<double>* values, size_t begin, size_t end,
+                double delta);
+
+/// Multiplies values[begin, end) by `factor` (amplitude anomaly).
+void InjectAmplitudeChange(std::vector<double>* values, size_t begin,
+                           size_t end, double factor);
+
+/// Adds a single spike of the given height at `index`.
+void InjectSpike(std::vector<double>* values, size_t index, double height);
+
+/// Replaces values[begin, end) with a sine of a different period
+/// (frequency anomaly — the paper's Sine dataset halves the period).
+void InjectFrequencyChange(std::vector<double>* values, size_t begin,
+                           size_t end, double new_period, double amplitude);
+
+}  // namespace gen
+}  // namespace asap
+
+#endif  // ASAP_TS_GENERATORS_H_

@@ -1,0 +1,79 @@
+#include "ts/resample.h"
+
+#include <algorithm>
+
+namespace asap {
+
+namespace {
+
+double Combine(const std::vector<double>& values, size_t begin, size_t end,
+               AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kMean: {
+      double sum = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        sum += values[i];
+      }
+      return sum / static_cast<double>(end - begin);
+    }
+    case AggregateOp::kSum: {
+      double sum = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        sum += values[i];
+      }
+      return sum;
+    }
+    case AggregateOp::kMin:
+      return *std::min_element(values.begin() + begin, values.begin() + end);
+    case AggregateOp::kMax:
+      return *std::max_element(values.begin() + begin, values.begin() + end);
+    case AggregateOp::kFirst:
+      return values[begin];
+    case AggregateOp::kLast:
+      return values[end - 1];
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<TimeSeries> Downsample(const TimeSeries& series, size_t factor,
+                              AggregateOp op) {
+  if (factor == 0) {
+    return Status::InvalidArgument("downsample factor must be >= 1");
+  }
+  if (series.empty()) {
+    return Status::InvalidArgument("cannot downsample an empty series");
+  }
+  if (factor == 1) {
+    return series;
+  }
+  const std::vector<double>& v = series.values();
+  std::vector<double> out;
+  out.reserve((v.size() + factor - 1) / factor);
+  for (size_t begin = 0; begin < v.size(); begin += factor) {
+    const size_t end = std::min(begin + factor, v.size());
+    out.push_back(Combine(v, begin, end, op));
+  }
+  return TimeSeries(std::move(out), series.start(),
+                    series.interval() * static_cast<double>(factor),
+                    series.name());
+}
+
+Result<TimeSeries> DownsampleTo(const TimeSeries& series, size_t target_points,
+                                AggregateOp op) {
+  if (target_points == 0) {
+    return Status::InvalidArgument("target_points must be >= 1");
+  }
+  if (series.empty()) {
+    return Status::InvalidArgument("cannot downsample an empty series");
+  }
+  if (series.size() <= target_points) {
+    return series;
+  }
+  const size_t factor =
+      (series.size() + target_points - 1) / target_points;
+  return Downsample(series, factor, op);
+}
+
+}  // namespace asap

@@ -1,0 +1,40 @@
+// Resampling utilities: bucketed downsampling on the time grid.
+//
+// Distinct from pixel-aware preaggregation (src/window/preaggregate.h),
+// which is resolution-driven; these helpers express the "hourly average
+// of ..." style aggregations the paper's case studies start from.
+
+#ifndef ASAP_TS_RESAMPLE_H_
+#define ASAP_TS_RESAMPLE_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "ts/timeseries.h"
+
+namespace asap {
+
+/// How to combine the samples inside one bucket.
+enum class AggregateOp {
+  kMean,
+  kSum,
+  kMin,
+  kMax,
+  kFirst,
+  kLast,
+};
+
+/// Groups consecutive runs of `factor` samples and combines each run
+/// with `op`. A final partial bucket is aggregated over the samples
+/// present. factor must be >= 1.
+Result<TimeSeries> Downsample(const TimeSeries& series, size_t factor,
+                              AggregateOp op = AggregateOp::kMean);
+
+/// Downsamples so the result has at most `target_points` samples
+/// (factor = ceil(N / target_points)).
+Result<TimeSeries> DownsampleTo(const TimeSeries& series, size_t target_points,
+                                AggregateOp op = AggregateOp::kMean);
+
+}  // namespace asap
+
+#endif  // ASAP_TS_RESAMPLE_H_

@@ -1,0 +1,48 @@
+#include "ts/timeseries.h"
+
+#include "common/macros.h"
+#include "stats/normalize.h"
+
+namespace asap {
+
+TimeSeries::TimeSeries(std::vector<double> values, Timestamp start,
+                       double interval, std::string name)
+    : values_(std::move(values)),
+      start_(start),
+      interval_(interval),
+      name_(std::move(name)) {
+  ASAP_CHECK_GT(interval, 0.0);
+}
+
+TimeSeries TimeSeries::FromValues(std::vector<double> values,
+                                  std::string name) {
+  return TimeSeries(std::move(values), /*start=*/0.0, /*interval=*/1.0,
+                    std::move(name));
+}
+
+double TimeSeries::value(size_t i) const {
+  ASAP_CHECK_LT(i, values_.size());
+  return values_[i];
+}
+
+double TimeSeries::Duration() const {
+  if (values_.size() < 2) {
+    return 0.0;
+  }
+  return interval_ * static_cast<double>(values_.size() - 1);
+}
+
+TimeSeries TimeSeries::Slice(size_t begin, size_t end) const {
+  ASAP_CHECK_LE(begin, end);
+  ASAP_CHECK_LE(end, values_.size());
+  std::vector<double> sub(values_.begin() + begin, values_.begin() + end);
+  return TimeSeries(std::move(sub), TimeAt(begin), interval_, name_);
+}
+
+TimeSeries TimeSeries::ZNormalized() const {
+  TimeSeries out = *this;
+  out.values_ = stats::ZScore(values_);
+  return out;
+}
+
+}  // namespace asap

@@ -1,0 +1,73 @@
+// TimeSeries: the core data container.
+//
+// ASAP operates on regularly sampled series (telemetry at a fixed
+// reporting interval). TimeSeries stores values plus a regular time
+// grid (start + interval) so plots and examples can carry real
+// timestamps; algorithms access the raw value vector.
+
+#ifndef ASAP_TS_TIMESERIES_H_
+#define ASAP_TS_TIMESERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace asap {
+
+/// Seconds since an arbitrary epoch; double so sub-second grids work.
+using Timestamp = double;
+
+/// A regularly sampled, temporally ordered sequence of real values.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Builds a series on the grid {start + i * interval}. interval must
+  /// be > 0.
+  TimeSeries(std::vector<double> values, Timestamp start, double interval,
+             std::string name = "");
+
+  /// Convenience: unit-interval grid starting at t = 0.
+  static TimeSeries FromValues(std::vector<double> values,
+                               std::string name = "");
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  double value(size_t i) const;
+
+  Timestamp start() const { return start_; }
+  double interval() const { return interval_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Timestamp of the i-th sample.
+  Timestamp TimeAt(size_t i) const { return start_ + interval_ * i; }
+
+  /// Total covered duration in seconds (0 for < 2 points).
+  double Duration() const;
+
+  /// Sub-series of [begin, end) on the same grid; aborts on bad range.
+  TimeSeries Slice(size_t begin, size_t end) const;
+
+  /// Appends a sample at the next grid position.
+  void Append(double value) { values_.push_back(value); }
+
+  /// Returns a copy whose values are z-score normalized.
+  TimeSeries ZNormalized() const;
+
+ private:
+  std::vector<double> values_;
+  Timestamp start_ = 0.0;
+  double interval_ = 1.0;
+  std::string name_;
+};
+
+}  // namespace asap
+
+#endif  // ASAP_TS_TIMESERIES_H_

@@ -1,0 +1,102 @@
+#include "window/panes.h"
+
+#include "common/macros.h"
+
+namespace asap {
+namespace window {
+
+size_t Gcd(size_t a, size_t b) {
+  while (b != 0) {
+    size_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::vector<Pane> BuildPanes(const std::vector<double>& x, size_t pane_size) {
+  ASAP_CHECK_GE(pane_size, 1u);
+  std::vector<Pane> panes;
+  panes.reserve(x.size() / pane_size + 1);
+  Pane current;
+  for (double v : x) {
+    current.sum += v;
+    current.count += 1;
+    if (current.count == pane_size) {
+      panes.push_back(current);
+      current = Pane{};
+    }
+  }
+  if (current.count > 0) {
+    panes.push_back(current);
+  }
+  return panes;
+}
+
+std::vector<double> PaneSma(const std::vector<double>& x, size_t w,
+                            size_t slide) {
+  ASAP_CHECK_GE(w, 1u);
+  ASAP_CHECK_GE(slide, 1u);
+  ASAP_CHECK_LE(w, x.size());
+
+  const size_t pane_size = Gcd(w, slide);
+  const size_t panes_per_window = w / pane_size;
+  const size_t panes_per_slide = slide / pane_size;
+
+  std::vector<Pane> panes = BuildPanes(x, pane_size);
+
+  std::vector<double> out;
+  const double inv_w = 1.0 / static_cast<double>(w);
+  for (size_t start = 0; start + panes_per_window <= panes.size();
+       start += panes_per_slide) {
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t p = start; p < start + panes_per_window; ++p) {
+      sum += panes[p].sum;
+      count += panes[p].count;
+    }
+    if (count < w) {
+      break;  // trailing partial pane: not a full window
+    }
+    out.push_back(sum * inv_w);
+  }
+  return out;
+}
+
+PaneBuffer::PaneBuffer(size_t pane_size, size_t max_panes)
+    : pane_size_(pane_size), max_panes_(max_panes) {
+  ASAP_CHECK_GE(pane_size, 1u);
+}
+
+bool PaneBuffer::Push(double x) {
+  ++points_consumed_;
+  current_.sum += x;
+  current_.count += 1;
+  if (current_.count < pane_size_) {
+    return false;
+  }
+  panes_.push_back(current_);
+  current_ = Pane{};
+  if (max_panes_ != 0 && panes_.size() > max_panes_) {
+    panes_.pop_front();
+  }
+  return true;
+}
+
+std::vector<double> PaneBuffer::PaneMeans() const {
+  std::vector<double> means;
+  means.reserve(panes_.size());
+  for (const Pane& p : panes_) {
+    means.push_back(p.Mean());
+  }
+  return means;
+}
+
+void PaneBuffer::Reset() {
+  panes_.clear();
+  current_ = Pane{};
+  points_consumed_ = 0;
+}
+
+}  // namespace window
+}  // namespace asap

@@ -1,0 +1,79 @@
+// Pane-based sliding-window sub-aggregation ("No pane, no gain",
+// Li et al., SIGMOD Record 2005), the technique §4.5 adapts.
+//
+// A sliding window aggregate with window W and slide S is computed by
+// first aggregating the stream into disjoint panes of size
+// gcd(W, S) and then combining W/gcd panes per window. For
+// averages this reduces both memory and per-window work by the pane
+// size. Streaming ASAP maintains exactly such a pane list, sized at
+// the point-to-pixel ratio.
+
+#ifndef ASAP_WINDOW_PANES_H_
+#define ASAP_WINDOW_PANES_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace asap {
+namespace window {
+
+/// Greatest common divisor (size_t; gcd(x, 0) == x).
+size_t Gcd(size_t a, size_t b);
+
+/// A pane: a disjoint sub-aggregate of `count` consecutive points.
+struct Pane {
+  double sum = 0.0;
+  size_t count = 0;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// Splits x into consecutive panes of `pane_size` points (last pane may
+/// be partial) carrying sum and count.
+std::vector<Pane> BuildPanes(const std::vector<double>& x, size_t pane_size);
+
+/// Computes the sliding-window average of window W / slide S over x via
+/// panes of size gcd(W, S). Only full windows are emitted; results are
+/// identical to SmaWithSlide(x, W, S) up to rounding.
+std::vector<double> PaneSma(const std::vector<double>& x, size_t w,
+                            size_t slide);
+
+/// Streaming pane builder: accumulates raw points into fixed-size panes
+/// and retains the most recent `max_panes` of them (the visible window
+/// of Streaming ASAP).
+class PaneBuffer {
+ public:
+  /// pane_size: points per pane; max_panes: retained pane count
+  /// (0 = unbounded).
+  PaneBuffer(size_t pane_size, size_t max_panes);
+
+  /// Pushes one raw point. Returns true if a pane was completed
+  /// (i.e. the preaggregated series grew by one).
+  bool Push(double x);
+
+  /// Means of all retained (complete) panes, oldest first.
+  std::vector<double> PaneMeans() const;
+
+  /// Number of retained complete panes.
+  size_t size() const { return panes_.size(); }
+
+  size_t pane_size() const { return pane_size_; }
+
+  /// Total raw points consumed.
+  size_t points_consumed() const { return points_consumed_; }
+
+  void Reset();
+
+ private:
+  size_t pane_size_;
+  size_t max_panes_;
+  std::deque<Pane> panes_;  // complete panes only
+  Pane current_;            // in-progress pane
+  size_t points_consumed_ = 0;
+};
+
+}  // namespace window
+}  // namespace asap
+
+#endif  // ASAP_WINDOW_PANES_H_

@@ -1,0 +1,38 @@
+#include "window/preaggregate.h"
+
+#include "common/macros.h"
+
+namespace asap {
+namespace window {
+
+size_t PointToPixelRatio(size_t n, size_t resolution) {
+  if (resolution == 0 || n <= resolution) {
+    return 1;
+  }
+  return n / resolution;
+}
+
+Preaggregated Preaggregate(const std::vector<double>& x, size_t resolution) {
+  Preaggregated out;
+  out.points_per_pixel = PointToPixelRatio(x.size(), resolution);
+  if (out.points_per_pixel == 1) {
+    out.series = x;
+    return out;
+  }
+  const size_t ratio = out.points_per_pixel;
+  const size_t buckets = x.size() / ratio;  // drop trailing partial bucket
+  out.series.reserve(buckets);
+  const double inv = 1.0 / static_cast<double>(ratio);
+  for (size_t b = 0; b < buckets; ++b) {
+    double sum = 0.0;
+    const size_t begin = b * ratio;
+    for (size_t i = begin; i < begin + ratio; ++i) {
+      sum += x[i];
+    }
+    out.series.push_back(sum * inv);
+  }
+  return out;
+}
+
+}  // namespace window
+}  // namespace asap

@@ -1,0 +1,37 @@
+// Pixel-aware preaggregation (paper §4.4).
+//
+// A display with `resolution` horizontal pixels cannot show more than
+// `resolution` distinct points, so ASAP averages the input into buckets
+// of the point-to-pixel ratio floor(N / resolution) before searching.
+// Search cost then depends on the target device, not the data volume —
+// the optimization behind the 10^2–10^5x speedups of Fig. 9 / A.2.
+
+#ifndef ASAP_WINDOW_PREAGGREGATE_H_
+#define ASAP_WINDOW_PREAGGREGATE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace asap {
+namespace window {
+
+/// Result of pixel-aware preaggregation.
+struct Preaggregated {
+  /// Mean of each bucket (a trailing partial bucket is dropped: it
+  /// represents less screen time than one pixel).
+  std::vector<double> series;
+  /// Points per pixel bucket (>= 1); 1 means no reduction.
+  size_t points_per_pixel = 1;
+};
+
+/// Point-to-pixel ratio: floor(n / resolution), at least 1.
+size_t PointToPixelRatio(size_t n, size_t resolution);
+
+/// Preaggregates x for a `resolution`-pixel display. resolution == 0
+/// disables preaggregation (returns the input unchanged with ratio 1).
+Preaggregated Preaggregate(const std::vector<double>& x, size_t resolution);
+
+}  // namespace window
+}  // namespace asap
+
+#endif  // ASAP_WINDOW_PREAGGREGATE_H_

@@ -1,0 +1,107 @@
+// Tests for src/core/acf_peaks: peak detection on periodic, composite
+// and aperiodic signals.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/acf_peaks.h"
+#include "ts/generators.h"
+
+namespace asap {
+namespace {
+
+bool ContainsNear(const std::vector<size_t>& peaks, size_t target,
+                  size_t tolerance) {
+  return std::any_of(peaks.begin(), peaks.end(), [&](size_t p) {
+    return p + tolerance >= target && p <= target + tolerance;
+  });
+}
+
+TEST(FindAcfPeaksTest, EmptyAndTinyInputs) {
+  EXPECT_TRUE(FindAcfPeaks({}).empty());
+  EXPECT_TRUE(FindAcfPeaks({1.0}).empty());
+  EXPECT_TRUE(FindAcfPeaks({1.0, 0.5}).empty());
+}
+
+TEST(FindAcfPeaksTest, DetectsInteriorLocalMaximum) {
+  // Peak of 0.8 at lag 3.
+  std::vector<double> acf = {1.0, 0.2, 0.5, 0.8, 0.4, 0.1};
+  std::vector<size_t> peaks = FindAcfPeaks(acf, 0.2);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 3u);
+}
+
+TEST(FindAcfPeaksTest, ThresholdFiltersWeakPeaks) {
+  std::vector<double> acf = {1.0, 0.0, 0.1, 0.15, 0.1, 0.0};
+  EXPECT_TRUE(FindAcfPeaks(acf, 0.2).empty());
+  EXPECT_EQ(FindAcfPeaks(acf, 0.05).size(), 1u);
+}
+
+TEST(FindAcfPeaksTest, LagOneIsNeverAPeak) {
+  // Even a huge lag-1 correlation is sampling continuity, not period.
+  std::vector<double> acf = {1.0, 0.95, 0.5, 0.2, 0.1, 0.05};
+  EXPECT_TRUE(FindAcfPeaks(acf, 0.2).empty());
+}
+
+TEST(ComputeAcfInfoTest, SineWavePeaksAtPeriodMultiples) {
+  std::vector<double> x = gen::Sine(1024, 32.0);
+  AcfInfo info = ComputeAcfInfo(x, 128);
+  EXPECT_TRUE(ContainsNear(info.peaks, 32, 1));
+  EXPECT_TRUE(ContainsNear(info.peaks, 64, 1));
+  EXPECT_TRUE(ContainsNear(info.peaks, 96, 1));
+  EXPECT_GT(info.max_acf, 0.9);
+}
+
+TEST(ComputeAcfInfoTest, NoisySinePeaksSurvive) {
+  Pcg32 rng(2);
+  std::vector<double> x = gen::Add(gen::Sine(2048, 48.0),
+                                   gen::WhiteNoise(&rng, 2048, 0.5));
+  AcfInfo info = ComputeAcfInfo(x, 200);
+  EXPECT_TRUE(ContainsNear(info.peaks, 48, 2));
+  EXPECT_TRUE(ContainsNear(info.peaks, 96, 2));
+}
+
+TEST(ComputeAcfInfoTest, WhiteNoiseHasNoPeaks) {
+  Pcg32 rng(3);
+  std::vector<double> x = gen::WhiteNoise(&rng, 8000, 1.0);
+  AcfInfo info = ComputeAcfInfo(x, 400);
+  EXPECT_TRUE(info.peaks.empty());
+  EXPECT_DOUBLE_EQ(info.max_acf, 0.0);
+}
+
+TEST(ComputeAcfInfoTest, CompositePeriodsBothFound) {
+  Pcg32 rng(4);
+  // Daily 50 + weekly 350 composite (taxi-like structure).
+  std::vector<double> x = gen::SeasonalComposite(
+      &rng, 7000, {50.0, 350.0}, {1.0, 0.8}, 0.3);
+  AcfInfo info = ComputeAcfInfo(x, 700);
+  EXPECT_TRUE(ContainsNear(info.peaks, 50, 2));
+  EXPECT_TRUE(ContainsNear(info.peaks, 350, 3));
+}
+
+TEST(ComputeAcfInfoTest, MaxLagClampedToSeriesLength) {
+  std::vector<double> x = gen::Sine(64, 8.0);
+  AcfInfo info = ComputeAcfInfo(x, 10000);  // absurd max_lag
+  EXPECT_EQ(info.correlations.size(), 64u);
+}
+
+TEST(ComputeAcfInfoTest, PeaksAreSortedAscending) {
+  std::vector<double> x = gen::Sine(1024, 20.0);
+  AcfInfo info = ComputeAcfInfo(x, 256);
+  EXPECT_TRUE(std::is_sorted(info.peaks.begin(), info.peaks.end()));
+}
+
+TEST(ComputeAcfInfoTest, MaxAcfIsMaxOverPeaks) {
+  std::vector<double> x = gen::Sine(1024, 32.0);
+  AcfInfo info = ComputeAcfInfo(x, 128);
+  double expected = 0.0;
+  for (size_t p : info.peaks) {
+    expected = std::max(expected, info.correlations[p]);
+  }
+  EXPECT_DOUBLE_EQ(info.max_acf, expected);
+}
+
+}  // namespace
+}  // namespace asap

@@ -1,0 +1,381 @@
+// Tests for src/baselines: M4, PAA, Visvalingam–Whyatt, MinMax,
+// Savitzky–Golay, FFT smoothers, oversmoothing and the tuner.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/fft_smoother.h"
+#include "baselines/m4.h"
+#include "baselines/minmax.h"
+#include "baselines/oversmooth.h"
+#include "baselines/paa.h"
+#include "baselines/savitzky_golay.h"
+#include "baselines/tuner.h"
+#include "baselines/visvalingam.h"
+#include "common/random.h"
+#include "core/metrics.h"
+#include "stats/descriptive.h"
+#include "ts/generators.h"
+#include "window/sma.h"
+
+namespace asap {
+namespace baselines {
+namespace {
+
+// --- M4 -------------------------------------------------------------------------
+
+TEST(M4Test, KeepsGlobalExtremes) {
+  Pcg32 rng(1);
+  std::vector<double> x = GaussianVector(&rng, 5000, 0, 1);
+  ReducedSeries r = M4Reduce(x, 100);
+  const double x_min = stats::Min(x);
+  const double x_max = stats::Max(x);
+  EXPECT_DOUBLE_EQ(stats::Min(r.value), x_min);
+  EXPECT_DOUBLE_EQ(stats::Max(r.value), x_max);
+}
+
+TEST(M4Test, PerBucketExtremaRetained) {
+  Pcg32 rng(2);
+  std::vector<double> x = GaussianVector(&rng, 1000, 0, 1);
+  const size_t buckets = 10;
+  ReducedSeries r = M4Reduce(x, buckets);
+  for (size_t b = 0; b < buckets; ++b) {
+    const size_t begin = b * x.size() / buckets;
+    const size_t end = (b + 1) * x.size() / buckets;
+    const double lo =
+        *std::min_element(x.begin() + begin, x.begin() + end);
+    const double hi =
+        *std::max_element(x.begin() + begin, x.begin() + end);
+    bool found_lo = false;
+    bool found_hi = false;
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (r.index[i] >= begin && r.index[i] < end) {
+        found_lo |= r.value[i] == lo;
+        found_hi |= r.value[i] == hi;
+      }
+    }
+    EXPECT_TRUE(found_lo) << "bucket " << b;
+    EXPECT_TRUE(found_hi) << "bucket " << b;
+  }
+}
+
+TEST(M4Test, AtMostFourPointsPerBucket) {
+  Pcg32 rng(3);
+  std::vector<double> x = GaussianVector(&rng, 997, 0, 1);
+  ReducedSeries r = M4Reduce(x, 50);
+  EXPECT_LE(r.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(r.index.begin(), r.index.end()));
+}
+
+TEST(M4Test, FirstAndLastPointsRetained) {
+  std::vector<double> x = {5, 1, 2, 3, 9, 4};
+  ReducedSeries r = M4Reduce(x, 2);
+  EXPECT_DOUBLE_EQ(r.index.front(), 0.0);
+  EXPECT_DOUBLE_EQ(r.index.back(), 5.0);
+}
+
+TEST(M4Test, MoreBucketsThanPointsDegradesGracefully) {
+  std::vector<double> x = {1, 2, 3};
+  ReducedSeries r = M4Reduce(x, 100);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+// --- PAA -------------------------------------------------------------------------
+
+TEST(PaaTest, SegmentMeansKnownCase) {
+  std::vector<double> means = PaaMeans({1, 3, 5, 7}, 2);
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 6.0);
+}
+
+TEST(PaaTest, PreservesGlobalMean) {
+  Pcg32 rng(4);
+  std::vector<double> x = UniformVector(&rng, 1000, 0, 1);  // 1000 % 100 == 0
+  std::vector<double> means = PaaMeans(x, 100);
+  EXPECT_NEAR(stats::Mean(means), stats::Mean(x), 1e-9);
+}
+
+TEST(PaaTest, IndicesAreSegmentCenters) {
+  ReducedSeries r = PaaReduce({1, 2, 3, 4, 5, 6}, 3);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.index[0], 0.5);
+  EXPECT_DOUBLE_EQ(r.index[1], 2.5);
+  EXPECT_DOUBLE_EQ(r.index[2], 4.5);
+}
+
+TEST(PaaTest, SmoothsRoughness) {
+  Pcg32 rng(5);
+  std::vector<double> x = GaussianVector(&rng, 4000, 0, 1);
+  EXPECT_LT(Roughness(PaaMeans(x, 100)), Roughness(x));
+}
+
+// --- Visvalingam-Whyatt ---------------------------------------------------------
+
+TEST(VisvalingamTest, HitsTargetCount) {
+  Pcg32 rng(6);
+  std::vector<double> x = GaussianVector(&rng, 2000, 0, 1);
+  ReducedSeries r = VisvalingamSimplify(x, 100);
+  EXPECT_EQ(r.size(), 100u);
+}
+
+TEST(VisvalingamTest, EndpointsAlwaysSurvive) {
+  Pcg32 rng(7);
+  std::vector<double> x = GaussianVector(&rng, 500, 0, 1);
+  ReducedSeries r = VisvalingamSimplify(x, 10);
+  EXPECT_DOUBLE_EQ(r.index.front(), 0.0);
+  EXPECT_DOUBLE_EQ(r.index.back(), 499.0);
+}
+
+TEST(VisvalingamTest, CollinearPointsRemovedFirst) {
+  // A V shape: every interior point except the vertex is collinear
+  // (zero triangle area), so simplifying to 3 points must keep the
+  // vertex. (Note a one-sample spike would NOT survive: its triangle
+  // is tall but only 2 samples wide — the classic VW behavior.)
+  std::vector<double> x(101);
+  for (size_t i = 0; i <= 100; ++i) {
+    x[i] = i <= 50 ? 50.0 - static_cast<double>(i)
+                   : static_cast<double>(i) - 50.0;
+  }
+  ReducedSeries r = VisvalingamSimplify(x, 3);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.index[1], 50.0);
+  EXPECT_DOUBLE_EQ(r.value[1], 0.0);
+}
+
+TEST(VisvalingamTest, TargetLargerThanInputIsIdentity) {
+  std::vector<double> x = {1, 2, 3};
+  ReducedSeries r = VisvalingamSimplify(x, 10);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+// --- MinMax -----------------------------------------------------------------------
+
+TEST(MinMaxTest, RetainsBucketExtremes) {
+  std::vector<double> x = {0, 5, -3, 2, 8, 1, -7, 4};
+  ReducedSeries r = MinMaxReduce(x, 2);
+  // Bucket 1: min -3 max 5; bucket 2: min -7 max 8.
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(stats::Min(r.value), -7.0);
+  EXPECT_DOUBLE_EQ(stats::Max(r.value), 8.0);
+}
+
+TEST(MinMaxTest, TimeOrderedOutput) {
+  Pcg32 rng(8);
+  std::vector<double> x = GaussianVector(&rng, 300, 0, 1);
+  ReducedSeries r = MinMaxReduce(x, 30);
+  EXPECT_TRUE(std::is_sorted(r.index.begin(), r.index.end()));
+}
+
+TEST(MinMaxTest, MaximizesLocalSwing) {
+  // By construction min/max plots are rough; check vs PAA at equal
+  // budget (the Appendix B.2 observation).
+  Pcg32 rng(9);
+  std::vector<double> x = GaussianVector(&rng, 4000, 0, 1);
+  ReducedSeries mm = MinMaxReduce(x, 50);
+  std::vector<double> paa = PaaMeans(x, 100);
+  EXPECT_GT(Roughness(mm.value), Roughness(paa));
+}
+
+// --- InterpolateToGrid -------------------------------------------------------------
+
+TEST(InterpolateTest, ReconstructsLinearRamp) {
+  ReducedSeries r;
+  r.index = {0.0, 9.0};
+  r.value = {0.0, 9.0};
+  std::vector<double> grid = InterpolateToGrid(r, 10);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(grid[i], static_cast<double>(i), 1e-9);
+  }
+}
+
+TEST(InterpolateTest, ConstantExtrapolationAtEdges) {
+  ReducedSeries r;
+  r.index = {3.0, 6.0};
+  r.value = {1.0, 4.0};
+  std::vector<double> grid = InterpolateToGrid(r, 10);
+  EXPECT_DOUBLE_EQ(grid[0], 1.0);
+  EXPECT_DOUBLE_EQ(grid[9], 4.0);
+}
+
+// --- Savitzky-Golay ----------------------------------------------------------------
+
+TEST(SavitzkyGolayTest, CoefficientsSumToOne) {
+  for (size_t half : {2u, 4u, 7u}) {
+    for (size_t degree : {1u, 2u, 4u}) {
+      if (degree >= 2 * half + 1) {
+        continue;
+      }
+      std::vector<double> c = SavitzkyGolayCoefficients(half, degree);
+      double sum = 0.0;
+      for (double v : c) {
+        sum += v;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "half=" << half << " deg=" << degree;
+    }
+  }
+}
+
+TEST(SavitzkyGolayTest, DegreeOneIsMovingAverage) {
+  // For symmetric windows, linear fit at center = plain average.
+  std::vector<double> c = SavitzkyGolayCoefficients(3, 1);
+  for (double v : c) {
+    EXPECT_NEAR(v, 1.0 / 7.0, 1e-9);
+  }
+}
+
+TEST(SavitzkyGolayTest, PreservesPolynomialsUpToDegree) {
+  // A degree-d SG filter reproduces degree-<=d polynomials exactly
+  // (away from boundary effects).
+  std::vector<double> x(200);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / 50.0;
+    x[i] = 1.0 + 2.0 * t + 0.5 * t * t;  // degree 2
+  }
+  std::vector<double> y = SavitzkyGolay(x, 8, 2);
+  for (size_t i = 20; i < 180; ++i) {
+    EXPECT_NEAR(y[i], x[i], 1e-8) << "i=" << i;
+  }
+}
+
+TEST(SavitzkyGolayTest, SmoothsNoise) {
+  Pcg32 rng(10);
+  std::vector<double> x = GaussianVector(&rng, 2000, 0, 1);
+  EXPECT_LT(Roughness(SavitzkyGolay(x, 10, 2)), Roughness(x));
+}
+
+TEST(SavitzkyGolayTest, OutputLengthMatchesInput) {
+  std::vector<double> x(57, 1.0);
+  EXPECT_EQ(SavitzkyGolay(x, 5, 1).size(), 57u);
+  EXPECT_EQ(SavitzkyGolay(x, 0, 1).size(), 57u);  // no-op window
+}
+
+TEST(SavitzkyGolayTest, HigherDegreeTracksSharpFeaturesBetter) {
+  // SG4 follows a sharp bump more closely than SG1 at equal window.
+  std::vector<double> x(200, 0.0);
+  for (size_t i = 90; i < 110; ++i) {
+    x[i] = 1.0;
+  }
+  std::vector<double> sg1 = SavitzkyGolay(x, 15, 1);
+  std::vector<double> sg4 = SavitzkyGolay(x, 15, 4);
+  double err1 = 0.0;
+  double err4 = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    err1 += std::fabs(sg1[i] - x[i]);
+    err4 += std::fabs(sg4[i] - x[i]);
+  }
+  EXPECT_LT(err4, err1);
+}
+
+// --- FFT smoothers ------------------------------------------------------------------
+
+TEST(FftSmootherTest, LowPassPreservesPureTone) {
+  std::vector<double> x = gen::Sine(256, 32.0);  // frequency bin 8
+  std::vector<double> y = FftLowPass(x, 8);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i], x[i], 1e-9);
+  }
+}
+
+TEST(FftSmootherTest, LowPassRemovesHighFrequency) {
+  std::vector<double> low = gen::Sine(256, 64.0);   // bin 4
+  std::vector<double> high = gen::Sine(256, 4.0);   // bin 64
+  std::vector<double> x = gen::Add(low, high);
+  std::vector<double> y = FftLowPass(x, 8);  // keep bins 1..8
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i], low[i], 1e-9);
+  }
+}
+
+TEST(FftSmootherTest, DominantKeepsHighestPower) {
+  // Strong high-frequency + weak low-frequency: dominant keeps the
+  // strong one, so the result stays rough (the Appendix B.2 failure
+  // mode).
+  std::vector<double> strong_high = gen::Sine(256, 4.0, 2.0);
+  std::vector<double> weak_low = gen::Sine(256, 64.0, 0.3);
+  std::vector<double> x = gen::Add(strong_high, weak_low);
+  std::vector<double> y = FftDominant(x, 1);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i], strong_high[i], 1e-6);
+  }
+  EXPECT_GT(Roughness(y), Roughness(FftLowPass(x, 4)));
+}
+
+TEST(FftSmootherTest, DcAlwaysPreserved) {
+  std::vector<double> x(100, 5.0);
+  std::vector<double> y = FftLowPass(x, 0);
+  for (double v : y) {
+    EXPECT_NEAR(v, 5.0, 1e-9);
+  }
+}
+
+// --- Oversmooth --------------------------------------------------------------------
+
+TEST(OversmoothTest, WindowIsQuarterLength) {
+  EXPECT_EQ(OversmoothWindow(800), 200u);
+  EXPECT_EQ(OversmoothWindow(3), 1u);
+}
+
+TEST(OversmoothTest, ProducesVerySmoothSeries) {
+  Pcg32 rng(11);
+  std::vector<double> x = GaussianVector(&rng, 800, 0, 1);
+  std::vector<double> y = Oversmooth(x);
+  EXPECT_EQ(y.size(), 800u - 200u + 1u);
+  EXPECT_LT(Roughness(y), 0.1 * Roughness(x));
+}
+
+// --- Tuner -------------------------------------------------------------------------
+
+TEST(TunerTest, SelectsFeasibleMinimumRoughness) {
+  Pcg32 rng(12);
+  std::vector<double> x = gen::Add(gen::Sine(1200, 40.0, 1.0),
+                                   gen::WhiteNoise(&rng, 1200, 0.4));
+  TunedSmoother best = TuneSmoother(
+      "SMA", x,
+      [](const std::vector<double>& v, size_t w) {
+        return window::Sma(v, w);
+      },
+      1, 120);
+  EXPECT_TRUE(best.feasible);
+  EXPECT_GT(best.parameter, 1u);
+  EXPECT_LT(best.roughness, Roughness(x));
+  EXPECT_GE(best.kurtosis, Kurtosis(x) - 1e-12);
+}
+
+TEST(TunerTest, InfeasibleFamilyFallsBackToLeastDestructive) {
+  // A smoother that always destroys kurtosis: tuner should mark
+  // infeasible and pick the parameter with max kurtosis.
+  Pcg32 rng(13);
+  std::vector<double> x = gen::WhiteNoise(&rng, 500, 0.1);
+  gen::InjectSpike(&x, 250, 20.0);  // kurtosis lives in the spike
+  TunedSmoother best = TuneSmoother(
+      "flatten", x,
+      [](const std::vector<double>& v, size_t) {
+        return std::vector<double>(v.size(), 0.0);
+      },
+      1, 5);
+  EXPECT_FALSE(best.feasible);
+}
+
+TEST(TunerTest, AppendixSuiteProducesAllSixSmoothers) {
+  Pcg32 rng(14);
+  std::vector<double> x = gen::Add(gen::Sine(800, 32.0, 1.0),
+                                   gen::WhiteNoise(&rng, 800, 0.3));
+  std::vector<TunedSmoother> suite = TuneAppendixSuite(x);
+  ASSERT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[0].name, "SMA");
+  // The headline Appendix B.2 orderings: minmax and FFT-dominant are
+  // far rougher than SMA.
+  const double sma_rough = suite[0].roughness;
+  for (const TunedSmoother& t : suite) {
+    if (t.name == "minmax" || t.name == "FFT-dominant") {
+      EXPECT_GT(t.roughness, sma_rough) << t.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace asap

@@ -1,0 +1,236 @@
+// Tests for src/common: Status, Result, RNG, stopwatch.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "stats/descriptive.h"
+
+namespace asap {
+namespace {
+
+// --- Status -----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::IOError("disk gone").ToString(), "IO error: disk gone");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::NotFound("missing");
+  Status t = s;
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.message(), "missing");
+  // Copy assignment back to OK.
+  t = Status::OK();
+  EXPECT_TRUE(t.ok());
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StatusTest, MovePreservesState) {
+  Status s = Status::Internal("boom");
+  Status t = std::move(s);
+  EXPECT_EQ(t.code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::IOError("a"), Status::IOError("a"));
+  EXPECT_FALSE(Status::IOError("a") == Status::IOError("b"));
+  EXPECT_FALSE(Status::IOError("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "Invalid argument");
+}
+
+// --- Result -----------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.ValueOrDie(), 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(42), 42);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r(5);
+  EXPECT_EQ(r.ValueOr(42), 5);
+}
+
+TEST(ResultTest, ArrowOperatorAccessesMembers) {
+  struct Payload {
+    int x;
+  };
+  Result<Payload> r(Payload{3});
+  EXPECT_EQ(r->x, 3);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+// --- Pcg32 ------------------------------------------------------------------
+
+TEST(Pcg32Test, DeterministicForSameSeed) {
+  Pcg32 a(123, 9);
+  Pcg32 b(123, 9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextU32() == b.NextU32() ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32Test, DifferentStreamsDiffer) {
+  Pcg32 a(1, 10);
+  Pcg32 b(1, 11);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.NextU32() == b.NextU32() ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32Test, NextBoundedStaysInBounds) {
+  Pcg32 rng(77);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(Pcg32Test, NextBoundedCoversAllResidues) {
+  Pcg32 rng(42);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBounded(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Pcg32Test, NextDoubleInUnitInterval) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Pcg32Test, UniformRespectsRange) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.Uniform(-3.0, 2.0);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 2.0);
+  }
+}
+
+TEST(Pcg32Test, GaussianMomentsMatch) {
+  Pcg32 rng(99);
+  std::vector<double> v = GaussianVector(&rng, 200000, 1.5, 2.0);
+  EXPECT_NEAR(stats::Mean(v), 1.5, 0.03);
+  EXPECT_NEAR(stats::StdDev(v), 2.0, 0.03);
+  // Normal kurtosis anchor (paper Fig. 5).
+  EXPECT_NEAR(stats::Kurtosis(v), 3.0, 0.1);
+}
+
+TEST(Pcg32Test, LaplaceMomentsMatch) {
+  Pcg32 rng(101);
+  std::vector<double> v = LaplaceVector(&rng, 200000, 0.0, 1.0);
+  EXPECT_NEAR(stats::Mean(v), 0.0, 0.03);
+  // Laplace variance = 2 b^2; kurtosis = 6 (paper Fig. 5 anchor).
+  EXPECT_NEAR(stats::Variance(v), 2.0, 0.08);
+  EXPECT_NEAR(stats::Kurtosis(v), 6.0, 0.35);
+}
+
+TEST(Pcg32Test, ExponentialMeanMatches) {
+  Pcg32 rng(103);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(2.0);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Pcg32Test, UniformVectorHasExpectedSpread) {
+  Pcg32 rng(7);
+  std::vector<double> v = UniformVector(&rng, 100000, 0.0, 1.0);
+  EXPECT_NEAR(stats::Mean(v), 0.5, 0.01);
+  // Uniform kurtosis = 1.8 exactly.
+  EXPECT_NEAR(stats::Kurtosis(v), 1.8, 0.05);
+}
+
+// --- Stopwatch ----------------------------------------------------------------
+
+TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch w;
+  const double t1 = w.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink += std::sqrt(static_cast<double>(i));
+  }
+  const double t2 = w.ElapsedSeconds();
+  EXPECT_GE(t2, t1);
+  EXPECT_GT(w.ElapsedMicros(), w.ElapsedMillis());
+}
+
+TEST(StopwatchTest, ResetRestartsClock) {
+  Stopwatch w;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink += std::sqrt(static_cast<double>(i));
+  }
+  const double before = w.ElapsedSeconds();
+  w.Reset();
+  EXPECT_LE(w.ElapsedSeconds(), before);
+}
+
+}  // namespace
+}  // namespace asap

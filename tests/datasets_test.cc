@@ -1,0 +1,172 @@
+// Tests for src/datasets: every Table-2 dataset's size, structure,
+// anomaly ground truth and registry behavior.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/acf_peaks.h"
+#include "core/metrics.h"
+#include "datasets/datasets.h"
+#include "stats/descriptive.h"
+#include "window/preaggregate.h"
+
+namespace asap {
+namespace datasets {
+namespace {
+
+// Expected Table-2 sizes.
+struct SizeRow {
+  const char* name;
+  size_t points;
+};
+
+constexpr SizeRow kTable2Sizes[] = {
+    {"gas_sensor", 4'208'261}, {"EEG", 45'000},
+    {"Power", 35'040},         {"traffic_data", 32'075},
+    {"machine_temp", 22'695},  {"Twitter_AAPL", 15'902},
+    {"ramp_traffic", 8'640},   {"sim_daily", 4'033},
+    {"Taxi", 3'600},           {"Temp", 2'976},
+    {"Sine", 800},
+};
+
+TEST(DatasetsTest, AllNamesRegistered) {
+  std::vector<std::string> names = AllDatasetNames();
+  ASSERT_EQ(names.size(), 11u);
+  for (const SizeRow& row : kTable2Sizes) {
+    EXPECT_NE(std::find(names.begin(), names.end(), row.name), names.end())
+        << row.name;
+  }
+}
+
+TEST(DatasetsTest, SizesMatchTable2) {
+  for (const SizeRow& row : kTable2Sizes) {
+    Result<Dataset> ds = MakeByName(row.name);
+    ASSERT_TRUE(ds.ok()) << row.name;
+    EXPECT_EQ(ds->series.size(), row.points) << row.name;
+    EXPECT_EQ(ds->info.num_points, row.points) << row.name;
+  }
+}
+
+TEST(DatasetsTest, UnknownNameIsNotFound) {
+  Result<Dataset> ds = MakeByName("nope");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetsTest, GeneratorsAreDeterministic) {
+  for (const std::string& name : {"Taxi", "Sine", "Power"}) {
+    Dataset a = MakeByName(name).ValueOrDie();
+    Dataset b = MakeByName(name).ValueOrDie();
+    EXPECT_EQ(a.series.values(), b.series.values()) << name;
+  }
+}
+
+TEST(DatasetsTest, DifferentSeedsGiveDifferentData) {
+  Dataset a = MakeTaxi(1);
+  Dataset b = MakeTaxi(2);
+  EXPECT_NE(a.series.values(), b.series.values());
+}
+
+TEST(DatasetsTest, UserStudyDatasetsHaveAnomalyGroundTruth) {
+  for (const std::string& name : UserStudyDatasetNames()) {
+    Dataset ds = MakeByName(name).ValueOrDie();
+    EXPECT_TRUE(ds.info.HasAnomaly()) << name;
+    EXPECT_GE(ds.info.anomaly_region, 1) << name;
+    EXPECT_LE(ds.info.anomaly_region, 5) << name;
+    EXPECT_LT(ds.info.anomaly_begin, ds.info.anomaly_end) << name;
+    EXPECT_LE(ds.info.anomaly_end, ds.series.size()) << name;
+    EXPECT_FALSE(ds.info.task_description.empty()) << name;
+  }
+}
+
+TEST(DatasetsTest, RegionOfIsConsistentWithAnomalyRegion) {
+  for (const std::string& name : UserStudyDatasetNames()) {
+    Dataset ds = MakeByName(name).ValueOrDie();
+    const size_t center =
+        ds.info.anomaly_begin +
+        (ds.info.anomaly_end - ds.info.anomaly_begin) / 2;
+    EXPECT_EQ(ds.RegionOf(center), ds.info.anomaly_region) << name;
+  }
+}
+
+TEST(DatasetsTest, RegionOfCoversFiveRegions) {
+  Dataset ds = MakeSine();
+  EXPECT_EQ(ds.RegionOf(0), 1);
+  EXPECT_EQ(ds.RegionOf(ds.series.size() - 1), 5);
+}
+
+TEST(DatasetsTest, LargestNamesAreTheSevenBiggest) {
+  std::vector<std::string> largest = LargestDatasetNames();
+  ASSERT_EQ(largest.size(), 7u);
+  EXPECT_EQ(largest.front(), "gas_sensor");
+}
+
+// Periodic structure: the ACF of each strongly periodic dataset (after
+// 1200-px preaggregation, as Table 2 searches) must expose peaks.
+class PeriodicityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PeriodicityTest, PreaggregatedAcfHasPeaks) {
+  Dataset ds = MakeByName(GetParam()).ValueOrDie();
+  window::Preaggregated agg =
+      window::Preaggregate(ds.series.values(), 1200);
+  AcfInfo info = ComputeAcfInfo(agg.series, agg.series.size() / 10);
+  EXPECT_FALSE(info.peaks.empty()) << GetParam();
+  EXPECT_GT(info.max_acf, 0.2) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(PeriodicDatasets, PeriodicityTest,
+                         ::testing::Values("Taxi", "Power", "Sine",
+                                           "ramp_traffic", "sim_daily",
+                                           "Temp", "traffic_data"));
+
+TEST(DatasetsTest, TwitterAaplHasExtremeKurtosis) {
+  Dataset ds = MakeTwitterAapl();
+  EXPECT_TRUE(ds.info.expect_unsmoothed);
+  // The spikes push kurtosis far above the normal reference of 3.
+  EXPECT_GT(Kurtosis(ds.series.values()), 30.0);
+}
+
+TEST(DatasetsTest, TaxiAnomalyIsASustainedDip) {
+  Dataset ds = MakeTaxi();
+  const std::vector<double>& v = ds.series.values();
+  double mean_anomaly = 0.0;
+  for (size_t i = ds.info.anomaly_begin; i < ds.info.anomaly_end; ++i) {
+    mean_anomaly += v[i];
+  }
+  mean_anomaly /=
+      static_cast<double>(ds.info.anomaly_end - ds.info.anomaly_begin);
+  EXPECT_LT(mean_anomaly, 0.8 * stats::Mean(v));
+}
+
+TEST(DatasetsTest, TempHasWarmingTrendAtTheEnd) {
+  Dataset ds = MakeTemp();
+  const std::vector<double>& v = ds.series.values();
+  // Mean of the last 40 years should exceed the first 40 years.
+  const size_t span = 480;
+  double early = 0.0;
+  double late = 0.0;
+  for (size_t i = 0; i < span; ++i) {
+    early += v[i];
+    late += v[v.size() - span + i];
+  }
+  EXPECT_GT(late / span, early / span + 0.5);
+}
+
+TEST(DatasetsTest, IntervalsMatchDurations) {
+  // 30-minute taxi buckets, 15-minute power readings, monthly temps.
+  EXPECT_DOUBLE_EQ(MakeTaxi().info.interval_seconds, 1800.0);
+  EXPECT_DOUBLE_EQ(MakePower().info.interval_seconds, 900.0);
+  EXPECT_NEAR(MakeTemp().info.interval_seconds, 86400.0 * 30.44, 1.0);
+}
+
+TEST(DatasetsTest, DescriptionsMatchTable2Wording) {
+  EXPECT_NE(MakeGasSensor().info.description.find("chemical sensor"),
+            std::string::npos);
+  EXPECT_NE(MakeTaxi().info.description.find("NYC taxi"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace datasets
+}  // namespace asap

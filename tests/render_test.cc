@@ -1,0 +1,258 @@
+// Tests for src/render: canvas, rasterization, pixel error, column
+// statistics and ASCII charts.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "render/ascii_chart.h"
+#include "render/canvas.h"
+#include "render/pixel_error.h"
+#include "render/rasterize.h"
+#include "ts/generators.h"
+
+namespace asap {
+namespace render {
+namespace {
+
+// --- Canvas -----------------------------------------------------------------
+
+TEST(CanvasTest, SetAndGet) {
+  Canvas c(10, 5);
+  EXPECT_FALSE(c.Get(3, 2));
+  c.Set(3, 2);
+  EXPECT_TRUE(c.Get(3, 2));
+  EXPECT_EQ(c.CountLit(), 1u);
+}
+
+TEST(CanvasTest, OutOfBoundsIsClippedSilently) {
+  Canvas c(4, 4);
+  c.Set(-1, 0);
+  c.Set(0, -1);
+  c.Set(4, 0);
+  c.Set(0, 4);
+  EXPECT_EQ(c.CountLit(), 0u);
+  EXPECT_FALSE(c.Get(-1, -1));
+  EXPECT_FALSE(c.Get(100, 100));
+}
+
+TEST(CanvasTest, ClearResets) {
+  Canvas c(4, 4);
+  c.Set(1, 1);
+  c.Clear();
+  EXPECT_EQ(c.CountLit(), 0u);
+}
+
+TEST(CanvasTest, UnionAndIntersection) {
+  Canvas a(4, 4);
+  Canvas b(4, 4);
+  a.Set(0, 0);
+  a.Set(1, 1);
+  b.Set(1, 1);
+  b.Set(2, 2);
+  EXPECT_EQ(a.CountIntersection(b), 1u);
+  EXPECT_EQ(a.CountUnion(b), 3u);
+}
+
+TEST(CanvasTest, ToStringDimensions) {
+  Canvas c(3, 2);
+  c.Set(0, 0);
+  const std::string s = c.ToString();
+  EXPECT_EQ(s, "#..\n...\n");
+}
+
+// --- DrawLine -----------------------------------------------------------------
+
+TEST(DrawLineTest, EndpointsAlwaysLit) {
+  Canvas c(20, 20);
+  DrawLine(&c, 1, 1, 17, 12);
+  EXPECT_TRUE(c.Get(1, 1));
+  EXPECT_TRUE(c.Get(17, 12));
+}
+
+TEST(DrawLineTest, HorizontalAndVertical) {
+  Canvas c(10, 10);
+  DrawLine(&c, 0, 5, 9, 5);
+  for (long x = 0; x <= 9; ++x) {
+    EXPECT_TRUE(c.Get(x, 5));
+  }
+  Canvas d(10, 10);
+  DrawLine(&d, 5, 0, 5, 9);
+  for (long y = 0; y <= 9; ++y) {
+    EXPECT_TRUE(d.Get(5, y));
+  }
+}
+
+TEST(DrawLineTest, DiagonalLitsExactDiagonal) {
+  Canvas c(8, 8);
+  DrawLine(&c, 0, 0, 7, 7);
+  for (long i = 0; i <= 7; ++i) {
+    EXPECT_TRUE(c.Get(i, i));
+  }
+  EXPECT_EQ(c.CountLit(), 8u);
+}
+
+TEST(DrawLineTest, ReversedEndpointsDrawSamePixels) {
+  Canvas a(16, 16);
+  Canvas b(16, 16);
+  DrawLine(&a, 2, 3, 13, 9);
+  DrawLine(&b, 13, 9, 2, 3);
+  EXPECT_EQ(a.CountUnion(b), a.CountLit());
+  EXPECT_EQ(a.CountIntersection(b), a.CountLit());
+}
+
+// --- RangeOf / PlotSeries -------------------------------------------------------
+
+TEST(RangeOfTest, SpansMinMax) {
+  ValueRange r = RangeOf({3.0, -1.0, 2.0});
+  EXPECT_DOUBLE_EQ(r.lo, -1.0);
+  EXPECT_DOUBLE_EQ(r.hi, 3.0);
+}
+
+TEST(RangeOfTest, ConstantSeriesGetsPadding) {
+  ValueRange r = RangeOf({2.0, 2.0});
+  EXPECT_LT(r.lo, 2.0);
+  EXPECT_GT(r.hi, 2.0);
+}
+
+TEST(RangeOfTest, JointRangeCoversBoth) {
+  ValueRange r = RangeOf({0.0, 1.0}, {-5.0, 0.5});
+  EXPECT_DOUBLE_EQ(r.lo, -5.0);
+  EXPECT_DOUBLE_EQ(r.hi, 1.0);
+}
+
+TEST(PlotSeriesTest, ExtremesTouchTopAndBottom) {
+  Canvas c(10, 10);
+  PlotSeries(&c, {0.0, 1.0}, ValueRange{0.0, 1.0});
+  EXPECT_TRUE(c.Get(0, 9));  // low value at bottom-left
+  EXPECT_TRUE(c.Get(9, 0));  // high value at top-right
+}
+
+TEST(PlotSeriesTest, SinglePointSeries) {
+  Canvas c(10, 10);
+  PlotSeries(&c, {0.5}, ValueRange{0.0, 1.0});
+  EXPECT_EQ(c.CountLit(), 1u);
+}
+
+TEST(PlotSeriesTest, ConstantSeriesIsHorizontalLine) {
+  Canvas c(20, 10);
+  PlotSeries(&c, std::vector<double>(30, 0.5), ValueRange{0.0, 1.0});
+  size_t lit_rows = 0;
+  for (size_t y = 0; y < 10; ++y) {
+    bool any = false;
+    for (size_t x = 0; x < 20; ++x) {
+      any |= c.Get(static_cast<long>(x), static_cast<long>(y));
+    }
+    lit_rows += any ? 1 : 0;
+  }
+  EXPECT_EQ(lit_rows, 1u);
+}
+
+TEST(PlotIndexedSeriesTest, RespectsExplicitPositions) {
+  Canvas c(11, 11);
+  // Two points at the far edges only.
+  PlotIndexedSeries(&c, {0.0, 10.0}, {0.0, 0.0}, 10.0,
+                    ValueRange{-1.0, 1.0});
+  EXPECT_TRUE(c.Get(0, 5));
+  EXPECT_TRUE(c.Get(10, 5));
+}
+
+// --- PixelError -------------------------------------------------------------------
+
+TEST(PixelErrorTest, IdenticalSeriesScoreZero) {
+  std::vector<double> x = gen::Sine(500, 50.0);
+  EXPECT_DOUBLE_EQ(PixelError(x, x, 200, 100), 0.0);
+}
+
+TEST(PixelErrorTest, DisjointLinesScoreNearOne) {
+  std::vector<double> hi(100, 10.0);
+  std::vector<double> lo(100, -10.0);
+  EXPECT_GT(PixelError(hi, lo, 100, 100), 0.95);
+}
+
+TEST(PixelErrorTest, SmoothedSeriesHasLargeError) {
+  // The Table 4 phenomenon: aggressive smoothing is visually lossy.
+  Pcg32 rng(5);
+  std::vector<double> x = gen::Add(gen::Sine(2000, 40.0, 1.0),
+                                   gen::WhiteNoise(&rng, 2000, 0.5));
+  std::vector<double> smoothed(x.size(), 0.0);  // degenerate flat line
+  EXPECT_GT(PixelError(x, smoothed, 400, 300), 0.5);
+}
+
+TEST(PixelErrorTest, CloserApproximationScoresLower) {
+  Pcg32 rng(6);
+  std::vector<double> x = gen::Add(gen::Sine(1000, 100.0, 1.0),
+                                   gen::WhiteNoise(&rng, 1000, 0.2));
+  // A 500-point PAA-like approximation vs a 10-point one.
+  std::vector<double> fine;
+  for (size_t i = 0; i < x.size(); i += 2) {
+    fine.push_back(0.5 * (x[i] + x[i + 1]));
+  }
+  std::vector<double> coarse;
+  for (size_t i = 0; i < x.size(); i += 100) {
+    double sum = 0.0;
+    for (size_t j = i; j < i + 100; ++j) {
+      sum += x[j];
+    }
+    coarse.push_back(sum / 100.0);
+  }
+  EXPECT_LT(PixelError(x, fine, 400, 300), PixelError(x, coarse, 400, 300));
+}
+
+// --- ColumnStats -------------------------------------------------------------------
+
+TEST(ColumnStatsTest, FlatLineHasThinExtentEverywhere) {
+  Canvas c(50, 40);
+  PlotSeries(&c, std::vector<double>(100, 0.0), ValueRange{-1.0, 1.0});
+  ColumnStats stats = ComputeColumnStats(c, ValueRange{-1.0, 1.0});
+  ASSERT_EQ(stats.center.size(), 50u);
+  for (size_t x = 0; x < 50; ++x) {
+    EXPECT_NEAR(stats.center[x], 0.0, 0.05);
+    EXPECT_LE(stats.extent[x], 2.0 / 40.0);
+  }
+}
+
+TEST(ColumnStatsTest, NoisyLineHasLargerExtent) {
+  Pcg32 rng(7);
+  Canvas noisy(100, 60);
+  PlotSeries(&noisy, GaussianVector(&rng, 3000, 0.0, 1.0),
+             ValueRange{-4, 4});
+  Canvas flat(100, 60);
+  PlotSeries(&flat, std::vector<double>(3000, 0.0), ValueRange{-4, 4});
+  ColumnStats sn = ComputeColumnStats(noisy, ValueRange{-4, 4});
+  ColumnStats sf = ComputeColumnStats(flat, ValueRange{-4, 4});
+  double mean_noisy = 0.0;
+  double mean_flat = 0.0;
+  for (size_t x = 0; x < 100; ++x) {
+    mean_noisy += sn.extent[x];
+    mean_flat += sf.extent[x];
+  }
+  EXPECT_GT(mean_noisy, 3.0 * mean_flat);
+}
+
+// --- AsciiChart -------------------------------------------------------------------
+
+TEST(AsciiChartTest, ContainsTitleAndAxis) {
+  AsciiChartOptions options;
+  options.title = "demo chart";
+  const std::string art = AsciiChart(gen::Sine(100, 25.0), options);
+  EXPECT_NE(art.find("demo chart"), std::string::npos);
+  EXPECT_NE(art.find('|'), std::string::npos);
+  EXPECT_NE(art.find('*'), std::string::npos);
+  EXPECT_NE(art.find('+'), std::string::npos);
+}
+
+TEST(AsciiChartTest, EmptySeriesHandled) {
+  const std::string art = AsciiChart({});
+  EXPECT_NE(art.find("empty"), std::string::npos);
+}
+
+TEST(AsciiChartTest, PairRendersBothLabels) {
+  const std::string art = AsciiChartPair(
+      gen::Sine(50, 10.0), "Raw", gen::Linear(50, 0, 0.01), "ASAP", {});
+  EXPECT_NE(art.find("Raw"), std::string::npos);
+  EXPECT_NE(art.find("ASAP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace render
+}  // namespace asap

@@ -1,0 +1,93 @@
+// Tests for src/stream: sources and the streaming engine.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stream/engine.h"
+#include "stream/source.h"
+#include "ts/generators.h"
+
+namespace asap {
+namespace stream {
+namespace {
+
+TEST(VectorSourceTest, EmitsAllPointsInOrder) {
+  VectorSource source({1, 2, 3, 4, 5});
+  std::vector<double> out;
+  EXPECT_EQ(source.NextBatch(2, &out), 2u);
+  EXPECT_EQ(source.NextBatch(10, &out), 3u);
+  EXPECT_EQ(source.NextBatch(10, &out), 0u);
+  EXPECT_EQ(out, (std::vector<double>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(source.TotalPoints(), 5u);
+}
+
+TEST(VectorSourceTest, RewindRestarts) {
+  VectorSource source({1, 2});
+  std::vector<double> out;
+  source.NextBatch(10, &out);
+  source.Rewind();
+  EXPECT_EQ(source.NextBatch(10, &out), 2u);
+}
+
+TEST(LoopingSourceTest, WrapsAroundUntilTotal) {
+  LoopingSource source({1, 2, 3}, 7);
+  std::vector<double> out;
+  size_t total = 0;
+  size_t n;
+  while ((n = source.NextBatch(4, &out)) > 0) {
+    total += n;
+  }
+  EXPECT_EQ(total, 7u);
+  EXPECT_EQ(out, (std::vector<double>{1, 2, 3, 1, 2, 3, 1}));
+}
+
+TEST(EngineTest, RunToCompletionCountsPoints) {
+  Pcg32 rng(1);
+  std::vector<double> data =
+      gen::Add(gen::Sine(8000, 50.0), gen::WhiteNoise(&rng, 8000, 0.3));
+  VectorSource source(data);
+
+  StreamingOptions options;
+  options.resolution = 200;
+  options.visible_points = 4000;
+  StreamingAsapOperator op(StreamingAsap::Create(options).ValueOrDie());
+
+  RunReport report = RunToCompletion(&source, &op, 512);
+  EXPECT_EQ(report.points, 8000u);
+  EXPECT_GT(report.points_per_second, 0.0);
+  EXPECT_GT(report.refreshes, 0u);
+  EXPECT_EQ(report.refreshes, op.asap().frame().refreshes);
+}
+
+TEST(EngineTest, OperatorNameExposed) {
+  StreamingOptions options;
+  options.resolution = 100;
+  options.visible_points = 1000;
+  StreamingAsapOperator op(StreamingAsap::Create(options).ValueOrDie());
+  EXPECT_EQ(op.name(), "streaming-asap");
+}
+
+TEST(EngineTest, LazyRefreshReducesRefreshCount) {
+  Pcg32 rng(2);
+  std::vector<double> data =
+      gen::Add(gen::Sine(20000, 50.0), gen::WhiteNoise(&rng, 20000, 0.3));
+
+  StreamingOptions eager;
+  eager.resolution = 200;
+  eager.visible_points = 4000;
+  StreamingAsapOperator eager_op(StreamingAsap::Create(eager).ValueOrDie());
+  VectorSource s1(data);
+  RunReport eager_report = RunToCompletion(&s1, &eager_op, 1024);
+
+  StreamingOptions lazy = eager;
+  lazy.refresh_every_points = 2000;  // 100x lazier than per-pane (20)
+  StreamingAsapOperator lazy_op(StreamingAsap::Create(lazy).ValueOrDie());
+  VectorSource s2(data);
+  RunReport lazy_report = RunToCompletion(&s2, &lazy_op, 1024);
+
+  EXPECT_GT(eager_report.refreshes, 10 * lazy_report.refreshes);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace asap

@@ -1,0 +1,165 @@
+// Tests for src/core/streaming_asap: Algorithm 3's refresh mechanics,
+// warm starts, and consistency with the batch operator.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/smooth.h"
+#include "core/streaming_asap.h"
+#include "ts/generators.h"
+
+namespace asap {
+namespace {
+
+std::vector<double> PeriodicStream(uint64_t seed, size_t n,
+                                   double period = 48.0) {
+  Pcg32 rng(seed);
+  return gen::Add(gen::Sine(n, period, 1.0), gen::WhiteNoise(&rng, n, 0.4));
+}
+
+StreamingOptions BasicOptions() {
+  StreamingOptions options;
+  options.resolution = 200;
+  options.visible_points = 4000;
+  return options;
+}
+
+TEST(StreamingAsapTest, CreateValidatesOptions) {
+  StreamingOptions options;
+  options.visible_points = 0;
+  EXPECT_FALSE(StreamingAsap::Create(options).ok());
+  options.visible_points = 4;
+  EXPECT_FALSE(StreamingAsap::Create(options).ok());
+  options.visible_points = 4000;
+  EXPECT_TRUE(StreamingAsap::Create(options).ok());
+}
+
+TEST(StreamingAsapTest, PaneSizeIsPointToPixelRatio) {
+  StreamingAsap op = StreamingAsap::Create(BasicOptions()).ValueOrDie();
+  EXPECT_EQ(op.pane_size(), 20u);  // 4000 / 200
+}
+
+TEST(StreamingAsapTest, DisablingPreaggregationMakesUnitPanes) {
+  StreamingOptions options = BasicOptions();
+  options.enable_preaggregation = false;
+  StreamingAsap op = StreamingAsap::Create(options).ValueOrDie();
+  EXPECT_EQ(op.pane_size(), 1u);
+}
+
+TEST(StreamingAsapTest, DefaultRefreshIsPerPane) {
+  StreamingAsap op = StreamingAsap::Create(BasicOptions()).ValueOrDie();
+  EXPECT_EQ(op.refresh_interval_points(), op.pane_size());
+}
+
+TEST(StreamingAsapTest, RefreshCadenceFollowsInterval) {
+  StreamingOptions options = BasicOptions();
+  options.refresh_every_points = 500;
+  StreamingAsap op = StreamingAsap::Create(options).ValueOrDie();
+  const size_t refreshes = op.PushBatch(PeriodicStream(1, 5000));
+  // 5000 points / 500-point interval = 10 refreshes, minus warm-up
+  // gating (needs >= 4 panes = 80 points, so the first interval fires).
+  EXPECT_GE(refreshes, 8u);
+  EXPECT_LE(refreshes, 10u);
+  EXPECT_EQ(op.frame().refreshes, refreshes);
+}
+
+TEST(StreamingAsapTest, NoRefreshBeforeWarmup) {
+  StreamingAsap op = StreamingAsap::Create(BasicOptions()).ValueOrDie();
+  // 3 panes' worth of points: not enough to search.
+  for (size_t i = 0; i < 3 * op.pane_size(); ++i) {
+    EXPECT_FALSE(op.Push(1.0));
+  }
+  EXPECT_EQ(op.frame().refreshes, 0u);
+  EXPECT_TRUE(op.frame().series.empty());
+}
+
+TEST(StreamingAsapTest, FrameCarriesSmoothedSeries) {
+  StreamingAsap op = StreamingAsap::Create(BasicOptions()).ValueOrDie();
+  op.PushBatch(PeriodicStream(2, 4000));
+  ASSERT_GT(op.frame().refreshes, 0u);
+  EXPECT_FALSE(op.frame().series.empty());
+  EXPECT_GE(op.frame().window, 1u);
+  EXPECT_EQ(op.points_consumed(), 4000u);
+}
+
+TEST(StreamingAsapTest, WarmStartsAfterFirstRefresh) {
+  StreamingAsap op = StreamingAsap::Create(BasicOptions()).ValueOrDie();
+  op.PushBatch(PeriodicStream(3, 8000));
+  const auto& frame = op.frame();
+  EXPECT_GE(frame.refreshes, 2u);
+  // The very first search is necessarily cold; later refreshes may
+  // occasionally re-seed when the previous window loses feasibility on
+  // the shifted data, but warm starts must dominate on a stationary
+  // stream.
+  EXPECT_GE(frame.cold_searches, 1u);
+  EXPECT_EQ(frame.cold_searches + frame.seeded_searches, frame.refreshes);
+  EXPECT_GT(frame.seeded_searches, frame.refreshes / 2);
+}
+
+TEST(StreamingAsapTest, StreamingMatchesBatchOnStationaryData) {
+  // Once the visible window is full of stationary data, the streaming
+  // choice should match what batch ASAP picks on the same window.
+  StreamingOptions options;
+  options.resolution = 250;
+  options.visible_points = 5000;
+  StreamingAsap op = StreamingAsap::Create(options).ValueOrDie();
+  const std::vector<double> data = PeriodicStream(4, 10000, 40.0);
+  op.PushBatch(data);
+
+  SmoothOptions batch_options;
+  batch_options.resolution = 250;
+  const std::vector<double> window(data.end() - 5000, data.end());
+  Result<SmoothingResult> batch = Smooth(window, batch_options);
+  ASSERT_TRUE(batch.ok());
+  // Identical pane grids are not guaranteed (stream pane boundaries
+  // depend on arrival order), so allow the neighborhood.
+  EXPECT_NEAR(static_cast<double>(op.frame().window),
+              static_cast<double>(batch->window),
+              static_cast<double>(batch->window) * 0.5 + 2.0);
+}
+
+TEST(StreamingAsapTest, AdaptsWindowWhenPeriodChanges) {
+  StreamingOptions options;
+  options.resolution = 200;
+  options.visible_points = 4000;
+  StreamingAsap op = StreamingAsap::Create(options).ValueOrDie();
+  op.PushBatch(PeriodicStream(5, 6000, 40.0));
+  const size_t window_before = op.frame().window;
+  // Stream in data with a very different period; after the visible
+  // window fully turns over, the chosen window should move.
+  op.PushBatch(PeriodicStream(6, 6000, 160.0));
+  const size_t window_after = op.frame().window;
+  EXPECT_NE(window_before, window_after);
+}
+
+TEST(StreamingAsapTest, ExplicitRefreshBeforeIntervalIsNoOpUntilWarm) {
+  StreamingAsap op = StreamingAsap::Create(BasicOptions()).ValueOrDie();
+  op.Refresh();  // no panes yet: must not crash or count
+  EXPECT_EQ(op.frame().refreshes, 0u);
+  op.PushBatch(PeriodicStream(7, 4000));
+  const uint64_t before = op.frame().refreshes;
+  op.Refresh();  // explicit re-render (zoom/scroll path)
+  EXPECT_EQ(op.frame().refreshes, before + 1);
+}
+
+TEST(StreamingAsapTest, LesionStrategiesRun) {
+  // The Fig. 11 lesions must all be executable.
+  for (SearchStrategy strategy :
+       {SearchStrategy::kAsap, SearchStrategy::kExhaustive,
+        SearchStrategy::kBinary}) {
+    StreamingOptions options = BasicOptions();
+    options.strategy = strategy;
+    StreamingAsap op = StreamingAsap::Create(options).ValueOrDie();
+    op.PushBatch(PeriodicStream(8, 4000));
+    EXPECT_GT(op.frame().refreshes, 0u);
+  }
+}
+
+TEST(StreamingAsapTest, CandidateAccountingAccumulates) {
+  StreamingAsap op = StreamingAsap::Create(BasicOptions()).ValueOrDie();
+  op.PushBatch(PeriodicStream(9, 6000));
+  EXPECT_GT(op.frame().candidates_evaluated, op.frame().refreshes);
+}
+
+}  // namespace
+}  // namespace asap
