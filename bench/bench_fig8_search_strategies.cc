@@ -71,8 +71,10 @@ int main() {
     datasets.push_back(asap::datasets::MakeByName(name).ValueOrDie());
   }
 
-  Row({"Resolution", "Strategy", "Avg speed-up", "Avg rough.ratio"}, 16);
-  Rule(4, 16);
+  Row({"Resolution", "Strategy", "Avg speed-up", "Avg rough.ratio",
+       "Avg cands", "Fused evals"},
+      16);
+  Rule(6, 16);
 
   for (size_t resolution : resolutions) {
     // Preaggregate every dataset at this resolution and time exhaustive
@@ -93,6 +95,8 @@ int main() {
     for (const Strategy& strategy : kStrategies) {
       double speedup_sum = 0.0;
       double ratio_sum = 0.0;
+      size_t candidates_sum = 0;
+      size_t fused_sum = 0;
       for (size_t d = 0; d < aggregated.size(); ++d) {
         const std::vector<double>& x = aggregated[d];
         asap::SearchResult result;
@@ -102,10 +106,14 @@ int main() {
         ratio_sum += exhaustive_roughness[d] > 0.0
                          ? result.roughness / exhaustive_roughness[d]
                          : 1.0;
+        candidates_sum += result.diag.candidates_evaluated;
+        fused_sum += result.diag.allocation_free_evals;
       }
       Row({std::to_string(resolution), strategy.name,
            Fmt(speedup_sum / aggregated.size(), 1),
-           Fmt(ratio_sum / aggregated.size(), 2)},
+           Fmt(ratio_sum / aggregated.size(), 2),
+           Fmt(static_cast<double>(candidates_sum) / aggregated.size(), 1),
+           Fmt(static_cast<double>(fused_sum) / aggregated.size(), 1)},
           16);
     }
   }

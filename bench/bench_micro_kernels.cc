@@ -11,6 +11,7 @@
 #include "baselines/visvalingam.h"
 #include "common/random.h"
 #include "core/search.h"
+#include "core/series_context.h"
 #include "core/smooth.h"
 #include "fft/autocorrelation.h"
 #include "fft/fft.h"
@@ -101,6 +102,52 @@ void BM_EvaluateWindow(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_EvaluateWindow)->Range(1 << 10, 1 << 16);
+
+// --- Naive vs fused candidate evaluation -------------------------------------
+//
+// The pair below measures the SeriesContext re-platform head to head:
+// identical window, identical series, one naive materialize+multi-pass
+// evaluation vs one fused allocation-free ScoreWindow pass. Context
+// construction is excluded (it is amortized over every candidate of a
+// search); run with --benchmark_filter='WindowScore' to see the ratio.
+void BM_WindowScoreNaive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x = MakeSignal(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asap::EvaluateWindow(x, n / 20));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_WindowScoreNaive)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_WindowScoreFused(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x = MakeSignal(n);
+  asap::SeriesContext ctx(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asap::ScoreWindow(ctx, n / 20));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_WindowScoreFused)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+// Same comparison through the full search stack: AsapSearch with the
+// fused evaluator vs the same search forced onto the naive evaluator.
+// Note both sides pay SeriesContext construction (the public search
+// entry points always build one), so this measures the end-to-end
+// search as shipped in each mode; the per-candidate kernel ratio is
+// the WindowScore pair above.
+void BM_AsapSearchNaiveEvaluator(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x = MakeSignal(n);
+  asap::SearchOptions options;
+  options.use_naive_evaluator = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asap::AsapSearch(x, options));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AsapSearchNaiveEvaluator)->Range(1 << 10, 1 << 13);
 
 void BM_AsapSearch(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

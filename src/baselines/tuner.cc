@@ -7,18 +7,28 @@
 #include "baselines/savitzky_golay.h"
 #include "common/macros.h"
 #include "core/metrics.h"
+#include "core/search.h"
+#include "core/series_context.h"
 #include "window/sma.h"
 
 namespace asap {
 namespace baselines {
 
-TunedSmoother TuneSmoother(const std::string& name,
-                           const std::vector<double>& x,
-                           const SmootherFn& smoother, size_t param_lo,
-                           size_t param_hi, size_t param_step) {
+namespace {
+
+// The shared selection criterion (Appendix B.2): scan parameters, keep
+// the feasible (kurtosis-preserving) parameter of minimum roughness;
+// if none is feasible, fall back to the highest-kurtosis parameter.
+// `score` evaluates one parameter (returning false to skip it, e.g.
+// when the smoothed output is too short to score); how the score is
+// produced — materialize + batch metrics, or a fused context pass —
+// is the caller's business, the criterion is identical for all.
+TunedSmoother SelectBestParameter(
+    const std::string& name, double kurtosis_x, size_t param_lo,
+    size_t param_hi, size_t param_step,
+    const std::function<bool(size_t, CandidateScore*)>& score) {
   ASAP_CHECK_GE(param_step, 1u);
   ASAP_CHECK_LE(param_lo, param_hi);
-  const double kurtosis_x = Kurtosis(x);
 
   TunedSmoother best;
   best.name = name;
@@ -28,23 +38,21 @@ TunedSmoother TuneSmoother(const std::string& name,
   double best_infeasible_roughness = 0.0;
 
   for (size_t p = param_lo; p <= param_hi; p += param_step) {
-    const std::vector<double> y = smoother(x, p);
-    if (y.size() < 4) {
+    CandidateScore s;
+    if (!score(p, &s)) {
       continue;
     }
-    const double rough = Roughness(y);
-    const double kurt = Kurtosis(y);
-    if (kurt >= kurtosis_x) {
-      if (rough < best.roughness) {
+    if (s.kurtosis >= kurtosis_x) {
+      if (s.roughness < best.roughness) {
         best.parameter = p;
-        best.roughness = rough;
-        best.kurtosis = kurt;
+        best.roughness = s.roughness;
+        best.kurtosis = s.kurtosis;
         best.feasible = true;
       }
-    } else if (!best.feasible && kurt > best_infeasible_kurtosis) {
-      best_infeasible_kurtosis = kurt;
+    } else if (!best.feasible && s.kurtosis > best_infeasible_kurtosis) {
+      best_infeasible_kurtosis = s.kurtosis;
       best_infeasible_param = p;
-      best_infeasible_roughness = rough;
+      best_infeasible_roughness = s.roughness;
     }
   }
 
@@ -56,17 +64,47 @@ TunedSmoother TuneSmoother(const std::string& name,
   return best;
 }
 
+}  // namespace
+
+TunedSmoother TuneSmoother(const std::string& name,
+                           const std::vector<double>& x,
+                           const SmootherFn& smoother, size_t param_lo,
+                           size_t param_hi, size_t param_step) {
+  return SelectBestParameter(
+      name, Kurtosis(x), param_lo, param_hi, param_step,
+      [&x, &smoother](size_t p, CandidateScore* s) {
+        const std::vector<double> y = smoother(x, p);
+        if (y.size() < 4) {
+          return false;
+        }
+        s->roughness = Roughness(y);
+        s->kurtosis = Kurtosis(y);
+        return true;
+      });
+}
+
+TunedSmoother TuneSmaSmoother(const std::vector<double>& x, size_t w_lo,
+                              size_t w_hi, size_t w_step) {
+  ASAP_CHECK_GE(w_lo, 1u);
+  SeriesContext ctx(x);
+  return SelectBestParameter(
+      "SMA", ctx.kurtosis(), w_lo, w_hi, w_step,
+      [&ctx](size_t w, CandidateScore* s) {
+        // Same guard as the generic tuner's y.size() < 4.
+        if (w > ctx.size() || ctx.size() - w + 1 < 4) {
+          return false;
+        }
+        *s = ScoreWindow(ctx, w);
+        return true;
+      });
+}
+
 std::vector<TunedSmoother> TuneAppendixSuite(const std::vector<double>& x) {
   const size_t n = x.size();
   const size_t max_window = std::max<size_t>(2, n / 10);
   std::vector<TunedSmoother> out;
 
-  out.push_back(TuneSmoother(
-      "SMA", x,
-      [](const std::vector<double>& v, size_t w) {
-        return window::Sma(v, w);
-      },
-      1, max_window));
+  out.push_back(TuneSmaSmoother(x, 1, max_window));
 
   out.push_back(TuneSmoother(
       "FFT-low", x,

@@ -36,6 +36,15 @@ TunedSmoother TuneSmoother(const std::string& name,
                            const SmootherFn& smoother, size_t param_lo,
                            size_t param_hi, size_t param_step = 1);
 
+/// SMA-specific tuner on the zero-allocation SeriesContext evaluator:
+/// identical criterion and tie-breaking to
+/// TuneSmoother("SMA", x, window::Sma, ...), but every candidate is a
+/// single allocation-free fused pass instead of a materialize +
+/// multi-pass evaluation. This is the tuner's hot path — the SMA scan
+/// dominates the appendix suite's cost.
+TunedSmoother TuneSmaSmoother(const std::vector<double>& x, size_t w_lo,
+                              size_t w_hi, size_t w_step = 1);
+
 /// The Appendix B.2 smoother suite, each tuned under the same
 /// criterion: SMA, FFT-low, FFT-dominant, SG1, SG4, MinMax.
 std::vector<TunedSmoother> TuneAppendixSuite(const std::vector<double>& x);

@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "common/macros.h"
-#include "core/metrics.h"
 #include "window/preaggregate.h"
 #include "window/sma.h"
 
@@ -73,10 +72,12 @@ Result<ViewFrame> Explorer::Render(size_t begin, size_t end) {
   }
 
   // Warm-start per level: zooming/scrolling at the same scale usually
-  // keeps the same period structure.
+  // keeps the same period structure. The context serves the search,
+  // the before-metrics (cached), and the after-metrics (one fused
+  // pass) without re-sweeping the viewport.
   AsapState& state = level_state_[level];
-  const SearchResult search =
-      AsapSearch(agg.series, options_.search, &state);
+  ctx_.Reset(agg.series);
+  const SearchResult search = AsapSearch(&ctx_, options_.search, &state);
 
   ViewFrame frame;
   frame.level = level;
@@ -84,11 +85,12 @@ Result<ViewFrame> Explorer::Render(size_t begin, size_t end) {
   frame.begin = begin;
   frame.end = end;
   frame.window = search.window;
-  frame.roughness_before = Roughness(agg.series);
-  frame.kurtosis_before = Kurtosis(agg.series);
+  frame.roughness_before = ctx_.roughness();
+  frame.kurtosis_before = ctx_.kurtosis();
   frame.series = window::Sma(agg.series, search.window);
-  frame.roughness_after = Roughness(frame.series);
-  frame.kurtosis_after = Kurtosis(frame.series);
+  const CandidateScore after = ScoreWindow(ctx_, search.window);
+  frame.roughness_after = after.roughness;
+  frame.kurtosis_after = after.kurtosis;
   frame.candidates_evaluated = search.diag.candidates_evaluated;
 
   has_last_view_ = true;

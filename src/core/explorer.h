@@ -92,6 +92,10 @@ class Explorer {
   std::vector<std::vector<double>> pyramid_;
   /// Per-level warm-start search state.
   std::map<size_t, AsapState> level_state_;
+  /// Evaluation context rebound to the current viewport on every
+  /// Render; Reset reuses its buffers so interactive pan/zoom stays
+  /// allocation-stable (mirrors StreamingAsap's refresh path).
+  SeriesContext ctx_;
   bool has_last_view_ = false;
   size_t last_begin_ = 0;
   size_t last_end_ = 0;

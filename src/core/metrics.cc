@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "stats/descriptive.h"
+#include "stats/welford.h"
 
 namespace asap {
 
@@ -11,7 +12,15 @@ double Roughness(const std::vector<double>& x) {
   if (x.size() < 3) {
     return 0.0;
   }
-  return stats::StdDev(stats::FirstDifferences(x));
+  // One allocation-free pass via the generalized Welford accumulator
+  // instead of materializing the difference series and sweeping it
+  // twice; every caller (context construction, the naive evaluator,
+  // the render metrics) shares the saving.
+  stats::ScoreAccumulator acc;
+  for (double v : x) {
+    acc.Add(v);
+  }
+  return acc.roughness();
 }
 
 double Kurtosis(const std::vector<double>& x) { return stats::Kurtosis(x); }

@@ -28,13 +28,25 @@ CandidateScore EvaluateWindow(const std::vector<double>& x, size_t w) {
 
 namespace {
 
+// Scores one candidate through the configured evaluator and keeps the
+// diagnostics honest about which kernel ran.
+CandidateScore Score(const SeriesContext& ctx, size_t w,
+                     const SearchOptions& options, SearchDiagnostics* diag) {
+  diag->candidates_evaluated += 1;
+  if (options.use_naive_evaluator) {
+    return EvaluateWindow(ctx.x(), w);
+  }
+  diag->allocation_free_evals += 1;
+  return ScoreWindow(ctx, w);
+}
+
 // Shared feasibility + bookkeeping: updates `result` if candidate w is
 // feasible (kurtosis preserved) and smoother than the incumbent.
-void ConsiderCandidate(const std::vector<double>& x, size_t w,
-                       double kurtosis_x, SearchResult* result) {
-  const CandidateScore score = EvaluateWindow(x, w);
-  result->diag.candidates_evaluated += 1;
-  if (score.kurtosis >= kurtosis_x && score.roughness < result->roughness) {
+void ConsiderCandidate(const SeriesContext& ctx, size_t w,
+                       const SearchOptions& options, SearchResult* result) {
+  const CandidateScore score = Score(ctx, w, options, &result->diag);
+  if (score.kurtosis >= ctx.kurtosis() &&
+      score.roughness < result->roughness) {
     result->window = w;
     result->roughness = score.roughness;
     result->kurtosis = score.kurtosis;
@@ -42,13 +54,13 @@ void ConsiderCandidate(const std::vector<double>& x, size_t w,
 }
 
 // Initializes the result with the unsmoothed series (w = 1), which is
-// always feasible: kurtosis is trivially preserved.
-SearchResult InitWithIdentity(const std::vector<double>& x,
-                              double kurtosis_x) {
+// always feasible: kurtosis is trivially preserved. The context caches
+// both w = 1 metrics, so this is free.
+SearchResult InitWithIdentity(const SeriesContext& ctx) {
   SearchResult result;
   result.window = 1;
-  result.roughness = Roughness(x);
-  result.kurtosis = kurtosis_x;
+  result.roughness = ctx.roughness();
+  result.kurtosis = ctx.kurtosis();
   return result;
 }
 
@@ -56,13 +68,12 @@ SearchResult InitWithIdentity(const std::vector<double>& x,
 // of the smoothed series decreases in w, so the largest feasible
 // window sits at the feasibility boundary. Updates `result` with any
 // feasible, smoother candidate it visits.
-void BinarySearchRange(const std::vector<double>& x, size_t head, size_t tail,
-                       double kurtosis_x, SearchResult* result) {
+void BinarySearchRange(const SeriesContext& ctx, size_t head, size_t tail,
+                       const SearchOptions& options, SearchResult* result) {
   while (head <= tail) {
     const size_t w = head + (tail - head) / 2;
-    const CandidateScore score = EvaluateWindow(x, w);
-    result->diag.candidates_evaluated += 1;
-    if (score.kurtosis >= kurtosis_x) {
+    const CandidateScore score = Score(ctx, w, options, &result->diag);
+    if (score.kurtosis >= ctx.kurtosis()) {
       if (score.roughness < result->roughness) {
         result->window = w;
         result->roughness = score.roughness;
@@ -80,56 +91,68 @@ void BinarySearchRange(const std::vector<double>& x, size_t head, size_t tail,
 
 }  // namespace
 
+SearchResult ExhaustiveSearch(SeriesContext* ctx,
+                              const SearchOptions& options) {
+  ASAP_CHECK_GE(ctx->size(), 2u);
+  const size_t max_window = options.ResolveMaxWindow(ctx->size());
+  SearchResult result = InitWithIdentity(*ctx);
+  for (size_t w = 2; w <= max_window; ++w) {
+    ConsiderCandidate(*ctx, w, options, &result);
+  }
+  return result;
+}
+
 SearchResult ExhaustiveSearch(const std::vector<double>& x,
                               const SearchOptions& options) {
-  ASAP_CHECK_GE(x.size(), 2u);
-  const double kurtosis_x = Kurtosis(x);
-  const size_t max_window = options.ResolveMaxWindow(x.size());
-  SearchResult result = InitWithIdentity(x, kurtosis_x);
-  for (size_t w = 2; w <= max_window; ++w) {
-    ConsiderCandidate(x, w, kurtosis_x, &result);
+  SeriesContext ctx(x);
+  return ExhaustiveSearch(&ctx, options);
+}
+
+SearchResult GridSearch(SeriesContext* ctx, const SearchOptions& options) {
+  ASAP_CHECK_GE(ctx->size(), 2u);
+  ASAP_CHECK_GE(options.grid_step, 1u);
+  const size_t max_window = options.ResolveMaxWindow(ctx->size());
+  SearchResult result = InitWithIdentity(*ctx);
+  for (size_t w = 1 + options.grid_step; w <= max_window;
+       w += options.grid_step) {
+    ConsiderCandidate(*ctx, w, options, &result);
   }
   return result;
 }
 
 SearchResult GridSearch(const std::vector<double>& x,
                         const SearchOptions& options) {
-  ASAP_CHECK_GE(x.size(), 2u);
-  ASAP_CHECK_GE(options.grid_step, 1u);
-  const double kurtosis_x = Kurtosis(x);
-  const size_t max_window = options.ResolveMaxWindow(x.size());
-  SearchResult result = InitWithIdentity(x, kurtosis_x);
-  for (size_t w = 1 + options.grid_step; w <= max_window;
-       w += options.grid_step) {
-    ConsiderCandidate(x, w, kurtosis_x, &result);
+  SeriesContext ctx(x);
+  return GridSearch(&ctx, options);
+}
+
+SearchResult BinarySearch(SeriesContext* ctx, const SearchOptions& options) {
+  ASAP_CHECK_GE(ctx->size(), 2u);
+  const size_t max_window = options.ResolveMaxWindow(ctx->size());
+  SearchResult result = InitWithIdentity(*ctx);
+  if (max_window >= 2) {
+    BinarySearchRange(*ctx, 2, max_window, options, &result);
   }
   return result;
 }
 
 SearchResult BinarySearch(const std::vector<double>& x,
                           const SearchOptions& options) {
-  ASAP_CHECK_GE(x.size(), 2u);
-  const double kurtosis_x = Kurtosis(x);
-  const size_t max_window = options.ResolveMaxWindow(x.size());
-  SearchResult result = InitWithIdentity(x, kurtosis_x);
-  if (max_window >= 2) {
-    BinarySearchRange(x, 2, max_window, kurtosis_x, &result);
-  }
-  return result;
+  SeriesContext ctx(x);
+  return BinarySearch(&ctx, options);
 }
 
-SearchResult AsapSearchWithAcf(const std::vector<double>& x,
-                               const AcfInfo& acf,
+SearchResult AsapSearchWithAcf(SeriesContext* ctx, const AcfInfo& acf,
                                const SearchOptions& options,
                                AsapState* seed) {
-  ASAP_CHECK_GE(x.size(), 2u);
-  const double kurtosis_x = Kurtosis(x);
-  const size_t max_window = options.ResolveMaxWindow(x.size());
+  ASAP_CHECK_GE(ctx->size(), 2u);
+  const double kurtosis_x = ctx->kurtosis();
+  const size_t max_window = options.ResolveMaxWindow(ctx->size());
 
   AsapState local;
   AsapState* state = seed != nullptr ? seed : &local;
 
-  SearchResult result = InitWithIdentity(x, kurtosis_x);
+  SearchResult result = InitWithIdentity(*ctx);
   result.diag.acf_peaks = acf.peaks.size();
   // A warm-started state may carry a smoother incumbent from the
   // previous refresh; adopt it (CheckLastWindow already validated
@@ -164,8 +187,7 @@ SearchResult AsapSearchWithAcf(const std::vector<double>& x,
       result.diag.pruned_roughness += 1;
       continue;
     }
-    const CandidateScore score = EvaluateWindow(x, w);
-    result.diag.candidates_evaluated += 1;
+    const CandidateScore score = Score(*ctx, w, options, &result.diag);
     if (score.kurtosis >= kurtosis_x) {
       if (score.roughness < result.roughness) {
         result.window = w;
@@ -185,7 +207,7 @@ SearchResult AsapSearchWithAcf(const std::vector<double>& x,
   const size_t head = std::max<size_t>(
       2, static_cast<size_t>(std::lround(std::ceil(state->lower_bound))));
   if (head <= max_window) {
-    BinarySearchRange(x, head, max_window, kurtosis_x, &result);
+    BinarySearchRange(*ctx, head, max_window, options, &result);
   }
 
   state->window = result.window;
@@ -194,15 +216,29 @@ SearchResult AsapSearchWithAcf(const std::vector<double>& x,
   return result;
 }
 
-SearchResult AsapSearch(const std::vector<double>& x,
-                        const SearchOptions& options, AsapState* seed) {
-  ASAP_CHECK_GE(x.size(), 2u);
-  const size_t max_window = options.ResolveMaxWindow(x.size());
+SearchResult AsapSearchWithAcf(const std::vector<double>& x,
+                               const AcfInfo& acf,
+                               const SearchOptions& options,
+                               AsapState* seed) {
+  SeriesContext ctx(x);
+  return AsapSearchWithAcf(&ctx, acf, options, seed);
+}
+
+SearchResult AsapSearch(SeriesContext* ctx, const SearchOptions& options,
+                        AsapState* seed) {
+  ASAP_CHECK_GE(ctx->size(), 2u);
+  const size_t max_window = options.ResolveMaxWindow(ctx->size());
   // One extra lag so a period that lands exactly on max_window is still
   // detectable as a local maximum.
-  const AcfInfo acf =
-      ComputeAcfInfo(x, /*max_lag=*/max_window + 1, options.acf_threshold);
-  return AsapSearchWithAcf(x, acf, options, seed);
+  const AcfInfo& acf =
+      ctx->EnsureAcf(/*max_lag=*/max_window + 1, options.acf_threshold);
+  return AsapSearchWithAcf(ctx, acf, options, seed);
+}
+
+SearchResult AsapSearch(const std::vector<double>& x,
+                        const SearchOptions& options, AsapState* seed) {
+  SeriesContext ctx(x);
+  return AsapSearch(&ctx, options, seed);
 }
 
 }  // namespace asap

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/acf_peaks.h"
+#include "core/series_context.h"
 
 namespace asap {
 
@@ -33,6 +34,10 @@ struct SearchDiagnostics {
   /// Number of candidate windows actually smoothed and scored
   /// (each costs O(N)).
   size_t candidates_evaluated = 0;
+  /// Of those, how many went through the fused zero-allocation
+  /// ScoreWindow kernel (equals candidates_evaluated unless
+  /// SearchOptions::use_naive_evaluator is set).
+  size_t allocation_free_evals = 0;
   /// Candidates skipped by the Eq. 6 lower-bound rule.
   size_t pruned_lower_bound = 0;
   /// Candidates skipped by the Eq. 5 roughness-estimate rule.
@@ -70,6 +75,12 @@ struct SearchOptions {
   bool disable_lower_bound_pruning = false;
   bool disable_roughness_pruning = false;
 
+  /// Score candidates with the naive EvaluateWindow (materialize +
+  /// multi-pass) instead of the fused SeriesContext kernel. Testing and
+  /// benchmarking only: the parity tests and bench_micro_kernels use it
+  /// to compare the two evaluators through identical search logic.
+  bool use_naive_evaluator = false;
+
   /// Resolved maximum window for a series of length n (>= 1, <= n).
   size_t ResolveMaxWindow(size_t n) const;
 };
@@ -80,19 +91,25 @@ struct CandidateScore {
   double kurtosis = 0.0;
 };
 
-/// Smooths with window w and scores the result (O(N)).
+/// Naive reference evaluator: materializes SMA(x, w) and runs the
+/// batch metrics over it (O(N) allocations + several passes). Kept as
+/// the ground truth the fused ScoreWindow kernel is tested against;
+/// production searches go through SeriesContext instead.
 CandidateScore EvaluateWindow(const std::vector<double>& x, size_t w);
 
 /// Exhaustive scan of w = 1..max_window.
+SearchResult ExhaustiveSearch(SeriesContext* ctx, const SearchOptions& options);
 SearchResult ExhaustiveSearch(const std::vector<double>& x,
                               const SearchOptions& options);
 
 /// Grid scan of w = 1, 1+k, 1+2k, ...
+SearchResult GridSearch(SeriesContext* ctx, const SearchOptions& options);
 SearchResult GridSearch(const std::vector<double>& x,
                         const SearchOptions& options);
 
 /// Bisection on the kurtosis constraint (largest feasible window under
 /// the monotonicity assumption of §4.2).
+SearchResult BinarySearch(SeriesContext* ctx, const SearchOptions& options);
 SearchResult BinarySearch(const std::vector<double>& x,
                           const SearchOptions& options);
 
@@ -107,13 +124,19 @@ struct AsapState {
 
 /// Full ASAP search (Algorithms 1 + 2). If `seed` is non-null it is
 /// used as the starting state (streaming warm start) and updated in
-/// place; otherwise a fresh state is used.
+/// place; otherwise a fresh state is used. The context overload reuses
+/// the context's cached ACF (EnsureAcf) across calls.
+SearchResult AsapSearch(SeriesContext* ctx, const SearchOptions& options,
+                        AsapState* seed = nullptr);
 SearchResult AsapSearch(const std::vector<double>& x,
                         const SearchOptions& options,
                         AsapState* seed = nullptr);
 
 /// ASAP search when the ACF is already available (streaming path keeps
 /// it incrementally refreshed).
+SearchResult AsapSearchWithAcf(SeriesContext* ctx, const AcfInfo& acf,
+                               const SearchOptions& options,
+                               AsapState* seed = nullptr);
 SearchResult AsapSearchWithAcf(const std::vector<double>& x,
                                const AcfInfo& acf,
                                const SearchOptions& options,

@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "common/macros.h"
-#include "core/metrics.h"
 #include "window/preaggregate.h"
 #include "window/sma.h"
 
@@ -54,19 +53,23 @@ Result<SmoothingResult> Smooth(const std::vector<double>& values,
         "(resolution) or provide more data");
   }
 
+  // One evaluation context serves the whole search: prefix sums and the
+  // series metrics are computed once, every candidate after that is an
+  // allocation-free fused pass.
+  SeriesContext ctx(x);
   SearchResult search;
   switch (options.strategy) {
     case SearchStrategy::kAsap:
-      search = AsapSearch(x, options.search);
+      search = AsapSearch(&ctx, options.search);
       break;
     case SearchStrategy::kExhaustive:
-      search = ExhaustiveSearch(x, options.search);
+      search = ExhaustiveSearch(&ctx, options.search);
       break;
     case SearchStrategy::kGrid:
-      search = GridSearch(x, options.search);
+      search = GridSearch(&ctx, options.search);
       break;
     case SearchStrategy::kBinary:
-      search = BinarySearch(x, options.search);
+      search = BinarySearch(&ctx, options.search);
       break;
   }
 
@@ -74,11 +77,14 @@ Result<SmoothingResult> Smooth(const std::vector<double>& values,
   result.window = search.window;
   result.points_per_pixel = agg.points_per_pixel;
   result.window_raw_points = search.window * agg.points_per_pixel;
-  result.roughness_before = Roughness(x);
-  result.kurtosis_before = Kurtosis(x);
+  result.roughness_before = ctx.roughness();
+  result.kurtosis_before = ctx.kurtosis();
   result.series = window::Sma(x, search.window);
-  result.roughness_after = Roughness(result.series);
-  result.kurtosis_after = Kurtosis(result.series);
+  // After-metrics through the same fused evaluator the search used, so
+  // the reported scores are exactly the ones the decision was made on.
+  const CandidateScore after = ScoreWindow(ctx, search.window);
+  result.roughness_after = after.roughness;
+  result.kurtosis_after = after.kurtosis;
   result.diag = search.diag;
   return result;
 }

@@ -66,13 +66,17 @@ void StreamingAsap::Refresh() {
   if (x.size() < 4) {
     return;
   }
+  // Rebuild the evaluation context from the pane buffer: prefix sums
+  // and series metrics are recomputed once per refresh, then every
+  // candidate evaluation below is an allocation-free fused pass.
+  ctx_.Reset(x);
   const size_t max_window = options_.search.ResolveMaxWindow(x.size());
 
   // UpdateAcf: the visible window changed, recompute its ACF (one
   // extra lag so a period at exactly max_window remains detectable).
-  const AcfInfo acf =
-      ComputeAcfInfo(x, max_window + 1, options_.search.acf_threshold);
-  const double kurtosis_x = Kurtosis(x);
+  const AcfInfo& acf =
+      ctx_.EnsureAcf(max_window + 1, options_.search.acf_threshold);
+  const double kurtosis_x = ctx_.kurtosis();
 
   // CheckLastWindow: seed with the previous solution if it is still
   // feasible on the refreshed data; otherwise search from scratch.
@@ -80,7 +84,13 @@ void StreamingAsap::Refresh() {
   bool seeded = false;
   if (has_previous_window_ && previous_window_ >= 1 &&
       previous_window_ <= x.size()) {
-    const CandidateScore score = EvaluateWindow(x, previous_window_);
+    CandidateScore score;
+    if (options_.search.use_naive_evaluator) {
+      score = EvaluateWindow(x, previous_window_);
+    } else {
+      score = ScoreWindow(ctx_, previous_window_);
+      frame_.allocation_free_evals += 1;
+    }
     frame_.candidates_evaluated += 1;
     if (score.kurtosis >= kurtosis_x) {
       state_.window = previous_window_;
@@ -98,16 +108,16 @@ void StreamingAsap::Refresh() {
   SearchResult result;
   switch (options_.strategy) {
     case SearchStrategy::kAsap:
-      result = AsapSearchWithAcf(x, acf, options_.search, &state_);
+      result = AsapSearchWithAcf(&ctx_, acf, options_.search, &state_);
       break;
     case SearchStrategy::kExhaustive:
-      result = ExhaustiveSearch(x, options_.search);
+      result = ExhaustiveSearch(&ctx_, options_.search);
       break;
     case SearchStrategy::kGrid:
-      result = GridSearch(x, options_.search);
+      result = GridSearch(&ctx_, options_.search);
       break;
     case SearchStrategy::kBinary:
-      result = BinarySearch(x, options_.search);
+      result = BinarySearch(&ctx_, options_.search);
       break;
   }
 
@@ -115,6 +125,7 @@ void StreamingAsap::Refresh() {
   frame_.window = result.window;
   frame_.refreshes += 1;
   frame_.candidates_evaluated += result.diag.candidates_evaluated;
+  frame_.allocation_free_evals += result.diag.allocation_free_evals;
   if (seeded) {
     frame_.seeded_searches += 1;
   } else {

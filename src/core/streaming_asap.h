@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/series_context.h"
 #include "core/smooth.h"
 #include "window/panes.h"
 
@@ -70,8 +71,13 @@ class StreamingAsap {
     /// Searches started from scratch (first refresh or failed
     /// CheckLastWindow).
     uint64_t cold_searches = 0;
-    /// Total candidate windows evaluated across all refreshes.
+    /// Total candidate windows evaluated across all refreshes
+    /// (including the CheckLastWindow warm-start evaluation).
     uint64_t candidates_evaluated = 0;
+    /// Of those, how many went through the fused zero-allocation
+    /// ScoreWindow kernel (all of them unless
+    /// SearchOptions::use_naive_evaluator is set).
+    uint64_t allocation_free_evals = 0;
   };
 
   /// Validates options; fails if visible_points < 8 or resolution
@@ -115,6 +121,11 @@ class StreamingAsap {
   uint64_t points_since_refresh_ = 0;
 
   AsapState state_;
+  /// Evaluation context rebuilt from the pane buffer at every refresh
+  /// (Reset reuses its buffers, so steady-state refreshes stay
+  /// allocation-stable); candidate scoring runs through its fused
+  /// zero-allocation kernel.
+  SeriesContext ctx_;
   bool has_previous_window_ = false;
   size_t previous_window_ = 1;
   Frame frame_;

@@ -83,5 +83,58 @@ double WelfordAccumulator::kurtosis() const {
   return (m4_ / n) / (var * var);
 }
 
+void ScoreAccumulator::Add(double y) {
+  const double n1 = static_cast<double>(count_);
+  count_ += 1;
+  const double n = static_cast<double>(count_);
+  const double delta = y - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+  if (count_ > 1) {
+    const double d = y - prev_;
+    const double k = n1;  // number of differences seen so far
+    const double d_delta = d - diff_mean_;
+    const double d_delta_k = d_delta / k;
+    diff_mean_ += d_delta_k;
+    diff_m2_ += d_delta * d_delta_k * (k - 1.0);
+  }
+  prev_ = y;
+}
+
+void ScoreAccumulator::Reset() { *this = ScoreAccumulator(); }
+
+double ScoreAccumulator::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double ScoreAccumulator::kurtosis() const {
+  const double var = variance();
+  if (count_ < 2 || var <= 0.0) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(count_);
+  return (m4_ / n) / (var * var);
+}
+
+double ScoreAccumulator::diff_variance() const {
+  if (count_ < 3) {
+    return 0.0;
+  }
+  return diff_m2_ / static_cast<double>(count_ - 1);
+}
+
+double ScoreAccumulator::roughness() const {
+  return std::sqrt(diff_variance());
+}
+
 }  // namespace stats
 }  // namespace asap

@@ -50,6 +50,61 @@ class WelfordAccumulator {
   double m4_ = 0.0;
 };
 
+/// WelfordAccumulator generalized to ASAP's candidate-scoring state:
+/// one Add(y) folds y into running mean/M2/M3/M4 *and* folds the first
+/// difference y - y_prev into a separate running mean/M2, so a single
+/// allocation-free pass over a smoothed series yields both of ASAP's
+/// quality metrics. This is the *online* form — no mean known up
+/// front, values arriving one at a time (streaming sub-aggregation,
+/// reference cross-checks). The batch hot path, ScoreWindow in
+/// core/series_context.h, tracks the same running state but exploits
+/// its O(1) prefix-sum means to accumulate central moments directly,
+/// which drops the per-point Welford rescaling divisions:
+///
+///   kurtosis()  — non-excess kurtosis of the value stream (§3.2)
+///   roughness() — population stddev of the difference stream (§3.1)
+///
+/// Degenerate-input conventions match stats::ComputeMoments and
+/// core/metrics.h exactly: kurtosis is 0 for < 2 values or zero
+/// variance; roughness is 0 for < 3 values.
+class ScoreAccumulator {
+ public:
+  ScoreAccumulator() = default;
+
+  /// Folds one value of the (smoothed) series, in series order.
+  void Add(double y);
+
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance of the values.
+  double variance() const;
+
+  /// Non-excess kurtosis of the values; 0 for degenerate input.
+  double kurtosis() const;
+
+  /// Population variance of the first differences.
+  double diff_variance() const;
+
+  /// Population stddev of the first differences (= Roughness of the
+  /// value stream).
+  double roughness() const;
+
+ private:
+  // Value moments (Pébay 2008, as in WelfordAccumulator).
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  // First-difference moments (count is count_ - 1 once count_ >= 1).
+  double diff_mean_ = 0.0;
+  double diff_m2_ = 0.0;
+  double prev_ = 0.0;
+};
+
 }  // namespace stats
 }  // namespace asap
 

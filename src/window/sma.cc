@@ -5,10 +5,6 @@
 namespace asap {
 namespace window {
 
-namespace {
-constexpr size_t kRecomputeInterval = 1u << 16;
-}  // namespace
-
 std::vector<double> Sma(const std::vector<double>& x, size_t w) {
   ASAP_CHECK_GE(w, 1u);
   ASAP_CHECK_LE(w, x.size());
@@ -44,10 +40,44 @@ std::vector<double> SmaWithSlide(const std::vector<double>& x, size_t w,
   std::vector<double> out;
   out.reserve(x.size() / slide + 1);
   const double inv_w = 1.0 / static_cast<double>(w);
-  for (size_t begin = 0; begin + w <= x.size(); begin += slide) {
-    double sum = 0.0;
-    for (size_t i = begin; i < begin + w; ++i) {
+
+  if (slide >= w) {
+    // Disjoint windows share no points; a fresh sum per window is both
+    // the cheapest and the drift-free evaluation order.
+    for (size_t begin = 0; begin + w <= x.size(); begin += slide) {
+      double sum = 0.0;
+      for (size_t i = begin; i < begin + w; ++i) {
+        sum += x[i];
+      }
+      out.push_back(sum * inv_w);
+    }
+    return out;
+  }
+
+  // Overlapping windows: advance a running sum by `slide` points per
+  // step (O(slide) instead of O(w)), with the same periodic
+  // re-summation as Sma() so floating-point drift stays bounded no
+  // matter how long the series is.
+  double sum = 0.0;
+  for (size_t i = 0; i < w; ++i) {
+    sum += x[i];
+  }
+  out.push_back(sum * inv_w);
+  size_t updates_since_resum = 0;
+  for (size_t begin = slide; begin + w <= x.size(); begin += slide) {
+    for (size_t i = begin - slide; i < begin; ++i) {
+      sum -= x[i];
+    }
+    for (size_t i = begin + w - slide; i < begin + w; ++i) {
       sum += x[i];
+    }
+    updates_since_resum += slide;
+    if (updates_since_resum >= kRecomputeInterval) {
+      sum = 0.0;
+      for (size_t i = begin; i < begin + w; ++i) {
+        sum += x[i];
+      }
+      updates_since_resum = 0;
     }
     out.push_back(sum * inv_w);
   }

@@ -16,6 +16,12 @@
 namespace asap {
 namespace window {
 
+/// Incremental running-sum updates between full re-summations in the
+/// batch/slide/incremental SMA evaluators (bounds floating-point
+/// drift). Exposed so the fused evaluator's exact naive-replay path
+/// (core/series_context.cc) reproduces the same value sequence.
+inline constexpr size_t kRecomputeInterval = 1u << 16;
+
 /// Batch SMA at slide 1. Requires 1 <= w <= x.size(); w == 1 returns a
 /// copy of the input. Runs in O(N) using a running sum with periodic
 /// re-summation to bound floating-point drift.

@@ -146,6 +146,51 @@ TEST(WelfordTest, MergeEqualsSequential) {
   EXPECT_NEAR(left.kurtosis(), whole.kurtosis(), 1e-9);
 }
 
+// --- ScoreAccumulator (generalized Welford: M4 + diff variance) -----------------
+
+class ScoreAccumulatorAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScoreAccumulatorAgreementTest, TracksValueKurtosisAndDiffStddev) {
+  Pcg32 rng(GetParam() * 13);
+  std::vector<double> v = GetParam() % 2 == 0
+                              ? GaussianVector(&rng, 2500, 2.0, 1.5)
+                              : LaplaceVector(&rng, 2500, 0.0, 1.0);
+  ScoreAccumulator acc;
+  for (double x : v) {
+    acc.Add(x);
+  }
+  const Moments m = ComputeMoments(v);
+  EXPECT_EQ(acc.count(), v.size());
+  EXPECT_NEAR(acc.mean(), m.mean, 1e-9);
+  EXPECT_NEAR(acc.variance(), m.variance, 1e-9);
+  EXPECT_NEAR(acc.kurtosis(), m.kurtosis, 1e-9);
+  // The difference stream must match the batch pipeline
+  // StdDev(FirstDifferences(v)) — i.e. the Roughness definition.
+  EXPECT_NEAR(acc.roughness(), StdDev(FirstDifferences(v)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoreAccumulatorAgreementTest,
+                         ::testing::Range(1, 9));
+
+TEST(ScoreAccumulatorTest, DegenerateInputsScoreZero) {
+  ScoreAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.kurtosis(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.roughness(), 0.0);
+  acc.Add(5.0);
+  EXPECT_DOUBLE_EQ(acc.kurtosis(), 0.0);  // single point
+  EXPECT_DOUBLE_EQ(acc.roughness(), 0.0);
+  acc.Add(5.0);
+  // Two points: one difference is not enough for a roughness (matches
+  // Roughness() returning 0 below 3 points), constant => kurtosis 0.
+  EXPECT_DOUBLE_EQ(acc.kurtosis(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.roughness(), 0.0);
+  acc.Add(5.0);
+  EXPECT_DOUBLE_EQ(acc.kurtosis(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.roughness(), 0.0);
+  acc.Reset();
+  EXPECT_EQ(acc.count(), 0u);
+}
+
 TEST(WelfordTest, MergeWithEmptyIsNoOp) {
   WelfordAccumulator acc;
   acc.Add(1.0);

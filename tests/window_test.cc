@@ -94,6 +94,56 @@ TEST(SmaWithSlideTest, MatchesNaive) {
   }
 }
 
+// --- Running-sum drift regression (kRecomputeInterval) -------------------------
+
+// Exact mean of x[begin, begin + w) via compensated summation — the
+// drift-free reference the running-sum implementations are pinned to.
+double ExactWindowMean(const std::vector<double>& x, size_t begin, size_t w) {
+  double sum = 0.0;
+  double comp = 0.0;
+  for (size_t i = begin; i < begin + w; ++i) {
+    const double y = x[i] - comp;
+    const double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+  }
+  return sum / static_cast<double>(w);
+}
+
+TEST(SmaTest, DriftStaysBelow1e9OnMillionPointSeries) {
+  Pcg32 rng(2024);
+  std::vector<double> x = UniformVector(&rng, 1000000, 10.0, 11.0);
+  const size_t w = 1000;
+  const std::vector<double> y = Sma(x, w);
+  ASSERT_EQ(y.size(), x.size() - w + 1);
+  // Sample positions across the whole series, including the tail where
+  // an unbounded running sum would have accumulated the most error.
+  for (size_t i = 0; i < y.size(); i += 9973) {
+    ASSERT_NEAR(y[i], ExactWindowMean(x, i, w), 1e-9) << "i=" << i;
+  }
+  ASSERT_NEAR(y.back(), ExactWindowMean(x, y.size() - 1, w), 1e-9);
+}
+
+TEST(SmaWithSlideTest, DriftStaysBelow1e9OnMillionPointSeries) {
+  // Regression for the running-sum + periodic-resummation path: before
+  // it shared Sma's kRecomputeInterval bound, a long overlapped-slide
+  // scan either drifted (incremental) or cost O(N * w / slide)
+  // (fresh sums). Pin both accuracy and the exact output geometry.
+  Pcg32 rng(4048);
+  std::vector<double> x = UniformVector(&rng, 1000000, 10.0, 11.0);
+  const size_t w = 1000;
+  for (size_t slide : {1u, 3u, 7u}) {
+    const std::vector<double> y = SmaWithSlide(x, w, slide);
+    ASSERT_EQ(y.size(), (x.size() - w) / slide + 1) << "slide=" << slide;
+    for (size_t k = 0; k < y.size(); k += 9973) {
+      ASSERT_NEAR(y[k], ExactWindowMean(x, k * slide, w), 1e-9)
+          << "slide=" << slide << " k=" << k;
+    }
+    ASSERT_NEAR(y.back(), ExactWindowMean(x, (y.size() - 1) * slide, w), 1e-9)
+        << "slide=" << slide;
+  }
+}
+
 // --- Incremental SMA -----------------------------------------------------------
 
 TEST(IncrementalSmaTest, WarmupThenMatchesBatch) {
