@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acf_peaks_test.dir/tests/acf_peaks_test.cc.o"
+  "CMakeFiles/acf_peaks_test.dir/tests/acf_peaks_test.cc.o.d"
+  "acf_peaks_test"
+  "acf_peaks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acf_peaks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alerts_test.dir/tests/alerts_test.cc.o"
+  "CMakeFiles/alerts_test.dir/tests/alerts_test.cc.o.d"
+  "alerts_test"
+  "alerts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alerts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

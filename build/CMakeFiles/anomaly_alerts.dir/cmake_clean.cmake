@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_alerts.dir/examples/anomaly_alerts.cpp.o"
+  "CMakeFiles/anomaly_alerts.dir/examples/anomaly_alerts.cpp.o.d"
+  "anomaly_alerts"
+  "anomaly_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

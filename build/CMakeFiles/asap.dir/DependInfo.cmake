@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fft_smoother.cc" "CMakeFiles/asap.dir/src/baselines/fft_smoother.cc.o" "gcc" "CMakeFiles/asap.dir/src/baselines/fft_smoother.cc.o.d"
+  "/root/repo/src/baselines/m4.cc" "CMakeFiles/asap.dir/src/baselines/m4.cc.o" "gcc" "CMakeFiles/asap.dir/src/baselines/m4.cc.o.d"
+  "/root/repo/src/baselines/minmax.cc" "CMakeFiles/asap.dir/src/baselines/minmax.cc.o" "gcc" "CMakeFiles/asap.dir/src/baselines/minmax.cc.o.d"
+  "/root/repo/src/baselines/oversmooth.cc" "CMakeFiles/asap.dir/src/baselines/oversmooth.cc.o" "gcc" "CMakeFiles/asap.dir/src/baselines/oversmooth.cc.o.d"
+  "/root/repo/src/baselines/paa.cc" "CMakeFiles/asap.dir/src/baselines/paa.cc.o" "gcc" "CMakeFiles/asap.dir/src/baselines/paa.cc.o.d"
+  "/root/repo/src/baselines/savitzky_golay.cc" "CMakeFiles/asap.dir/src/baselines/savitzky_golay.cc.o" "gcc" "CMakeFiles/asap.dir/src/baselines/savitzky_golay.cc.o.d"
+  "/root/repo/src/baselines/tuner.cc" "CMakeFiles/asap.dir/src/baselines/tuner.cc.o" "gcc" "CMakeFiles/asap.dir/src/baselines/tuner.cc.o.d"
+  "/root/repo/src/baselines/visvalingam.cc" "CMakeFiles/asap.dir/src/baselines/visvalingam.cc.o" "gcc" "CMakeFiles/asap.dir/src/baselines/visvalingam.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/asap.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/asap.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "CMakeFiles/asap.dir/src/common/random.cc.o" "gcc" "CMakeFiles/asap.dir/src/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/asap.dir/src/common/status.cc.o" "gcc" "CMakeFiles/asap.dir/src/common/status.cc.o.d"
+  "/root/repo/src/core/acf_peaks.cc" "CMakeFiles/asap.dir/src/core/acf_peaks.cc.o" "gcc" "CMakeFiles/asap.dir/src/core/acf_peaks.cc.o.d"
+  "/root/repo/src/core/explorer.cc" "CMakeFiles/asap.dir/src/core/explorer.cc.o" "gcc" "CMakeFiles/asap.dir/src/core/explorer.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "CMakeFiles/asap.dir/src/core/metrics.cc.o" "gcc" "CMakeFiles/asap.dir/src/core/metrics.cc.o.d"
+  "/root/repo/src/core/search.cc" "CMakeFiles/asap.dir/src/core/search.cc.o" "gcc" "CMakeFiles/asap.dir/src/core/search.cc.o.d"
+  "/root/repo/src/core/series_context.cc" "CMakeFiles/asap.dir/src/core/series_context.cc.o" "gcc" "CMakeFiles/asap.dir/src/core/series_context.cc.o.d"
+  "/root/repo/src/core/smooth.cc" "CMakeFiles/asap.dir/src/core/smooth.cc.o" "gcc" "CMakeFiles/asap.dir/src/core/smooth.cc.o.d"
+  "/root/repo/src/core/streaming_asap.cc" "CMakeFiles/asap.dir/src/core/streaming_asap.cc.o" "gcc" "CMakeFiles/asap.dir/src/core/streaming_asap.cc.o.d"
+  "/root/repo/src/datasets/datasets.cc" "CMakeFiles/asap.dir/src/datasets/datasets.cc.o" "gcc" "CMakeFiles/asap.dir/src/datasets/datasets.cc.o.d"
+  "/root/repo/src/fft/autocorrelation.cc" "CMakeFiles/asap.dir/src/fft/autocorrelation.cc.o" "gcc" "CMakeFiles/asap.dir/src/fft/autocorrelation.cc.o.d"
+  "/root/repo/src/fft/fft.cc" "CMakeFiles/asap.dir/src/fft/fft.cc.o" "gcc" "CMakeFiles/asap.dir/src/fft/fft.cc.o.d"
+  "/root/repo/src/perception/observer.cc" "CMakeFiles/asap.dir/src/perception/observer.cc.o" "gcc" "CMakeFiles/asap.dir/src/perception/observer.cc.o.d"
+  "/root/repo/src/perception/study.cc" "CMakeFiles/asap.dir/src/perception/study.cc.o" "gcc" "CMakeFiles/asap.dir/src/perception/study.cc.o.d"
+  "/root/repo/src/render/ascii_chart.cc" "CMakeFiles/asap.dir/src/render/ascii_chart.cc.o" "gcc" "CMakeFiles/asap.dir/src/render/ascii_chart.cc.o.d"
+  "/root/repo/src/render/canvas.cc" "CMakeFiles/asap.dir/src/render/canvas.cc.o" "gcc" "CMakeFiles/asap.dir/src/render/canvas.cc.o.d"
+  "/root/repo/src/render/pixel_error.cc" "CMakeFiles/asap.dir/src/render/pixel_error.cc.o" "gcc" "CMakeFiles/asap.dir/src/render/pixel_error.cc.o.d"
+  "/root/repo/src/render/rasterize.cc" "CMakeFiles/asap.dir/src/render/rasterize.cc.o" "gcc" "CMakeFiles/asap.dir/src/render/rasterize.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "CMakeFiles/asap.dir/src/stats/descriptive.cc.o" "gcc" "CMakeFiles/asap.dir/src/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "CMakeFiles/asap.dir/src/stats/histogram.cc.o" "gcc" "CMakeFiles/asap.dir/src/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/normalize.cc" "CMakeFiles/asap.dir/src/stats/normalize.cc.o" "gcc" "CMakeFiles/asap.dir/src/stats/normalize.cc.o.d"
+  "/root/repo/src/stats/rolling.cc" "CMakeFiles/asap.dir/src/stats/rolling.cc.o" "gcc" "CMakeFiles/asap.dir/src/stats/rolling.cc.o.d"
+  "/root/repo/src/stats/welford.cc" "CMakeFiles/asap.dir/src/stats/welford.cc.o" "gcc" "CMakeFiles/asap.dir/src/stats/welford.cc.o.d"
+  "/root/repo/src/stream/alerts.cc" "CMakeFiles/asap.dir/src/stream/alerts.cc.o" "gcc" "CMakeFiles/asap.dir/src/stream/alerts.cc.o.d"
+  "/root/repo/src/stream/engine.cc" "CMakeFiles/asap.dir/src/stream/engine.cc.o" "gcc" "CMakeFiles/asap.dir/src/stream/engine.cc.o.d"
+  "/root/repo/src/stream/source.cc" "CMakeFiles/asap.dir/src/stream/source.cc.o" "gcc" "CMakeFiles/asap.dir/src/stream/source.cc.o.d"
+  "/root/repo/src/ts/csv.cc" "CMakeFiles/asap.dir/src/ts/csv.cc.o" "gcc" "CMakeFiles/asap.dir/src/ts/csv.cc.o.d"
+  "/root/repo/src/ts/generators.cc" "CMakeFiles/asap.dir/src/ts/generators.cc.o" "gcc" "CMakeFiles/asap.dir/src/ts/generators.cc.o.d"
+  "/root/repo/src/ts/resample.cc" "CMakeFiles/asap.dir/src/ts/resample.cc.o" "gcc" "CMakeFiles/asap.dir/src/ts/resample.cc.o.d"
+  "/root/repo/src/ts/timeseries.cc" "CMakeFiles/asap.dir/src/ts/timeseries.cc.o" "gcc" "CMakeFiles/asap.dir/src/ts/timeseries.cc.o.d"
+  "/root/repo/src/window/panes.cc" "CMakeFiles/asap.dir/src/window/panes.cc.o" "gcc" "CMakeFiles/asap.dir/src/window/panes.cc.o.d"
+  "/root/repo/src/window/preaggregate.cc" "CMakeFiles/asap.dir/src/window/preaggregate.cc.o" "gcc" "CMakeFiles/asap.dir/src/window/preaggregate.cc.o.d"
+  "/root/repo/src/window/sma.cc" "CMakeFiles/asap.dir/src/window/sma.cc.o" "gcc" "CMakeFiles/asap.dir/src/window/sma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

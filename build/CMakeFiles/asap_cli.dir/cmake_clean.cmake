@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asap_cli.dir/examples/asap_cli.cpp.o"
+  "CMakeFiles/asap_cli.dir/examples/asap_cli.cpp.o.d"
+  "asap_cli"
+  "asap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_factor_analysis.dir/bench/bench_fig11_factor_analysis.cc.o"
+  "CMakeFiles/bench_fig11_factor_analysis.dir/bench/bench_fig11_factor_analysis.cc.o.d"
+  "bench_fig11_factor_analysis"
+  "bench_fig11_factor_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_factor_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_fig5_anchors.dir/bench/bench_fig4_fig5_anchors.cc.o"
+  "CMakeFiles/bench_fig4_fig5_anchors.dir/bench/bench_fig4_fig5_anchors.cc.o.d"
+  "bench_fig4_fig5_anchors"
+  "bench_fig4_fig5_anchors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fig5_anchors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

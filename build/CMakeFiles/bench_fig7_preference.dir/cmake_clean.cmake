@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_preference.dir/bench/bench_fig7_preference.cc.o"
+  "CMakeFiles/bench_fig7_preference.dir/bench/bench_fig7_preference.cc.o.d"
+  "bench_fig7_preference"
+  "bench_fig7_preference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_preference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

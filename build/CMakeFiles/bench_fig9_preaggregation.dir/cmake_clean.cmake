@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_preaggregation.dir/bench/bench_fig9_preaggregation.cc.o"
+  "CMakeFiles/bench_fig9_preaggregation.dir/bench/bench_fig9_preaggregation.cc.o.d"
+  "bench_fig9_preaggregation"
+  "bench_fig9_preaggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_preaggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

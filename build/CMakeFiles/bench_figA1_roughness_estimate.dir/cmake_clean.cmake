@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figA1_roughness_estimate.dir/bench/bench_figA1_roughness_estimate.cc.o"
+  "CMakeFiles/bench_figA1_roughness_estimate.dir/bench/bench_figA1_roughness_estimate.cc.o.d"
+  "bench_figA1_roughness_estimate"
+  "bench_figA1_roughness_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figA1_roughness_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figA1_roughness_estimate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figA2_agg_throughput.dir/bench/bench_figA2_agg_throughput.cc.o"
+  "CMakeFiles/bench_figA2_agg_throughput.dir/bench/bench_figA2_agg_throughput.cc.o.d"
+  "bench_figA2_agg_throughput"
+  "bench_figA2_agg_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figA2_agg_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

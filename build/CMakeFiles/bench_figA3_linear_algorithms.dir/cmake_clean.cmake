@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figA3_linear_algorithms.dir/bench/bench_figA3_linear_algorithms.cc.o"
+  "CMakeFiles/bench_figA3_linear_algorithms.dir/bench/bench_figA3_linear_algorithms.cc.o.d"
+  "bench_figA3_linear_algorithms"
+  "bench_figA3_linear_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figA3_linear_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

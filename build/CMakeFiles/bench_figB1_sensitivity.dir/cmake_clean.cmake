@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figB1_sensitivity.dir/bench/bench_figB1_sensitivity.cc.o"
+  "CMakeFiles/bench_figB1_sensitivity.dir/bench/bench_figB1_sensitivity.cc.o.d"
+  "bench_figB1_sensitivity"
+  "bench_figB1_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figB1_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figB2_smoothers.dir/bench/bench_figB2_smoothers.cc.o"
+  "CMakeFiles/bench_figB2_smoothers.dir/bench/bench_figB2_smoothers.cc.o.d"
+  "bench_figB2_smoothers"
+  "bench_figB2_smoothers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figB2_smoothers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perception_test.dir/tests/perception_test.cc.o"
+  "CMakeFiles/perception_test.dir/tests/perception_test.cc.o.d"
+  "perception_test"
+  "perception_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perception_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_test.dir/tests/render_test.cc.o"
+  "CMakeFiles/render_test.dir/tests/render_test.cc.o.d"
+  "render_test"
+  "render_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

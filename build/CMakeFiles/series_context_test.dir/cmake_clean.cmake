@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/series_context_test.dir/tests/series_context_test.cc.o"
+  "CMakeFiles/series_context_test.dir/tests/series_context_test.cc.o.d"
+  "series_context_test"
+  "series_context_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/series_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_monitoring.dir/examples/server_monitoring.cpp.o"
+  "CMakeFiles/server_monitoring.dir/examples/server_monitoring.cpp.o.d"
+  "server_monitoring"
+  "server_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

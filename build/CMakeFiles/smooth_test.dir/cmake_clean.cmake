@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smooth_test.dir/tests/smooth_test.cc.o"
+  "CMakeFiles/smooth_test.dir/tests/smooth_test.cc.o.d"
+  "smooth_test"
+  "smooth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smooth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_dashboard.dir/examples/taxi_dashboard.cpp.o"
+  "CMakeFiles/taxi_dashboard.dir/examples/taxi_dashboard.cpp.o.d"
+  "taxi_dashboard"
+  "taxi_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
