@@ -13,6 +13,7 @@
 #include "core/search.h"
 #include "core/series_context.h"
 #include "core/smooth.h"
+#include "core/streaming_asap.h"
 #include "fft/autocorrelation.h"
 #include "fft/fft.h"
 #include "stats/rolling.h"
@@ -197,6 +198,43 @@ void BM_VisvalingamSimplify(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (1 << 15));
 }
 BENCHMARK(BM_VisvalingamSimplify);
+
+// Streaming ingest: per-point Push vs the pane-granular PushBatch
+// fast path, at a lazy refresh cadence where ingest (not the window
+// search) dominates. range(0) is the batch size handed to the
+// operator per call.
+
+asap::StreamingAsap MakeIngestOperator() {
+  asap::StreamingOptions options;
+  options.resolution = 400;
+  options.visible_points = 8000;
+  options.refresh_every_points = 100000;  // ingest-bound
+  return asap::StreamingAsap::Create(options).ValueOrDie();
+}
+
+void BM_StreamingIngestPerPointPush(benchmark::State& state) {
+  const size_t chunk = static_cast<size_t>(state.range(0));
+  std::vector<double> x = MakeSignal(chunk);
+  asap::StreamingAsap op = MakeIngestOperator();
+  for (auto _ : state) {
+    for (double v : x) {
+      benchmark::DoNotOptimize(op.Push(v));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(chunk));
+}
+BENCHMARK(BM_StreamingIngestPerPointPush)->Range(1 << 10, 1 << 16);
+
+void BM_StreamingIngestPushBatch(benchmark::State& state) {
+  const size_t chunk = static_cast<size_t>(state.range(0));
+  std::vector<double> x = MakeSignal(chunk);
+  asap::StreamingAsap op = MakeIngestOperator();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op.PushBatch(x.data(), x.size()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(chunk));
+}
+BENCHMARK(BM_StreamingIngestPushBatch)->Range(1 << 10, 1 << 16);
 
 }  // namespace
 

@@ -1,6 +1,7 @@
 #include "core/streaming_asap.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/macros.h"
 #include "core/metrics.h"
@@ -21,7 +22,8 @@ StreamingAsap::StreamingAsap(const StreamingOptions& options)
       panes_(pane_size_,
              /*max_panes=*/std::max<size_t>(options.visible_points /
                                                 std::max<size_t>(pane_size_, 1),
-                                            4)) {}
+                                            4)),
+      published_(std::make_shared<const Frame>()) {}
 
 Result<StreamingAsap> StreamingAsap::Create(const StreamingOptions& options) {
   if (options.visible_points < 8) {
@@ -46,19 +48,45 @@ bool StreamingAsap::Push(double x) {
 }
 
 void StreamingAsap::Prefill(const std::vector<double>& xs) {
-  for (double x : xs) {
-    ++points_consumed_;
-    panes_.Push(x);
-  }
+  panes_.PushBulk(xs.data(), xs.size());
+  points_consumed_ += xs.size();
   points_since_refresh_ = 0;
 }
 
-size_t StreamingAsap::PushBatch(const std::vector<double>& xs) {
+size_t StreamingAsap::PushBatch(const double* xs, size_t n) {
   size_t refreshes = 0;
-  for (double x : xs) {
-    refreshes += Push(x) ? 1 : 0;
+  size_t i = 0;
+  while (i < n) {
+    // Distance to the first point after which the refresh condition
+    // (points_since_refresh_ >= interval AND >= 4 complete panes) can
+    // hold. Both conditions are monotone within a chunk, so the
+    // earliest firing point is the max of the two distances — every
+    // point before it is safe to bulk-append with no boundary check.
+    const size_t until_interval =
+        points_since_refresh_ >= refresh_interval_points_
+            ? 1
+            : refresh_interval_points_ - points_since_refresh_;
+    const size_t until_panes = panes_.PointsUntilPaneCount(4);
+    const size_t stop =
+        std::max<size_t>(std::max(until_interval, until_panes), 1);
+    const size_t chunk = std::min(stop, n - i);
+    panes_.PushBulk(xs + i, chunk);
+    points_consumed_ += chunk;
+    points_since_refresh_ += chunk;
+    i += chunk;
+    if (points_since_refresh_ >= refresh_interval_points_ &&
+        panes_.size() >= 4) {
+      Refresh();
+      points_since_refresh_ = 0;
+      ++refreshes;
+    }
   }
   return refreshes;
+}
+
+std::shared_ptr<const StreamingAsap::Frame> StreamingAsap::frame_snapshot()
+    const {
+  return std::atomic_load_explicit(&published_, std::memory_order_acquire);
 }
 
 void StreamingAsap::Refresh() {
@@ -134,6 +162,13 @@ void StreamingAsap::Refresh() {
 
   has_previous_window_ = true;
   previous_window_ = result.window;
+
+  // Publish the refreshed frame for lock-free snapshot readers (the
+  // sharded engine's dashboards read frames mid-run through this).
+  std::atomic_store_explicit(
+      &published_,
+      std::shared_ptr<const Frame>(std::make_shared<Frame>(frame_)),
+      std::memory_order_release);
 }
 
 }  // namespace asap

@@ -20,6 +20,7 @@
 #define ASAP_CORE_STREAMING_ASAP_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -93,13 +94,27 @@ class StreamingAsap {
   void Prefill(const std::vector<double>& xs);
 
   /// Ingests a batch; returns the number of refreshes triggered.
-  size_t PushBatch(const std::vector<double>& xs);
+  /// Fast path: points are bulk-appended a pane (or a refresh
+  /// interval) at a time, with refresh boundaries checked per chunk
+  /// instead of per point — refresh-for-refresh identical to calling
+  /// Push() on each point.
+  size_t PushBatch(const double* xs, size_t n);
+  size_t PushBatch(const std::vector<double>& xs) {
+    return PushBatch(xs.data(), xs.size());
+  }
 
   /// Forces a refresh now (used when the user scrolls/zooms).
   /// No-op until at least 4 panes are buffered.
   void Refresh();
 
   const Frame& frame() const { return frame_; }
+
+  /// Snapshot of the most recent frame, safe to call from any thread
+  /// while another thread is pushing points: each refresh publishes
+  /// its frame behind an atomically swapped shared_ptr, so readers
+  /// never block the ingest path and no copy is made to serve a read.
+  /// Never null; before the first refresh it points at an empty Frame.
+  std::shared_ptr<const Frame> frame_snapshot() const;
 
   /// Raw points consumed so far.
   uint64_t points_consumed() const { return points_consumed_; }
@@ -129,6 +144,9 @@ class StreamingAsap {
   bool has_previous_window_ = false;
   size_t previous_window_ = 1;
   Frame frame_;
+  /// Published copy of frame_, swapped atomically at the end of each
+  /// refresh (read via frame_snapshot()).
+  std::shared_ptr<const Frame> published_;
 };
 
 }  // namespace asap

@@ -6,10 +6,21 @@
 namespace asap {
 namespace stream {
 
-namespace {
+// Both single-series entry points are thin wrappers over the one-shard
+// drive loop.
 
-RunReport RunInternal(Source* source, Operator* op, size_t batch_size,
-                      double budget_seconds) {
+RunReport RunToCompletion(Source* source, Operator* op, size_t batch_size) {
+  return DriveShard(source, op, batch_size, /*budget_seconds=*/0.0);
+}
+
+RunReport RunForBudget(Source* source, Operator* op, double budget_seconds,
+                       size_t batch_size) {
+  ASAP_CHECK_GT(budget_seconds, 0.0);
+  return DriveShard(source, op, batch_size, budget_seconds);
+}
+
+RunReport DriveShard(Source* source, Operator* op, size_t batch_size,
+                     double budget_seconds) {
   ASAP_CHECK(source != nullptr);
   ASAP_CHECK(op != nullptr);
   ASAP_CHECK_GE(batch_size, 1u);
@@ -35,22 +46,8 @@ RunReport RunInternal(Source* source, Operator* op, size_t batch_size,
       report.seconds > 0.0 ? static_cast<double>(report.points) /
                                  report.seconds
                            : 0.0;
-  if (auto* asap_op = dynamic_cast<StreamingAsapOperator*>(op)) {
-    report.refreshes = asap_op->asap().frame().refreshes;
-  }
+  report.refreshes = op->stats().refreshes;
   return report;
-}
-
-}  // namespace
-
-RunReport RunToCompletion(Source* source, Operator* op, size_t batch_size) {
-  return RunInternal(source, op, batch_size, /*budget_seconds=*/0.0);
-}
-
-RunReport RunForBudget(Source* source, Operator* op, double budget_seconds,
-                       size_t batch_size) {
-  ASAP_CHECK_GT(budget_seconds, 0.0);
-  return RunInternal(source, op, batch_size, budget_seconds);
 }
 
 }  // namespace stream

@@ -16,6 +16,11 @@
 namespace asap {
 namespace stream {
 
+/// Lifetime counters an operator exposes to engine reports.
+struct OperatorStats {
+  uint64_t refreshes = 0;
+};
+
 /// A push-based streaming operator.
 class Operator {
  public:
@@ -26,6 +31,11 @@ class Operator {
 
   /// Human-readable name for reports.
   virtual std::string name() const = 0;
+
+  /// Stats hook for engine reports — works for any operator, no
+  /// downcasting. Operators with nothing to report keep the zero
+  /// default.
+  virtual OperatorStats stats() const { return OperatorStats{}; }
 };
 
 /// Wraps StreamingAsap as an Operator.
@@ -35,10 +45,14 @@ class StreamingAsapOperator : public Operator {
       : asap_(std::move(asap)) {}
 
   void Consume(const std::vector<double>& batch) override {
-    asap_.PushBatch(batch);
+    asap_.PushBatch(batch.data(), batch.size());
   }
 
   std::string name() const override { return "streaming-asap"; }
+
+  OperatorStats stats() const override {
+    return OperatorStats{asap_.frame().refreshes};
+  }
 
   const StreamingAsap& asap() const { return asap_; }
   StreamingAsap& asap() { return asap_; }
@@ -56,8 +70,9 @@ struct RunReport {
 };
 
 /// Pulls `source` to exhaustion through `op` in batches of `batch_size`
-/// and reports wall-clock throughput. If `op` is a
-/// StreamingAsapOperator the refresh count is filled in.
+/// and reports wall-clock throughput; refreshes come from the
+/// operator's stats() hook. A thin wrapper over the fleet engine's
+/// one-shard drive loop (see stream/sharded_engine.h).
 RunReport RunToCompletion(Source* source, Operator* op,
                           size_t batch_size = 4096);
 
@@ -67,6 +82,15 @@ RunReport RunToCompletion(Source* source, Operator* op,
 /// (e.g. the Fig. 11 unoptimized baseline).
 RunReport RunForBudget(Source* source, Operator* op, double budget_seconds,
                        size_t batch_size = 4096);
+
+/// The one-shard, one-series, caller-thread drive loop both wrappers
+/// above delegate to: pulls `source` to exhaustion (or until
+/// `budget_seconds`, if > 0) through `op` in batches of `batch_size`.
+/// This is the degenerate case of the fleet engine
+/// (stream/sharded_engine.h), which runs one such consume loop per
+/// worker shard.
+RunReport DriveShard(Source* source, Operator* op, size_t batch_size,
+                     double budget_seconds);
 
 }  // namespace stream
 }  // namespace asap

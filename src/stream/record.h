@@ -1,0 +1,38 @@
+// Tagged records: the unit of multi-series ingestion. Real deployments
+// of ASAP smooth hundreds of metrics per host across a fleet, not one
+// series (§2: dashboards "ingest and process raw data from time series
+// databases"); every point therefore carries the id of the series it
+// belongs to, in the style of Akumuli's per-ParamId query pipeline.
+
+#ifndef ASAP_STREAM_RECORD_H_
+#define ASAP_STREAM_RECORD_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace asap {
+namespace stream {
+
+/// Identifies one logical time series within a fleet (e.g. one metric
+/// on one host). Ids need not be dense or consecutive.
+using SeriesId = uint32_t;
+
+/// One tagged raw point.
+struct Record {
+  SeriesId series_id = 0;
+  double value = 0.0;
+};
+
+inline bool operator==(const Record& a, const Record& b) {
+  return a.series_id == b.series_id && a.value == b.value;
+}
+
+/// A batch of tagged points, in ingestion order. Per-series order
+/// within and across batches is the series' stream order; records of
+/// different series may interleave arbitrarily.
+using RecordBatch = std::vector<Record>;
+
+}  // namespace stream
+}  // namespace asap
+
+#endif  // ASAP_STREAM_RECORD_H_

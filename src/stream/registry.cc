@@ -1,0 +1,38 @@
+#include "stream/registry.h"
+
+#include <algorithm>
+
+namespace asap {
+namespace stream {
+
+StreamingAsap& SeriesRegistry::GetOrCreate(SeriesId id) {
+  auto it = series_.find(id);
+  if (it == series_.end()) {
+    it = series_.emplace(id, StreamingAsap::Create(options_).ValueOrDie())
+             .first;
+  }
+  return it->second;
+}
+
+StreamingAsap* SeriesRegistry::Find(SeriesId id) {
+  auto it = series_.find(id);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+const StreamingAsap* SeriesRegistry::Find(SeriesId id) const {
+  auto it = series_.find(id);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<SeriesId> SeriesRegistry::Ids() const {
+  std::vector<SeriesId> ids;
+  ids.reserve(series_.size());
+  for (const auto& entry : series_) {
+    ids.push_back(entry.first);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace stream
+}  // namespace asap

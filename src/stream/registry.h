@@ -1,0 +1,62 @@
+// Per-shard series table, in the mold of Akumuli's query pipeline
+// nodes: each node owns a map from series id to per-series operator
+// state, created lazily the first time a series is seen, from one
+// shared factory configuration. The sharded fleet engine gives every
+// worker shard its own registry, so lookups and operator state never
+// cross threads.
+
+#ifndef ASAP_STREAM_REGISTRY_H_
+#define ASAP_STREAM_REGISTRY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/streaming_asap.h"
+#include "stream/record.h"
+
+namespace asap {
+namespace stream {
+
+/// Lazily-populated table of per-series StreamingAsap operators.
+/// Not thread-safe: the owner (one worker shard) serializes access.
+class SeriesRegistry {
+ public:
+  /// `options` is the factory configuration every lazily-created
+  /// operator is built from. Must be valid per StreamingAsap::Create
+  /// (the fleet engine validates it once up front).
+  explicit SeriesRegistry(const StreamingOptions& options)
+      : options_(options) {}
+
+  /// Returns the operator for `id`, creating it on first sight.
+  StreamingAsap& GetOrCreate(SeriesId id);
+
+  /// Returns the operator for `id`, or nullptr if never seen.
+  StreamingAsap* Find(SeriesId id);
+  const StreamingAsap* Find(SeriesId id) const;
+
+  /// Number of distinct series seen.
+  size_t size() const { return series_.size(); }
+
+  /// All series ids seen, ascending (stable ordering for reports).
+  std::vector<SeriesId> Ids() const;
+
+  /// Calls fn(SeriesId, const StreamingAsap&) for every series, in
+  /// unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& entry : series_) {
+      fn(entry.first, entry.second);
+    }
+  }
+
+  const StreamingOptions& options() const { return options_; }
+
+ private:
+  StreamingOptions options_;
+  std::unordered_map<SeriesId, StreamingAsap> series_;
+};
+
+}  // namespace stream
+}  // namespace asap
+
+#endif  // ASAP_STREAM_REGISTRY_H_

@@ -1,0 +1,290 @@
+#include "stream/sharded_engine.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+
+namespace asap {
+namespace stream {
+
+// One worker shard: a slice of the fleet's series table plus the
+// bounded batch queue that feeds it. Queue state is guarded by `mu`;
+// `registry_mu` serializes the worker's batch consumption against
+// concurrent Snapshot lookups (the frame read itself is lock-free —
+// the map lookup is what needs the lock). Worker-side counters are
+// written by the worker thread only and read after join.
+struct ShardedEngine::Shard {
+  explicit Shard(const StreamingOptions& series_options)
+      : registry(series_options) {}
+
+  SeriesRegistry registry;
+  mutable std::mutex registry_mu;
+
+  std::mutex mu;
+  std::condition_variable not_empty;
+  std::condition_variable not_full;
+  std::deque<RecordBatch> queue;
+  bool closed = false;
+  size_t peak_queue_depth = 0;  // producer-side, under mu
+
+  // Worker-side per-run counters.
+  uint64_t points = 0;
+  uint64_t batches = 0;
+  double busy_seconds = 0.0;
+
+  void Enqueue(RecordBatch batch, size_t capacity) {
+    std::unique_lock<std::mutex> lock(mu);
+    not_full.wait(lock, [&] { return queue.size() < capacity; });
+    queue.push_back(std::move(batch));
+    peak_queue_depth = std::max(peak_queue_depth, queue.size());
+    not_empty.notify_one();
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu);
+    closed = true;
+    not_empty.notify_all();
+  }
+
+  /// Returns false when the queue is closed and drained.
+  bool Dequeue(RecordBatch* out) {
+    std::unique_lock<std::mutex> lock(mu);
+    not_empty.wait(lock, [&] { return closed || !queue.empty(); });
+    if (queue.empty()) {
+      return false;
+    }
+    *out = std::move(queue.front());
+    queue.pop_front();
+    not_full.notify_one();
+    return true;
+  }
+
+  /// Consumes queued batches until the queue closes and drains.
+  /// Records of one series are contiguous runs within a batch only by
+  /// accident; the loop groups whatever runs exist so full panes take
+  /// StreamingAsap's bulk-append fast path. registry_mu is held only
+  /// around the map lookup/insert — never across PushBatch — so a
+  /// concurrent Snapshot waits for a pointer chase, not a window
+  /// search. The operator pointer stays valid outside the lock:
+  /// unordered_map never invalidates references on insert, and this
+  /// worker is the shard's only mutator.
+  void WorkerLoop() {
+    RecordBatch batch;
+    std::vector<double> run_values;
+    while (Dequeue(&batch)) {
+      Stopwatch busy;
+      size_t i = 0;
+      while (i < batch.size()) {
+        const SeriesId id = batch[i].series_id;
+        size_t j = i + 1;
+        while (j < batch.size() && batch[j].series_id == id) {
+          ++j;
+        }
+        run_values.clear();
+        run_values.reserve(j - i);
+        for (size_t k = i; k < j; ++k) {
+          run_values.push_back(batch[k].value);
+        }
+        StreamingAsap* op = nullptr;
+        {
+          std::lock_guard<std::mutex> lock(registry_mu);
+          op = &registry.GetOrCreate(id);
+        }
+        op->PushBatch(run_values.data(), run_values.size());
+        i = j;
+      }
+      points += batch.size();
+      batches += 1;
+      busy_seconds += busy.ElapsedSeconds();
+    }
+  }
+
+  void ResetRunCounters() {
+    std::lock_guard<std::mutex> lock(mu);
+    ASAP_CHECK(queue.empty());
+    closed = false;
+    peak_queue_depth = 0;
+    points = 0;
+    batches = 0;
+    busy_seconds = 0.0;
+  }
+};
+
+Result<ShardedEngine> ShardedEngine::Create(
+    const StreamingOptions& series_options,
+    const ShardedEngineOptions& engine_options) {
+  if (engine_options.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  if (engine_options.batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (engine_options.queue_capacity < 1) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  // Probe the per-series factory configuration once so invalid options
+  // fail here instead of aborting inside a worker thread at first use.
+  Result<StreamingAsap> probe = StreamingAsap::Create(series_options);
+  if (!probe.ok()) {
+    return probe.status();
+  }
+  return ShardedEngine(series_options, engine_options);
+}
+
+ShardedEngine::ShardedEngine(const StreamingOptions& series_options,
+                             const ShardedEngineOptions& engine_options)
+    : series_options_(series_options), options_(engine_options) {
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(series_options_));
+  }
+}
+
+ShardedEngine::ShardedEngine(ShardedEngine&&) noexcept = default;
+ShardedEngine& ShardedEngine::operator=(ShardedEngine&&) noexcept = default;
+ShardedEngine::~ShardedEngine() = default;
+
+size_t ShardedEngine::shards() const { return shards_.size(); }
+
+size_t ShardedEngine::ShardOf(SeriesId id, size_t shard_count) {
+  ASAP_CHECK_GE(shard_count, 1u);
+  // splitmix64 finalizer: cheap, and spreads the dense sequential ids
+  // fleets typically assign (host 0..N) instead of striping them.
+  uint64_t h = id;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return static_cast<size_t>(h % shard_count);
+}
+
+std::shared_ptr<const StreamingAsap::Frame> ShardedEngine::Snapshot(
+    SeriesId id) const {
+  const Shard& shard = *shards_[ShardOf(id, shards_.size())];
+  std::lock_guard<std::mutex> lock(shard.registry_mu);
+  const StreamingAsap* op = shard.registry.Find(id);
+  return op == nullptr ? nullptr : op->frame_snapshot();
+}
+
+const SeriesRegistry& ShardedEngine::shard_registry(size_t shard) const {
+  ASAP_CHECK_LT(shard, shards_.size());
+  return shards_[shard]->registry;
+}
+
+FleetReport ShardedEngine::RunToCompletion(MultiSource* source) {
+  return Run(source, /*budget_seconds=*/0.0);
+}
+
+FleetReport ShardedEngine::RunForBudget(MultiSource* source,
+                                        double budget_seconds) {
+  ASAP_CHECK_GT(budget_seconds, 0.0);
+  return Run(source, budget_seconds);
+}
+
+FleetReport ShardedEngine::Run(MultiSource* source, double budget_seconds) {
+  ASAP_CHECK(source != nullptr);
+  const size_t num_shards = shards_.size();
+  for (auto& shard : shards_) {
+    shard->ResetRunCounters();
+  }
+
+  Stopwatch watch;
+  std::vector<std::thread> workers;
+  workers.reserve(num_shards);
+  for (auto& shard : shards_) {
+    workers.emplace_back([s = shard.get()] { s->WorkerLoop(); });
+  }
+
+  // Producer: pull tagged batches, partition by shard, enqueue. An
+  // enqueue donates its buffer to the queue and replaces it with a
+  // fresh pre-reserved one, so the partition path never re-grows a
+  // split vector mid-pump.
+  FleetReport report;
+  RecordBatch pull;
+  pull.reserve(options_.batch_size);
+  std::vector<RecordBatch> split(num_shards);
+  for (RecordBatch& buffer : split) {
+    buffer.reserve(options_.batch_size);
+  }
+  for (;;) {
+    if (budget_seconds > 0.0 && watch.ElapsedSeconds() >= budget_seconds) {
+      break;
+    }
+    pull.clear();
+    const size_t n = source->NextBatch(options_.batch_size, &pull);
+    if (n == 0) {
+      break;
+    }
+    report.points += n;
+    if (num_shards == 1) {
+      shards_[0]->Enqueue(std::move(pull), options_.queue_capacity);
+      pull = RecordBatch{};
+      pull.reserve(options_.batch_size);
+      continue;
+    }
+    for (const Record& r : pull) {
+      split[ShardOf(r.series_id, num_shards)].push_back(r);
+    }
+    for (size_t i = 0; i < num_shards; ++i) {
+      if (split[i].empty()) {
+        continue;
+      }
+      shards_[i]->Enqueue(std::move(split[i]), options_.queue_capacity);
+      split[i] = RecordBatch{};
+      split[i].reserve(options_.batch_size);
+    }
+  }
+
+  for (auto& shard : shards_) {
+    shard->Close();
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  report.seconds = watch.ElapsedSeconds();
+  report.points_per_second =
+      report.seconds > 0.0
+          ? static_cast<double>(report.points) / report.seconds
+          : 0.0;
+
+  for (size_t i = 0; i < num_shards; ++i) {
+    const Shard& shard = *shards_[i];
+    ShardReport sr;
+    sr.shard = i;
+    sr.points = shard.points;
+    sr.batches = shard.batches;
+    sr.series = shard.registry.size();
+    sr.peak_queue_depth = shard.peak_queue_depth;
+    sr.busy_seconds = shard.busy_seconds;
+    shard.registry.ForEach([&sr](SeriesId, const StreamingAsap& op) {
+      sr.refreshes += op.frame().refreshes;
+    });
+    report.refreshes += sr.refreshes;
+    report.series += sr.series;
+    report.shards.push_back(sr);
+
+    for (SeriesId id : shard.registry.Ids()) {
+      const StreamingAsap& op = *shard.registry.Find(id);
+      SeriesReport series_report;
+      series_report.id = id;
+      series_report.points = op.points_consumed();
+      series_report.refreshes = op.frame().refreshes;
+      series_report.window = op.frame().window;
+      report.per_series.push_back(series_report);
+    }
+  }
+  std::sort(report.per_series.begin(), report.per_series.end(),
+            [](const SeriesReport& a, const SeriesReport& b) {
+              return a.id < b.id;
+            });
+  return report;
+}
+
+}  // namespace stream
+}  // namespace asap

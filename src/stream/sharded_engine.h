@@ -1,0 +1,151 @@
+// The multi-series, multi-threaded fleet engine.
+//
+// A fleet stream of tagged records is hash-partitioned by series id
+// across T worker shards. Each shard owns a SeriesRegistry (its slice
+// of the fleet's StreamingAsap operators), fed through a bounded FIFO
+// batch queue by the producer (the caller's thread, which pulls the
+// MultiSource). Because one series always lands on one shard and each
+// shard's queue is FIFO, every series sees its points in stream order
+// no matter how many shards run — fleet results are refresh-for-
+// refresh identical to running each series alone (determinism parity).
+//
+// Topology per run:
+//
+//   MultiSource --pull--> producer --hash(series_id)--> queue[0] -> shard 0
+//                                                       queue[1] -> shard 1
+//                                                       ...         ...
+//
+// Bounded queues give natural backpressure: a producer outrunning the
+// shards blocks instead of buffering without limit. Live dashboards
+// read per-series frames through StreamingAsap's lock-free snapshots
+// (ShardedEngine::Snapshot) while the run is in flight.
+
+#ifndef ASAP_STREAM_SHARDED_ENGINE_H_
+#define ASAP_STREAM_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/streaming_asap.h"
+#include "stream/engine.h"
+#include "stream/record.h"
+#include "stream/registry.h"
+#include "stream/source.h"
+
+namespace asap {
+namespace stream {
+
+/// Fleet engine configuration.
+struct ShardedEngineOptions {
+  /// Worker threads; series are hash-partitioned across them.
+  size_t shards = 1;
+
+  /// Records pulled from the MultiSource per producer pump.
+  size_t batch_size = 4096;
+
+  /// In-flight batches buffered per shard before the producer blocks
+  /// (backpressure bound).
+  size_t queue_capacity = 16;
+};
+
+/// Per-shard slice of a fleet run.
+struct ShardReport {
+  size_t shard = 0;
+  /// Records this shard consumed during the run.
+  uint64_t points = 0;
+  /// Batches dequeued during the run.
+  uint64_t batches = 0;
+  /// Lifetime refreshes across this shard's series (mirrors
+  /// RunReport::refreshes semantics).
+  uint64_t refreshes = 0;
+  /// Distinct series resident in this shard's registry.
+  size_t series = 0;
+  /// Deepest the shard's queue got during the run — a backpressure
+  /// indicator (== queue_capacity means the producer blocked).
+  size_t peak_queue_depth = 0;
+  /// Wall time the worker spent consuming batches (vs waiting).
+  double busy_seconds = 0.0;
+};
+
+/// Per-series slice of a fleet run (lifetime counters).
+struct SeriesReport {
+  SeriesId id = 0;
+  uint64_t points = 0;
+  uint64_t refreshes = 0;
+  /// Final chosen SMA window in panes.
+  size_t window = 1;
+};
+
+/// Aggregate result of one fleet run.
+struct FleetReport {
+  /// Records pulled from the source during the run.
+  uint64_t points = 0;
+  double seconds = 0.0;
+  double points_per_second = 0.0;
+  /// Sum of lifetime refreshes across all series.
+  uint64_t refreshes = 0;
+  /// Distinct series across all shards.
+  size_t series = 0;
+  std::vector<ShardReport> shards;
+  /// Sorted by series id.
+  std::vector<SeriesReport> per_series;
+};
+
+/// Drives a MultiSource through hash-sharded per-series StreamingAsap
+/// operators on T worker threads. Registries persist across runs, so
+/// an engine can alternate Run calls with live Snapshot reads the way
+/// a dashboard alternates ingest and render.
+class ShardedEngine {
+ public:
+  /// Validates both option structs (series options must satisfy
+  /// StreamingAsap::Create; shards/batch/queue must be >= 1).
+  static Result<ShardedEngine> Create(
+      const StreamingOptions& series_options,
+      const ShardedEngineOptions& engine_options = ShardedEngineOptions{});
+
+  ShardedEngine(ShardedEngine&&) noexcept;
+  ShardedEngine& operator=(ShardedEngine&&) noexcept;
+  ~ShardedEngine();
+
+  /// Pulls `source` to exhaustion through the fleet.
+  FleetReport RunToCompletion(MultiSource* source);
+
+  /// Stops pulling after `budget_seconds` of wall time (checked
+  /// between batches); queued batches still drain.
+  FleetReport RunForBudget(MultiSource* source, double budget_seconds);
+
+  size_t shards() const;
+
+  /// The shard a series id maps to (stable for the engine's lifetime).
+  static size_t ShardOf(SeriesId id, size_t shard_count);
+
+  /// Lock-free-published frame of one series, safe to call from any
+  /// thread while a run is in flight; nullptr if the series has not
+  /// been seen yet. The returned frame is immutable — no copy is made
+  /// to serve the read.
+  std::shared_ptr<const StreamingAsap::Frame> Snapshot(SeriesId id) const;
+
+  /// Read access to one shard's series table (callers must not run
+  /// the engine concurrently with unsynchronized deep reads; prefer
+  /// Snapshot while a run is live).
+  const SeriesRegistry& shard_registry(size_t shard) const;
+
+ private:
+  struct Shard;
+
+  ShardedEngine(const StreamingOptions& series_options,
+                const ShardedEngineOptions& engine_options);
+
+  FleetReport Run(MultiSource* source, double budget_seconds);
+
+  StreamingOptions series_options_;
+  ShardedEngineOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace stream
+}  // namespace asap
+
+#endif  // ASAP_STREAM_SHARDED_ENGINE_H_

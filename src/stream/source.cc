@@ -27,12 +27,103 @@ LoopingSource::LoopingSource(std::vector<double> values, size_t total_points)
 size_t LoopingSource::NextBatch(size_t max_points, std::vector<double>* out) {
   ASAP_CHECK(out != nullptr);
   size_t produced = 0;
-  while (produced < max_points && emitted_ < total_points_) {
+  while (produced < max_points &&
+         (total_points_ == 0 || emitted_ < total_points_)) {
     out->push_back(values_[emitted_ % values_.size()]);
     ++emitted_;
     ++produced;
   }
   return produced;
+}
+
+TaggedSource::TaggedSource(SeriesId series_id, std::unique_ptr<Source> inner)
+    : series_id_(series_id), inner_(std::move(inner)) {
+  ASAP_CHECK(inner_ != nullptr);
+}
+
+size_t TaggedSource::NextBatch(size_t max_records, RecordBatch* out) {
+  ASAP_CHECK(out != nullptr);
+  scratch_.clear();
+  const size_t n = inner_->NextBatch(max_records, &scratch_);
+  out->reserve(out->size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(Record{series_id_, scratch_[i]});
+  }
+  return n;
+}
+
+void InterleavingMultiSource::Add(SeriesId series_id,
+                                  std::unique_ptr<Source> source) {
+  ASAP_CHECK(source != nullptr);
+  for (const Entry& e : entries_) {
+    ASAP_CHECK(e.id != series_id);
+  }
+  entries_.push_back(Entry{series_id, std::move(source)});
+}
+
+void InterleavingMultiSource::AddVector(SeriesId series_id,
+                                        std::vector<double> values) {
+  Add(series_id, std::make_unique<VectorSource>(std::move(values)));
+}
+
+void InterleavingMultiSource::AddLooping(SeriesId series_id,
+                                         std::vector<double> values,
+                                         size_t total_points) {
+  Add(series_id,
+      std::make_unique<LoopingSource>(std::move(values), total_points));
+}
+
+size_t InterleavingMultiSource::NextBatch(size_t max_records,
+                                          RecordBatch* out) {
+  ASAP_CHECK(out != nullptr);
+  if (entries_.empty() || max_records == 0) {
+    return 0;
+  }
+  size_t produced = 0;
+  size_t consecutive_dry = 0;
+  while (produced < max_records && consecutive_dry < entries_.size()) {
+    Entry& e = entries_[cursor_];
+    cursor_ = (cursor_ + 1) % entries_.size();
+    if (e.exhausted) {
+      ++consecutive_dry;
+      continue;
+    }
+    // Deal this series an equal share of the remaining budget (at
+    // least one point) so one chatty series cannot starve the rest.
+    const size_t live = entries_.size() - exhausted_count_;
+    const size_t share =
+        std::max<size_t>((max_records - produced) / std::max<size_t>(live, 1),
+                         1);
+    scratch_.clear();
+    const size_t n = e.source->NextBatch(share, &scratch_);
+    if (n == 0) {
+      e.exhausted = true;
+      ++exhausted_count_;
+      ++consecutive_dry;
+      continue;
+    }
+    consecutive_dry = 0;
+    out->reserve(out->size() + n);
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(Record{e.id, scratch_[i]});
+    }
+    produced += n;
+  }
+  return produced;
+}
+
+size_t InterleavingMultiSource::TotalPoints() const {
+  size_t total = 0;
+  for (const Entry& e : entries_) {
+    const size_t n = e.source->TotalPoints();
+    if (n == 0) {
+      // Any member reporting 0 (unbounded or unknown) makes the fleet
+      // total unknown.
+      return 0;
+    }
+    total += n;
+  }
+  return total;
 }
 
 }  // namespace stream

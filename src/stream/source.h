@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "stream/record.h"
 #include "ts/timeseries.h"
 
 namespace asap {
@@ -43,9 +44,9 @@ class VectorSource : public Source {
   size_t position_ = 0;
 };
 
-/// Replays a vector cyclically until `total_points` have been emitted —
-/// used to stretch a dataset into an arbitrarily long stream for
-/// throughput runs.
+/// Replays a vector cyclically until `total_points` have been emitted
+/// (0 = endless) — used to stretch a dataset into an arbitrarily long
+/// stream for throughput runs.
 class LoopingSource : public Source {
  public:
   LoopingSource(std::vector<double> values, size_t total_points);
@@ -57,6 +58,79 @@ class LoopingSource : public Source {
   std::vector<double> values_;
   size_t total_points_;
   size_t emitted_ = 0;
+};
+
+/// Pull-based source of *tagged* records — the multi-series ingestion
+/// interface consumed by the sharded fleet engine. Contract: each
+/// series' records appear in that series' stream order; records of
+/// different series may interleave arbitrarily.
+class MultiSource {
+ public:
+  virtual ~MultiSource() = default;
+
+  /// Appends up to `max_records` records to *out; returns the number
+  /// appended (0 = exhausted).
+  virtual size_t NextBatch(size_t max_records, RecordBatch* out) = 0;
+
+  /// Total records this source will ever produce; 0 means unbounded
+  /// or unknown (a member Source reporting 0 cannot be distinguished
+  /// from one that happens to produce zero points).
+  virtual size_t TotalPoints() const = 0;
+};
+
+/// Tags every point of a single-series Source with one SeriesId —
+/// lifts the existing sources (and anything built on them) into the
+/// fleet world.
+class TaggedSource : public MultiSource {
+ public:
+  TaggedSource(SeriesId series_id, std::unique_ptr<Source> inner);
+
+  size_t NextBatch(size_t max_records, RecordBatch* out) override;
+  size_t TotalPoints() const override { return inner_->TotalPoints(); }
+
+ private:
+  SeriesId series_id_;
+  std::unique_ptr<Source> inner_;
+  std::vector<double> scratch_;
+};
+
+/// Round-robin interleaver over many (SeriesId, Source) pairs — models
+/// a scrape cycle that visits every host once per interval. Each
+/// NextBatch deals the budget across the series that are still live;
+/// exhausted series drop out of the rotation. Per-series point order
+/// is preserved, so fleet runs are refresh-for-refresh deterministic.
+class InterleavingMultiSource : public MultiSource {
+ public:
+  InterleavingMultiSource() = default;
+
+  /// Registers a series. Ids must be unique across Add calls.
+  void Add(SeriesId series_id, std::unique_ptr<Source> source);
+
+  /// Convenience: registers a series replayed once from a vector
+  /// (e.g. a dataset loader's values).
+  void AddVector(SeriesId series_id, std::vector<double> values);
+
+  /// Convenience: registers a series looped out to `total_points`
+  /// (throughput runs over stretched datasets).
+  void AddLooping(SeriesId series_id, std::vector<double> values,
+                  size_t total_points);
+
+  size_t NextBatch(size_t max_records, RecordBatch* out) override;
+  size_t TotalPoints() const override;
+
+  size_t series_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    SeriesId id;
+    std::unique_ptr<Source> source;
+    bool exhausted = false;
+  };
+
+  std::vector<Entry> entries_;
+  size_t cursor_ = 0;           // round-robin position
+  size_t exhausted_count_ = 0;  // series that have run dry
+  std::vector<double> scratch_;
 };
 
 }  // namespace stream

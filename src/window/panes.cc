@@ -75,12 +75,53 @@ bool PaneBuffer::Push(double x) {
   if (current_.count < pane_size_) {
     return false;
   }
+  CommitCurrent();
+  return true;
+}
+
+void PaneBuffer::PushBulk(const double* xs, size_t n) {
+  ASAP_CHECK(xs != nullptr || n == 0);
+  points_consumed_ += n;
+  size_t i = 0;
+  // Top off the in-progress pane point by point.
+  while (i < n && current_.count != 0) {
+    current_.sum += xs[i++];
+    current_.count += 1;
+    if (current_.count == pane_size_) {
+      CommitCurrent();
+    }
+  }
+  // Whole panes: one tight sum per pane, one branch per pane.
+  while (n - i >= pane_size_) {
+    double sum = 0.0;
+    for (size_t j = 0; j < pane_size_; ++j) {
+      sum += xs[i + j];
+    }
+    i += pane_size_;
+    current_.sum = sum;
+    current_.count = pane_size_;
+    CommitCurrent();
+  }
+  // Remainder starts the next in-progress pane.
+  for (; i < n; ++i) {
+    current_.sum += xs[i];
+    current_.count += 1;
+  }
+}
+
+size_t PaneBuffer::PointsUntilPaneCount(size_t target) const {
+  if (panes_.size() >= target) {
+    return 0;
+  }
+  return (target - panes_.size()) * pane_size_ - current_.count;
+}
+
+void PaneBuffer::CommitCurrent() {
   panes_.push_back(current_);
   current_ = Pane{};
   if (max_panes_ != 0 && panes_.size() > max_panes_) {
     panes_.pop_front();
   }
-  return true;
 }
 
 std::vector<double> PaneBuffer::PaneMeans() const {

@@ -52,6 +52,16 @@ class PaneBuffer {
   /// (i.e. the preaggregated series grew by one).
   bool Push(double x);
 
+  /// Bulk-appends n raw points: tops off the in-progress pane, then
+  /// accumulates whole panes in tight sum loops instead of branching
+  /// per point. State is exactly as after n Push() calls.
+  void PushBulk(const double* xs, size_t n);
+
+  /// Raw points that must still arrive before `target` complete panes
+  /// are retained (0 if already there). Monotone: eviction never
+  /// reduces the retained count below max_panes once reached.
+  size_t PointsUntilPaneCount(size_t target) const;
+
   /// Means of all retained (complete) panes, oldest first.
   std::vector<double> PaneMeans() const;
 
@@ -66,6 +76,10 @@ class PaneBuffer {
   void Reset();
 
  private:
+  /// Retains the completed in-progress pane, evicting the oldest pane
+  /// beyond max_panes.
+  void CommitCurrent();
+
   size_t pane_size_;
   size_t max_panes_;
   std::deque<Pane> panes_;  // complete panes only

@@ -1,0 +1,313 @@
+// Tests for the multi-series fleet runtime: tagged sources, the
+// per-shard series registry, and the sharded engine's determinism
+// parity — for any shard count, every series' final frame must be
+// identical to running that series alone through StreamingAsap.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "common/random.h"
+#include "stream/sharded_engine.h"
+#include "stream/source.h"
+#include "ts/generators.h"
+
+namespace asap {
+namespace stream {
+namespace {
+
+std::vector<double> FleetSeries(SeriesId id, size_t n) {
+  Pcg32 rng(1000 + id);
+  const double period = 24.0 + 8.0 * static_cast<double>(id % 7);
+  return gen::Add(gen::Sine(n, period, 1.0 + 0.1 * id),
+                  gen::WhiteNoise(&rng, n, 0.4));
+}
+
+StreamingOptions FleetOptions() {
+  StreamingOptions options;
+  options.resolution = 100;
+  options.visible_points = 2000;
+  options.refresh_every_points = 250;
+  return options;
+}
+
+TEST(TaggedSourceTest, TagsEveryPointWithTheSeriesId) {
+  auto inner = std::make_unique<VectorSource>(std::vector<double>{1, 2, 3});
+  TaggedSource source(/*series_id=*/42, std::move(inner));
+  RecordBatch out;
+  EXPECT_EQ(source.NextBatch(2, &out), 2u);
+  EXPECT_EQ(source.NextBatch(10, &out), 1u);
+  EXPECT_EQ(source.NextBatch(10, &out), 0u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (Record{42, 1.0}));
+  EXPECT_EQ(out[2], (Record{42, 3.0}));
+  EXPECT_EQ(source.TotalPoints(), 3u);
+}
+
+TEST(InterleavingMultiSourceTest, PreservesPerSeriesOrder) {
+  InterleavingMultiSource source;
+  const std::vector<std::vector<double>> series = {
+      {1, 2, 3, 4, 5, 6, 7}, {10, 20, 30}, {100, 200, 300, 400, 500}};
+  for (SeriesId id = 0; id < series.size(); ++id) {
+    source.AddVector(id, series[id]);
+  }
+  EXPECT_EQ(source.series_count(), 3u);
+  EXPECT_EQ(source.TotalPoints(), 15u);
+
+  RecordBatch all;
+  RecordBatch batch;
+  size_t n;
+  while ((n = source.NextBatch(4, &batch)) > 0) {
+    all.insert(all.end(), batch.begin(), batch.end());
+    batch.clear();
+  }
+  ASSERT_EQ(all.size(), 15u);
+
+  // Projecting the interleaved stream onto one series id must yield
+  // that series' values in order.
+  std::map<SeriesId, std::vector<double>> by_series;
+  for (const Record& r : all) {
+    by_series[r.series_id].push_back(r.value);
+  }
+  ASSERT_EQ(by_series.size(), 3u);
+  for (SeriesId id = 0; id < series.size(); ++id) {
+    EXPECT_EQ(by_series[id], series[id]) << "series " << id;
+  }
+}
+
+TEST(InterleavingMultiSourceTest, UnboundedMemberMakesFleetUnbounded) {
+  InterleavingMultiSource source;
+  source.AddVector(0, {1, 2, 3});
+  source.AddLooping(1, {4, 5}, /*total_points=*/0);  // 0 = endless
+  EXPECT_EQ(source.TotalPoints(), 0u);
+  // The endless member really does keep producing.
+  RecordBatch out;
+  EXPECT_EQ(source.NextBatch(100, &out), 100u);
+  EXPECT_EQ(source.NextBatch(100, &out), 100u);
+}
+
+TEST(SeriesRegistryTest, LazilyCreatesFromFactoryOptions) {
+  SeriesRegistry registry(FleetOptions());
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.Find(7), nullptr);
+
+  StreamingAsap& op = registry.GetOrCreate(7);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(&registry.GetOrCreate(7), &op);  // same instance on re-lookup
+  EXPECT_EQ(registry.Find(7), &op);
+  EXPECT_EQ(op.pane_size(), 20u);  // 2000 / 100, from the shared options
+
+  registry.GetOrCreate(3);
+  registry.GetOrCreate(11);
+  EXPECT_EQ(registry.Ids(), (std::vector<SeriesId>{3, 7, 11}));
+}
+
+TEST(ShardedEngineTest, ShardOfIsStableAndInRange) {
+  for (size_t shard_count : {1u, 2u, 7u, 8u}) {
+    for (SeriesId id = 0; id < 200; ++id) {
+      const size_t shard = ShardedEngine::ShardOf(id, shard_count);
+      EXPECT_LT(shard, shard_count);
+      EXPECT_EQ(shard, ShardedEngine::ShardOf(id, shard_count));
+    }
+  }
+  // The hash must actually spread dense ids across 8 shards.
+  std::vector<size_t> counts(8, 0);
+  for (SeriesId id = 0; id < 64; ++id) {
+    ++counts[ShardedEngine::ShardOf(id, 8)];
+  }
+  for (size_t c : counts) {
+    EXPECT_GT(c, 0u);
+  }
+}
+
+TEST(ShardedEngineTest, CreateValidatesOptions) {
+  StreamingOptions bad_series;
+  bad_series.visible_points = 4;  // StreamingAsap::Create rejects < 8
+  EXPECT_FALSE(ShardedEngine::Create(bad_series).ok());
+
+  ShardedEngineOptions bad_engine;
+  bad_engine.shards = 0;
+  EXPECT_FALSE(ShardedEngine::Create(FleetOptions(), bad_engine).ok());
+  bad_engine.shards = 2;
+  bad_engine.queue_capacity = 0;
+  EXPECT_FALSE(ShardedEngine::Create(FleetOptions(), bad_engine).ok());
+}
+
+// The acceptance criterion: for T in {1, 4, 8}, every series' final
+// frame (window, series values, refresh count) is identical to running
+// that series alone through StreamingAsap sequentially.
+TEST(ShardedEngineTest, DeterminismParityAcrossShardCounts) {
+  const size_t kSeries = 16;
+  const size_t kPointsPerSeries = 5000;
+  const StreamingOptions options = FleetOptions();
+
+  // Sequential reference: one series at a time, point by point.
+  std::vector<StreamingAsap> reference;
+  for (SeriesId id = 0; id < kSeries; ++id) {
+    StreamingAsap op = StreamingAsap::Create(options).ValueOrDie();
+    for (double x : FleetSeries(id, kPointsPerSeries)) {
+      op.Push(x);
+    }
+    reference.push_back(std::move(op));
+  }
+
+  for (size_t shard_count : {1u, 4u, 8u}) {
+    ShardedEngineOptions engine_options;
+    engine_options.shards = shard_count;
+    engine_options.batch_size = 512;
+    ShardedEngine engine =
+        ShardedEngine::Create(options, engine_options).ValueOrDie();
+
+    InterleavingMultiSource source;
+    for (SeriesId id = 0; id < kSeries; ++id) {
+      source.AddVector(id, FleetSeries(id, kPointsPerSeries));
+    }
+    const FleetReport report = engine.RunToCompletion(&source);
+
+    EXPECT_EQ(report.points, kSeries * kPointsPerSeries);
+    EXPECT_EQ(report.series, kSeries);
+    ASSERT_EQ(report.per_series.size(), kSeries);
+
+    for (SeriesId id = 0; id < kSeries; ++id) {
+      const auto frame = engine.Snapshot(id);
+      ASSERT_NE(frame, nullptr) << "series " << id;
+      const StreamingAsap::Frame& expected = reference[id].frame();
+      EXPECT_EQ(frame->window, expected.window)
+          << "shards=" << shard_count << " series=" << id;
+      EXPECT_EQ(frame->refreshes, expected.refreshes)
+          << "shards=" << shard_count << " series=" << id;
+      EXPECT_EQ(frame->series, expected.series)
+          << "shards=" << shard_count << " series=" << id;
+      // The report row must agree with the frame.
+      EXPECT_EQ(report.per_series[id].id, id);
+      EXPECT_EQ(report.per_series[id].refreshes, expected.refreshes);
+      EXPECT_EQ(report.per_series[id].window, expected.window);
+      EXPECT_EQ(report.per_series[id].points, kPointsPerSeries);
+    }
+  }
+}
+
+TEST(ShardedEngineTest, FleetReportAggregatesShardSlices) {
+  ShardedEngineOptions engine_options;
+  engine_options.shards = 4;
+  engine_options.batch_size = 256;
+  engine_options.queue_capacity = 4;
+  ShardedEngine engine =
+      ShardedEngine::Create(FleetOptions(), engine_options).ValueOrDie();
+
+  InterleavingMultiSource source;
+  const size_t kSeries = 12;
+  for (SeriesId id = 0; id < kSeries; ++id) {
+    source.AddVector(id, FleetSeries(id, 3000));
+  }
+  const FleetReport report = engine.RunToCompletion(&source);
+
+  ASSERT_EQ(report.shards.size(), 4u);
+  uint64_t shard_points = 0;
+  uint64_t shard_refreshes = 0;
+  size_t shard_series = 0;
+  for (const ShardReport& sr : report.shards) {
+    shard_points += sr.points;
+    shard_refreshes += sr.refreshes;
+    shard_series += sr.series;
+    EXPECT_LE(sr.peak_queue_depth, engine_options.queue_capacity);
+  }
+  EXPECT_EQ(shard_points, report.points);
+  EXPECT_EQ(shard_refreshes, report.refreshes);
+  EXPECT_EQ(shard_series, report.series);
+  EXPECT_EQ(report.series, kSeries);
+  EXPECT_GT(report.refreshes, 0u);
+  EXPECT_GT(report.points_per_second, 0.0);
+
+  // Ids in per_series are sorted and unique.
+  for (size_t i = 1; i < report.per_series.size(); ++i) {
+    EXPECT_LT(report.per_series[i - 1].id, report.per_series[i].id);
+  }
+}
+
+TEST(ShardedEngineTest, SnapshotIsSafeWhileRunIsInFlight) {
+  // A dashboard thread polls frames while the fleet streams — the
+  // TSan CI job gates this path for data races.
+  ShardedEngineOptions engine_options;
+  engine_options.shards = 4;
+  engine_options.batch_size = 512;
+  ShardedEngine engine =
+      ShardedEngine::Create(FleetOptions(), engine_options).ValueOrDie();
+
+  InterleavingMultiSource source;
+  const size_t kSeries = 8;
+  for (SeriesId id = 0; id < kSeries; ++id) {
+    source.AddLooping(id, FleetSeries(id, 4000), /*total_points=*/60000);
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> frames_seen{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      for (SeriesId id = 0; id < kSeries; ++id) {
+        const auto frame = engine.Snapshot(id);
+        if (frame != nullptr && frame->refreshes > 0) {
+          // Reading through the snapshot must always be coherent.
+          EXPECT_GE(frame->window, 1u);
+          frames_seen.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  const FleetReport report = engine.RunToCompletion(&source);
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(report.points, kSeries * 60000u);
+  EXPECT_GT(report.refreshes, 0u);
+  // The reader must have observed at least the final frames.
+  for (SeriesId id = 0; id < kSeries; ++id) {
+    EXPECT_NE(engine.Snapshot(id), nullptr);
+  }
+}
+
+TEST(ShardedEngineTest, RunForBudgetStopsPullingEarly) {
+  ShardedEngineOptions engine_options;
+  engine_options.shards = 2;
+  engine_options.batch_size = 1024;
+  ShardedEngine engine =
+      ShardedEngine::Create(FleetOptions(), engine_options).ValueOrDie();
+
+  InterleavingMultiSource source;
+  for (SeriesId id = 0; id < 4; ++id) {
+    // Effectively endless: the budget, not the source, must stop us.
+    source.AddLooping(id, FleetSeries(id, 4000),
+                      /*total_points=*/size_t{1} << 40);
+  }
+  const FleetReport report = engine.RunForBudget(&source, 0.15);
+  EXPECT_GT(report.points, 0u);
+  EXPECT_GE(report.seconds, 0.15);
+  EXPECT_LT(report.seconds, 10.0);  // termination, with headroom for CI
+}
+
+TEST(ShardedEngineTest, RegistriesPersistAcrossRuns) {
+  ShardedEngine engine = ShardedEngine::Create(FleetOptions()).ValueOrDie();
+
+  InterleavingMultiSource first;
+  first.AddVector(5, FleetSeries(5, 3000));
+  const FleetReport r1 = engine.RunToCompletion(&first);
+  const uint64_t refreshes_after_first = r1.refreshes;
+  EXPECT_GT(refreshes_after_first, 0u);
+
+  // A second run over the same series continues its state: refresh
+  // counters are lifetime, and the visible window carries over.
+  InterleavingMultiSource second;
+  second.AddVector(5, FleetSeries(5, 3000));
+  const FleetReport r2 = engine.RunToCompletion(&second);
+  EXPECT_GT(r2.refreshes, refreshes_after_first);
+  EXPECT_EQ(r2.series, 1u);
+  EXPECT_EQ(engine.Snapshot(5)->refreshes, r2.refreshes);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace asap

@@ -41,6 +41,80 @@ TEST(LoopingSourceTest, WrapsAroundUntilTotal) {
   EXPECT_EQ(out, (std::vector<double>{1, 2, 3, 1, 2, 3, 1}));
 }
 
+TEST(LoopingSourceTest, PartialFinalBatchStopsAtTotal) {
+  // total_points is not a multiple of either the payload length or the
+  // batch size: the final batch must be partial and stop exactly at
+  // the total.
+  LoopingSource source({1, 2, 3, 4, 5}, /*total_points=*/12);
+  std::vector<double> out;
+  EXPECT_EQ(source.NextBatch(5, &out), 5u);
+  EXPECT_EQ(source.NextBatch(5, &out), 5u);
+  EXPECT_EQ(source.NextBatch(5, &out), 2u);  // partial final batch
+  EXPECT_EQ(source.NextBatch(5, &out), 0u);
+  EXPECT_EQ(out,
+            (std::vector<double>{1, 2, 3, 4, 5, 1, 2, 3, 4, 5, 1, 2}));
+}
+
+TEST(LoopingSourceTest, ZeroTotalMeansEndless) {
+  LoopingSource source({1, 2}, /*total_points=*/0);
+  EXPECT_EQ(source.TotalPoints(), 0u);  // 0 = unbounded, per the contract
+  std::vector<double> out;
+  EXPECT_EQ(source.NextBatch(1000, &out), 1000u);
+  EXPECT_EQ(source.NextBatch(1000, &out), 1000u);
+  EXPECT_EQ(out[999], 2.0);
+  EXPECT_EQ(out[1000], 1.0);
+}
+
+TEST(LoopingSourceTest, WrapAroundMidBatch) {
+  // A batch that straddles the payload boundary must wrap in place.
+  LoopingSource source({7, 8, 9}, /*total_points=*/8);
+  std::vector<double> out;
+  EXPECT_EQ(source.NextBatch(100, &out), 8u);
+  EXPECT_EQ(out, (std::vector<double>{7, 8, 9, 7, 8, 9, 7, 8}));
+}
+
+// A minimal non-ASAP operator: the stats() hook must feed reports for
+// any operator, with no downcasting in the engine.
+class CountingOperator : public Operator {
+ public:
+  void Consume(const std::vector<double>& batch) override {
+    points_ += batch.size();
+    ++batches_;
+  }
+  std::string name() const override { return "counting"; }
+  OperatorStats stats() const override { return OperatorStats{batches_}; }
+
+  uint64_t points() const { return points_; }
+
+ private:
+  uint64_t points_ = 0;
+  uint64_t batches_ = 0;
+};
+
+TEST(EngineTest, StatsHookWorksForAnyOperator) {
+  VectorSource source(std::vector<double>(1000, 1.0));
+  CountingOperator op;
+  RunReport report = RunToCompletion(&source, &op, 256);
+  EXPECT_EQ(report.points, 1000u);
+  EXPECT_EQ(op.points(), 1000u);
+  // The engine read refreshes through the virtual hook (here: batch
+  // count), not a StreamingAsap downcast.
+  EXPECT_EQ(report.refreshes, 4u);
+}
+
+TEST(EngineTest, RunForBudgetTerminatesEarlyOnEndlessSource) {
+  // The source would produce ~2^40 points; only the wall-clock budget
+  // can end the run.
+  LoopingSource source({1, 2, 3, 4}, /*total_points=*/size_t{1} << 40);
+  CountingOperator op;
+  RunReport report = RunForBudget(&source, &op, /*budget_seconds=*/0.05, 256);
+  EXPECT_GT(report.points, 0u);
+  EXPECT_LT(report.points, size_t{1} << 40);
+  EXPECT_GE(report.seconds, 0.05);
+  EXPECT_LT(report.seconds, 10.0);  // generous CI headroom
+  EXPECT_EQ(report.points, op.points());
+}
+
 TEST(EngineTest, RunToCompletionCountsPoints) {
   Pcg32 rng(1);
   std::vector<double> data =

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/random.h"
 #include "core/smooth.h"
 #include "core/streaming_asap.h"
@@ -159,6 +161,70 @@ TEST(StreamingAsapTest, CandidateAccountingAccumulates) {
   StreamingAsap op = StreamingAsap::Create(BasicOptions()).ValueOrDie();
   op.PushBatch(PeriodicStream(9, 6000));
   EXPECT_GT(op.frame().candidates_evaluated, op.frame().refreshes);
+}
+
+TEST(StreamingAsapTest, PushBatchFastPathMatchesPerPointPush) {
+  // The pane-granular bulk path must be refresh-for-refresh (and
+  // bitwise) identical to per-point Push, for any batch segmentation
+  // and refresh cadence — including batch boundaries that split panes
+  // and refresh intervals smaller than a batch.
+  const std::vector<double> data = PeriodicStream(10, 2500);
+  for (size_t refresh_every : {size_t{0}, size_t{7}, size_t{500}}) {
+    for (bool preaggregate : {true, false}) {
+      StreamingOptions options;
+      options.resolution = 100;
+      options.visible_points = 1000;
+      options.refresh_every_points = refresh_every;
+      options.enable_preaggregation = preaggregate;
+
+      StreamingAsap per_point = StreamingAsap::Create(options).ValueOrDie();
+      size_t point_refreshes = 0;
+      for (double x : data) {
+        point_refreshes += per_point.Push(x) ? 1 : 0;
+      }
+
+      for (size_t batch : {size_t{1}, size_t{3}, size_t{64}, size_t{1000},
+                           data.size()}) {
+        StreamingAsap bulk = StreamingAsap::Create(options).ValueOrDie();
+        size_t bulk_refreshes = 0;
+        for (size_t i = 0; i < data.size(); i += batch) {
+          const size_t n = std::min(batch, data.size() - i);
+          bulk_refreshes += bulk.PushBatch(data.data() + i, n);
+        }
+        SCOPED_TRACE("refresh_every=" + std::to_string(refresh_every) +
+                     " preaggregate=" + std::to_string(preaggregate) +
+                     " batch=" + std::to_string(batch));
+        EXPECT_EQ(bulk_refreshes, point_refreshes);
+        EXPECT_EQ(bulk.points_consumed(), per_point.points_consumed());
+        EXPECT_EQ(bulk.frame().refreshes, per_point.frame().refreshes);
+        EXPECT_EQ(bulk.frame().window, per_point.frame().window);
+        EXPECT_EQ(bulk.frame().series, per_point.frame().series);
+        EXPECT_EQ(bulk.frame().candidates_evaluated,
+                  per_point.frame().candidates_evaluated);
+      }
+    }
+  }
+}
+
+TEST(StreamingAsapTest, FrameSnapshotPublishesEachRefresh) {
+  StreamingAsap op = StreamingAsap::Create(BasicOptions()).ValueOrDie();
+  const auto empty = op.frame_snapshot();
+  ASSERT_NE(empty, nullptr);
+  EXPECT_EQ(empty->refreshes, 0u);
+
+  op.PushBatch(PeriodicStream(11, 4000));
+  const auto frame = op.frame_snapshot();
+  ASSERT_NE(frame, nullptr);
+  EXPECT_EQ(frame->refreshes, op.frame().refreshes);
+  EXPECT_EQ(frame->window, op.frame().window);
+  EXPECT_EQ(frame->series, op.frame().series);
+  // The old snapshot is immutable — publishing never touched it.
+  EXPECT_EQ(empty->refreshes, 0u);
+
+  // A snapshot taken now survives (and stays coherent) across future
+  // refreshes.
+  op.PushBatch(PeriodicStream(12, 4000));
+  EXPECT_GT(op.frame().refreshes, frame->refreshes);
 }
 
 }  // namespace
