@@ -52,6 +52,12 @@ struct StreamingOptions {
   /// replaces ASAP with exhaustive search).
   SearchStrategy strategy = SearchStrategy::kAsap;
 
+  /// Published frames retained for snapshot readers (the snapshot
+  /// ring). 1 keeps only the latest (the original behavior, with zero
+  /// extra cost); K > 1 lets dashboard readers diff the last K
+  /// refreshes for incremental rendering. Must be >= 1.
+  size_t snapshot_ring_frames = 1;
+
   /// Window-search options.
   SearchOptions search;
 };
@@ -116,6 +122,13 @@ class StreamingAsap {
   /// Never null; before the first refresh it points at an empty Frame.
   std::shared_ptr<const Frame> frame_snapshot() const;
 
+  /// The last min(snapshot_ring_frames, refreshes) published frames,
+  /// oldest first (back() is the frame_snapshot() frame). Empty before
+  /// the first refresh. Same thread-safety as frame_snapshot(): the
+  /// ring is republished behind an atomically swapped shared_ptr, so
+  /// readers never block the ingest path.
+  std::vector<std::shared_ptr<const Frame>> FrameHistory() const;
+
   /// Raw points consumed so far.
   uint64_t points_consumed() const { return points_consumed_; }
 
@@ -144,9 +157,15 @@ class StreamingAsap {
   bool has_previous_window_ = false;
   size_t previous_window_ = 1;
   Frame frame_;
-  /// Published copy of frame_, swapped atomically at the end of each
-  /// refresh (read via frame_snapshot()).
+  /// Published copy of frame_ when snapshot_ring_frames == 1, swapped
+  /// atomically at the end of each refresh; with K > 1 it only holds
+  /// the pre-first-refresh empty frame (the ring publishes instead).
   std::shared_ptr<const Frame> published_;
+  /// The snapshot ring (oldest first): the single publication point
+  /// when snapshot_ring_frames > 1, so frame_snapshot() (serving
+  /// back()) and FrameHistory() can never be observed out of step.
+  using FrameRing = std::vector<std::shared_ptr<const Frame>>;
+  std::shared_ptr<const FrameRing> published_ring_;
 };
 
 }  // namespace asap

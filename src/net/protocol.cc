@@ -1,0 +1,272 @@
+#include "net/protocol.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace asap {
+namespace net {
+
+namespace {
+
+// Little-endian wire order. All supported targets are little-endian,
+// so encode/decode are straight memcpys; a big-endian port would swap
+// here and nowhere else.
+void PutU32(uint32_t v, std::string* out) {
+  char raw[4];
+  std::memcpy(raw, &v, 4);
+  out->append(raw, 4);
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+bool IsLineSpace(char c) { return c == ' ' || c == '\t'; }
+
+}  // namespace
+
+const char* WireEncodingName(WireEncoding encoding) {
+  return encoding == WireEncoding::kText ? "text" : "binary";
+}
+
+void AppendTextRecord(const stream::Record& record, std::string* out) {
+  // std::to_chars: locale-independent (a comma-decimal LC_NUMERIC in
+  // the host process must not corrupt the wire format) and shortest
+  // round-trip, so the receiver's from_chars recovers the exact bits.
+  char line[64];
+  char* p = line;
+  char* const end = line + sizeof(line);
+  p = std::to_chars(p, end, record.series_id).ptr;
+  *p++ = ' ';
+  const std::to_chars_result r = std::to_chars(p, end, record.value);
+  ASAP_DCHECK(r.ec == std::errc());
+  p = r.ptr;
+  *p++ = '\n';
+  out->append(line, static_cast<size_t>(p - line));
+}
+
+void AppendBinaryFrame(const stream::Record* records, size_t n,
+                       std::string* out) {
+  if (n == 0) {
+    // A zero-length frame is corrupt framing on the wire (the decoder
+    // poisons the stream on payload == 0), so encode nothing instead.
+    return;
+  }
+  const size_t payload = n * kBinaryRecordBytes;
+  ASAP_CHECK_LE(payload, std::numeric_limits<uint32_t>::max());
+  out->push_back(static_cast<char>(kBinaryMagic));
+  PutU32(static_cast<uint32_t>(payload), out);
+  for (size_t i = 0; i < n; ++i) {
+    PutU32(records[i].series_id, out);
+    char raw[8];
+    std::memcpy(raw, &records[i].value, 8);
+    out->append(raw, 8);
+  }
+}
+
+void EncodeRecords(const stream::Record* records, size_t n,
+                   WireEncoding encoding, size_t frame_records,
+                   std::string* out) {
+  if (encoding == WireEncoding::kText) {
+    for (size_t i = 0; i < n; ++i) {
+      AppendTextRecord(records[i], out);
+    }
+    return;
+  }
+  ASAP_CHECK_GE(frame_records, 1u);
+  for (size_t i = 0; i < n; i += frame_records) {
+    AppendBinaryFrame(records + i, std::min(frame_records, n - i), out);
+  }
+}
+
+FrameDecoder::FrameDecoder(size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {
+  ASAP_CHECK_GE(max_frame_bytes_, kBinaryHeaderBytes + kBinaryRecordBytes);
+}
+
+bool FrameDecoder::Feed(const char* data, size_t n, stream::RecordBatch* out) {
+  if (poisoned_) {
+    return false;
+  }
+  stats_.bytes += n;
+  if (buffer_.empty()) {
+    // Common case: no carry-over — decode straight from the caller's
+    // slice and stash only the unconsumed tail.
+    const size_t consumed = DecodeSome(data, n, out);
+    if (consumed < n) {
+      buffer_.assign(data + consumed, data + n);
+    }
+    return !poisoned_;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+  const size_t consumed = DecodeSome(buffer_.data(), buffer_.size(), out);
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<ptrdiff_t>(consumed));
+  return !poisoned_;
+}
+
+void FrameDecoder::FinishEof(stream::RecordBatch* out) {
+  // While discarding an oversized line the buffer is always empty
+  // (DecodeSome consumed everything), and the line was already counted
+  // malformed — nothing further to account at EOF.
+  if (poisoned_ || buffer_.empty()) {
+    buffer_.clear();
+    line_scan_offset_ = 0;
+    return;
+  }
+  if (static_cast<unsigned char>(buffer_.front()) == kBinaryMagic) {
+    // A binary frame cut off mid-stream.
+    stats_.malformed_frames += 1;
+  } else {
+    size_t len = buffer_.size();
+    if (buffer_[len - 1] == '\r') {
+      --len;  // a CRLF sender that lost its LF at close
+    }
+    DecodeLine(buffer_.data(), len, out);
+  }
+  buffer_.clear();
+  line_scan_offset_ = 0;
+}
+
+void FrameDecoder::AbandonEof() {
+  if (!poisoned_ && !buffer_.empty()) {
+    if (static_cast<unsigned char>(buffer_.front()) == kBinaryMagic) {
+      stats_.malformed_frames += 1;
+    } else {
+      stats_.malformed_lines += 1;
+    }
+  }
+  buffer_.clear();
+  line_scan_offset_ = 0;
+}
+
+size_t FrameDecoder::DecodeSome(const char* data, size_t size,
+                                stream::RecordBatch* out) {
+  size_t pos = 0;
+  while (pos < size) {
+    if (discarding_line_) {
+      const char* nl = static_cast<const char*>(
+          std::memchr(data + pos, '\n', size - pos));
+      if (nl == nullptr) {
+        return size;  // still inside the oversized line
+      }
+      discarding_line_ = false;
+      pos = static_cast<size_t>(nl - data) + 1;
+      continue;
+    }
+    if (static_cast<unsigned char>(data[pos]) == kBinaryMagic) {
+      if (size - pos < kBinaryHeaderBytes) {
+        return pos;  // partial header
+      }
+      const uint32_t payload = GetU32(data + pos + 1);
+      if (payload == 0 || payload % kBinaryRecordBytes != 0 ||
+          payload > max_frame_bytes_) {
+        // Corrupt framing: no resync point exists inside the frame,
+        // so poison the stream instead of mis-parsing garbage.
+        stats_.malformed_frames += 1;
+        poisoned_ = true;
+        return size;
+      }
+      if (size - pos < kBinaryHeaderBytes + payload) {
+        return pos;  // partial payload
+      }
+      const char* p = data + pos + kBinaryHeaderBytes;
+      const size_t count = payload / kBinaryRecordBytes;
+      for (size_t i = 0; i < count; ++i) {
+        stream::Record r;
+        r.series_id = GetU32(p);
+        std::memcpy(&r.value, p + 4, 8);
+        out->push_back(r);
+        p += kBinaryRecordBytes;
+      }
+      stats_.records += count;
+      stats_.binary_records += count;
+      stats_.binary_frames += 1;
+      pos += kBinaryHeaderBytes + payload;
+      continue;
+    }
+    // Resume the newline search past bytes a previous Feed already
+    // scanned (nonzero only right after a partial-text-line carry).
+    const size_t search_from = pos + line_scan_offset_;
+    const char* nl =
+        search_from < size
+            ? static_cast<const char*>(
+                  std::memchr(data + search_from, '\n', size - search_from))
+            : nullptr;
+    if (nl == nullptr) {
+      line_scan_offset_ = size - pos;
+      if (size - pos > max_frame_bytes_) {
+        // Oversized line: skip it (count once) without buffering it.
+        stats_.malformed_lines += 1;
+        discarding_line_ = true;
+        line_scan_offset_ = 0;
+        return size;
+      }
+      return pos;  // partial line
+    }
+    line_scan_offset_ = 0;
+    size_t len = static_cast<size_t>(nl - (data + pos));
+    if (len > max_frame_bytes_) {
+      stats_.malformed_lines += 1;
+    } else {
+      if (len > 0 && data[pos + len - 1] == '\r') {
+        --len;  // CRLF
+      }
+      DecodeLine(data + pos, len, out);
+    }
+    pos = static_cast<size_t>(nl - data) + 1;
+  }
+  return size;
+}
+
+void FrameDecoder::DecodeLine(const char* line, size_t len,
+                              stream::RecordBatch* out) {
+  const char* p = line;
+  const char* end = line + len;
+  while (p < end && IsLineSpace(*p)) {
+    ++p;
+  }
+  while (end > p && IsLineSpace(end[-1])) {
+    --end;
+  }
+  if (p == end) {
+    return;  // blank line: ignored, not an error
+  }
+  // std::from_chars throughout: locale-independent, range-checked
+  // (no strtoul ULONG_MAX wrap, no strtod ERANGE-to-HUGE_VAL), and
+  // needs no null-terminated scratch copy.
+  uint32_t id = 0;
+  const std::from_chars_result id_result = std::from_chars(p, end, id, 10);
+  if (id_result.ec != std::errc() || id_result.ptr == end ||
+      !IsLineSpace(*id_result.ptr)) {
+    stats_.malformed_lines += 1;
+    return;
+  }
+  p = id_result.ptr;
+  while (p < end && IsLineSpace(*p)) {
+    ++p;
+  }
+  double value = 0.0;
+  const std::from_chars_result value_result = std::from_chars(p, end, value);
+  // Non-finite values (nan/inf literals, out-of-range magnitudes) are
+  // rejected like any malformed line: one NaN would otherwise poison
+  // a series' pane sums and moments for a whole visible window.
+  if (value_result.ec != std::errc() || value_result.ptr != end ||
+      !std::isfinite(value)) {
+    stats_.malformed_lines += 1;
+    return;
+  }
+  out->push_back(stream::Record{static_cast<stream::SeriesId>(id), value});
+  stats_.records += 1;
+  stats_.text_records += 1;
+}
+
+}  // namespace net
+}  // namespace asap

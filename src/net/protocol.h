@@ -1,0 +1,158 @@
+// The ASAP wire protocol: how collectors push tagged records to a
+// WireServer over a byte stream (TCP or Unix-domain socket).
+//
+// Two encodings share one stream, distinguished by the first byte of
+// each frame (Akumuli's akumulid front-end plays the same trick with
+// RESP type bytes):
+//
+//   Text (human-debuggable, graphite-style):
+//       <series-id> <value>\n
+//     - series-id: decimal uint32; value: a finite double, emitted as
+//       the shortest round-trip decimal (std::to_chars) so the
+//       receiver recovers the exact bits, independent of locale.
+//     - LF or CRLF terminated; empty lines are ignored; a malformed
+//       line (bad grammar, out-of-range id, non-finite value) is
+//       counted and skipped, the stream keeps going.
+//
+//   Binary (length-prefixed record frames):
+//       0xA5 | u32 payload_bytes (LE) | payload
+//     - payload is payload_bytes/12 records of
+//       { u32 series_id (LE), f64 value bits (LE) }.
+//     - 0xA5 can never begin a valid text line, so the two encodings
+//       interleave freely on one connection.
+//     - A malformed header (zero, non-multiple-of-12, or oversized
+//       payload length) poisons the stream: there is no way to resync
+//       inside a corrupt binary frame, so the connection should be
+//       dropped (and counted) rather than mis-parsed.
+//
+// FrameDecoder is the incremental decoder behind every server
+// connection: it tolerates frames split across arbitrary read
+// boundaries, reports malformed input per-stream instead of dying,
+// and reuses its carry-over buffer so steady-state decoding is
+// allocation-stable.
+
+#ifndef ASAP_NET_PROTOCOL_H_
+#define ASAP_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/record.h"
+
+namespace asap {
+namespace net {
+
+/// Which on-the-wire encoding a sender uses.
+enum class WireEncoding { kText, kBinary };
+
+const char* WireEncodingName(WireEncoding encoding);
+
+/// First byte of every binary frame (never begins a valid text line).
+constexpr unsigned char kBinaryMagic = 0xA5;
+/// Magic byte plus the u32 payload length.
+constexpr size_t kBinaryHeaderBytes = 1 + 4;
+/// u32 series id plus f64 value bits.
+constexpr size_t kBinaryRecordBytes = 4 + 8;
+/// Default bound on one frame (binary payload or text line).
+constexpr size_t kDefaultMaxFrameBytes = 256 * 1024;
+/// Most records one binary frame may carry under the default frame
+/// bound; a frame over the receiver's bound reads as corrupt framing
+/// and poisons the connection, so senders must stay below the
+/// *receiver's* max_frame_bytes / kBinaryRecordBytes.
+constexpr size_t kDefaultMaxFrameRecords =
+    kDefaultMaxFrameBytes / kBinaryRecordBytes;
+
+/// Appends one record as a text line ("<id> <value>\n"): shortest
+/// round-trip decimal, bit-exact through the decoder, locale-proof.
+void AppendTextRecord(const stream::Record& record, std::string* out);
+
+/// Appends `n` records as one length-prefixed binary frame. n must
+/// satisfy n * kBinaryRecordBytes <= max payload (fits in u32);
+/// n == 0 appends nothing (an empty frame would be corrupt framing).
+void AppendBinaryFrame(const stream::Record* records, size_t n,
+                       std::string* out);
+
+/// Appends records in the given encoding, chunking binary payloads
+/// into frames of at most `frame_records` records.
+void EncodeRecords(const stream::Record* records, size_t n,
+                   WireEncoding encoding, size_t frame_records,
+                   std::string* out);
+
+/// Per-stream decode counters.
+struct DecoderStats {
+  /// Bytes fed in.
+  uint64_t bytes = 0;
+  /// Records decoded (text + binary).
+  uint64_t records = 0;
+  uint64_t text_records = 0;
+  uint64_t binary_records = 0;
+  /// Complete binary frames decoded.
+  uint64_t binary_frames = 0;
+  /// Text lines skipped as malformed (bad grammar or oversized); the
+  /// stream continues past each.
+  uint64_t malformed_lines = 0;
+  /// Binary framing errors; each poisons the stream (see FrameDecoder).
+  uint64_t malformed_frames = 0;
+};
+
+/// Incremental decoder for one byte stream carrying the wire protocol.
+/// Feed() accepts arbitrary read-sized slices; partial frames carry
+/// over to the next call in an internal buffer that is reused, not
+/// regrown, at steady state.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Decodes as many complete frames from `data[0, n)` (plus any
+  /// carried-over partial) as possible, appending records to *out.
+  /// Returns false once the stream is poisoned by a malformed binary
+  /// frame — no further input will decode and the caller should drop
+  /// the connection.
+  bool Feed(const char* data, size_t n, stream::RecordBatch* out);
+
+  /// Call at orderly end-of-stream: a trailing text line without its
+  /// newline is parsed (collectors that close after their last
+  /// sample), and a trailing partial binary frame is counted as
+  /// malformed.
+  void FinishEof(stream::RecordBatch* out);
+
+  /// Call when the stream dies abnormally (connection reset): any
+  /// buffered partial frame is counted malformed and discarded, never
+  /// parsed — a line truncated by a crash could parse as a valid but
+  /// wrong record.
+  void AbandonEof();
+
+  /// True once a malformed binary frame has been seen.
+  bool poisoned() const { return poisoned_; }
+
+  /// Bytes carried over awaiting the rest of a partial frame.
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+  const DecoderStats& stats() const { return stats_; }
+
+ private:
+  /// Decodes complete frames from data[0, size); returns the number of
+  /// bytes consumed (the tail is a partial frame the caller carries).
+  size_t DecodeSome(const char* data, size_t size, stream::RecordBatch* out);
+
+  /// Parses one '\n'-free text line (CR already stripped).
+  void DecodeLine(const char* line, size_t len, stream::RecordBatch* out);
+
+  size_t max_frame_bytes_;
+  std::vector<char> buffer_;  // carried-over partial frame
+  /// Leading bytes of a carried-over partial text line already known
+  /// to contain no newline — the next search resumes past them, so a
+  /// line trickling in over many reads costs O(length), not O(n^2).
+  size_t line_scan_offset_ = 0;
+  bool poisoned_ = false;
+  /// Inside an oversized text line, discarding until its newline.
+  bool discarding_line_ = false;
+  DecoderStats stats_;
+};
+
+}  // namespace net
+}  // namespace asap
+
+#endif  // ASAP_NET_PROTOCOL_H_

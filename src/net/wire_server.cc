@@ -1,0 +1,271 @@
+#include "net/wire_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace asap {
+namespace net {
+
+WireServer::WireServer(const WireServerOptions& options)
+    : options_(options), read_buffer_(options.read_chunk_bytes) {}
+
+Result<WireServer> WireServer::Create(const WireServerOptions& options) {
+  if (!options.enable_tcp && options.uds_path.empty()) {
+    return Status::InvalidArgument(
+        "at least one of TCP and UDS must be enabled");
+  }
+  if (options.max_connections < 1) {
+    return Status::InvalidArgument("max_connections must be >= 1");
+  }
+  if (options.read_chunk_bytes < 1) {
+    return Status::InvalidArgument("read_chunk_bytes must be >= 1");
+  }
+  if (options.max_frame_bytes < kBinaryHeaderBytes + kBinaryRecordBytes) {
+    // Checked here so a bad bound is an InvalidArgument at Create, not
+    // a FrameDecoder ASAP_CHECK abort at first accept.
+    return Status::InvalidArgument(
+        "max_frame_bytes must fit at least one binary record");
+  }
+  WireServer server(options);
+  if (options.enable_tcp) {
+    ASAP_ASSIGN_OR_RETURN(
+        server.tcp_listener_,
+        ListenTcp(options.tcp_host, options.tcp_port, options.listen_backlog));
+    ASAP_RETURN_NOT_OK(server.tcp_listener_.SetNonBlocking());
+    ASAP_ASSIGN_OR_RETURN(server.tcp_port_, LocalPort(server.tcp_listener_));
+  }
+  if (!options.uds_path.empty()) {
+    ASAP_ASSIGN_OR_RETURN(
+        server.uds_listener_,
+        ListenUds(options.uds_path, options.listen_backlog));
+    ASAP_RETURN_NOT_OK(server.uds_listener_.SetNonBlocking());
+  }
+  return server;
+}
+
+WireServer::~WireServer() {
+  if (uds_listener_.valid()) {
+    ::unlink(options_.uds_path.c_str());
+  }
+}
+
+WireServer::WireServer(WireServer&&) noexcept = default;
+
+WireServer& WireServer::operator=(WireServer&& other) noexcept {
+  if (this != &other) {
+    // A defaulted move-assign would overwrite options_.uds_path and
+    // orphan this server's socket file on disk; release our listeners
+    // (and unlink) first.
+    CloseListeners();
+    options_ = std::move(other.options_);
+    tcp_port_ = other.tcp_port_;
+    tcp_listener_ = std::move(other.tcp_listener_);
+    uds_listener_ = std::move(other.uds_listener_);
+    connections_ = std::move(other.connections_);
+    read_buffer_ = std::move(other.read_buffer_);
+    pending_ = std::move(other.pending_);
+    pending_pos_ = other.pending_pos_;
+    read_rotation_ = other.read_rotation_;
+    stats_ = other.stats_;
+  }
+  return *this;
+}
+
+void WireServer::CloseListeners() {
+  tcp_listener_.Close();
+  if (uds_listener_.valid()) {
+    uds_listener_.Close();
+    ::unlink(options_.uds_path.c_str());
+  }
+}
+
+bool WireServer::AcceptPending(const Socket& listener) {
+  if (!listener.valid()) {
+    return true;
+  }
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return true;  // backlog drained
+      }
+      // Hard failure (typically EMFILE/ENFILE): the queued connection
+      // stays in the backlog keeping the listener readable, so the
+      // caller must back off instead of re-polling hot.
+      stats_.accept_failures += 1;
+      return false;
+    }
+    Socket sock(fd);
+    if (connections_.size() >= options_.max_connections) {
+      stats_.rejected_connections += 1;
+      continue;  // sock closes on scope exit
+    }
+    if (!sock.SetNonBlocking().ok()) {
+      stats_.rejected_connections += 1;  // setup failed: also turned away
+      continue;
+    }
+    stats_.accepted += 1;
+    connections_.push_back(std::make_unique<Connection>(
+        std::move(sock), options_.max_frame_bytes));
+  }
+}
+
+bool WireServer::ReadConnection(Connection* conn, size_t read_cap) {
+  for (;;) {
+    if (pending_.size() - pending_pos_ >= read_cap) {
+      return true;  // enough decoded work buffered; poll again later
+    }
+    size_t n = 0;
+    const RecvStatus rs =
+        RecvSome(conn->sock.fd(), read_buffer_.data(), read_buffer_.size(),
+                 &n);
+    switch (rs) {
+      case RecvStatus::kData:
+        if (!conn->decoder.Feed(read_buffer_.data(), n, &pending_)) {
+          stats_.poisoned_connections += 1;
+          return false;
+        }
+        continue;
+      case RecvStatus::kWouldBlock:
+        return true;
+      case RecvStatus::kEof:
+        // Orderly close: a complete trailing text line still counts.
+        conn->decoder.FinishEof(&pending_);
+        return false;
+      case RecvStatus::kError:
+        // Abnormal close (reset mid-stream): a buffered partial line
+        // could parse as a valid-but-wrong record — discard it as
+        // malformed instead.
+        conn->decoder.AbandonEof();
+        return false;
+    }
+  }
+}
+
+void WireServer::RetireConnection(size_t index) {
+  const DecoderStats& ds = connections_[index]->decoder.stats();
+  stats_.bytes += ds.bytes;
+  stats_.records += ds.records;
+  stats_.text_records += ds.text_records;
+  stats_.binary_records += ds.binary_records;
+  stats_.malformed_lines += ds.malformed_lines;
+  stats_.malformed_frames += ds.malformed_frames;
+  connections_.erase(connections_.begin() + static_cast<ptrdiff_t>(index));
+}
+
+WireServerStats WireServer::stats() const {
+  WireServerStats s = stats_;
+  s.active = connections_.size();
+  for (const auto& conn : connections_) {
+    const DecoderStats& ds = conn->decoder.stats();
+    s.bytes += ds.bytes;
+    s.records += ds.records;
+    s.text_records += ds.text_records;
+    s.binary_records += ds.binary_records;
+    s.malformed_lines += ds.malformed_lines;
+    s.malformed_frames += ds.malformed_frames;
+  }
+  return s;
+}
+
+size_t WireServer::PollOnce(int timeout_ms, size_t max_records,
+                            stream::RecordBatch* out) {
+  ASAP_CHECK(out != nullptr);
+  ASAP_CHECK_GE(max_records, 1u);
+  // Deliver already-decoded records before touching the sockets (and
+  // don't wait on poll while work is buffered).
+  if (pending_.size() - pending_pos_ == 0) {
+    std::vector<pollfd>& fds = pollfds_;
+    fds.clear();
+    fds.reserve(connections_.size() + 2);
+    if (tcp_listener_.valid()) {
+      fds.push_back(pollfd{tcp_listener_.fd(), POLLIN, 0});
+    }
+    if (uds_listener_.valid()) {
+      fds.push_back(pollfd{uds_listener_.fd(), POLLIN, 0});
+    }
+    const size_t first_conn = fds.size();
+    for (const auto& conn : connections_) {
+      fds.push_back(pollfd{conn->sock.fd(), POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready <= 0) {
+      return 0;  // timeout (or EINTR): an idle turn
+    }
+    bool accept_backoff = false;
+    size_t fd_index = 0;
+    if (tcp_listener_.valid()) {
+      if (fds[fd_index].revents != 0) {
+        accept_backoff |= !AcceptPending(tcp_listener_);
+      }
+      ++fd_index;
+    }
+    if (uds_listener_.valid()) {
+      if (fds[fd_index].revents != 0) {
+        accept_backoff |= !AcceptPending(uds_listener_);
+      }
+      ++fd_index;
+    }
+    ASAP_DCHECK(fd_index == first_conn);
+    // Bound decoded backlog per turn: read until EAGAIN but stop once
+    // a few delivery quanta are buffered, so one firehose connection
+    // cannot grow pending_ without limit.
+    const size_t read_cap = std::max<size_t>(4 * max_records, 4096);
+    // Only the connections that existed when fds was built are paired
+    // with a pollfd (AcceptPending appends new ones past `polled`).
+    // The sweep starts at a rotating connection so a firehose that
+    // fills read_cap every turn cannot starve the others: whoever was
+    // skipped this turn goes first on a later one. Retirements are
+    // deferred to keep index/pollfd pairing stable during the sweep.
+    const size_t polled = fds.size() - first_conn;
+    std::vector<size_t> retired;
+    for (size_t j = 0; j < polled; ++j) {
+      const size_t i = (read_rotation_ + j) % polled;
+      if (fds[first_conn + i].revents == 0) {
+        continue;
+      }
+      if (!ReadConnection(connections_[i].get(), read_cap)) {
+        retired.push_back(i);
+      }
+    }
+    if (polled > 0) {
+      read_rotation_ = (read_rotation_ + 1) % polled;
+    }
+    std::sort(retired.begin(), retired.end());
+    for (size_t k = retired.size(); k-- > 0;) {
+      RetireConnection(retired[k]);  // descending: erases don't shift
+    }
+    if (accept_backoff && pending_.size() - pending_pos_ == 0) {
+      // The un-accepted connection keeps the listener readable;
+      // without a sleep this idle turn would re-poll instantly and
+      // spin the producer thread hot until fd pressure clears.
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::max(timeout_ms, 1)));
+    }
+  }
+  const size_t available = pending_.size() - pending_pos_;
+  const size_t take = std::min(available, max_records);
+  out->insert(out->end(),
+              pending_.begin() + static_cast<ptrdiff_t>(pending_pos_),
+              pending_.begin() + static_cast<ptrdiff_t>(pending_pos_ + take));
+  pending_pos_ += take;
+  if (pending_pos_ == pending_.size()) {
+    pending_.clear();
+    pending_pos_ = 0;
+  }
+  return take;
+}
+
+}  // namespace net
+}  // namespace asap

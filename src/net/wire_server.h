@@ -1,0 +1,164 @@
+// WireServer: the ingestion front door of the fleet engine, in the
+// mold of Akumuli's akumulid server tier sitting in front of the
+// storage engine. It listens on TCP and/or a Unix-domain socket,
+// multiplexes N collector connections over one poll() loop, runs each
+// connection's bytes through its own FrameDecoder, and demuxes the
+// decoded records into RecordBatches for whoever pumps it (normally a
+// NetMultiSource driven by ShardedEngine's producer thread — the
+// engine's producer IS the event loop, so no extra thread exists
+// between the socket and the shard queues).
+//
+// Malformed input is a per-connection affair: bad text lines are
+// counted and skipped; a corrupt binary frame drops (and counts) that
+// one connection. The server itself never dies on input.
+
+#ifndef ASAP_NET_WIRE_SERVER_H_
+#define ASAP_NET_WIRE_SERVER_H_
+
+#include <poll.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "stream/record.h"
+
+namespace asap {
+namespace net {
+
+struct WireServerOptions {
+  /// Listen on TCP at tcp_host:tcp_port. Port 0 binds an ephemeral
+  /// port; read the real one back with WireServer::tcp_port().
+  bool enable_tcp = true;
+  std::string tcp_host = "127.0.0.1";
+  uint16_t tcp_port = 0;
+
+  /// Also (or instead) listen on this Unix-domain socket path; empty
+  /// disables UDS. At least one listener must be enabled.
+  std::string uds_path;
+
+  /// Connections beyond this are accepted and immediately closed
+  /// (counted in stats().rejected_connections).
+  size_t max_connections = 64;
+
+  /// recv() size per ready connection per loop turn.
+  size_t read_chunk_bytes = 64 * 1024;
+
+  /// Frame bound handed to each connection's FrameDecoder.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  int listen_backlog = 16;
+};
+
+/// Lifetime ingest counters (aggregated over closed connections too).
+struct WireServerStats {
+  /// Connections accepted (lifetime).
+  uint64_t accepted = 0;
+  /// Connections currently open.
+  size_t active = 0;
+  /// Connections accepted but immediately closed: over max_connections
+  /// or a failed non-blocking setup.
+  uint64_t rejected_connections = 0;
+  /// accept() calls that failed with a hard error (e.g. EMFILE); each
+  /// also makes the next idle poll turn sleep instead of spinning.
+  uint64_t accept_failures = 0;
+  /// Connections dropped for corrupt binary framing.
+  uint64_t poisoned_connections = 0;
+  /// Wire bytes consumed.
+  uint64_t bytes = 0;
+  /// Records decoded (text + binary).
+  uint64_t records = 0;
+  uint64_t text_records = 0;
+  uint64_t binary_records = 0;
+  /// Malformed text lines skipped across all connections.
+  uint64_t malformed_lines = 0;
+  /// Malformed binary frames (each also poisons its connection).
+  uint64_t malformed_frames = 0;
+};
+
+/// One poll()-loop server instance. Single-threaded by design: all
+/// methods must be called from the thread that pumps PollOnce (the
+/// engine's producer thread); only stats-free const accessors like
+/// tcp_port() are safe to read elsewhere before pumping starts.
+class WireServer {
+ public:
+  static Result<WireServer> Create(const WireServerOptions& options);
+  ~WireServer();
+
+  WireServer(WireServer&&) noexcept;
+  WireServer& operator=(WireServer&&) noexcept;
+
+  /// The bound TCP port (resolves an ephemeral request), 0 if TCP is
+  /// disabled.
+  uint16_t tcp_port() const { return tcp_port_; }
+  const std::string& uds_path() const { return options_.uds_path; }
+
+  /// One event-loop turn: waits up to `timeout_ms` for socket
+  /// readiness (returning immediately if decoded records are already
+  /// pending), accepts new connections, reads and decodes ready ones,
+  /// and appends up to `max_records` records to *out. Returns the
+  /// number appended. 0 means the turn timed out idle — it never
+  /// means end-of-stream; connection state is exposed separately so
+  /// the caller owns the shutdown policy.
+  size_t PollOnce(int timeout_ms, size_t max_records,
+                  stream::RecordBatch* out);
+
+  /// True once any connection has ever been accepted.
+  bool ever_accepted() const { return stats_.accepted > 0; }
+  size_t active_connections() const { return connections_.size(); }
+  /// Decoded records not yet handed out via PollOnce.
+  size_t pending_records() const { return pending_.size() - pending_pos_; }
+
+  /// Aggregate counters: retired connections' totals plus the live
+  /// decoders' running counts.
+  WireServerStats stats() const;
+
+  /// Closes the listeners (existing connections keep draining).
+  void CloseListeners();
+
+ private:
+  struct Connection {
+    explicit Connection(Socket s, size_t max_frame_bytes)
+        : sock(std::move(s)), decoder(max_frame_bytes) {}
+    Socket sock;
+    FrameDecoder decoder;
+  };
+
+  explicit WireServer(const WireServerOptions& options);
+
+  /// Accepts until the backlog drains; returns false on a hard
+  /// accept() error (fd exhaustion), which the caller must back off
+  /// from — the backlogged connection keeps the listener readable, so
+  /// re-polling immediately would spin hot.
+  bool AcceptPending(const Socket& listener);
+  /// Reads one connection until EAGAIN (or `read_cap` decoded
+  /// records are pending); returns false if it should be closed.
+  bool ReadConnection(Connection* conn, size_t read_cap);
+  void RetireConnection(size_t index);
+
+  WireServerOptions options_;
+  uint16_t tcp_port_ = 0;
+  Socket tcp_listener_;
+  Socket uds_listener_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<char> read_buffer_;
+  /// Decoded-but-undelivered records; compacted when fully drained.
+  stream::RecordBatch pending_;
+  size_t pending_pos_ = 0;
+  /// Rotating start index for the per-turn connection read sweep
+  /// (fairness under the per-turn decoded-backlog cap).
+  size_t read_rotation_ = 0;
+  /// Reused pollfd scratch — the poll turn is the ingest hot path, so
+  /// it must not allocate at steady state (same rule as read_buffer_).
+  std::vector<pollfd> pollfds_;
+  WireServerStats stats_;
+};
+
+}  // namespace net
+}  // namespace asap
+
+#endif  // ASAP_NET_WIRE_SERVER_H_

@@ -31,18 +31,34 @@ struct ShardedEngine::Shard {
   std::deque<RecordBatch> queue;
   bool closed = false;
   size_t peak_queue_depth = 0;  // producer-side, under mu
+  uint64_t dropped = 0;         // producer-side, under mu
 
   // Worker-side per-run counters.
   uint64_t points = 0;
   uint64_t batches = 0;
   double busy_seconds = 0.0;
 
-  void Enqueue(RecordBatch batch, size_t capacity) {
+  /// Hands a batch to the worker. Under kBlock, waits for queue room
+  /// (lossless backpressure); under kDropNewest, a full queue discards
+  /// the batch and counts its records instead of stalling the
+  /// producer. Returns the records dropped (0 or batch.size()).
+  size_t Enqueue(RecordBatch batch, size_t capacity,
+                 OverflowPolicy policy) {
     std::unique_lock<std::mutex> lock(mu);
-    not_full.wait(lock, [&] { return queue.size() < capacity; });
+    if (policy == OverflowPolicy::kDropNewest) {
+      if (queue.size() >= capacity) {
+        const size_t n = batch.size();
+        dropped += n;
+        peak_queue_depth = std::max(peak_queue_depth, queue.size());
+        return n;
+      }
+    } else {
+      not_full.wait(lock, [&] { return queue.size() < capacity; });
+    }
     queue.push_back(std::move(batch));
     peak_queue_depth = std::max(peak_queue_depth, queue.size());
     not_empty.notify_one();
+    return 0;
   }
 
   void Close() {
@@ -109,6 +125,7 @@ struct ShardedEngine::Shard {
     ASAP_CHECK(queue.empty());
     closed = false;
     peak_queue_depth = 0;
+    dropped = 0;
     points = 0;
     batches = 0;
     busy_seconds = 0.0;
@@ -138,7 +155,9 @@ Result<ShardedEngine> ShardedEngine::Create(
 
 ShardedEngine::ShardedEngine(const StreamingOptions& series_options,
                              const ShardedEngineOptions& engine_options)
-    : series_options_(series_options), options_(engine_options) {
+    : series_options_(series_options),
+      options_(engine_options),
+      run_in_flight_(std::make_shared<std::atomic<bool>>(false)) {
   shards_.reserve(options_.shards);
   for (size_t i = 0; i < options_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(series_options_));
@@ -174,6 +193,9 @@ std::shared_ptr<const StreamingAsap::Frame> ShardedEngine::Snapshot(
 
 const SeriesRegistry& ShardedEngine::shard_registry(size_t shard) const {
   ASAP_CHECK_LT(shard, shards_.size());
+  // Contract (see header): deep registry reads race the shard worker,
+  // so they are only legal between runs. Debug builds catch misuse.
+  ASAP_DCHECK(!run_in_flight_->load(std::memory_order_acquire));
   return shards_[shard]->registry;
 }
 
@@ -193,6 +215,7 @@ FleetReport ShardedEngine::Run(MultiSource* source, double budget_seconds) {
   for (auto& shard : shards_) {
     shard->ResetRunCounters();
   }
+  run_in_flight_->store(true, std::memory_order_release);
 
   Stopwatch watch;
   std::vector<std::thread> workers;
@@ -223,7 +246,8 @@ FleetReport ShardedEngine::Run(MultiSource* source, double budget_seconds) {
     }
     report.points += n;
     if (num_shards == 1) {
-      shards_[0]->Enqueue(std::move(pull), options_.queue_capacity);
+      report.dropped += shards_[0]->Enqueue(
+          std::move(pull), options_.queue_capacity, options_.overflow_policy);
       pull = RecordBatch{};
       pull.reserve(options_.batch_size);
       continue;
@@ -235,7 +259,9 @@ FleetReport ShardedEngine::Run(MultiSource* source, double budget_seconds) {
       if (split[i].empty()) {
         continue;
       }
-      shards_[i]->Enqueue(std::move(split[i]), options_.queue_capacity);
+      report.dropped += shards_[i]->Enqueue(
+          std::move(split[i]), options_.queue_capacity,
+          options_.overflow_policy);
       split[i] = RecordBatch{};
       split[i].reserve(options_.batch_size);
     }
@@ -247,6 +273,7 @@ FleetReport ShardedEngine::Run(MultiSource* source, double budget_seconds) {
   for (std::thread& worker : workers) {
     worker.join();
   }
+  run_in_flight_->store(false, std::memory_order_release);
   report.seconds = watch.ElapsedSeconds();
   report.points_per_second =
       report.seconds > 0.0
@@ -261,6 +288,7 @@ FleetReport ShardedEngine::Run(MultiSource* source, double budget_seconds) {
     sr.batches = shard.batches;
     sr.series = shard.registry.size();
     sr.peak_queue_depth = shard.peak_queue_depth;
+    sr.dropped = shard.dropped;
     sr.busy_seconds = shard.busy_seconds;
     shard.registry.ForEach([&sr](SeriesId, const StreamingAsap& op) {
       sr.refreshes += op.frame().refreshes;

@@ -23,6 +23,7 @@
 #ifndef ASAP_STREAM_SHARDED_ENGINE_H_
 #define ASAP_STREAM_SHARDED_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -37,6 +38,17 @@
 namespace asap {
 namespace stream {
 
+/// What the producer does when a shard queue is full.
+enum class OverflowPolicy {
+  /// Block until the shard drains a batch (lossless; a slow shard
+  /// stalls the producer — and through it, e.g., a wire socket loop).
+  kBlock,
+  /// Drop the incoming batch and keep pumping (lossy; dropped record
+  /// counts surface in ShardReport/FleetReport). For producers that
+  /// must never stall, like a live ingestion socket.
+  kDropNewest,
+};
+
 /// Fleet engine configuration.
 struct ShardedEngineOptions {
   /// Worker threads; series are hash-partitioned across them.
@@ -45,9 +57,13 @@ struct ShardedEngineOptions {
   /// Records pulled from the MultiSource per producer pump.
   size_t batch_size = 4096;
 
-  /// In-flight batches buffered per shard before the producer blocks
-  /// (backpressure bound).
+  /// In-flight batches buffered per shard before overflow_policy
+  /// applies (backpressure bound).
   size_t queue_capacity = 16;
+
+  /// Full-queue behavior. Note kDropNewest forfeits determinism
+  /// parity: which records drop depends on shard timing.
+  OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
 };
 
 /// Per-shard slice of a fleet run.
@@ -63,8 +79,12 @@ struct ShardReport {
   /// Distinct series resident in this shard's registry.
   size_t series = 0;
   /// Deepest the shard's queue got during the run — a backpressure
-  /// indicator (== queue_capacity means the producer blocked).
+  /// indicator (== queue_capacity means the producer blocked or, under
+  /// kDropNewest, dropped).
   size_t peak_queue_depth = 0;
+  /// Records dropped at this shard's full queue (kDropNewest only;
+  /// always 0 under kBlock).
+  uint64_t dropped = 0;
   /// Wall time the worker spent consuming batches (vs waiting).
   double busy_seconds = 0.0;
 };
@@ -80,8 +100,12 @@ struct SeriesReport {
 
 /// Aggregate result of one fleet run.
 struct FleetReport {
-  /// Records pulled from the source during the run.
+  /// Records pulled from the source during the run (includes any that
+  /// were then dropped at a full queue).
   uint64_t points = 0;
+  /// Records dropped across all shards (kDropNewest only); pulled
+  /// records that never reached an operator.
+  uint64_t dropped = 0;
   double seconds = 0.0;
   double points_per_second = 0.0;
   /// Sum of lifetime refreshes across all series.
@@ -127,9 +151,12 @@ class ShardedEngine {
   /// to serve the read.
   std::shared_ptr<const StreamingAsap::Frame> Snapshot(SeriesId id) const;
 
-  /// Read access to one shard's series table (callers must not run
-  /// the engine concurrently with unsynchronized deep reads; prefer
-  /// Snapshot while a run is live).
+  /// Read access to one shard's series table. Contract: deep reads
+  /// through the registry (iteration, frame() on operators) are
+  /// unsynchronized against the shard worker, so they are only legal
+  /// while no run is in flight — between Run calls, or before the
+  /// first. Debug builds enforce this with a run-in-flight check;
+  /// while a run is live, read frames through Snapshot instead.
   const SeriesRegistry& shard_registry(size_t shard) const;
 
  private:
@@ -143,6 +170,9 @@ class ShardedEngine {
   StreamingOptions series_options_;
   ShardedEngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// True while Run is pumping/joining (heap-allocated so the engine
+  /// stays movable); guards the shard_registry() contract above.
+  std::shared_ptr<std::atomic<bool>> run_in_flight_;
 };
 
 }  // namespace stream

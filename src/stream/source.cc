@@ -126,5 +126,26 @@ size_t InterleavingMultiSource::TotalPoints() const {
   return total;
 }
 
+RecordBatch InterleaveToRecords(
+    const std::vector<std::vector<double>>& series) {
+  RecordBatch records;
+  size_t remaining = 0;
+  for (const auto& s : series) {
+    remaining += s.size();
+  }
+  records.reserve(remaining);
+  std::vector<size_t> cursor(series.size(), 0);
+  while (remaining > 0) {
+    for (size_t id = 0; id < series.size(); ++id) {
+      if (cursor[id] < series[id].size()) {
+        records.push_back(
+            Record{static_cast<SeriesId>(id), series[id][cursor[id]++]});
+        --remaining;
+      }
+    }
+  }
+  return records;
+}
+
 }  // namespace stream
 }  // namespace asap

@@ -133,6 +133,14 @@ class InterleavingMultiSource : public MultiSource {
   std::vector<double> scratch_;
 };
 
+/// Materializes the round-robin scrape order over per-series payloads
+/// (series id = index) into one RecordBatch — the same per-series
+/// order InterleavingMultiSource emits. Wire tests, benches, and
+/// demos replay this batch over a socket to compare against
+/// in-process ingestion.
+RecordBatch InterleaveToRecords(
+    const std::vector<std::vector<double>>& series);
+
 }  // namespace stream
 }  // namespace asap
 

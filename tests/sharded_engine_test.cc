@@ -289,6 +289,64 @@ TEST(ShardedEngineTest, RunForBudgetStopsPullingEarly) {
   EXPECT_LT(report.seconds, 10.0);  // termination, with headroom for CI
 }
 
+TEST(ShardedEngineTest, BlockPolicyNeverDrops) {
+  ShardedEngineOptions engine_options;
+  engine_options.shards = 2;
+  engine_options.queue_capacity = 1;  // maximal backpressure
+  engine_options.batch_size = 128;
+  ShardedEngine engine =
+      ShardedEngine::Create(FleetOptions(), engine_options).ValueOrDie();
+
+  InterleavingMultiSource source;
+  for (SeriesId id = 0; id < 8; ++id) {
+    source.AddVector(id, FleetSeries(id, 4000));
+  }
+  const FleetReport report = engine.RunToCompletion(&source);
+  EXPECT_EQ(report.dropped, 0u);
+  uint64_t consumed = 0;
+  for (const ShardReport& sr : report.shards) {
+    EXPECT_EQ(sr.dropped, 0u);
+    consumed += sr.points;
+  }
+  EXPECT_EQ(consumed, report.points);  // lossless
+}
+
+TEST(ShardedEngineTest, DropNewestPolicyAccountsForEveryRecord) {
+  // A tiny queue, refresh-heavy operators, and exhaustive search make
+  // the workers slow enough that the producer overruns the queues;
+  // drops are timing-dependent, so the test pins the accounting
+  // invariants rather than an exact count.
+  StreamingOptions series_options = FleetOptions();
+  series_options.strategy = SearchStrategy::kExhaustive;
+  series_options.refresh_every_points = 100;
+
+  ShardedEngineOptions engine_options;
+  engine_options.shards = 2;
+  engine_options.batch_size = 64;
+  engine_options.queue_capacity = 1;
+  engine_options.overflow_policy = OverflowPolicy::kDropNewest;
+  ShardedEngine engine =
+      ShardedEngine::Create(series_options, engine_options).ValueOrDie();
+
+  InterleavingMultiSource source;
+  for (SeriesId id = 0; id < 8; ++id) {
+    source.AddVector(id, FleetSeries(id, 8000));
+  }
+  const FleetReport report = engine.RunToCompletion(&source);
+
+  // Every pulled record was either consumed by a shard or counted
+  // dropped — none vanish.
+  uint64_t consumed = 0;
+  uint64_t dropped = 0;
+  for (const ShardReport& sr : report.shards) {
+    consumed += sr.points;
+    dropped += sr.dropped;
+  }
+  EXPECT_EQ(dropped, report.dropped);
+  EXPECT_EQ(consumed + dropped, report.points);
+  EXPECT_EQ(report.points, 8u * 8000u);
+}
+
 TEST(ShardedEngineTest, RegistriesPersistAcrossRuns) {
   ShardedEngine engine = ShardedEngine::Create(FleetOptions()).ValueOrDie();
 

@@ -227,5 +227,47 @@ TEST(StreamingAsapTest, FrameSnapshotPublishesEachRefresh) {
   EXPECT_GT(op.frame().refreshes, frame->refreshes);
 }
 
+TEST(StreamingAsapTest, SnapshotRingRejectsZeroFrames) {
+  StreamingOptions options = BasicOptions();
+  options.snapshot_ring_frames = 0;
+  EXPECT_FALSE(StreamingAsap::Create(options).ok());
+}
+
+TEST(StreamingAsapTest, DefaultRingKeepsOnlyTheLatestFrame) {
+  StreamingAsap op = StreamingAsap::Create(BasicOptions()).ValueOrDie();
+  EXPECT_TRUE(op.FrameHistory().empty());  // nothing published yet
+
+  op.PushBatch(PeriodicStream(21, 8000));
+  const auto history = op.FrameHistory();
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_EQ(history[0]->refreshes, op.frame().refreshes);
+  EXPECT_EQ(history[0].get(), op.frame_snapshot().get());
+}
+
+TEST(StreamingAsapTest, SnapshotRingRetainsLastKFrames) {
+  StreamingOptions options = BasicOptions();
+  options.refresh_every_points = 500;
+  options.snapshot_ring_frames = 3;
+  StreamingAsap op = StreamingAsap::Create(options).ValueOrDie();
+  EXPECT_TRUE(op.FrameHistory().empty());
+
+  // Fewer refreshes than the ring holds: history grows with each.
+  op.PushBatch(PeriodicStream(22, 1000));  // 2 refreshes
+  ASSERT_EQ(op.FrameHistory().size(), 2u);
+
+  op.PushBatch(PeriodicStream(23, 4000));  // many more refreshes
+  const auto history = op.FrameHistory();
+  ASSERT_EQ(history.size(), 3u);
+  // Oldest first, consecutive refreshes, newest == frame_snapshot().
+  EXPECT_EQ(history[0]->refreshes + 1, history[1]->refreshes);
+  EXPECT_EQ(history[1]->refreshes + 1, history[2]->refreshes);
+  EXPECT_EQ(history[2].get(), op.frame_snapshot().get());
+  EXPECT_EQ(history[2]->refreshes, op.frame().refreshes);
+
+  // Dashboard diffing: every retained frame is immutable, so a reader
+  // can compare consecutive frames without copies.
+  EXPECT_GE(history[2]->window, 1u);
+}
+
 }  // namespace
 }  // namespace asap

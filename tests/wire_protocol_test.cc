@@ -1,0 +1,270 @@
+// FrameDecoder edge cases: the wire protocol must survive frames
+// split across arbitrary read boundaries, garbage bytes mid-stream,
+// oversized frames, CRLF line endings, and interleaved encodings —
+// and account for every malformed byte it skips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "net/protocol.h"
+
+namespace asap {
+namespace net {
+namespace {
+
+using stream::Record;
+using stream::RecordBatch;
+
+RecordBatch SampleRecords() {
+  return RecordBatch{
+      {0, 1.0},
+      {7, -0.25},
+      {4294967295u, 3.141592653589793},
+      {12, 1e-300},              // denormal-adjacent magnitude
+      {12, -12345.678901234567},  // needs all 17 digits
+      {3, 0.1},                   // classic non-representable decimal
+  };
+}
+
+void ExpectBitwiseEqual(const RecordBatch& got, const RecordBatch& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].series_id, want[i].series_id) << "record " << i;
+    // Bitwise, not ==: the loopback parity guarantee is exact bits.
+    uint64_t got_bits, want_bits;
+    std::memcpy(&got_bits, &got[i].value, 8);
+    std::memcpy(&want_bits, &want[i].value, 8);
+    EXPECT_EQ(got_bits, want_bits) << "record " << i;
+  }
+}
+
+TEST(WireProtocolTest, TextRoundTripIsBitwiseExact) {
+  const RecordBatch records = SampleRecords();
+  std::string wire;
+  EncodeRecords(records.data(), records.size(), WireEncoding::kText, 512,
+                &wire);
+  FrameDecoder decoder;
+  RecordBatch out;
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  ExpectBitwiseEqual(out, records);
+  EXPECT_EQ(decoder.stats().text_records, records.size());
+  EXPECT_EQ(decoder.stats().malformed_lines, 0u);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(WireProtocolTest, BinaryRoundTripIsBitwiseExact) {
+  const RecordBatch records = SampleRecords();
+  std::string wire;
+  EncodeRecords(records.data(), records.size(), WireEncoding::kBinary,
+                /*frame_records=*/2, &wire);
+  FrameDecoder decoder;
+  RecordBatch out;
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  ExpectBitwiseEqual(out, records);
+  EXPECT_EQ(decoder.stats().binary_records, records.size());
+  EXPECT_EQ(decoder.stats().binary_frames, 3u);  // 6 records / 2 per frame
+}
+
+// The satellite-task checklist: split-across-read boundaries.
+TEST(WireProtocolTest, DecodesAcrossArbitraryReadBoundaries) {
+  const RecordBatch records = SampleRecords();
+  for (WireEncoding encoding : {WireEncoding::kText, WireEncoding::kBinary}) {
+    std::string wire;
+    EncodeRecords(records.data(), records.size(), encoding,
+                  /*frame_records=*/3, &wire);
+    for (size_t chunk : {1u, 2u, 3u, 5u, 7u}) {
+      FrameDecoder decoder;
+      RecordBatch out;
+      for (size_t pos = 0; pos < wire.size(); pos += chunk) {
+        EXPECT_TRUE(decoder.Feed(wire.data() + pos,
+                                 std::min(chunk, wire.size() - pos), &out));
+      }
+      ExpectBitwiseEqual(out, records);
+      EXPECT_EQ(decoder.buffered_bytes(), 0u)
+          << WireEncodingName(encoding) << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(WireProtocolTest, ToleratesCrlfAndEmptyLines) {
+  FrameDecoder decoder;
+  RecordBatch out;
+  const std::string wire = "1 2.5\r\n\n\r\n  \n2 3.5\n";
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Record{1, 2.5}));
+  EXPECT_EQ(out[1], (Record{2, 3.5}));
+  EXPECT_EQ(decoder.stats().malformed_lines, 0u);
+}
+
+TEST(WireProtocolTest, SkipsGarbageLinesAndKeepsGoing) {
+  FrameDecoder decoder;
+  RecordBatch out;
+  const std::string wire =
+      "1 2.5\n"
+      "not a record\n"       // no leading digit
+      "3\n"                  // missing value
+      "4 nonsense\n"         // unparseable value
+      "5 1.5 trailing\n"     // junk after the value
+      "-1 2.0\n"             // negative id
+      "4294967296 1.0\n"     // id overflows uint32
+      "6 7.5\n";
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Record{1, 2.5}));
+  EXPECT_EQ(out[1], (Record{6, 7.5}));
+  EXPECT_EQ(decoder.stats().malformed_lines, 6u);
+  EXPECT_FALSE(decoder.poisoned());
+}
+
+TEST(WireProtocolTest, RejectsNonFiniteValuesAsMalformed) {
+  // One NaN would poison a series' pane sums for a whole visible
+  // window, so non-finite values are malformed, not data.
+  FrameDecoder decoder;
+  RecordBatch out;
+  const std::string wire =
+      "1 nan\n"
+      "2 inf\n"
+      "3 -inf\n"
+      "4 1e999\n"   // overflows to +inf
+      "5 2.5\n";
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Record{5, 2.5}));
+  EXPECT_EQ(decoder.stats().malformed_lines, 4u);
+}
+
+TEST(WireProtocolTest, OversizedTextLineIsSkippedNotBuffered) {
+  FrameDecoder decoder(/*max_frame_bytes=*/64);
+  RecordBatch out;
+  std::string wire(1000, 'x');  // far over the frame bound, no newline
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);  // discarded, not carried
+  // The stream recovers at the line's eventual newline.
+  const std::string rest = "yyy\n8 9.5\n";
+  EXPECT_TRUE(decoder.Feed(rest.data(), rest.size(), &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Record{8, 9.5}));
+  EXPECT_EQ(decoder.stats().malformed_lines, 1u);
+}
+
+TEST(WireProtocolTest, OversizedBinaryFramePoisonsTheStream) {
+  FrameDecoder decoder(/*max_frame_bytes=*/120);
+  std::string wire;
+  const RecordBatch records(64, Record{1, 2.0});  // 768-byte payload
+  AppendBinaryFrame(records.data(), records.size(), &wire);
+  RecordBatch out;
+  EXPECT_FALSE(decoder.Feed(wire.data(), wire.size(), &out));
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_EQ(decoder.stats().malformed_frames, 1u);
+  EXPECT_TRUE(out.empty());
+  // Poisoned streams stay dead — even for valid input.
+  const std::string good = "1 2.0\n";
+  EXPECT_FALSE(decoder.Feed(good.data(), good.size(), &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WireProtocolTest, EncodingZeroRecordsAppendsNothing) {
+  // An empty binary frame would read as corrupt framing (payload == 0
+  // poisons the decoder), so encoding zero records must be a no-op.
+  std::string wire;
+  AppendBinaryFrame(nullptr, 0, &wire);
+  EXPECT_TRUE(wire.empty());
+  EncodeRecords(nullptr, 0, WireEncoding::kBinary, 512, &wire);
+  EXPECT_TRUE(wire.empty());
+}
+
+TEST(WireProtocolTest, CorruptBinaryLengthPoisonsTheStream) {
+  for (uint32_t bad_payload : {0u, 11u, 13u}) {  // zero / not 12-multiples
+    FrameDecoder decoder;
+    std::string wire;
+    wire.push_back(static_cast<char>(kBinaryMagic));
+    wire.append(reinterpret_cast<const char*>(&bad_payload), 4);
+    RecordBatch out;
+    EXPECT_FALSE(decoder.Feed(wire.data(), wire.size(), &out))
+        << "payload=" << bad_payload;
+    EXPECT_TRUE(decoder.poisoned());
+  }
+}
+
+TEST(WireProtocolTest, TextAndBinaryInterleaveOnOneStream) {
+  const RecordBatch text_records = {{1, 1.5}, {2, 2.5}};
+  const RecordBatch binary_records = {{3, 3.5}, {4, 4.5}};
+  std::string wire;
+  AppendTextRecord(text_records[0], &wire);
+  AppendBinaryFrame(binary_records.data(), binary_records.size(), &wire);
+  AppendTextRecord(text_records[1], &wire);
+  FrameDecoder decoder;
+  RecordBatch out;
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], text_records[0]);
+  EXPECT_EQ(out[1], binary_records[0]);
+  EXPECT_EQ(out[2], binary_records[1]);
+  EXPECT_EQ(out[3], text_records[1]);
+  EXPECT_EQ(decoder.stats().text_records, 2u);
+  EXPECT_EQ(decoder.stats().binary_records, 2u);
+}
+
+TEST(WireProtocolTest, EofFlushesTrailingUnterminatedLine) {
+  FrameDecoder decoder;
+  RecordBatch out;
+  const std::string wire = "1 2.5\n2 3.5";  // collector closed mid-line
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(decoder.buffered_bytes(), 5u);  // "2 3.5"
+  decoder.FinishEof(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1], (Record{2, 3.5}));
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(WireProtocolTest, AbnormalEofNeverParsesATruncatedLine) {
+  FrameDecoder decoder;
+  RecordBatch out;
+  // A crash mid-line: "7 123" is the delivered prefix of "7 123456.0".
+  const std::string wire = "1 2.5\n7 123";
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  ASSERT_EQ(out.size(), 1u);
+  decoder.AbandonEof();
+  EXPECT_EQ(out.size(), 1u);  // the prefix did NOT become {7, 123.0}
+  EXPECT_EQ(decoder.stats().malformed_lines, 1u);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(WireProtocolTest, EofCountsTruncatedBinaryFrameAsMalformed) {
+  FrameDecoder decoder;
+  std::string wire;
+  const RecordBatch records = {{1, 2.0}, {3, 4.0}};
+  AppendBinaryFrame(records.data(), records.size(), &wire);
+  wire.resize(wire.size() - 5);  // cut the last record short
+  RecordBatch out;
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  EXPECT_TRUE(out.empty());  // whole frame still pending
+  decoder.FinishEof(&out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(decoder.stats().malformed_frames, 1u);
+}
+
+TEST(WireProtocolTest, StatsCountBytesAndRecords) {
+  const RecordBatch records = SampleRecords();
+  std::string wire;
+  EncodeRecords(records.data(), records.size(), WireEncoding::kText, 512,
+                &wire);
+  EncodeRecords(records.data(), records.size(), WireEncoding::kBinary, 512,
+                &wire);
+  FrameDecoder decoder;
+  RecordBatch out;
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  EXPECT_EQ(decoder.stats().bytes, wire.size());
+  EXPECT_EQ(decoder.stats().records, 2 * records.size());
+  EXPECT_EQ(out.size(), 2 * records.size());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace asap

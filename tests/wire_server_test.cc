@@ -1,0 +1,364 @@
+// Loopback end-to-end tests for the wire-ingestion subsystem: a
+// WireClient replaying datasets into a WireServer must feed the
+// sharded fleet engine frames bitwise identical to in-process
+// ingestion (both encodings, TCP and UDS), and per-connection
+// malformed input must never take down the server or its other
+// connections.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "net/net_source.h"
+#include "net/wire_client.h"
+#include "net/wire_server.h"
+#include "stream/sharded_engine.h"
+#include "stream/source.h"
+#include "ts/generators.h"
+
+namespace asap {
+namespace net {
+namespace {
+
+using stream::Record;
+using stream::RecordBatch;
+using stream::SeriesId;
+
+std::vector<double> FleetSeries(SeriesId id, size_t n) {
+  Pcg32 rng(500 + id);
+  const double period = 24.0 + 6.0 * static_cast<double>(id % 5);
+  return gen::Add(gen::Sine(n, period, 1.0 + 0.1 * id),
+                  gen::WhiteNoise(&rng, n, 0.4));
+}
+
+StreamingOptions FleetOptions() {
+  StreamingOptions options;
+  options.resolution = 100;
+  options.visible_points = 2000;
+  options.refresh_every_points = 250;
+  return options;
+}
+
+std::string TestUdsPath(const char* tag) {
+  return "/tmp/asap_wire_test_" + std::to_string(::getpid()) + "_" + tag +
+         ".sock";
+}
+
+// The acceptance criterion: WireClient -> WireServer -> ShardedEngine
+// produces per-series final frames bitwise identical to in-process
+// InterleavingMultiSource ingestion, for both encodings.
+TEST(WireServerTest, LoopbackParityWithInProcessIngestion) {
+  const size_t kSeries = 6;
+  const size_t kPointsPerSeries = 5000;
+  const StreamingOptions options = FleetOptions();
+
+  std::vector<std::vector<double>> payloads;
+  for (SeriesId id = 0; id < kSeries; ++id) {
+    payloads.push_back(FleetSeries(id, kPointsPerSeries));
+  }
+
+  // In-process reference run.
+  stream::ShardedEngineOptions engine_options;
+  engine_options.shards = 2;
+  stream::ShardedEngine reference =
+      stream::ShardedEngine::Create(options, engine_options).ValueOrDie();
+  stream::InterleavingMultiSource in_process;
+  for (SeriesId id = 0; id < kSeries; ++id) {
+    in_process.AddVector(id, payloads[id]);
+  }
+  reference.RunToCompletion(&in_process);
+
+  const RecordBatch records = stream::InterleaveToRecords(payloads);
+  for (WireEncoding encoding : {WireEncoding::kText, WireEncoding::kBinary}) {
+    stream::ShardedEngine engine =
+        stream::ShardedEngine::Create(options, engine_options).ValueOrDie();
+
+    WireServerOptions server_options;
+    WireServer server = WireServer::Create(server_options).ValueOrDie();
+    const uint16_t port = server.tcp_port();
+    ASSERT_GT(port, 0);
+
+    std::thread client_thread([&records, port, encoding] {
+      WireClientOptions client_options;
+      client_options.encoding = encoding;
+      WireClient client =
+          WireClient::ConnectTcp("127.0.0.1", port, client_options)
+              .ValueOrDie();
+      ASSERT_TRUE(client.Send(records).ok());
+      ASSERT_TRUE(client.Flush().ok());
+      EXPECT_EQ(client.records_sent(), records.size());
+      client.Close();
+    });
+
+    NetMultiSource source(&server);
+    const stream::FleetReport report = engine.RunToCompletion(&source);
+    client_thread.join();
+
+    EXPECT_EQ(report.points, records.size())
+        << WireEncodingName(encoding);
+    EXPECT_EQ(report.series, kSeries);
+    EXPECT_EQ(report.dropped, 0u);
+    const WireServerStats stats = server.stats();
+    EXPECT_EQ(stats.records, records.size());
+    EXPECT_EQ(stats.accepted, 1u);
+    EXPECT_EQ(stats.malformed_lines, 0u);
+    EXPECT_EQ(stats.malformed_frames, 0u);
+
+    for (SeriesId id = 0; id < kSeries; ++id) {
+      const auto got = engine.Snapshot(id);
+      const auto want = reference.Snapshot(id);
+      ASSERT_NE(got, nullptr) << "series " << id;
+      ASSERT_NE(want, nullptr) << "series " << id;
+      EXPECT_EQ(got->window, want->window)
+          << WireEncodingName(encoding) << " series " << id;
+      EXPECT_EQ(got->refreshes, want->refreshes)
+          << WireEncodingName(encoding) << " series " << id;
+      // Bitwise-identical smoothed values (vector operator== on
+      // doubles is exact equality).
+      EXPECT_EQ(got->series, want->series)
+          << WireEncodingName(encoding) << " series " << id;
+    }
+  }
+}
+
+TEST(WireServerTest, UnixDomainSocketCarriesTheSameProtocol) {
+  const std::string uds_path = TestUdsPath("uds");
+  WireServerOptions server_options;
+  server_options.enable_tcp = false;
+  server_options.uds_path = uds_path;
+  WireServer server = WireServer::Create(server_options).ValueOrDie();
+  EXPECT_EQ(server.tcp_port(), 0);
+
+  const std::vector<double> payload = FleetSeries(0, 3000);
+  std::thread client_thread([&payload, &uds_path] {
+    WireClient client = WireClient::ConnectUds(uds_path).ValueOrDie();
+    RecordBatch records;
+    for (double x : payload) {
+      records.push_back(Record{9, x});
+    }
+    ASSERT_TRUE(client.Send(records).ok());
+    ASSERT_TRUE(client.Flush().ok());
+  });
+
+  stream::ShardedEngine engine =
+      stream::ShardedEngine::Create(FleetOptions()).ValueOrDie();
+  NetMultiSource source(&server);
+  const stream::FleetReport report = engine.RunToCompletion(&source);
+  client_thread.join();
+
+  EXPECT_EQ(report.points, payload.size());
+  ASSERT_NE(engine.Snapshot(9), nullptr);
+
+  // Parity against driving the one series directly.
+  StreamingAsap direct = StreamingAsap::Create(FleetOptions()).ValueOrDie();
+  direct.PushBatch(payload);
+  EXPECT_EQ(engine.Snapshot(9)->series, direct.frame().series);
+  EXPECT_EQ(engine.Snapshot(9)->refreshes, direct.frame().refreshes);
+}
+
+TEST(WireServerTest, ConcurrentClientsDemuxIntoDistinctSeries) {
+  WireServer server = WireServer::Create(WireServerOptions{}).ValueOrDie();
+  const uint16_t port = server.tcp_port();
+  const size_t kClients = 4;
+  const size_t kPointsPerClient = 3000;
+
+  // Every client holds its connection until all have connected: the
+  // NetMultiSource drain check must never observe a no-connections gap
+  // between one replay ending and the next beginning.
+  std::atomic<size_t> connected{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([c, port, &connected] {
+      WireClientOptions client_options;
+      client_options.encoding =
+          c % 2 == 0 ? WireEncoding::kBinary : WireEncoding::kText;
+      WireClient client =
+          WireClient::ConnectTcp("127.0.0.1", port, client_options)
+              .ValueOrDie();
+      connected.fetch_add(1);
+      while (connected.load() < kClients) {
+        std::this_thread::yield();
+      }
+      const std::vector<double> payload =
+          FleetSeries(static_cast<SeriesId>(c), kPointsPerClient);
+      RecordBatch records;
+      for (double x : payload) {
+        records.push_back(Record{static_cast<SeriesId>(c), x});
+      }
+      ASSERT_TRUE(client.Send(records).ok());
+      ASSERT_TRUE(client.Flush().ok());
+    });
+  }
+
+  stream::ShardedEngineOptions engine_options;
+  engine_options.shards = 4;
+  stream::ShardedEngine engine =
+      stream::ShardedEngine::Create(FleetOptions(), engine_options)
+          .ValueOrDie();
+  NetMultiSource source(&server);
+  const stream::FleetReport report = engine.RunToCompletion(&source);
+  for (auto& t : clients) {
+    t.join();
+  }
+
+  EXPECT_EQ(report.points, kClients * kPointsPerClient);
+  EXPECT_EQ(report.series, kClients);
+  // Each client's connection is its own ordered byte stream, so every
+  // series still matches its sequential reference exactly.
+  for (SeriesId id = 0; id < kClients; ++id) {
+    StreamingAsap direct = StreamingAsap::Create(FleetOptions()).ValueOrDie();
+    direct.PushBatch(FleetSeries(id, kPointsPerClient));
+    ASSERT_NE(engine.Snapshot(id), nullptr) << "series " << id;
+    EXPECT_EQ(engine.Snapshot(id)->series, direct.frame().series)
+        << "series " << id;
+  }
+}
+
+TEST(WireServerTest, MalformedConnectionIsDroppedOthersSurvive) {
+  WireServer server = WireServer::Create(WireServerOptions{}).ValueOrDie();
+  const uint16_t port = server.tcp_port();
+
+  // Both clients connect before either starts its replay, so the drain
+  // check never sees a no-connections gap.
+  std::atomic<size_t> connected{0};
+  std::thread bad_client([port, &connected] {
+    WireClient client = WireClient::ConnectTcp("127.0.0.1", port).ValueOrDie();
+    connected.fetch_add(1);
+    while (connected.load() < 2) {
+      std::this_thread::yield();
+    }
+    ASSERT_TRUE(client.Send(RecordBatch{{1, 2.0}}).ok());
+    ASSERT_TRUE(client.Flush().ok());
+    // Corrupt binary header: magic with an absurd length.
+    std::string garbage;
+    garbage.push_back(static_cast<char>(0xA5));
+    garbage.append("\xff\xff\xff\xff", 4);
+    ASSERT_TRUE(client.SendRaw(garbage).ok());
+    // These records ride a poisoned stream and must be ignored.
+    client.Send(RecordBatch{{1, 99.0}});
+    client.Flush();  // may fail if the server already closed us
+  });
+
+  std::thread good_client([port, &connected] {
+    WireClientOptions client_options;
+    client_options.encoding = WireEncoding::kText;
+    WireClient client =
+        WireClient::ConnectTcp("127.0.0.1", port, client_options)
+            .ValueOrDie();
+    connected.fetch_add(1);
+    while (connected.load() < 2) {
+      std::this_thread::yield();
+    }
+    RecordBatch records;
+    for (double x : FleetSeries(2, 3000)) {
+      records.push_back(Record{2, x});
+    }
+    ASSERT_TRUE(client.Send(records).ok());
+    ASSERT_TRUE(client.Flush().ok());
+  });
+
+  stream::ShardedEngine engine =
+      stream::ShardedEngine::Create(FleetOptions()).ValueOrDie();
+  NetMultiSource source(&server);
+  const stream::FleetReport report = engine.RunToCompletion(&source);
+  bad_client.join();
+  good_client.join();
+
+  const WireServerStats stats = server.stats();
+  EXPECT_EQ(stats.poisoned_connections, 1u);
+  EXPECT_GE(stats.malformed_frames, 1u);
+  // The good client's series came through in full, plus the one
+  // record the bad client sent before poisoning itself.
+  EXPECT_EQ(report.points, 3000u + 1u);
+  ASSERT_NE(engine.Snapshot(2), nullptr);
+  EXPECT_GT(engine.Snapshot(2)->refreshes, 0u);
+}
+
+TEST(WireServerTest, StopUnblocksAnIdleNextBatch) {
+  WireServer server = WireServer::Create(WireServerOptions{}).ValueOrDie();
+  NetMultiSourceOptions source_options;
+  source_options.poll_timeout_ms = 5;
+  source_options.exit_when_drained = false;  // long-lived server mode
+  NetMultiSource source(&server, source_options);
+
+  std::thread stopper([&source] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    source.Stop();
+  });
+  RecordBatch out;
+  // No client ever connects: only Stop() can end this call.
+  EXPECT_EQ(source.NextBatch(128, &out), 0u);
+  stopper.join();
+  EXPECT_TRUE(source.stopped());
+}
+
+TEST(WireServerTest, IdleTimeoutBoundsAnUnattendedNextBatch) {
+  // RunForBudget checks its budget only between NextBatch calls, so a
+  // long-lived source must be able to bound its own idle wait.
+  WireServer server = WireServer::Create(WireServerOptions{}).ValueOrDie();
+  NetMultiSourceOptions source_options;
+  source_options.poll_timeout_ms = 5;
+  source_options.exit_when_drained = false;
+  source_options.idle_timeout_ms = 50;
+  NetMultiSource source(&server, source_options);
+
+  RecordBatch out;
+  // No client ever connects; the idle timeout alone ends the call.
+  EXPECT_EQ(source.NextBatch(128, &out), 0u);
+  EXPECT_FALSE(source.stopped());
+}
+
+TEST(WireServerTest, CreateValidatesOptions) {
+  WireServerOptions no_listeners;
+  no_listeners.enable_tcp = false;
+  EXPECT_FALSE(WireServer::Create(no_listeners).ok());
+
+  WireServerOptions bad_path;
+  bad_path.enable_tcp = false;
+  bad_path.uds_path = std::string(200, 'x');  // over sun_path
+  EXPECT_FALSE(WireServer::Create(bad_path).ok());
+
+  WireServerOptions bad_host;
+  bad_host.tcp_host = "not-an-ip";
+  EXPECT_FALSE(WireServer::Create(bad_host).ok());
+
+  WireServerOptions tiny_frame;
+  tiny_frame.max_frame_bytes = 8;  // cannot hold one binary record
+  EXPECT_FALSE(WireServer::Create(tiny_frame).ok());
+}
+
+TEST(WireServerTest, ClientRejectsBadOptionsBeforeConnecting) {
+  WireClientOptions bad;
+  bad.frame_records = 0;
+  EXPECT_FALSE(WireClient::ConnectTcp("127.0.0.1", 1, bad).ok());
+}
+
+TEST(WireServerTest, UdsRefusesToClobberANonSocketPath) {
+  const std::string path = TestUdsPath("clobber");
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("precious data\n", f);
+  std::fclose(f);
+
+  WireServerOptions server_options;
+  server_options.enable_tcp = false;
+  server_options.uds_path = path;
+  EXPECT_FALSE(WireServer::Create(server_options).ok());
+  // The file survived.
+  f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace asap
