@@ -25,11 +25,15 @@
 
 namespace {
 
-std::vector<double> HostMetric(asap::stream::SeriesId id, size_t n) {
-  asap::Pcg32 rng(77 + id);
-  const double period = 32.0 + 4.0 * static_cast<double>(id % 13);
+std::vector<double> HostMetric(size_t index, size_t n) {
+  asap::Pcg32 rng(77 + index);
+  const double period = 32.0 + 4.0 * static_cast<double>(index % 13);
   return asap::gen::Add(asap::gen::Sine(n, period, 1.0),
                         asap::gen::WhiteNoise(&rng, n, 0.4));
+}
+
+std::string HostName(size_t index) {
+  return "host-" + std::to_string(index);
 }
 
 }  // namespace
@@ -65,8 +69,8 @@ int main(int argc, char** argv) {
     // every run smooths identical data.
     std::vector<std::vector<double>> payloads;
     payloads.reserve(series_count);
-    for (asap::stream::SeriesId id = 0; id < series_count; ++id) {
-      payloads.push_back(HostMetric(id, 8000));
+    for (size_t i = 0; i < series_count; ++i) {
+      payloads.push_back(HostMetric(i, 8000));
     }
 
     double base_throughput = 0.0;
@@ -83,15 +87,15 @@ int main(int argc, char** argv) {
 
       // Prefill every operator with a full visible window, then loop
       // the payloads for the measured run.
-      asap::stream::InterleavingMultiSource warmup;
-      for (asap::stream::SeriesId id = 0; id < series_count; ++id) {
-        warmup.AddVector(id, payloads[id]);
+      asap::stream::InterleavingMultiSource warmup(engine.catalog());
+      for (size_t i = 0; i < series_count; ++i) {
+        warmup.AddVector(HostName(i), payloads[i]);
       }
       engine.RunToCompletion(&warmup);
 
-      asap::stream::InterleavingMultiSource source;
-      for (asap::stream::SeriesId id = 0; id < series_count; ++id) {
-        source.AddLooping(id, payloads[id],
+      asap::stream::InterleavingMultiSource source(engine.catalog());
+      for (size_t i = 0; i < series_count; ++i) {
+        source.AddLooping(HostName(i), payloads[i],
                           /*total_points=*/size_t{1} << 40);
       }
       const asap::stream::FleetReport report =

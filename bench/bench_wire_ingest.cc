@@ -27,33 +27,41 @@ namespace {
 using asap::net::WireEncoding;
 using asap::stream::Record;
 using asap::stream::RecordBatch;
-using asap::stream::SeriesId;
+using asap::stream::SeriesCatalog;
 
-RecordBatch MakeRecords(size_t n, size_t series_count) {
+/// The collector's name table: names travel on the wire, so every
+/// stage needs a sender-side catalog to encode against.
+RecordBatch MakeRecords(SeriesCatalog* catalog, size_t n,
+                        size_t series_count) {
   asap::Pcg32 rng(99);
   const size_t per_series = (n + series_count - 1) / series_count;
+  std::vector<std::string> names;
   std::vector<std::vector<double>> payloads;
-  for (SeriesId id = 0; id < series_count; ++id) {
+  for (size_t i = 0; i < series_count; ++i) {
+    names.push_back("host-" + std::to_string(i));
     payloads.push_back(
         asap::gen::Add(asap::gen::Sine(per_series, 48.0, 1.0),
                        asap::gen::WhiteNoise(&rng, per_series, 0.4)));
   }
   // Round-robin scrape order, like a collector visiting hosts.
-  RecordBatch records = asap::stream::InterleaveToRecords(payloads);
+  RecordBatch records =
+      asap::stream::InterleaveToRecords(catalog, names, payloads);
   records.resize(std::min(records.size(), n));
   return records;
 }
 
-double DecodeOnly(const RecordBatch& records, WireEncoding encoding) {
+double DecodeOnly(const SeriesCatalog& catalog, const RecordBatch& records,
+                  WireEncoding encoding) {
   std::string wire;
-  asap::net::EncodeRecords(records.data(), records.size(), encoding,
-                           /*frame_records=*/512, &wire);
+  asap::net::WireEncoder encoder(&catalog, encoding, /*frame_records=*/512);
+  encoder.Encode(records.data(), records.size(), &wire);
   RecordBatch out;
   out.reserve(records.size());
   const double seconds = asap::bench::TimeBest(
       [&] {
         out.clear();
-        asap::net::FrameDecoder decoder;
+        SeriesCatalog sink;
+        asap::net::FrameDecoder decoder(&sink);
         constexpr size_t kChunk = 64 * 1024;  // one recv()'s worth
         for (size_t pos = 0; pos < wire.size(); pos += kChunk) {
           decoder.Feed(wire.data() + pos,
@@ -67,15 +75,19 @@ double DecodeOnly(const RecordBatch& records, WireEncoding encoding) {
 /// Replays `records` over loopback TCP; the main thread drains the
 /// server through NetMultiSource and discards, measuring pure wire +
 /// decode throughput with no smoothing work behind it.
-double LoopbackDrain(const RecordBatch& records, WireEncoding encoding) {
+double LoopbackDrain(const SeriesCatalog& catalog, const RecordBatch& records,
+                     WireEncoding encoding) {
+  SeriesCatalog sink_catalog;
   asap::net::WireServer server =
-      asap::net::WireServer::Create(asap::net::WireServerOptions{})
+      asap::net::WireServer::Create(asap::net::WireServerOptions{},
+                                    &sink_catalog)
           .ValueOrDie();
   const uint16_t port = server.tcp_port();
 
   asap::Stopwatch watch;
-  std::thread client_thread([&records, port, encoding] {
+  std::thread client_thread([&catalog, &records, port, encoding] {
     asap::net::WireClientOptions client_options;
+    client_options.catalog = &catalog;
     client_options.encoding = encoding;
     asap::net::WireClient client =
         asap::net::WireClient::ConnectTcp("127.0.0.1", port, client_options)
@@ -99,8 +111,8 @@ double LoopbackDrain(const RecordBatch& records, WireEncoding encoding) {
 }
 
 /// End-to-end: loopback replay into the sharded fleet engine.
-double LoopbackEngine(const RecordBatch& records, WireEncoding encoding,
-                      size_t shards) {
+double LoopbackEngine(const SeriesCatalog& catalog, const RecordBatch& records,
+                      WireEncoding encoding, size_t shards) {
   asap::StreamingOptions series_options;
   series_options.resolution = 400;
   series_options.visible_points = 8000;
@@ -114,12 +126,14 @@ double LoopbackEngine(const RecordBatch& records, WireEncoding encoding,
           .ValueOrDie();
 
   asap::net::WireServer server =
-      asap::net::WireServer::Create(asap::net::WireServerOptions{})
+      asap::net::WireServer::Create(asap::net::WireServerOptions{},
+                                    engine.catalog())
           .ValueOrDie();
   const uint16_t port = server.tcp_port();
 
-  std::thread client_thread([&records, port, encoding] {
+  std::thread client_thread([&catalog, &records, port, encoding] {
     asap::net::WireClientOptions client_options;
+    client_options.catalog = &catalog;
     client_options.encoding = encoding;
     asap::net::WireClient client =
         asap::net::WireClient::ConnectTcp("127.0.0.1", port, client_options)
@@ -152,28 +166,33 @@ int main(int argc, char** argv) {
          Fmt(millions, 1) + "M records across " +
          std::to_string(kSeriesCount) + " series (loopback TCP)");
 
-  const RecordBatch records = MakeRecords(kRecords, kSeriesCount);
+  SeriesCatalog catalog;
+  const RecordBatch records = MakeRecords(&catalog, kRecords, kSeriesCount);
 
   Row({"Stage", "Text rec/s", "Binary rec/s", "Binary/Text"}, 16);
   Rule(4, 16);
 
-  const double decode_text = DecodeOnly(records, WireEncoding::kText);
-  const double decode_binary = DecodeOnly(records, WireEncoding::kBinary);
+  const double decode_text =
+      DecodeOnly(catalog, records, WireEncoding::kText);
+  const double decode_binary =
+      DecodeOnly(catalog, records, WireEncoding::kBinary);
   Row({"decode only", FmtEng(decode_text), FmtEng(decode_binary),
        Fmt(decode_binary / decode_text, 2) + "x"},
       16);
 
-  const double drain_text = LoopbackDrain(records, WireEncoding::kText);
-  const double drain_binary = LoopbackDrain(records, WireEncoding::kBinary);
+  const double drain_text =
+      LoopbackDrain(catalog, records, WireEncoding::kText);
+  const double drain_binary =
+      LoopbackDrain(catalog, records, WireEncoding::kBinary);
   Row({"loopback drain", FmtEng(drain_text), FmtEng(drain_binary),
        Fmt(drain_binary / drain_text, 2) + "x"},
       16);
 
   const size_t shards = 4;
   const double engine_text =
-      LoopbackEngine(records, WireEncoding::kText, shards);
+      LoopbackEngine(catalog, records, WireEncoding::kText, shards);
   const double engine_binary =
-      LoopbackEngine(records, WireEncoding::kBinary, shards);
+      LoopbackEngine(catalog, records, WireEncoding::kBinary, shards);
   Row({"engine (" + std::to_string(shards) + " shards)",
        FmtEng(engine_text), FmtEng(engine_binary),
        Fmt(engine_binary / engine_text, 2) + "x"},
@@ -184,8 +203,9 @@ int main(int argc, char** argv) {
       "\ndecode only   : FrameDecoder over in-memory bytes, 64KB chunks\n"
       "loopback drain: WireClient -> TCP loopback -> WireServer -> discard\n"
       "engine        : same wire path feeding ShardedEngine smoothing\n"
-      "Binary is length-prefixed 12-byte records; text is '<id> <value>'\n"
-      "lines (shortest round-trip decimals, bit-exact both ways).\n");
+      "Binary is 0xA6 name registrations + length-prefixed 12-byte\n"
+      "records; text is '<name> <value>' lines (shortest round-trip\n"
+      "decimals, bit-exact both ways).\n");
   if (drain_binary < 1e6) {
     std::printf("\nWARNING: binary loopback drain below 1M records/s.\n");
     return 1;

@@ -1,8 +1,9 @@
 // The §2 "Application Monitoring" case study, fleet-scale: a cluster
-// of hosts streams per-5-minute CPU telemetry into the sharded fleet
-// engine; every host's dashboard refreshes at a human timescale; a
-// sub-threshold usage shift that raw plots bury becomes visible — and
-// the fleet report says which hosts it hit.
+// of named hosts ("web-00".."web-NN") streams per-5-minute CPU
+// telemetry into the sharded fleet engine; every host's dashboard
+// refreshes at a human timescale; a sub-threshold usage shift that raw
+// plots bury becomes visible — and the fleet report says which hosts
+// it hit, by name, with FleetView answering the cross-host questions.
 //
 //   $ ./server_monitoring [hosts] [shards]
 
@@ -10,11 +11,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "core/streaming_asap.h"
 #include "render/ascii_chart.h"
 #include "stats/normalize.h"
+#include "stream/fleet_view.h"
 #include "stream/sharded_engine.h"
 #include "stream/source.h"
 #include "ts/generators.h"
@@ -24,14 +28,20 @@ namespace {
 constexpr size_t kDay = 288;  // 5-minute readings per day
 constexpr size_t kDays = 10;
 
-bool HasIncident(asap::stream::SeriesId host) { return host % 3 == 1; }
+std::string HostName(size_t host) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "web-%02zu/cpu", host);
+  return name;
+}
+
+bool HasIncident(size_t host) { return host % 3 == 1; }
 
 // Ten days of per-5-minute CPU utilization for one host: daily load
 // cycle + heavy jitter; every third host also gets a sustained
 // (sub-alarm) usage step on day 8 — the Figure 2 scenario.
-std::vector<double> MakeCpuTelemetry(asap::stream::SeriesId host) {
+std::vector<double> MakeCpuTelemetry(size_t host) {
   const size_t n = kDays * kDay;
-  asap::Pcg32 rng(2024 + host);
+  asap::Pcg32 rng(2024 + static_cast<uint64_t>(host));
   std::vector<double> cpu(n);
   const double peak_hour = 0.5 + 0.02 * static_cast<double>(host % 8);
   for (size_t i = 0; i < n; ++i) {
@@ -49,8 +59,8 @@ std::vector<double> MakeCpuTelemetry(asap::stream::SeriesId host) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // At least 2 hosts so both a healthy host (id 0) and an incident
-  // host (id 1) exist for the side-by-side dashboards below; bounded
+  // At least 2 hosts so both a healthy host (web-00) and an incident
+  // host (web-01) exist for the side-by-side dashboards below; bounded
   // above so negative/garbage arguments (strtoll of "-4") cannot ask
   // for 2^64 hosts or threads.
   const long long raw_hosts =
@@ -79,11 +89,12 @@ int main(int argc, char** argv) {
       asap::stream::ShardedEngine::Create(series_options, engine_options)
           .ValueOrDie();
 
-  // The fleet stream: one tagged series per host, interleaved the way
-  // a scrape cycle visits the cluster.
-  asap::stream::InterleavingMultiSource source;
-  for (asap::stream::SeriesId host = 0; host < hosts; ++host) {
-    source.AddVector(host, MakeCpuTelemetry(host));
+  // The fleet stream: one named series per host, interleaved the way
+  // a scrape cycle visits the cluster. Names intern through the
+  // engine's catalog — nobody mints a numeric id.
+  asap::stream::InterleavingMultiSource source(engine.catalog());
+  for (size_t host = 0; host < hosts; ++host) {
+    source.AddVector(HostName(host), MakeCpuTelemetry(host));
   }
 
   const asap::stream::FleetReport report = engine.RunToCompletion(&source);
@@ -105,25 +116,38 @@ int main(int argc, char** argv) {
         shard.peak_queue_depth);
   }
 
-  // Every host's final frame is one lock-free snapshot away — pick an
-  // incident host and a healthy one and render both dashboards.
-  asap::stream::SeriesId incident_host = 0;
-  asap::stream::SeriesId healthy_host = 0;
-  for (asap::stream::SeriesId host = 0; host < hosts; ++host) {
-    if (HasIncident(host)) {
-      incident_host = host;
-    } else {
-      healthy_host = host;
-    }
+  // The query tier: every host's final frame is one lock-free snapshot
+  // away, addressed by name.
+  const asap::stream::FleetView view(&engine);
+  std::string incident_host;
+  std::string healthy_host;
+  for (size_t host = 0; host < hosts; ++host) {
+    (HasIncident(host) ? incident_host : healthy_host) = HostName(host);
   }
 
-  const auto incident_frame = engine.Snapshot(incident_host);
-  const auto healthy_frame = engine.Snapshot(healthy_host);
+  const auto incident_frame = view.Frame(incident_host);
+  const auto healthy_frame = view.Frame(healthy_host);
   std::printf(
-      "\n  host %u window       : %zu buckets (incident host)\n"
-      "  host %u window       : %zu buckets (healthy host)\n\n",
-      incident_host, incident_frame->window, healthy_host,
+      "\n  %s window  : %zu buckets (incident host)\n"
+      "  %s window  : %zu buckets (healthy host)\n",
+      incident_host.c_str(), incident_frame->window, healthy_host.c_str(),
       healthy_frame->window);
+
+  // Cross-host questions, straight off the published frames: the
+  // roughest dashboards fleet-wide and the fleet's smoothed CPU level.
+  std::printf("\nRoughest smoothed dashboards (top 3 of %zu):\n",
+              view.series_count());
+  for (const asap::stream::SeriesRank& rank : view.TopKByRoughness(3)) {
+    std::printf("  %-12s roughness %.4f\n", rank.name.c_str(),
+                rank.roughness);
+  }
+  const asap::stream::FleetAggregate mean_cpu =
+      view.Aggregate(asap::stream::AggKind::kMean);
+  const asap::stream::FleetAggregate max_cpu =
+      view.Aggregate(asap::stream::AggKind::kMax);
+  std::printf(
+      "Fleet smoothed CPU now : mean %.1f%%, max %.1f%% over %zu hosts\n\n",
+      mean_cpu.value, max_cpu.value, mean_cpu.series);
 
   asap::render::AsciiChartOptions chart;
   chart.width = 76;
@@ -131,18 +155,17 @@ int main(int argc, char** argv) {
   std::printf("%s\n",
               asap::render::AsciiChartPair(
                   asap::stats::ZScore(healthy_frame->series),
-                  "-- host " + std::to_string(healthy_host) +
-                      " (healthy): ASAP dashboard view --",
+                  "-- " + healthy_host + " (healthy): ASAP dashboard view --",
                   asap::stats::ZScore(incident_frame->series),
-                  "-- host " + std::to_string(incident_host) +
+                  "-- " + incident_host +
                       " (incident): ASAP dashboard view --",
                   chart)
                   .c_str());
   std::printf(
-      "The day-8 usage step on host %u is sub-threshold against the raw\n"
+      "The day-8 usage step on %s is sub-threshold against the raw\n"
       "jitter but unmistakable in its smoothed view — and the fleet\n"
       "engine smooths every host's dashboard in one pass, sharded\n"
       "across threads (cf. paper §2, Figure 2).\n",
-      incident_host);
+      incident_host.c_str());
   return 0;
 }

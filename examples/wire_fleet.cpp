@@ -1,6 +1,8 @@
 // Wire-ingestion fleet demo: a collector process replays the taxi
-// dataset (as K series) over the ASAP wire protocol into a server
-// process running the sharded fleet engine.
+// dataset (as K named series, "cab-00".."cab-NN") over the ASAP wire
+// protocol into a server process running the sharded fleet engine.
+// The server side answers fleet queries through FleetView: which cabs
+// look roughest, and the fleet-wide smoothed level.
 //
 // Two-process operation:
 //
@@ -11,7 +13,7 @@
 // Unix-domain socket.) Or run both halves in one process over an
 // ephemeral loopback port:
 //
-//   ./wire_fleet demo
+//   ./wire_fleet demo        # "--demo" also accepted
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,14 +26,13 @@
 #include "net/net_source.h"
 #include "net/wire_client.h"
 #include "net/wire_server.h"
+#include "stream/fleet_view.h"
 #include "stream/sharded_engine.h"
 
 namespace {
 
 using asap::net::WireEncoding;
-using asap::stream::Record;
 using asap::stream::RecordBatch;
-using asap::stream::SeriesId;
 
 struct Args {
   std::string mode;
@@ -58,6 +59,9 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     return false;
   }
   args->mode = argv[1];
+  if (args->mode.rfind("--", 0) == 0) {
+    args->mode = args->mode.substr(2);  // tolerate "--demo" etc.
+  }
   if ((argc - 2) % 2 != 0) {
     return false;  // dangling flag with no value
   }
@@ -88,24 +92,40 @@ bool ParseArgs(int argc, char** argv, Args* args) {
          args->mode == "demo";
 }
 
+std::string CabName(size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "cab-%02zu", index);
+  return name;
+}
+
 /// K taxi-like series: the same Thanksgiving-dip shape, distinct seeds
-/// per series so each host's noise differs.
+/// per series so each cab's noise differs.
 std::vector<std::vector<double>> TaxiFleet(size_t series) {
   std::vector<std::vector<double>> payloads;
   payloads.reserve(series);
-  for (size_t id = 0; id < series; ++id) {
+  for (size_t i = 0; i < series; ++i) {
     payloads.push_back(
-        asap::datasets::MakeTaxi(/*seed=*/49 + id).series.values());
+        asap::datasets::MakeTaxi(/*seed=*/49 + i).series.values());
   }
   return payloads;
 }
 
 int RunClient(const Args& args) {
+  // The collector's own name table: names travel on the wire and the
+  // server interns them into the engine's catalog — no id coordination
+  // between the two processes.
+  asap::stream::SeriesCatalog catalog;
+  std::vector<std::string> names;
+  names.reserve(args.series);
+  for (size_t i = 0; i < args.series; ++i) {
+    names.push_back(CabName(i));
+  }
   // Round-robin scrape order over the fleet, like a collector cycle.
-  const RecordBatch records =
-      asap::stream::InterleaveToRecords(TaxiFleet(args.series));
+  const RecordBatch records = asap::stream::InterleaveToRecords(
+      &catalog, names, TaxiFleet(args.series));
 
   asap::net::WireClientOptions client_options;
+  client_options.catalog = &catalog;
   client_options.encoding = args.encoding;
   asap::Result<asap::net::WireClient> client =
       args.uds_path.empty()
@@ -128,7 +148,71 @@ int RunClient(const Args& args) {
   return 0;
 }
 
-int RunServer(const Args& args, asap::net::WireServer server) {
+int RunServer(const Args& args, asap::stream::ShardedEngine* engine,
+              asap::net::WireServer server) {
+  if (server.tcp_port() != 0) {
+    std::printf("Listening on 127.0.0.1:%u", server.tcp_port());
+  } else {
+    std::printf("Listening on %s", server.uds_path().c_str());
+  }
+  std::printf(" (%zu shards); waiting for a collector...\n", args.shards);
+
+  asap::net::NetMultiSource source(&server);
+  const asap::stream::FleetReport report = engine->RunToCompletion(&source);
+
+  const asap::net::WireServerStats stats = server.stats();
+  std::printf(
+      "\nIngested %llu records (%llu wire bytes) from %llu connections\n"
+      "at %.2fM records/s into %zu series; %llu refreshes, %llu dropped,\n"
+      "%llu name registrations, %llu malformed lines, %llu poisoned\n"
+      "connections.\n\n",
+      static_cast<unsigned long long>(report.points),
+      static_cast<unsigned long long>(stats.bytes),
+      static_cast<unsigned long long>(stats.accepted),
+      report.points_per_second / 1e6, report.series,
+      static_cast<unsigned long long>(report.refreshes),
+      static_cast<unsigned long long>(report.dropped),
+      static_cast<unsigned long long>(stats.name_registrations),
+      static_cast<unsigned long long>(stats.malformed_lines),
+      static_cast<unsigned long long>(stats.poisoned_connections));
+
+  std::printf("Per-series final frames (smoothed taxi, chosen windows):\n");
+  std::printf("%-10s%-10s%-12s%-10s\n", "series", "points", "refreshes",
+              "window");
+  for (const asap::stream::SeriesReport& sr : report.per_series) {
+    std::printf("%-10s%-10llu%-12llu%-10zu\n", sr.name.c_str(),
+                static_cast<unsigned long long>(sr.points),
+                static_cast<unsigned long long>(sr.refreshes), sr.window);
+  }
+
+  // The query tier: cross-series questions over the published frames.
+  const asap::stream::FleetView view(engine);
+  std::printf("\nRoughest smoothed views (FleetView::TopKByRoughness):\n");
+  for (const asap::stream::SeriesRank& rank : view.TopKByRoughness(3)) {
+    std::printf("  %-10s roughness %.4f (window %zu)\n", rank.name.c_str(),
+                rank.roughness, rank.window);
+  }
+  const asap::stream::FleetAggregate mean =
+      view.Aggregate(asap::stream::AggKind::kMean);
+  std::printf("Fleet-wide smoothed level: %.2f across %zu cabs.\n",
+              mean.value, mean.series);
+  return 0;
+}
+
+asap::net::WireServer MakeServer(const Args& args,
+                                 asap::stream::ShardedEngine* engine) {
+  asap::net::WireServerOptions server_options;
+  if (!args.uds_path.empty()) {
+    server_options.enable_tcp = false;
+    server_options.uds_path = args.uds_path;
+  } else {
+    server_options.tcp_port = args.port;
+  }
+  return asap::net::WireServer::Create(server_options, engine->catalog())
+      .ValueOrDie();
+}
+
+asap::stream::ShardedEngine MakeEngine(const Args& args) {
   // The taxi series is 3600 half-hourly points; a 3000-point visible
   // window refreshed every 600 gives each series several refreshes as
   // its replay streams in.
@@ -139,65 +223,20 @@ int RunServer(const Args& args, asap::net::WireServer server) {
 
   asap::stream::ShardedEngineOptions engine_options;
   engine_options.shards = args.shards;
-  asap::stream::ShardedEngine engine =
-      asap::stream::ShardedEngine::Create(series_options, engine_options)
-          .ValueOrDie();
-
-  if (server.tcp_port() != 0) {
-    std::printf("Listening on 127.0.0.1:%u", server.tcp_port());
-  } else {
-    std::printf("Listening on %s", server.uds_path().c_str());
-  }
-  std::printf(" (%zu shards); waiting for a collector...\n", args.shards);
-
-  asap::net::NetMultiSource source(&server);
-  const asap::stream::FleetReport report = engine.RunToCompletion(&source);
-
-  const asap::net::WireServerStats stats = server.stats();
-  std::printf(
-      "\nIngested %llu records (%llu wire bytes) from %llu connections\n"
-      "at %.2fM records/s into %zu series; %llu refreshes, %llu dropped,\n"
-      "%llu malformed lines, %llu poisoned connections.\n\n",
-      static_cast<unsigned long long>(report.points),
-      static_cast<unsigned long long>(stats.bytes),
-      static_cast<unsigned long long>(stats.accepted),
-      report.points_per_second / 1e6, report.series,
-      static_cast<unsigned long long>(report.refreshes),
-      static_cast<unsigned long long>(report.dropped),
-      static_cast<unsigned long long>(stats.malformed_lines),
-      static_cast<unsigned long long>(stats.poisoned_connections));
-
-  std::printf("Per-series final frames (smoothed taxi, chosen windows):\n");
-  std::printf("%-8s%-10s%-12s%-10s\n", "series", "points", "refreshes",
-              "window");
-  for (const asap::stream::SeriesReport& sr : report.per_series) {
-    std::printf("%-8u%-10llu%-12llu%-10zu\n", sr.id,
-                static_cast<unsigned long long>(sr.points),
-                static_cast<unsigned long long>(sr.refreshes), sr.window);
-  }
-  return 0;
-}
-
-asap::net::WireServer MakeServer(const Args& args) {
-  asap::net::WireServerOptions server_options;
-  if (!args.uds_path.empty()) {
-    server_options.enable_tcp = false;
-    server_options.uds_path = args.uds_path;
-  } else {
-    server_options.tcp_port = args.port;
-  }
-  return asap::net::WireServer::Create(server_options).ValueOrDie();
+  return asap::stream::ShardedEngine::Create(series_options, engine_options)
+      .ValueOrDie();
 }
 
 int RunDemo(const Args& args) {
   // Both halves in one process: the server side owns the main thread
   // (as in real deployments, the engine's producer thread is the
   // socket event loop); the collector replays from a second thread.
-  asap::net::WireServer server = MakeServer(args);
+  asap::stream::ShardedEngine engine = MakeEngine(args);
+  asap::net::WireServer server = MakeServer(args, &engine);
   Args client_args = args;
   client_args.port = server.tcp_port();
   std::thread collector([client_args] { RunClient(client_args); });
-  const int rc = RunServer(args, std::move(server));
+  const int rc = RunServer(args, &engine, std::move(server));
   collector.join();
   return rc;
 }
@@ -221,7 +260,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "server needs --port or --uds\n");
       return 2;
     }
-    return RunServer(args, MakeServer(args));
+    asap::stream::ShardedEngine engine = MakeEngine(args);
+    asap::net::WireServer server = MakeServer(args, &engine);
+    return RunServer(args, &engine, std::move(server));
   }
   return RunDemo(args);
 }

@@ -8,6 +8,12 @@
 // Ordering: TCP/UDS byte streams are ordered and FrameDecoder emits
 // records in wire order, so each connection's per-series record order
 // is preserved end-to-end — the property determinism parity rests on.
+//
+// Naming: the records this source emits carry ids from the catalog
+// the WireServer was created against (normally the engine's own, via
+// ShardedEngine::catalog()) — build the server against the engine's
+// catalog and the wire names resolve through FleetView like any
+// in-process series.
 
 #ifndef ASAP_NET_NET_SOURCE_H_
 #define ASAP_NET_NET_SOURCE_H_

@@ -36,20 +36,28 @@ const char* WireEncodingName(WireEncoding encoding) {
   return encoding == WireEncoding::kText ? "text" : "binary";
 }
 
-void AppendTextRecord(const stream::Record& record, std::string* out) {
+void AppendTextRecord(std::string_view name, double value, std::string* out) {
+  ASAP_DCHECK(stream::IsValidSeriesName(name));
+  out->append(name.data(), name.size());
+  out->push_back(' ');
   // std::to_chars: locale-independent (a comma-decimal LC_NUMERIC in
   // the host process must not corrupt the wire format) and shortest
   // round-trip, so the receiver's from_chars recovers the exact bits.
-  char line[64];
-  char* p = line;
-  char* const end = line + sizeof(line);
-  p = std::to_chars(p, end, record.series_id).ptr;
-  *p++ = ' ';
-  const std::to_chars_result r = std::to_chars(p, end, record.value);
+  char digits[32];
+  const std::to_chars_result r =
+      std::to_chars(digits, digits + sizeof(digits), value);
   ASAP_DCHECK(r.ec == std::errc());
-  p = r.ptr;
-  *p++ = '\n';
-  out->append(line, static_cast<size_t>(p - line));
+  out->append(digits, static_cast<size_t>(r.ptr - digits));
+  out->push_back('\n');
+}
+
+void AppendNameFrame(uint32_t wire_id, std::string_view name,
+                     std::string* out) {
+  ASAP_CHECK(stream::IsValidSeriesName(name));
+  out->push_back(static_cast<char>(kNameMagic));
+  PutU32(static_cast<uint32_t>(sizeof(uint32_t) + name.size()), out);
+  PutU32(wire_id, out);
+  out->append(name.data(), name.size());
 }
 
 void AppendBinaryFrame(const stream::Record* records, size_t n,
@@ -71,23 +79,43 @@ void AppendBinaryFrame(const stream::Record* records, size_t n,
   }
 }
 
-void EncodeRecords(const stream::Record* records, size_t n,
-                   WireEncoding encoding, size_t frame_records,
-                   std::string* out) {
-  if (encoding == WireEncoding::kText) {
+WireEncoder::WireEncoder(const stream::SeriesCatalog* catalog,
+                         WireEncoding encoding, size_t frame_records)
+    : catalog_(catalog), encoding_(encoding), frame_records_(frame_records) {
+  ASAP_CHECK(catalog_ != nullptr);
+  ASAP_CHECK_GE(frame_records_, 1u);
+}
+
+void WireEncoder::Encode(const stream::Record* records, size_t n,
+                         std::string* out) {
+  if (encoding_ == WireEncoding::kText) {
     for (size_t i = 0; i < n; ++i) {
-      AppendTextRecord(records[i], out);
+      AppendTextRecord(catalog_->NameOf(records[i].series_id),
+                       records[i].value, out);
     }
     return;
   }
-  ASAP_CHECK_GE(frame_records, 1u);
-  for (size_t i = 0; i < n; i += frame_records) {
-    AppendBinaryFrame(records + i, std::min(frame_records, n - i), out);
+  // Announce every not-yet-registered id up front so each 0xA6 frame
+  // precedes the first 0xA5 record that references it.
+  for (size_t i = 0; i < n; ++i) {
+    const stream::SeriesId id = records[i].series_id;
+    if (id >= announced_.size()) {
+      announced_.resize(std::max<size_t>(id + 1, catalog_->size()), false);
+    }
+    if (!announced_[id]) {
+      AppendNameFrame(id, catalog_->NameOf(id), out);
+      announced_[id] = true;
+    }
+  }
+  for (size_t i = 0; i < n; i += frame_records_) {
+    AppendBinaryFrame(records + i, std::min(frame_records_, n - i), out);
   }
 }
 
-FrameDecoder::FrameDecoder(size_t max_frame_bytes)
-    : max_frame_bytes_(max_frame_bytes) {
+FrameDecoder::FrameDecoder(stream::SeriesCatalog* catalog,
+                           size_t max_frame_bytes)
+    : catalog_(catalog), max_frame_bytes_(max_frame_bytes) {
+  ASAP_CHECK(catalog_ != nullptr);
   ASAP_CHECK_GE(max_frame_bytes_, kBinaryHeaderBytes + kBinaryRecordBytes);
 }
 
@@ -121,7 +149,8 @@ void FrameDecoder::FinishEof(stream::RecordBatch* out) {
     line_scan_offset_ = 0;
     return;
   }
-  if (static_cast<unsigned char>(buffer_.front()) == kBinaryMagic) {
+  const unsigned char first = static_cast<unsigned char>(buffer_.front());
+  if (first == kBinaryMagic || first == kNameMagic) {
     // A binary frame cut off mid-stream.
     stats_.malformed_frames += 1;
   } else {
@@ -137,7 +166,8 @@ void FrameDecoder::FinishEof(stream::RecordBatch* out) {
 
 void FrameDecoder::AbandonEof() {
   if (!poisoned_ && !buffer_.empty()) {
-    if (static_cast<unsigned char>(buffer_.front()) == kBinaryMagic) {
+    const unsigned char first = static_cast<unsigned char>(buffer_.front());
+    if (first == kBinaryMagic || first == kNameMagic) {
       stats_.malformed_frames += 1;
     } else {
       stats_.malformed_lines += 1;
@@ -161,13 +191,16 @@ size_t FrameDecoder::DecodeSome(const char* data, size_t size,
       pos = static_cast<size_t>(nl - data) + 1;
       continue;
     }
-    if (static_cast<unsigned char>(data[pos]) == kBinaryMagic) {
+    const unsigned char first = static_cast<unsigned char>(data[pos]);
+    if (first == kBinaryMagic || first == kNameMagic) {
       if (size - pos < kBinaryHeaderBytes) {
         return pos;  // partial header
       }
       const uint32_t payload = GetU32(data + pos + 1);
-      if (payload == 0 || payload % kBinaryRecordBytes != 0 ||
-          payload > max_frame_bytes_) {
+      const bool bad_length =
+          payload == 0 || payload > max_frame_bytes_ ||
+          (first == kBinaryMagic && payload % kBinaryRecordBytes != 0);
+      if (bad_length) {
         // Corrupt framing: no resync point exists inside the frame,
         // so poison the stream instead of mis-parsing garbage.
         stats_.malformed_frames += 1;
@@ -178,17 +211,29 @@ size_t FrameDecoder::DecodeSome(const char* data, size_t size,
         return pos;  // partial payload
       }
       const char* p = data + pos + kBinaryHeaderBytes;
-      const size_t count = payload / kBinaryRecordBytes;
-      for (size_t i = 0; i < count; ++i) {
-        stream::Record r;
-        r.series_id = GetU32(p);
-        std::memcpy(&r.value, p + 4, 8);
-        out->push_back(r);
-        p += kBinaryRecordBytes;
+      if (first == kNameMagic) {
+        ApplyNameFrame(p, payload);
+      } else {
+        const size_t count = payload / kBinaryRecordBytes;
+        for (size_t i = 0; i < count; ++i) {
+          const uint32_t wire_id = GetU32(p);
+          const auto it = wire_ids_.find(wire_id);
+          if (it == wire_ids_.end()) {
+            // Never seen a 0xA6 for this id on this stream: skipping
+            // (and counting) beats guessing which series it meant.
+            stats_.unknown_series_records += 1;
+          } else {
+            stream::Record r;
+            r.series_id = it->second;
+            std::memcpy(&r.value, p + 4, 8);
+            out->push_back(r);
+            stats_.records += 1;
+            stats_.binary_records += 1;
+          }
+          p += kBinaryRecordBytes;
+        }
+        stats_.binary_frames += 1;
       }
-      stats_.records += count;
-      stats_.binary_records += count;
-      stats_.binary_frames += 1;
       pos += kBinaryHeaderBytes + payload;
       continue;
     }
@@ -226,6 +271,26 @@ size_t FrameDecoder::DecodeSome(const char* data, size_t size,
   return size;
 }
 
+void FrameDecoder::ApplyNameFrame(const char* payload, size_t payload_bytes) {
+  if (payload_bytes < kMinNamePayloadBytes ||
+      payload_bytes > kMaxNamePayloadBytes) {
+    // The length prefix itself was sane (DecodeSome vetted it), so the
+    // stream resyncs after this frame — skip and count, don't poison.
+    stats_.malformed_registrations += 1;
+    return;
+  }
+  const uint32_t wire_id = GetU32(payload);
+  const std::string_view name(payload + sizeof(uint32_t),
+                              payload_bytes - sizeof(uint32_t));
+  if (!stream::IsValidSeriesName(name)) {
+    stats_.malformed_registrations += 1;
+    return;
+  }
+  // Last registration wins: a sender may remap its own wire id.
+  wire_ids_[wire_id] = catalog_->Intern(name);
+  stats_.name_registrations += 1;
+}
+
 void FrameDecoder::DecodeLine(const char* line, size_t len,
                               stream::RecordBatch* out) {
   const char* p = line;
@@ -239,21 +304,25 @@ void FrameDecoder::DecodeLine(const char* line, size_t len,
   if (p == end) {
     return;  // blank line: ignored, not an error
   }
-  // std::from_chars throughout: locale-independent, range-checked
-  // (no strtoul ULONG_MAX wrap, no strtod ERANGE-to-HUGE_VAL), and
-  // needs no null-terminated scratch copy.
-  uint32_t id = 0;
-  const std::from_chars_result id_result = std::from_chars(p, end, id, 10);
-  if (id_result.ec != std::errc() || id_result.ptr == end ||
-      !IsLineSpace(*id_result.ptr)) {
-    stats_.malformed_lines += 1;
+  // <series-name>: the token up to the next space. Validation happens
+  // before the value parse, but nothing interns until the whole line
+  // is known good — a garbage line must not pollute the catalog.
+  const char* name_end = p;
+  while (name_end < end && !IsLineSpace(*name_end)) {
+    ++name_end;
+  }
+  const std::string_view name(p, static_cast<size_t>(name_end - p));
+  if (name_end == end || !stream::IsValidSeriesName(name)) {
+    stats_.malformed_lines += 1;  // no value token, or bad name
     return;
   }
-  p = id_result.ptr;
+  p = name_end;
   while (p < end && IsLineSpace(*p)) {
     ++p;
   }
   double value = 0.0;
+  // std::from_chars: locale-independent, range-checked (no strtod
+  // ERANGE-to-HUGE_VAL), and needs no null-terminated scratch copy.
   const std::from_chars_result value_result = std::from_chars(p, end, value);
   // Non-finite values (nan/inf literals, out-of-range magnitudes) are
   // rejected like any malformed line: one NaN would otherwise poison
@@ -263,7 +332,17 @@ void FrameDecoder::DecodeLine(const char* line, size_t len,
     stats_.malformed_lines += 1;
     return;
   }
-  out->push_back(stream::Record{static_cast<stream::SeriesId>(id), value});
+  stream::SeriesId id;
+  const auto it = text_ids_.find(name);
+  if (it != text_ids_.end()) {
+    id = it->second;
+  } else {
+    id = catalog_->Intern(name);
+    // Key by the catalog's arena-stable view, not the transient line
+    // buffer the probe pointed into.
+    text_ids_.emplace(catalog_->NameOf(id), id);
+  }
+  out->push_back(stream::Record{id, value});
   stats_.records += 1;
   stats_.text_records += 1;
 }

@@ -1,35 +1,58 @@
-// The ASAP wire protocol: how collectors push tagged records to a
-// WireServer over a byte stream (TCP or Unix-domain socket).
+// The ASAP wire protocol: how collectors push *named* tagged records
+// to a WireServer over a byte stream (TCP or Unix-domain socket).
+// Series are identified by name end-to-end; the receiver interns each
+// name through the fleet's SeriesCatalog, so collectors never mint or
+// coordinate numeric ids.
 //
-// Two encodings share one stream, distinguished by the first byte of
-// each frame (Akumuli's akumulid front-end plays the same trick with
-// RESP type bytes):
+// Three frame kinds share one stream, distinguished by the first byte
+// (Akumuli's akumulid front-end plays the same trick with RESP type
+// bytes):
 //
 //   Text (human-debuggable, graphite-style):
-//       <series-id> <value>\n
-//     - series-id: decimal uint32; value: a finite double, emitted as
-//       the shortest round-trip decimal (std::to_chars) so the
-//       receiver recovers the exact bits, independent of locale.
+//       <series-name> <value>\n
+//     - series-name: 1..256 bytes of printable ASCII excluding space
+//       (see stream::IsValidSeriesName); value: a finite double,
+//       emitted as the shortest round-trip decimal (std::to_chars) so
+//       the receiver recovers the exact bits, independent of locale.
 //     - LF or CRLF terminated; empty lines are ignored; a malformed
-//       line (bad grammar, out-of-range id, non-finite value) is
-//       counted and skipped, the stream keeps going.
+//       line (bad grammar, invalid name, non-finite value) is counted
+//       and skipped, the stream keeps going. Nothing is interned for
+//       a line that fails validation.
 //
-//   Binary (length-prefixed record frames):
+//   Binary name registration (0xA6):
+//       0xA6 | u32 payload_bytes (LE) | u32 wire_id (LE) | name bytes
+//     - Declares a *sender-local* wire id for a series name. The
+//       receiver maps it per-connection to a catalog id; wire ids
+//       have no meaning beyond their own connection. Re-registering a
+//       wire id remaps it (last registration wins).
+//     - A registration whose name is invalid is counted
+//       (malformed_registrations) and skipped — the length prefix is
+//       intact, so the stream resyncs after the frame.
+//
+//   Binary record frames (0xA5):
 //       0xA5 | u32 payload_bytes (LE) | payload
 //     - payload is payload_bytes/12 records of
-//       { u32 series_id (LE), f64 value bits (LE) }.
-//     - 0xA5 can never begin a valid text line, so the two encodings
-//       interleave freely on one connection.
-//     - A malformed header (zero, non-multiple-of-12, or oversized
-//       payload length) poisons the stream: there is no way to resync
-//       inside a corrupt binary frame, so the connection should be
-//       dropped (and counted) rather than mis-parsed.
+//       { u32 wire_id (LE), f64 value bits (LE) }.
+//     - Each wire_id must have been registered by a prior 0xA6 frame
+//       on the same connection; records referencing an unregistered
+//       id are counted (unknown_series_records) and skipped — never
+//       guessed at or silently truncated into some other series.
+//     - 0xA5/0xA6 can never begin a valid text line (they are outside
+//       the name charset), so the frame kinds interleave freely on
+//       one connection.
+//     - A malformed header (zero or oversized payload length; for
+//       0xA5, a length that is not a multiple of 12) poisons the
+//       stream: there is no way to resync inside a corrupt binary
+//       frame, so the connection should be dropped (and counted)
+//       rather than mis-parsed.
 //
 // FrameDecoder is the incremental decoder behind every server
 // connection: it tolerates frames split across arbitrary read
 // boundaries, reports malformed input per-stream instead of dying,
 // and reuses its carry-over buffer so steady-state decoding is
-// allocation-stable.
+// allocation-stable. WireEncoder is the sending half: it resolves
+// names through a catalog and auto-announces each series (0xA6)
+// before its first binary record.
 
 #ifndef ASAP_NET_PROTOCOL_H_
 #define ASAP_NET_PROTOCOL_H_
@@ -37,24 +60,43 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_map>
 #include <vector>
 
+#include "stream/catalog.h"
 #include "stream/record.h"
 
 namespace asap {
 namespace net {
+
+// Binary record frames encode series ids as u32; if stream::SeriesId
+// ever changes width or signedness, the wire format must be revved
+// (new magic or a version frame), not silently reinterpreted.
+static_assert(std::is_same<stream::SeriesId, uint32_t>::value,
+              "binary wire frames encode series ids as u32; changing "
+              "stream::SeriesId requires a wire protocol rev");
 
 /// Which on-the-wire encoding a sender uses.
 enum class WireEncoding { kText, kBinary };
 
 const char* WireEncodingName(WireEncoding encoding);
 
-/// First byte of every binary frame (never begins a valid text line).
+/// First byte of every binary record frame (outside the series-name
+/// charset, so it never begins a valid text line).
 constexpr unsigned char kBinaryMagic = 0xA5;
-/// Magic byte plus the u32 payload length.
+/// First byte of every name-registration frame.
+constexpr unsigned char kNameMagic = 0xA6;
+/// Magic byte plus the u32 payload length (both binary frame kinds).
 constexpr size_t kBinaryHeaderBytes = 1 + 4;
 /// u32 series id plus f64 value bits.
-constexpr size_t kBinaryRecordBytes = 4 + 8;
+constexpr size_t kBinaryRecordBytes = sizeof(stream::SeriesId) + 8;
+/// A name-registration payload: u32 wire id + 1..kMaxSeriesNameBytes
+/// name bytes.
+constexpr size_t kMinNamePayloadBytes = sizeof(stream::SeriesId) + 1;
+constexpr size_t kMaxNamePayloadBytes =
+    sizeof(stream::SeriesId) + stream::kMaxSeriesNameBytes;
 /// Default bound on one frame (binary payload or text line).
 constexpr size_t kDefaultMaxFrameBytes = 256 * 1024;
 /// Most records one binary frame may carry under the default frame
@@ -64,21 +106,52 @@ constexpr size_t kDefaultMaxFrameBytes = 256 * 1024;
 constexpr size_t kDefaultMaxFrameRecords =
     kDefaultMaxFrameBytes / kBinaryRecordBytes;
 
-/// Appends one record as a text line ("<id> <value>\n"): shortest
+/// Appends one record as a text line ("<name> <value>\n"): shortest
 /// round-trip decimal, bit-exact through the decoder, locale-proof.
-void AppendTextRecord(const stream::Record& record, std::string* out);
+/// `name` must satisfy stream::IsValidSeriesName.
+void AppendTextRecord(std::string_view name, double value, std::string* out);
 
-/// Appends `n` records as one length-prefixed binary frame. n must
-/// satisfy n * kBinaryRecordBytes <= max payload (fits in u32);
-/// n == 0 appends nothing (an empty frame would be corrupt framing).
+/// Appends one name-registration frame declaring `wire_id` -> `name`.
+/// `name` must satisfy stream::IsValidSeriesName.
+void AppendNameFrame(uint32_t wire_id, std::string_view name,
+                     std::string* out);
+
+/// Appends `n` records as one length-prefixed binary record frame,
+/// encoding each record's series_id as its wire id verbatim — callers
+/// are responsible for having registered those ids (WireEncoder does
+/// this automatically; tests use the raw form for fault injection).
+/// n must satisfy n * kBinaryRecordBytes <= max payload (fits in
+/// u32); n == 0 appends nothing (an empty frame would be corrupt
+/// framing).
 void AppendBinaryFrame(const stream::Record* records, size_t n,
                        std::string* out);
 
-/// Appends records in the given encoding, chunking binary payloads
-/// into frames of at most `frame_records` records.
-void EncodeRecords(const stream::Record* records, size_t n,
-                   WireEncoding encoding, size_t frame_records,
-                   std::string* out);
+/// Stateful encoding front-end: resolves record ids to names through
+/// `catalog` (text) or auto-announces each id with a 0xA6 frame
+/// before its first binary record. One encoder per connection — the
+/// announced-id set must match what the receiving decoder has seen.
+class WireEncoder {
+ public:
+  /// `catalog` is borrowed (the sender's name table — ids in encoded
+  /// records are *its* ids) and must outlive the encoder.
+  WireEncoder(const stream::SeriesCatalog* catalog, WireEncoding encoding,
+              size_t frame_records);
+
+  /// Appends `n` records in the configured encoding, chunking binary
+  /// payloads into frames of at most frame_records records and
+  /// prefixing registrations for any ids not yet announced.
+  void Encode(const stream::Record* records, size_t n, std::string* out);
+
+  WireEncoding encoding() const { return encoding_; }
+
+ private:
+  const stream::SeriesCatalog* catalog_;
+  WireEncoding encoding_;
+  size_t frame_records_;
+  /// announced_[id] == true once a 0xA6 frame for id has been
+  /// emitted; grown on demand to the catalog's size.
+  std::vector<bool> announced_;
+};
 
 /// Per-stream decode counters.
 struct DecoderStats {
@@ -88,22 +161,33 @@ struct DecoderStats {
   uint64_t records = 0;
   uint64_t text_records = 0;
   uint64_t binary_records = 0;
-  /// Complete binary frames decoded.
+  /// Complete binary record frames decoded.
   uint64_t binary_frames = 0;
-  /// Text lines skipped as malformed (bad grammar or oversized); the
-  /// stream continues past each.
+  /// Name registrations applied (0xA6 frames, including remaps).
+  uint64_t name_registrations = 0;
+  /// Text lines skipped as malformed (bad grammar, invalid name,
+  /// non-finite value, or oversized); the stream continues past each.
   uint64_t malformed_lines = 0;
   /// Binary framing errors; each poisons the stream (see FrameDecoder).
   uint64_t malformed_frames = 0;
+  /// 0xA6 frames with an intact length but an invalid payload (name
+  /// too short/long or outside the charset); skipped, not poisoned.
+  uint64_t malformed_registrations = 0;
+  /// Binary records referencing a wire id with no registration on
+  /// this stream; skipped, never silently mapped to another series.
+  uint64_t unknown_series_records = 0;
 };
 
 /// Incremental decoder for one byte stream carrying the wire protocol.
 /// Feed() accepts arbitrary read-sized slices; partial frames carry
 /// over to the next call in an internal buffer that is reused, not
-/// regrown, at steady state.
+/// regrown, at steady state. Decoded records carry *catalog* ids:
+/// names intern through the catalog the decoder was built against
+/// (normally ShardedEngine::catalog()).
 class FrameDecoder {
  public:
-  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes);
+  explicit FrameDecoder(stream::SeriesCatalog* catalog,
+                        size_t max_frame_bytes = kDefaultMaxFrameBytes);
 
   /// Decodes as many complete frames from `data[0, n)` (plus any
   /// carried-over partial) as possible, appending records to *out.
@@ -140,7 +224,18 @@ class FrameDecoder {
   /// Parses one '\n'-free text line (CR already stripped).
   void DecodeLine(const char* line, size_t len, stream::RecordBatch* out);
 
+  /// Applies one complete 0xA6 payload (wire id + name bytes).
+  void ApplyNameFrame(const char* payload, size_t payload_bytes);
+
+  stream::SeriesCatalog* catalog_;
   size_t max_frame_bytes_;
+  /// This stream's sender-local wire id -> catalog id map (0xA6).
+  std::unordered_map<uint32_t, stream::SeriesId> wire_ids_;
+  /// Per-stream memo of text names already interned, keyed by the
+  /// catalog's arena-stable views: steady-state text decode is one
+  /// local hash probe per record instead of a shared-lock trip into
+  /// the fleet-global catalog (the text twin of wire_ids_).
+  std::unordered_map<std::string_view, stream::SeriesId> text_ids_;
   std::vector<char> buffer_;  // carried-over partial frame
   /// Leading bytes of a carried-over partial text line already known
   /// to contain no newline — the next search resumes past them, so a

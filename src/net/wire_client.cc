@@ -9,35 +9,42 @@ namespace net {
 
 namespace {
 
-Status ValidateClientOptions(const WireClientOptions& options) {
-  if (options.frame_records < 1) {
+Status ValidateClientOptions(WireClientOptions* options) {
+  if (options->catalog == nullptr) {
+    return Status::InvalidArgument(
+        "a sender-side series catalog is required");
+  }
+  if (options->frame_records < 1) {
     return Status::InvalidArgument("frame_records must be >= 1");
   }
+  // An over-bound frame would poison the receiving connection on its
+  // first frame (see WireClientOptions::frame_records); clamp once
+  // here so the encoder and Send()'s chunking agree by construction.
+  options->frame_records =
+      std::min(options->frame_records, kDefaultMaxFrameRecords);
   return Status::OK();
 }
 
 }  // namespace
 
 WireClient::WireClient(Socket sock, const WireClientOptions& options)
-    : sock_(std::move(sock)), options_(options) {
-  // An over-bound frame would poison the receiving connection on its
-  // first frame (see WireClientOptions::frame_records).
-  options_.frame_records =
-      std::min(options_.frame_records, kDefaultMaxFrameRecords);
+    : sock_(std::move(sock)),
+      options_(options),
+      encoder_(options.catalog, options.encoding, options.frame_records) {
   wire_buffer_.reserve(options_.send_buffer_bytes);
 }
 
 Result<WireClient> WireClient::ConnectTcp(const std::string& host,
                                           uint16_t port,
                                           WireClientOptions options) {
-  ASAP_RETURN_NOT_OK(ValidateClientOptions(options));
+  ASAP_RETURN_NOT_OK(ValidateClientOptions(&options));
   ASAP_ASSIGN_OR_RETURN(Socket sock, net::ConnectTcp(host, port));
   return WireClient(std::move(sock), options);
 }
 
 Result<WireClient> WireClient::ConnectUds(const std::string& path,
                                           WireClientOptions options) {
-  ASAP_RETURN_NOT_OK(ValidateClientOptions(options));
+  ASAP_RETURN_NOT_OK(ValidateClientOptions(&options));
   ASAP_ASSIGN_OR_RETURN(Socket sock, net::ConnectUds(path));
   return WireClient(std::move(sock), options);
 }
@@ -48,8 +55,7 @@ Status WireClient::Send(const stream::Record* records, size_t n) {
   // buffer instead of materializing the whole batch.
   for (size_t i = 0; i < n; i += options_.frame_records) {
     const size_t chunk = std::min(options_.frame_records, n - i);
-    EncodeRecords(records + i, chunk, options_.encoding,
-                  options_.frame_records, &wire_buffer_);
+    encoder_.Encode(records + i, chunk, &wire_buffer_);
     records_sent_ += chunk;
     if (wire_buffer_.size() >= options_.send_buffer_bytes) {
       ASAP_RETURN_NOT_OK(Flush());

@@ -1,7 +1,9 @@
 // WireClient: the sending half of the wire protocol, used by tests
 // and benches to replay datasets over loopback and by the wire_fleet
-// demo's collector process. Encodes tagged records in either wire
-// encoding and writes them over one blocking TCP or UDS connection.
+// demo's collector process. Resolves record ids to series names
+// through the *sender's* catalog (names travel on the wire — the
+// receiver interns them into its own catalog), encodes in either wire
+// encoding, and writes over one blocking TCP or UDS connection.
 
 #ifndef ASAP_NET_WIRE_CLIENT_H_
 #define ASAP_NET_WIRE_CLIENT_H_
@@ -12,12 +14,16 @@
 #include "common/result.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "stream/catalog.h"
 #include "stream/record.h"
 
 namespace asap {
 namespace net {
 
 struct WireClientOptions {
+  /// The sender's name table: ids in records passed to Send are this
+  /// catalog's ids. Required (borrowed; must outlive the client).
+  const stream::SeriesCatalog* catalog = nullptr;
   WireEncoding encoding = WireEncoding::kBinary;
   /// Records per binary frame (text is unframed lines). Clamped to
   /// kDefaultMaxFrameRecords at connect — a frame larger than the
@@ -64,6 +70,7 @@ class WireClient {
 
   Socket sock_;
   WireClientOptions options_;
+  WireEncoder encoder_;
   std::string wire_buffer_;
   uint64_t records_sent_ = 0;
   uint64_t bytes_sent_ = 0;

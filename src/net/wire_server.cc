@@ -14,10 +14,17 @@
 namespace asap {
 namespace net {
 
-WireServer::WireServer(const WireServerOptions& options)
-    : options_(options), read_buffer_(options.read_chunk_bytes) {}
+WireServer::WireServer(const WireServerOptions& options,
+                       stream::SeriesCatalog* catalog)
+    : options_(options),
+      catalog_(catalog),
+      read_buffer_(options.read_chunk_bytes) {}
 
-Result<WireServer> WireServer::Create(const WireServerOptions& options) {
+Result<WireServer> WireServer::Create(const WireServerOptions& options,
+                                      stream::SeriesCatalog* catalog) {
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("a series catalog is required");
+  }
   if (!options.enable_tcp && options.uds_path.empty()) {
     return Status::InvalidArgument(
         "at least one of TCP and UDS must be enabled");
@@ -34,7 +41,7 @@ Result<WireServer> WireServer::Create(const WireServerOptions& options) {
     return Status::InvalidArgument(
         "max_frame_bytes must fit at least one binary record");
   }
-  WireServer server(options);
+  WireServer server(options, catalog);
   if (options.enable_tcp) {
     ASAP_ASSIGN_OR_RETURN(
         server.tcp_listener_,
@@ -66,6 +73,7 @@ WireServer& WireServer::operator=(WireServer&& other) noexcept {
     // (and unlink) first.
     CloseListeners();
     options_ = std::move(other.options_);
+    catalog_ = other.catalog_;
     tcp_port_ = other.tcp_port_;
     tcp_listener_ = std::move(other.tcp_listener_);
     uds_listener_ = std::move(other.uds_listener_);
@@ -117,7 +125,7 @@ bool WireServer::AcceptPending(const Socket& listener) {
     }
     stats_.accepted += 1;
     connections_.push_back(std::make_unique<Connection>(
-        std::move(sock), options_.max_frame_bytes));
+        std::move(sock), catalog_, options_.max_frame_bytes));
   }
 }
 
@@ -153,14 +161,24 @@ bool WireServer::ReadConnection(Connection* conn, size_t read_cap) {
   }
 }
 
+namespace {
+
+void FoldDecoderStats(const DecoderStats& ds, WireServerStats* s) {
+  s->bytes += ds.bytes;
+  s->records += ds.records;
+  s->text_records += ds.text_records;
+  s->binary_records += ds.binary_records;
+  s->name_registrations += ds.name_registrations;
+  s->malformed_lines += ds.malformed_lines;
+  s->malformed_frames += ds.malformed_frames;
+  s->malformed_registrations += ds.malformed_registrations;
+  s->unknown_series_records += ds.unknown_series_records;
+}
+
+}  // namespace
+
 void WireServer::RetireConnection(size_t index) {
-  const DecoderStats& ds = connections_[index]->decoder.stats();
-  stats_.bytes += ds.bytes;
-  stats_.records += ds.records;
-  stats_.text_records += ds.text_records;
-  stats_.binary_records += ds.binary_records;
-  stats_.malformed_lines += ds.malformed_lines;
-  stats_.malformed_frames += ds.malformed_frames;
+  FoldDecoderStats(connections_[index]->decoder.stats(), &stats_);
   connections_.erase(connections_.begin() + static_cast<ptrdiff_t>(index));
 }
 
@@ -168,13 +186,7 @@ WireServerStats WireServer::stats() const {
   WireServerStats s = stats_;
   s.active = connections_.size();
   for (const auto& conn : connections_) {
-    const DecoderStats& ds = conn->decoder.stats();
-    s.bytes += ds.bytes;
-    s.records += ds.records;
-    s.text_records += ds.text_records;
-    s.binary_records += ds.binary_records;
-    s.malformed_lines += ds.malformed_lines;
-    s.malformed_frames += ds.malformed_frames;
+    FoldDecoderStats(conn->decoder.stats(), &s);
   }
   return s;
 }

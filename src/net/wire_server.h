@@ -25,6 +25,7 @@
 #include "common/result.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "stream/catalog.h"
 #include "stream/record.h"
 
 namespace asap {
@@ -74,10 +75,16 @@ struct WireServerStats {
   uint64_t records = 0;
   uint64_t text_records = 0;
   uint64_t binary_records = 0;
+  /// Name registrations applied across all connections (0xA6 frames).
+  uint64_t name_registrations = 0;
   /// Malformed text lines skipped across all connections.
   uint64_t malformed_lines = 0;
   /// Malformed binary frames (each also poisons its connection).
   uint64_t malformed_frames = 0;
+  /// 0xA6 frames skipped for an invalid name payload.
+  uint64_t malformed_registrations = 0;
+  /// Binary records skipped for referencing an unregistered wire id.
+  uint64_t unknown_series_records = 0;
 };
 
 /// One poll()-loop server instance. Single-threaded by design: all
@@ -86,7 +93,12 @@ struct WireServerStats {
 /// tcp_port() are safe to read elsewhere before pumping starts.
 class WireServer {
  public:
-  static Result<WireServer> Create(const WireServerOptions& options);
+  /// `catalog` is the fleet's name table (normally the engine's,
+  /// via ShardedEngine::catalog()): every connection's decoder interns
+  /// incoming series names through it, so decoded records carry
+  /// catalog ids. Borrowed; must outlive the server.
+  static Result<WireServer> Create(const WireServerOptions& options,
+                                   stream::SeriesCatalog* catalog);
   ~WireServer();
 
   WireServer(WireServer&&) noexcept;
@@ -122,13 +134,15 @@ class WireServer {
 
  private:
   struct Connection {
-    explicit Connection(Socket s, size_t max_frame_bytes)
-        : sock(std::move(s)), decoder(max_frame_bytes) {}
+    Connection(Socket s, stream::SeriesCatalog* catalog,
+               size_t max_frame_bytes)
+        : sock(std::move(s)), decoder(catalog, max_frame_bytes) {}
     Socket sock;
     FrameDecoder decoder;
   };
 
-  explicit WireServer(const WireServerOptions& options);
+  WireServer(const WireServerOptions& options,
+             stream::SeriesCatalog* catalog);
 
   /// Accepts until the backlog drains; returns false on a hard
   /// accept() error (fd exhaustion), which the caller must back off
@@ -141,6 +155,7 @@ class WireServer {
   void RetireConnection(size_t index);
 
   WireServerOptions options_;
+  stream::SeriesCatalog* catalog_ = nullptr;
   uint16_t tcp_port_ = 0;
   Socket tcp_listener_;
   Socket uds_listener_;

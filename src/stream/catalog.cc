@@ -1,0 +1,98 @@
+#include "stream/catalog.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "common/macros.h"
+
+namespace asap {
+namespace stream {
+
+bool IsValidSeriesName(std::string_view name) {
+  if (name.empty() || name.size() > kMaxSeriesNameBytes) {
+    return false;
+  }
+  for (char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x21 || u > 0x7E) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SeriesCatalog::SeriesCatalog(size_t arena_block_bytes)
+    : arena_block_bytes_(arena_block_bytes) {
+  // A block must hold the longest legal name, or ArenaStore could loop
+  // allocating empty blocks forever.
+  ASAP_CHECK_GE(arena_block_bytes_, kMaxSeriesNameBytes);
+}
+
+std::string_view SeriesCatalog::ArenaStore(std::string_view name) {
+  if (blocks_.empty() || arena_block_bytes_ - block_used_ < name.size()) {
+    blocks_.push_back(std::make_unique<char[]>(arena_block_bytes_));
+    block_used_ = 0;
+  }
+  char* dst = blocks_.back().get() + block_used_;
+  std::memcpy(dst, name.data(), name.size());
+  block_used_ += name.size();
+  arena_bytes_ += name.size();
+  return std::string_view(dst, name.size());
+}
+
+SeriesId SeriesCatalog::Intern(std::string_view name) {
+  ASAP_CHECK(IsValidSeriesName(name));
+  {
+    // Steady state: the name exists — a shared-lock map probe, no
+    // copies, no allocation.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+      return it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Double-check: another thread may have interned it between locks.
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const std::string_view stored = ArenaStore(name);
+  const SeriesId id = static_cast<SeriesId>(names_.size());
+  names_.push_back(stored);
+  index_.emplace(stored, id);
+  return id;
+}
+
+std::string_view SeriesCatalog::NameOf(SeriesId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  ASAP_CHECK_LT(static_cast<size_t>(id), names_.size());
+  return names_[id];
+}
+
+std::optional<SeriesId> SeriesCatalog::FindId(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+size_t SeriesCatalog::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_.size();
+}
+
+size_t SeriesCatalog::arena_blocks() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return blocks_.size();
+}
+
+size_t SeriesCatalog::arena_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return arena_bytes_;
+}
+
+}  // namespace stream
+}  // namespace asap

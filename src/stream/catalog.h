@@ -1,0 +1,103 @@
+// SeriesCatalog: the fleet's name table. Operators watch *named*
+// metrics ("server load over time", paper §1–2) — "host-07/cpu", not
+// an integer a caller minted by hand. The catalog interns each name
+// once into an arena-backed string pool (Akumuli stringpool-style:
+// names are appended to fixed-size blocks and never move, so a
+// returned string_view is stable for the catalog's lifetime) and hands
+// back a dense internal SeriesId. Ids stay uint32_t inside the engine
+// (hash sharding, registry keys, binary wire frames) but are an
+// implementation detail of the catalog — public APIs speak names.
+//
+// Thread model: many threads intern and resolve concurrently (the
+// engine's producer interns wire names while dashboard readers resolve
+// ids back to names through FleetView). Reads take a shared lock;
+// only a first-sight intern takes the exclusive lock, so the
+// steady-state path — every name already interned — is shared-lock
+// lookups with zero allocation.
+
+#ifndef ASAP_STREAM_CATALOG_H_
+#define ASAP_STREAM_CATALOG_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/record.h"
+
+namespace asap {
+namespace stream {
+
+/// Longest series name the catalog (and the wire protocol) accepts.
+constexpr size_t kMaxSeriesNameBytes = 256;
+
+/// A valid series name is 1..kMaxSeriesNameBytes bytes of printable
+/// ASCII excluding space ([0x21, 0x7E]). The charset makes names safe
+/// as single tokens on the text wire protocol, in logs, and on
+/// dashboards; it also guarantees a name can never begin with a
+/// binary frame magic byte.
+bool IsValidSeriesName(std::string_view name);
+
+/// Name -> id interning table over an arena string pool.
+class SeriesCatalog {
+ public:
+  /// Bytes per arena block. One block holds dozens-to-hundreds of
+  /// names, so the intern path allocates at most once per that many
+  /// first-sight names (and never for names already interned).
+  static constexpr size_t kDefaultArenaBlockBytes = 16 * 1024;
+
+  explicit SeriesCatalog(size_t arena_block_bytes = kDefaultArenaBlockBytes);
+
+  SeriesCatalog(const SeriesCatalog&) = delete;
+  SeriesCatalog& operator=(const SeriesCatalog&) = delete;
+
+  /// Returns the id for `name`, assigning the next dense id on first
+  /// sight. Aborts on an invalid name (callers on untrusted input —
+  /// the wire decoder — validate first and treat invalid names as
+  /// malformed input instead of calling this).
+  SeriesId Intern(std::string_view name);
+
+  /// The interned name for `id`. The returned view points into the
+  /// arena and stays valid for the catalog's lifetime. Aborts if `id`
+  /// was never assigned.
+  std::string_view NameOf(SeriesId id) const;
+
+  /// The id for `name` if it has been interned.
+  std::optional<SeriesId> FindId(std::string_view name) const;
+
+  /// Distinct names interned so far. Ids are dense: every id in
+  /// [0, size()) is assigned.
+  size_t size() const;
+
+  /// Arena blocks allocated so far (growth observability: tests pin
+  /// that interning N short names costs at most a handful of blocks,
+  /// and that re-interning existing names costs none).
+  size_t arena_blocks() const;
+
+  /// Name bytes stored in the arena.
+  size_t arena_bytes() const;
+
+ private:
+  /// Copies `name` into the arena; the result is stable storage.
+  std::string_view ArenaStore(std::string_view name);
+
+  const size_t arena_block_bytes_;
+
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  size_t block_used_ = 0;   // bytes used in blocks_.back()
+  size_t arena_bytes_ = 0;  // total name bytes stored
+  /// Keys point into the arena, so lookups on a string_view probe need
+  /// no copy and no allocation.
+  std::unordered_map<std::string_view, SeriesId> index_;
+  /// id -> arena-backed name, indexed by the dense id.
+  std::vector<std::string_view> names_;
+};
+
+}  // namespace stream
+}  // namespace asap
+
+#endif  // ASAP_STREAM_CATALOG_H_

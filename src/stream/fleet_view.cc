@@ -1,0 +1,92 @@
+#include "stream/fleet_view.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+#include "core/metrics.h"
+
+namespace asap {
+namespace stream {
+
+FleetView::FleetView(const ShardedEngine* engine) : engine_(engine) {
+  ASAP_CHECK(engine_ != nullptr);
+}
+
+std::shared_ptr<const StreamingAsap::Frame> FleetView::Frame(
+    std::string_view name) const {
+  return engine_->Snapshot(name);
+}
+
+std::vector<std::shared_ptr<const StreamingAsap::Frame>> FleetView::History(
+    std::string_view name) const {
+  const std::optional<SeriesId> id = catalog()->FindId(name);
+  if (!id.has_value()) {
+    return {};
+  }
+  return engine_->FrameHistoryById(*id);
+}
+
+std::vector<SeriesRank> FleetView::TopKByRoughness(size_t k) const {
+  std::vector<SeriesRank> ranks;
+  ForEachSeries([&ranks](std::string_view name,
+                         const StreamingAsap::Frame& frame) {
+    SeriesRank rank;
+    rank.name = std::string(name);
+    rank.roughness = Roughness(frame.series);
+    rank.window = frame.window;
+    rank.refreshes = frame.refreshes;
+    ranks.push_back(std::move(rank));
+  });
+  // Descending roughness, ties by name: identical frames always
+  // produce identical rankings (the wire-vs-in-process parity tests
+  // lean on this determinism).
+  std::sort(ranks.begin(), ranks.end(),
+            [](const SeriesRank& a, const SeriesRank& b) {
+              if (a.roughness != b.roughness) {
+                return a.roughness > b.roughness;
+              }
+              return a.name < b.name;
+            });
+  if (ranks.size() > k) {
+    ranks.resize(k);
+  }
+  return ranks;
+}
+
+FleetAggregate FleetView::Aggregate(AggKind kind) const {
+  FleetAggregate agg;
+  ForEachSeries([&agg, kind](std::string_view,
+                             const StreamingAsap::Frame& frame) {
+    if (frame.series.empty()) {
+      return;
+    }
+    const double latest = frame.series.back();
+    if (agg.series == 0) {
+      agg.value = latest;
+    } else {
+      switch (kind) {
+        case AggKind::kSum:
+        case AggKind::kMean:
+          agg.value += latest;
+          break;
+        case AggKind::kMin:
+          agg.value = std::min(agg.value, latest);
+          break;
+        case AggKind::kMax:
+          agg.value = std::max(agg.value, latest);
+          break;
+      }
+    }
+    agg.series += 1;
+  });
+  if (kind == AggKind::kMean && agg.series > 0) {
+    agg.value /= static_cast<double>(agg.series);
+  }
+  return agg;
+}
+
+size_t FleetView::series_count() const { return catalog()->size(); }
+
+}  // namespace stream
+}  // namespace asap

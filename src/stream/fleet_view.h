@@ -1,0 +1,114 @@
+// FleetView: the fleet engine's read/query tier. Where sources and the
+// wire protocol are the ingestion half of ASAP's §2 contract, FleetView
+// is the dashboard half: coherent, lock-free reads over the frames the
+// per-series operators publish, addressed by series *name*, plus the
+// cross-series questions an operator actually asks a fleet — "which
+// hosts look roughest right now?" (top-k by roughness of the smoothed
+// view) and "what is the fleet-wide level?" (aggregates over each
+// series' latest smoothed value).
+//
+// Coherence model: every frame is published behind an atomically
+// swapped shared_ptr (see StreamingAsap::frame_snapshot), so each
+// frame a query touches is an immutable, internally consistent
+// refresh result. A cross-series query samples each series' latest
+// published frame once; series refresh independently, so the sample
+// is per-series-coherent, not a fleet-wide barrier — the same
+// guarantee a dashboard polling N hosts gets.
+
+#ifndef ASAP_STREAM_FLEET_VIEW_H_
+#define ASAP_STREAM_FLEET_VIEW_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/streaming_asap.h"
+#include "stream/catalog.h"
+#include "stream/sharded_engine.h"
+
+namespace asap {
+namespace stream {
+
+/// Cross-series rollup kinds over each series' latest smoothed value.
+enum class AggKind { kSum, kMean, kMin, kMax };
+
+/// Result of FleetView::Aggregate.
+struct FleetAggregate {
+  /// Series that contributed (had at least one published refresh).
+  size_t series = 0;
+  /// The rollup; 0.0 when no series has refreshed yet.
+  double value = 0.0;
+};
+
+/// One row of FleetView::TopKByRoughness, roughest first.
+struct SeriesRank {
+  std::string name;
+  /// Roughness (stddev of first differences) of the series' latest
+  /// *smoothed* frame — high means the smoothed view still jitters,
+  /// i.e. the series deserves an operator's attention.
+  double roughness = 0.0;
+  size_t window = 1;
+  uint64_t refreshes = 0;
+};
+
+/// Read-only, name-addressed query API over a ShardedEngine's
+/// published frames. Cheap to construct (borrows the engine); safe to
+/// use from any thread, including while a run is in flight.
+class FleetView {
+ public:
+  /// `engine` is borrowed and must outlive this view.
+  explicit FleetView(const ShardedEngine* engine);
+
+  /// The latest published frame of one named series; nullptr if the
+  /// name is unknown or no record of it has reached a shard yet.
+  std::shared_ptr<const StreamingAsap::Frame> Frame(
+      std::string_view name) const;
+
+  /// The last K published frames of one named series, oldest first
+  /// (K = StreamingOptions::snapshot_ring_frames); empty if the name
+  /// is unknown or unrefreshed.
+  std::vector<std::shared_ptr<const StreamingAsap::Frame>> History(
+      std::string_view name) const;
+
+  /// Calls fn(name, frame) for every series with at least one
+  /// published refresh, in catalog (first-seen) order. The frame
+  /// reference is valid for the duration of the call.
+  template <typename Fn>
+  void ForEachSeries(Fn&& fn) const {
+    const SeriesCatalog* catalog = this->catalog();
+    const size_t n = catalog->size();
+    for (SeriesId id = 0; id < n; ++id) {
+      const auto frame = SnapshotById(id);
+      if (frame != nullptr && frame->refreshes > 0) {
+        fn(catalog->NameOf(id), *frame);
+      }
+    }
+  }
+
+  /// The k series whose latest smoothed frames are roughest, in
+  /// descending roughness (ties broken by name, so rankings are
+  /// deterministic). Fewer than k rows if fewer series have refreshed.
+  std::vector<SeriesRank> TopKByRoughness(size_t k) const;
+
+  /// Rolls each refreshed series' latest smoothed value (the "current
+  /// level" of its dashboard) up across the fleet.
+  FleetAggregate Aggregate(AggKind kind) const;
+
+  /// Names interned so far (refreshed or not).
+  size_t series_count() const;
+
+ private:
+  const SeriesCatalog* catalog() const { return engine_->catalog(); }
+  std::shared_ptr<const StreamingAsap::Frame> SnapshotById(
+      SeriesId id) const {
+    return engine_->SnapshotById(id);
+  }
+
+  const ShardedEngine* engine_;
+};
+
+}  // namespace stream
+}  // namespace asap
+
+#endif  // ASAP_STREAM_FLEET_VIEW_H_

@@ -14,7 +14,12 @@ namespace asap {
 namespace stream {
 
 /// Identifies one logical time series within a fleet (e.g. one metric
-/// on one host). Ids need not be dense or consecutive.
+/// on one host). Ids are an implementation detail of the SeriesCatalog
+/// (stream/catalog.h), which assigns them densely in intern order —
+/// user-facing APIs speak series *names*; nothing outside the catalog
+/// should ever mint an id by hand. The width is load-bearing on the
+/// wire: binary record frames encode ids as u32 (statically asserted
+/// in net/protocol.h).
 using SeriesId = uint32_t;
 
 /// One tagged raw point.

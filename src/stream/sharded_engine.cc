@@ -19,6 +19,13 @@ namespace stream {
 // the map lookup is what needs the lock). Worker-side counters are
 // written by the worker thread only and read after join.
 struct ShardedEngine::Shard {
+  /// Records the newest queued batch may hold under kConflate, in
+  /// units of the engine's nominal batch size. Under sustained
+  /// overflow collapse shrinks batches ~pane_size×, so this headroom
+  /// is rarely reached; it exists so a fully stalled consumer bounds
+  /// queued memory instead of growing the merge batch forever.
+  static constexpr size_t kConflateBackstopBatches = 8;
+
   explicit Shard(const StreamingOptions& series_options)
       : registry(series_options) {}
 
@@ -32,6 +39,7 @@ struct ShardedEngine::Shard {
   bool closed = false;
   size_t peak_queue_depth = 0;  // producer-side, under mu
   uint64_t dropped = 0;         // producer-side, under mu
+  uint64_t conflated = 0;       // producer-side, under mu
 
   // Worker-side per-run counters.
   uint64_t points = 0;
@@ -41,9 +49,17 @@ struct ShardedEngine::Shard {
   /// Hands a batch to the worker. Under kBlock, waits for queue room
   /// (lossless backpressure); under kDropNewest, a full queue discards
   /// the batch and counts its records instead of stalling the
-  /// producer. Returns the records dropped (0 or batch.size()).
-  size_t Enqueue(RecordBatch batch, size_t capacity,
-                 OverflowPolicy policy) {
+  /// producer; under kConflate, a full queue collapses the batch into
+  /// per-series pane partials (mean of each pane_size-sized group)
+  /// merged into the newest queued batch — the shard still sees every
+  /// series' shape, at ~pane_size× reduced time resolution. The merged
+  /// batch is itself bounded (kConflateBackstopBatches nominal batches
+  /// of records): a consumer stalled so long that even collapsed
+  /// records pile past the bound degrades to dropping the overflow
+  /// (counted), keeping queued memory finite. Returns the records
+  /// dropped (0, batch.size(), or the collapsed overflow).
+  size_t Enqueue(RecordBatch batch, size_t capacity, OverflowPolicy policy,
+                 size_t pane_size, size_t nominal_batch_size) {
     std::unique_lock<std::mutex> lock(mu);
     if (policy == OverflowPolicy::kDropNewest) {
       if (queue.size() >= capacity) {
@@ -52,6 +68,27 @@ struct ShardedEngine::Shard {
         peak_queue_depth = std::max(peak_queue_depth, queue.size());
         return n;
       }
+    } else if (policy == OverflowPolicy::kConflate) {
+      if (queue.size() >= capacity) {
+        const size_t before = batch.size();
+        RecordBatch collapsed = ConflateBatch(std::move(batch), pane_size);
+        conflated += before - collapsed.size();
+        RecordBatch& back = queue.back();
+        const size_t room_cap = kConflateBackstopBatches * nominal_batch_size;
+        size_t keep = collapsed.size();
+        if (back.size() >= room_cap) {
+          keep = 0;
+        } else if (back.size() + keep > room_cap) {
+          keep = room_cap - back.size();
+        }
+        back.insert(back.end(), collapsed.begin(),
+                    collapsed.begin() + static_cast<ptrdiff_t>(keep));
+        const size_t overflow = collapsed.size() - keep;
+        dropped += overflow;
+        peak_queue_depth = std::max(peak_queue_depth, queue.size());
+        not_empty.notify_one();
+        return overflow;
+      }
     } else {
       not_full.wait(lock, [&] { return queue.size() < capacity; });
     }
@@ -59,6 +96,49 @@ struct ShardedEngine::Shard {
     peak_queue_depth = std::max(peak_queue_depth, queue.size());
     not_empty.notify_one();
     return 0;
+  }
+
+  /// Collapses `batch` per series: records are stably grouped by
+  /// series (per-series order preserved), then every complete run of
+  /// `pane_size` records of one series becomes a single record with
+  /// the group mean; a trailing short group passes through raw. With
+  /// unit panes (pane_size == 1) no reduction is possible and the
+  /// batch merges unchanged.
+  static RecordBatch ConflateBatch(RecordBatch batch, size_t pane_size) {
+    if (pane_size <= 1 || batch.size() <= 1) {
+      return batch;
+    }
+    // Stable group by series id. Ids are catalog-dense and shards see
+    // a hashed subset, so a sort keyed on (id, original index) is
+    // simplest; batches here are bounded by batch_size + one merge.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const Record& a, const Record& b) {
+                       return a.series_id < b.series_id;
+                     });
+    RecordBatch out;
+    out.reserve(batch.size() / pane_size + 16);
+    size_t i = 0;
+    while (i < batch.size()) {
+      const SeriesId id = batch[i].series_id;
+      size_t j = i;
+      while (j < batch.size() && batch[j].series_id == id) {
+        ++j;
+      }
+      // Complete pane-sized groups collapse to their mean.
+      while (j - i >= pane_size) {
+        double sum = 0.0;
+        for (size_t k = i; k < i + pane_size; ++k) {
+          sum += batch[k].value;
+        }
+        out.push_back(Record{id, sum / static_cast<double>(pane_size)});
+        i += pane_size;
+      }
+      // Trailing short group: raw.
+      for (; i < j; ++i) {
+        out.push_back(batch[i]);
+      }
+    }
+    return out;
   }
 
   void Close() {
@@ -126,6 +206,7 @@ struct ShardedEngine::Shard {
     closed = false;
     peak_queue_depth = 0;
     dropped = 0;
+    conflated = 0;
     points = 0;
     batches = 0;
     busy_seconds = 0.0;
@@ -146,17 +227,21 @@ Result<ShardedEngine> ShardedEngine::Create(
   }
   // Probe the per-series factory configuration once so invalid options
   // fail here instead of aborting inside a worker thread at first use.
+  // The probe also resolves the pane size kConflate groups by.
   Result<StreamingAsap> probe = StreamingAsap::Create(series_options);
   if (!probe.ok()) {
     return probe.status();
   }
-  return ShardedEngine(series_options, engine_options);
+  ShardedEngine engine(series_options, engine_options);
+  engine.pane_size_ = probe->pane_size();
+  return engine;
 }
 
 ShardedEngine::ShardedEngine(const StreamingOptions& series_options,
                              const ShardedEngineOptions& engine_options)
     : series_options_(series_options),
       options_(engine_options),
+      catalog_(std::make_shared<SeriesCatalog>()),
       run_in_flight_(std::make_shared<std::atomic<bool>>(false)) {
   shards_.reserve(options_.shards);
   for (size_t i = 0; i < options_.shards; ++i) {
@@ -184,11 +269,27 @@ size_t ShardedEngine::ShardOf(SeriesId id, size_t shard_count) {
 }
 
 std::shared_ptr<const StreamingAsap::Frame> ShardedEngine::Snapshot(
+    std::string_view name) const {
+  const std::optional<SeriesId> id = catalog_->FindId(name);
+  return id.has_value() ? SnapshotById(*id) : nullptr;
+}
+
+std::shared_ptr<const StreamingAsap::Frame> ShardedEngine::SnapshotById(
     SeriesId id) const {
   const Shard& shard = *shards_[ShardOf(id, shards_.size())];
   std::lock_guard<std::mutex> lock(shard.registry_mu);
   const StreamingAsap* op = shard.registry.Find(id);
   return op == nullptr ? nullptr : op->frame_snapshot();
+}
+
+std::vector<std::shared_ptr<const StreamingAsap::Frame>>
+ShardedEngine::FrameHistoryById(SeriesId id) const {
+  const Shard& shard = *shards_[ShardOf(id, shards_.size())];
+  std::lock_guard<std::mutex> lock(shard.registry_mu);
+  const StreamingAsap* op = shard.registry.Find(id);
+  return op == nullptr
+             ? std::vector<std::shared_ptr<const StreamingAsap::Frame>>{}
+             : op->FrameHistory();
 }
 
 const SeriesRegistry& ShardedEngine::shard_registry(size_t shard) const {
@@ -247,7 +348,8 @@ FleetReport ShardedEngine::Run(MultiSource* source, double budget_seconds) {
     report.points += n;
     if (num_shards == 1) {
       report.dropped += shards_[0]->Enqueue(
-          std::move(pull), options_.queue_capacity, options_.overflow_policy);
+          std::move(pull), options_.queue_capacity, options_.overflow_policy,
+          pane_size_, options_.batch_size);
       pull = RecordBatch{};
       pull.reserve(options_.batch_size);
       continue;
@@ -261,7 +363,7 @@ FleetReport ShardedEngine::Run(MultiSource* source, double budget_seconds) {
       }
       report.dropped += shards_[i]->Enqueue(
           std::move(split[i]), options_.queue_capacity,
-          options_.overflow_policy);
+          options_.overflow_policy, pane_size_, options_.batch_size);
       split[i] = RecordBatch{};
       split[i].reserve(options_.batch_size);
     }
@@ -289,27 +391,29 @@ FleetReport ShardedEngine::Run(MultiSource* source, double budget_seconds) {
     sr.series = shard.registry.size();
     sr.peak_queue_depth = shard.peak_queue_depth;
     sr.dropped = shard.dropped;
+    sr.conflated = shard.conflated;
     sr.busy_seconds = shard.busy_seconds;
     shard.registry.ForEach([&sr](SeriesId, const StreamingAsap& op) {
       sr.refreshes += op.frame().refreshes;
     });
     report.refreshes += sr.refreshes;
     report.series += sr.series;
+    report.conflated += sr.conflated;
     report.shards.push_back(sr);
 
     for (SeriesId id : shard.registry.Ids()) {
       const StreamingAsap& op = *shard.registry.Find(id);
       SeriesReport series_report;
-      series_report.id = id;
+      series_report.name = std::string(catalog_->NameOf(id));
       series_report.points = op.points_consumed();
       series_report.refreshes = op.frame().refreshes;
       series_report.window = op.frame().window;
-      report.per_series.push_back(series_report);
+      report.per_series.push_back(std::move(series_report));
     }
   }
   std::sort(report.per_series.begin(), report.per_series.end(),
             [](const SeriesReport& a, const SeriesReport& b) {
-              return a.id < b.id;
+              return a.name < b.name;
             });
   return report;
 }

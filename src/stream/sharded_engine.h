@@ -26,10 +26,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
 #include "core/streaming_asap.h"
+#include "stream/catalog.h"
 #include "stream/engine.h"
 #include "stream/record.h"
 #include "stream/registry.h"
@@ -47,6 +50,21 @@ enum class OverflowPolicy {
   /// counts surface in ShardReport/FleetReport). For producers that
   /// must never stall, like a live ingestion socket.
   kDropNewest,
+  /// Collapse the incoming batch into pane partials and merge it into
+  /// the newest queued batch instead of dropping it: per series, each
+  /// complete group of pane_size consecutive records becomes one
+  /// record carrying the group mean (what the pane buffer would have
+  /// averaged anyway, at coarser alignment), so the shard still sees
+  /// the series' shape — ~pane_size× fewer records — and the producer
+  /// never stalls. Conflated-away record counts surface in
+  /// ShardReport/FleetReport. The merged batch is bounded: a consumer
+  /// stalled so long that even collapsed records pile past a few
+  /// nominal batches degrades to dropping the overflow (counted in
+  /// `dropped`), keeping queued memory finite. Lossy in time
+  /// resolution: partial-group boundaries follow batch arrival, not
+  /// pane boundaries, so (like kDropNewest) determinism parity is
+  /// forfeited under overflow.
+  kConflate,
 };
 
 /// Fleet engine configuration.
@@ -82,16 +100,21 @@ struct ShardReport {
   /// indicator (== queue_capacity means the producer blocked or, under
   /// kDropNewest, dropped).
   size_t peak_queue_depth = 0;
-  /// Records dropped at this shard's full queue (kDropNewest only;
-  /// always 0 under kBlock).
+  /// Records dropped at this shard's full queue (kDropNewest, or
+  /// kConflate's stalled-consumer backstop; always 0 under kBlock).
   uint64_t dropped = 0;
+  /// Records conflated away at this shard's full queue (kConflate
+  /// only): collapsed into pane-partial means instead of reaching the
+  /// operator individually.
+  uint64_t conflated = 0;
   /// Wall time the worker spent consuming batches (vs waiting).
   double busy_seconds = 0.0;
 };
 
 /// Per-series slice of a fleet run (lifetime counters).
 struct SeriesReport {
-  SeriesId id = 0;
+  /// The series' catalog name (e.g. "host-07/cpu").
+  std::string name;
   uint64_t points = 0;
   uint64_t refreshes = 0;
   /// Final chosen SMA window in panes.
@@ -103,9 +126,11 @@ struct FleetReport {
   /// Records pulled from the source during the run (includes any that
   /// were then dropped at a full queue).
   uint64_t points = 0;
-  /// Records dropped across all shards (kDropNewest only); pulled
-  /// records that never reached an operator.
+  /// Records dropped across all shards (kDropNewest or kConflate's
+  /// backstop); pulled records that never reached an operator.
   uint64_t dropped = 0;
+  /// Records conflated away across all shards (kConflate only).
+  uint64_t conflated = 0;
   double seconds = 0.0;
   double points_per_second = 0.0;
   /// Sum of lifetime refreshes across all series.
@@ -113,7 +138,7 @@ struct FleetReport {
   /// Distinct series across all shards.
   size_t series = 0;
   std::vector<ShardReport> shards;
-  /// Sorted by series id.
+  /// Sorted by series name.
   std::vector<SeriesReport> per_series;
 };
 
@@ -121,6 +146,12 @@ struct FleetReport {
 /// operators on T worker threads. Registries persist across runs, so
 /// an engine can alternate Run calls with live Snapshot reads the way
 /// a dashboard alternates ingest and render.
+///
+/// The engine owns the fleet's SeriesCatalog: sources and the wire
+/// tier construct against `catalog()` so every series is a *name* end
+/// to end; internal SeriesIds never cross the public surface. Read
+/// queries (per-name frames, top-k, cross-series rollups) go through
+/// FleetView (stream/fleet_view.h).
 class ShardedEngine {
  public:
   /// Validates both option structs (series options must satisfy
@@ -142,14 +173,34 @@ class ShardedEngine {
 
   size_t shards() const;
 
+  /// The fleet's name table. Stable across engine moves (held behind a
+  /// shared_ptr), so sources and wire servers constructed against it
+  /// stay valid. Interning is thread-safe.
+  SeriesCatalog* catalog() const { return catalog_.get(); }
+
   /// The shard a series id maps to (stable for the engine's lifetime).
   static size_t ShardOf(SeriesId id, size_t shard_count);
 
-  /// Lock-free-published frame of one series, safe to call from any
-  /// thread while a run is in flight; nullptr if the series has not
-  /// been seen yet. The returned frame is immutable — no copy is made
-  /// to serve the read.
-  std::shared_ptr<const StreamingAsap::Frame> Snapshot(SeriesId id) const;
+  /// Lock-free-published frame of one named series, safe to call from
+  /// any thread while a run is in flight; nullptr if the name is
+  /// unknown or no record of the series has reached a shard yet
+  /// (before the first refresh the frame is empty: refreshes == 0).
+  /// The returned frame is immutable — no copy is made to serve the
+  /// read.
+  std::shared_ptr<const StreamingAsap::Frame> Snapshot(
+      std::string_view name) const;
+
+  /// Id-keyed snapshot — implementation detail of the query tier
+  /// (FleetView iterates the catalog's dense ids); application code
+  /// should use Snapshot(name) or FleetView.
+  std::shared_ptr<const StreamingAsap::Frame> SnapshotById(
+      SeriesId id) const;
+
+  /// Id-keyed snapshot-ring history (StreamingAsap::FrameHistory),
+  /// oldest first; same thread-safety as SnapshotById. Like it, an
+  /// implementation detail of FleetView::History.
+  std::vector<std::shared_ptr<const StreamingAsap::Frame>>
+  FrameHistoryById(SeriesId id) const;
 
   /// Read access to one shard's series table. Contract: deep reads
   /// through the registry (iteration, frame() on operators) are
@@ -169,6 +220,11 @@ class ShardedEngine {
 
   StreamingOptions series_options_;
   ShardedEngineOptions options_;
+  /// Points per pane under series_options_ (uniform across the fleet:
+  /// all operators share one options struct); the conflation group
+  /// width for OverflowPolicy::kConflate.
+  size_t pane_size_ = 1;
+  std::shared_ptr<SeriesCatalog> catalog_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// True while Run is pumping/joining (heap-allocated so the engine
   /// stays movable); guards the shard_registry() contract above.

@@ -36,9 +36,12 @@ size_t LoopingSource::NextBatch(size_t max_points, std::vector<double>* out) {
   return produced;
 }
 
-TaggedSource::TaggedSource(SeriesId series_id, std::unique_ptr<Source> inner)
-    : series_id_(series_id), inner_(std::move(inner)) {
+TaggedSource::TaggedSource(SeriesCatalog* catalog, std::string_view name,
+                           std::unique_ptr<Source> inner)
+    : series_id_(0), inner_(std::move(inner)) {
+  ASAP_CHECK(catalog != nullptr);
   ASAP_CHECK(inner_ != nullptr);
+  series_id_ = catalog->Intern(name);
 }
 
 size_t TaggedSource::NextBatch(size_t max_records, RecordBatch* out) {
@@ -52,24 +55,30 @@ size_t TaggedSource::NextBatch(size_t max_records, RecordBatch* out) {
   return n;
 }
 
-void InterleavingMultiSource::Add(SeriesId series_id,
+InterleavingMultiSource::InterleavingMultiSource(SeriesCatalog* catalog)
+    : catalog_(catalog) {
+  ASAP_CHECK(catalog_ != nullptr);
+}
+
+void InterleavingMultiSource::Add(std::string_view name,
                                   std::unique_ptr<Source> source) {
   ASAP_CHECK(source != nullptr);
+  const SeriesId series_id = catalog_->Intern(name);
   for (const Entry& e : entries_) {
-    ASAP_CHECK(e.id != series_id);
+    ASAP_CHECK(e.id != series_id);  // duplicate name across Add calls
   }
   entries_.push_back(Entry{series_id, std::move(source)});
 }
 
-void InterleavingMultiSource::AddVector(SeriesId series_id,
+void InterleavingMultiSource::AddVector(std::string_view name,
                                         std::vector<double> values) {
-  Add(series_id, std::make_unique<VectorSource>(std::move(values)));
+  Add(name, std::make_unique<VectorSource>(std::move(values)));
 }
 
-void InterleavingMultiSource::AddLooping(SeriesId series_id,
+void InterleavingMultiSource::AddLooping(std::string_view name,
                                          std::vector<double> values,
                                          size_t total_points) {
-  Add(series_id,
+  Add(name,
       std::make_unique<LoopingSource>(std::move(values), total_points));
 }
 
@@ -127,7 +136,15 @@ size_t InterleavingMultiSource::TotalPoints() const {
 }
 
 RecordBatch InterleaveToRecords(
+    SeriesCatalog* catalog, const std::vector<std::string>& names,
     const std::vector<std::vector<double>>& series) {
+  ASAP_CHECK(catalog != nullptr);
+  ASAP_CHECK_EQ(names.size(), series.size());
+  std::vector<SeriesId> ids;
+  ids.reserve(names.size());
+  for (const std::string& name : names) {
+    ids.push_back(catalog->Intern(name));
+  }
   RecordBatch records;
   size_t remaining = 0;
   for (const auto& s : series) {
@@ -136,10 +153,9 @@ RecordBatch InterleaveToRecords(
   records.reserve(remaining);
   std::vector<size_t> cursor(series.size(), 0);
   while (remaining > 0) {
-    for (size_t id = 0; id < series.size(); ++id) {
-      if (cursor[id] < series[id].size()) {
-        records.push_back(
-            Record{static_cast<SeriesId>(id), series[id][cursor[id]++]});
+    for (size_t i = 0; i < series.size(); ++i) {
+      if (cursor[i] < series[i].size()) {
+        records.push_back(Record{ids[i], series[i][cursor[i]++]});
         --remaining;
       }
     }

@@ -8,8 +8,11 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "stream/catalog.h"
 #include "stream/record.h"
 #include "ts/timeseries.h"
 
@@ -78,12 +81,14 @@ class MultiSource {
   virtual size_t TotalPoints() const = 0;
 };
 
-/// Tags every point of a single-series Source with one SeriesId —
+/// Tags every point of a single-series Source with one named series —
 /// lifts the existing sources (and anything built on them) into the
-/// fleet world.
+/// fleet world. The name is interned through `catalog` (normally the
+/// engine's, via ShardedEngine::catalog()) at construction.
 class TaggedSource : public MultiSource {
  public:
-  TaggedSource(SeriesId series_id, std::unique_ptr<Source> inner);
+  TaggedSource(SeriesCatalog* catalog, std::string_view name,
+               std::unique_ptr<Source> inner);
 
   size_t NextBatch(size_t max_records, RecordBatch* out) override;
   size_t TotalPoints() const override { return inner_->TotalPoints(); }
@@ -101,18 +106,20 @@ class TaggedSource : public MultiSource {
 /// is preserved, so fleet runs are refresh-for-refresh deterministic.
 class InterleavingMultiSource : public MultiSource {
  public:
-  InterleavingMultiSource() = default;
+  /// Series names added below are interned through `catalog`
+  /// (normally the engine's, via ShardedEngine::catalog()).
+  explicit InterleavingMultiSource(SeriesCatalog* catalog);
 
-  /// Registers a series. Ids must be unique across Add calls.
-  void Add(SeriesId series_id, std::unique_ptr<Source> source);
+  /// Registers a named series. Names must be unique across Add calls.
+  void Add(std::string_view name, std::unique_ptr<Source> source);
 
   /// Convenience: registers a series replayed once from a vector
   /// (e.g. a dataset loader's values).
-  void AddVector(SeriesId series_id, std::vector<double> values);
+  void AddVector(std::string_view name, std::vector<double> values);
 
   /// Convenience: registers a series looped out to `total_points`
   /// (throughput runs over stretched datasets).
-  void AddLooping(SeriesId series_id, std::vector<double> values,
+  void AddLooping(std::string_view name, std::vector<double> values,
                   size_t total_points);
 
   size_t NextBatch(size_t max_records, RecordBatch* out) override;
@@ -127,6 +134,7 @@ class InterleavingMultiSource : public MultiSource {
     bool exhausted = false;
   };
 
+  SeriesCatalog* catalog_;
   std::vector<Entry> entries_;
   size_t cursor_ = 0;           // round-robin position
   size_t exhausted_count_ = 0;  // series that have run dry
@@ -134,11 +142,13 @@ class InterleavingMultiSource : public MultiSource {
 };
 
 /// Materializes the round-robin scrape order over per-series payloads
-/// (series id = index) into one RecordBatch — the same per-series
-/// order InterleavingMultiSource emits. Wire tests, benches, and
-/// demos replay this batch over a socket to compare against
-/// in-process ingestion.
+/// into one RecordBatch — the same per-series order
+/// InterleavingMultiSource emits. `names[i]` is payload i's series
+/// name, interned through `catalog` in index order. Wire tests,
+/// benches, and demos replay this batch over a socket to compare
+/// against in-process ingestion.
 RecordBatch InterleaveToRecords(
+    SeriesCatalog* catalog, const std::vector<std::string>& names,
     const std::vector<std::vector<double>>& series);
 
 }  // namespace stream

@@ -1,12 +1,14 @@
-// Tests for the multi-series fleet runtime: tagged sources, the
-// per-shard series registry, and the sharded engine's determinism
-// parity — for any shard count, every series' final frame must be
-// identical to running that series alone through StreamingAsap.
+// Tests for the multi-series fleet runtime: named tagged sources, the
+// per-shard series registry, overflow policies, and the sharded
+// engine's determinism parity — for any shard count, every series'
+// final frame must be identical to running that series alone through
+// StreamingAsap.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <map>
+#include <string>
 #include <thread>
 
 #include "common/random.h"
@@ -18,11 +20,15 @@ namespace asap {
 namespace stream {
 namespace {
 
-std::vector<double> FleetSeries(SeriesId id, size_t n) {
-  Pcg32 rng(1000 + id);
-  const double period = 24.0 + 8.0 * static_cast<double>(id % 7);
-  return gen::Add(gen::Sine(n, period, 1.0 + 0.1 * id),
+std::vector<double> FleetSeries(size_t index, size_t n) {
+  Pcg32 rng(1000 + index);
+  const double period = 24.0 + 8.0 * static_cast<double>(index % 7);
+  return gen::Add(gen::Sine(n, period, 1.0 + 0.1 * index),
                   gen::WhiteNoise(&rng, n, 0.4));
+}
+
+std::string HostName(size_t index) {
+  return "host-" + std::to_string(index);
 }
 
 StreamingOptions FleetOptions() {
@@ -33,28 +39,32 @@ StreamingOptions FleetOptions() {
   return options;
 }
 
-TEST(TaggedSourceTest, TagsEveryPointWithTheSeriesId) {
+TEST(TaggedSourceTest, TagsEveryPointWithTheInternedSeries) {
+  SeriesCatalog catalog;
   auto inner = std::make_unique<VectorSource>(std::vector<double>{1, 2, 3});
-  TaggedSource source(/*series_id=*/42, std::move(inner));
+  TaggedSource source(&catalog, "tagged/series", std::move(inner));
+  const SeriesId id = catalog.FindId("tagged/series").value();
   RecordBatch out;
   EXPECT_EQ(source.NextBatch(2, &out), 2u);
   EXPECT_EQ(source.NextBatch(10, &out), 1u);
   EXPECT_EQ(source.NextBatch(10, &out), 0u);
   ASSERT_EQ(out.size(), 3u);
-  EXPECT_EQ(out[0], (Record{42, 1.0}));
-  EXPECT_EQ(out[2], (Record{42, 3.0}));
+  EXPECT_EQ(out[0], (Record{id, 1.0}));
+  EXPECT_EQ(out[2], (Record{id, 3.0}));
   EXPECT_EQ(source.TotalPoints(), 3u);
 }
 
 TEST(InterleavingMultiSourceTest, PreservesPerSeriesOrder) {
-  InterleavingMultiSource source;
+  SeriesCatalog catalog;
+  InterleavingMultiSource source(&catalog);
   const std::vector<std::vector<double>> series = {
       {1, 2, 3, 4, 5, 6, 7}, {10, 20, 30}, {100, 200, 300, 400, 500}};
-  for (SeriesId id = 0; id < series.size(); ++id) {
-    source.AddVector(id, series[id]);
+  for (size_t i = 0; i < series.size(); ++i) {
+    source.AddVector(HostName(i), series[i]);
   }
   EXPECT_EQ(source.series_count(), 3u);
   EXPECT_EQ(source.TotalPoints(), 15u);
+  EXPECT_EQ(catalog.size(), 3u);  // Add interned each name
 
   RecordBatch all;
   RecordBatch batch;
@@ -65,22 +75,24 @@ TEST(InterleavingMultiSourceTest, PreservesPerSeriesOrder) {
   }
   ASSERT_EQ(all.size(), 15u);
 
-  // Projecting the interleaved stream onto one series id must yield
-  // that series' values in order.
+  // Projecting the interleaved stream onto one series must yield that
+  // series' values in order.
   std::map<SeriesId, std::vector<double>> by_series;
   for (const Record& r : all) {
     by_series[r.series_id].push_back(r.value);
   }
   ASSERT_EQ(by_series.size(), 3u);
-  for (SeriesId id = 0; id < series.size(); ++id) {
-    EXPECT_EQ(by_series[id], series[id]) << "series " << id;
+  for (size_t i = 0; i < series.size(); ++i) {
+    const SeriesId id = catalog.FindId(HostName(i)).value();
+    EXPECT_EQ(by_series[id], series[i]) << HostName(i);
   }
 }
 
 TEST(InterleavingMultiSourceTest, UnboundedMemberMakesFleetUnbounded) {
-  InterleavingMultiSource source;
-  source.AddVector(0, {1, 2, 3});
-  source.AddLooping(1, {4, 5}, /*total_points=*/0);  // 0 = endless
+  SeriesCatalog catalog;
+  InterleavingMultiSource source(&catalog);
+  source.AddVector("bounded", {1, 2, 3});
+  source.AddLooping("endless", {4, 5}, /*total_points=*/0);  // 0 = endless
   EXPECT_EQ(source.TotalPoints(), 0u);
   // The endless member really does keep producing.
   RecordBatch out;
@@ -112,7 +124,8 @@ TEST(ShardedEngineTest, ShardOfIsStableAndInRange) {
       EXPECT_EQ(shard, ShardedEngine::ShardOf(id, shard_count));
     }
   }
-  // The hash must actually spread dense ids across 8 shards.
+  // The hash must actually spread the catalog's dense ids across 8
+  // shards.
   std::vector<size_t> counts(8, 0);
   for (SeriesId id = 0; id < 64; ++id) {
     ++counts[ShardedEngine::ShardOf(id, 8)];
@@ -145,9 +158,9 @@ TEST(ShardedEngineTest, DeterminismParityAcrossShardCounts) {
 
   // Sequential reference: one series at a time, point by point.
   std::vector<StreamingAsap> reference;
-  for (SeriesId id = 0; id < kSeries; ++id) {
+  for (size_t i = 0; i < kSeries; ++i) {
     StreamingAsap op = StreamingAsap::Create(options).ValueOrDie();
-    for (double x : FleetSeries(id, kPointsPerSeries)) {
+    for (double x : FleetSeries(i, kPointsPerSeries)) {
       op.Push(x);
     }
     reference.push_back(std::move(op));
@@ -160,9 +173,9 @@ TEST(ShardedEngineTest, DeterminismParityAcrossShardCounts) {
     ShardedEngine engine =
         ShardedEngine::Create(options, engine_options).ValueOrDie();
 
-    InterleavingMultiSource source;
-    for (SeriesId id = 0; id < kSeries; ++id) {
-      source.AddVector(id, FleetSeries(id, kPointsPerSeries));
+    InterleavingMultiSource source(engine.catalog());
+    for (size_t i = 0; i < kSeries; ++i) {
+      source.AddVector(HostName(i), FleetSeries(i, kPointsPerSeries));
     }
     const FleetReport report = engine.RunToCompletion(&source);
 
@@ -170,21 +183,26 @@ TEST(ShardedEngineTest, DeterminismParityAcrossShardCounts) {
     EXPECT_EQ(report.series, kSeries);
     ASSERT_EQ(report.per_series.size(), kSeries);
 
-    for (SeriesId id = 0; id < kSeries; ++id) {
-      const auto frame = engine.Snapshot(id);
-      ASSERT_NE(frame, nullptr) << "series " << id;
-      const StreamingAsap::Frame& expected = reference[id].frame();
+    std::map<std::string, const SeriesReport*> by_name;
+    for (const SeriesReport& sr : report.per_series) {
+      by_name[sr.name] = &sr;
+    }
+    for (size_t i = 0; i < kSeries; ++i) {
+      const auto frame = engine.Snapshot(HostName(i));
+      ASSERT_NE(frame, nullptr) << HostName(i);
+      const StreamingAsap::Frame& expected = reference[i].frame();
       EXPECT_EQ(frame->window, expected.window)
-          << "shards=" << shard_count << " series=" << id;
+          << "shards=" << shard_count << " " << HostName(i);
       EXPECT_EQ(frame->refreshes, expected.refreshes)
-          << "shards=" << shard_count << " series=" << id;
+          << "shards=" << shard_count << " " << HostName(i);
       EXPECT_EQ(frame->series, expected.series)
-          << "shards=" << shard_count << " series=" << id;
+          << "shards=" << shard_count << " " << HostName(i);
       // The report row must agree with the frame.
-      EXPECT_EQ(report.per_series[id].id, id);
-      EXPECT_EQ(report.per_series[id].refreshes, expected.refreshes);
-      EXPECT_EQ(report.per_series[id].window, expected.window);
-      EXPECT_EQ(report.per_series[id].points, kPointsPerSeries);
+      ASSERT_NE(by_name[HostName(i)], nullptr) << HostName(i);
+      const SeriesReport& sr = *by_name[HostName(i)];
+      EXPECT_EQ(sr.refreshes, expected.refreshes);
+      EXPECT_EQ(sr.window, expected.window);
+      EXPECT_EQ(sr.points, kPointsPerSeries);
     }
   }
 }
@@ -197,10 +215,10 @@ TEST(ShardedEngineTest, FleetReportAggregatesShardSlices) {
   ShardedEngine engine =
       ShardedEngine::Create(FleetOptions(), engine_options).ValueOrDie();
 
-  InterleavingMultiSource source;
+  InterleavingMultiSource source(engine.catalog());
   const size_t kSeries = 12;
-  for (SeriesId id = 0; id < kSeries; ++id) {
-    source.AddVector(id, FleetSeries(id, 3000));
+  for (size_t i = 0; i < kSeries; ++i) {
+    source.AddVector(HostName(i), FleetSeries(i, 3000));
   }
   const FleetReport report = engine.RunToCompletion(&source);
 
@@ -221,33 +239,34 @@ TEST(ShardedEngineTest, FleetReportAggregatesShardSlices) {
   EXPECT_GT(report.refreshes, 0u);
   EXPECT_GT(report.points_per_second, 0.0);
 
-  // Ids in per_series are sorted and unique.
+  // Names in per_series are sorted and unique.
   for (size_t i = 1; i < report.per_series.size(); ++i) {
-    EXPECT_LT(report.per_series[i - 1].id, report.per_series[i].id);
+    EXPECT_LT(report.per_series[i - 1].name, report.per_series[i].name);
   }
 }
 
 TEST(ShardedEngineTest, SnapshotIsSafeWhileRunIsInFlight) {
-  // A dashboard thread polls frames while the fleet streams — the
-  // TSan CI job gates this path for data races.
+  // A dashboard thread polls frames by name while the fleet streams —
+  // the TSan CI job gates this path for data races.
   ShardedEngineOptions engine_options;
   engine_options.shards = 4;
   engine_options.batch_size = 512;
   ShardedEngine engine =
       ShardedEngine::Create(FleetOptions(), engine_options).ValueOrDie();
 
-  InterleavingMultiSource source;
+  InterleavingMultiSource source(engine.catalog());
   const size_t kSeries = 8;
-  for (SeriesId id = 0; id < kSeries; ++id) {
-    source.AddLooping(id, FleetSeries(id, 4000), /*total_points=*/60000);
+  for (size_t i = 0; i < kSeries; ++i) {
+    source.AddLooping(HostName(i), FleetSeries(i, 4000),
+                      /*total_points=*/60000);
   }
 
   std::atomic<bool> done{false};
   std::atomic<uint64_t> frames_seen{0};
   std::thread reader([&] {
     while (!done.load(std::memory_order_acquire)) {
-      for (SeriesId id = 0; id < kSeries; ++id) {
-        const auto frame = engine.Snapshot(id);
+      for (size_t i = 0; i < kSeries; ++i) {
+        const auto frame = engine.Snapshot(HostName(i));
         if (frame != nullptr && frame->refreshes > 0) {
           // Reading through the snapshot must always be coherent.
           EXPECT_GE(frame->window, 1u);
@@ -265,8 +284,8 @@ TEST(ShardedEngineTest, SnapshotIsSafeWhileRunIsInFlight) {
   EXPECT_EQ(report.points, kSeries * 60000u);
   EXPECT_GT(report.refreshes, 0u);
   // The reader must have observed at least the final frames.
-  for (SeriesId id = 0; id < kSeries; ++id) {
-    EXPECT_NE(engine.Snapshot(id), nullptr);
+  for (size_t i = 0; i < kSeries; ++i) {
+    EXPECT_NE(engine.Snapshot(HostName(i)), nullptr);
   }
 }
 
@@ -277,10 +296,10 @@ TEST(ShardedEngineTest, RunForBudgetStopsPullingEarly) {
   ShardedEngine engine =
       ShardedEngine::Create(FleetOptions(), engine_options).ValueOrDie();
 
-  InterleavingMultiSource source;
-  for (SeriesId id = 0; id < 4; ++id) {
+  InterleavingMultiSource source(engine.catalog());
+  for (size_t i = 0; i < 4; ++i) {
     // Effectively endless: the budget, not the source, must stop us.
-    source.AddLooping(id, FleetSeries(id, 4000),
+    source.AddLooping(HostName(i), FleetSeries(i, 4000),
                       /*total_points=*/size_t{1} << 40);
   }
   const FleetReport report = engine.RunForBudget(&source, 0.15);
@@ -297,12 +316,13 @@ TEST(ShardedEngineTest, BlockPolicyNeverDrops) {
   ShardedEngine engine =
       ShardedEngine::Create(FleetOptions(), engine_options).ValueOrDie();
 
-  InterleavingMultiSource source;
-  for (SeriesId id = 0; id < 8; ++id) {
-    source.AddVector(id, FleetSeries(id, 4000));
+  InterleavingMultiSource source(engine.catalog());
+  for (size_t i = 0; i < 8; ++i) {
+    source.AddVector(HostName(i), FleetSeries(i, 4000));
   }
   const FleetReport report = engine.RunToCompletion(&source);
   EXPECT_EQ(report.dropped, 0u);
+  EXPECT_EQ(report.conflated, 0u);
   uint64_t consumed = 0;
   for (const ShardReport& sr : report.shards) {
     EXPECT_EQ(sr.dropped, 0u);
@@ -328,9 +348,9 @@ TEST(ShardedEngineTest, DropNewestPolicyAccountsForEveryRecord) {
   ShardedEngine engine =
       ShardedEngine::Create(series_options, engine_options).ValueOrDie();
 
-  InterleavingMultiSource source;
-  for (SeriesId id = 0; id < 8; ++id) {
-    source.AddVector(id, FleetSeries(id, 8000));
+  InterleavingMultiSource source(engine.catalog());
+  for (size_t i = 0; i < 8; ++i) {
+    source.AddVector(HostName(i), FleetSeries(i, 8000));
   }
   const FleetReport report = engine.RunToCompletion(&source);
 
@@ -347,23 +367,79 @@ TEST(ShardedEngineTest, DropNewestPolicyAccountsForEveryRecord) {
   EXPECT_EQ(report.points, 8u * 8000u);
 }
 
+TEST(ShardedEngineTest, ConflatePolicyCollapsesInsteadOfDropping) {
+  // Same overload pressure as the kDropNewest test, but overflow
+  // collapses batches into pane partials: nothing is dropped, every
+  // pulled record is either consumed raw or accounted as conflated
+  // away, and the queues never exceed capacity.
+  StreamingOptions series_options = FleetOptions();
+  series_options.strategy = SearchStrategy::kExhaustive;
+  series_options.refresh_every_points = 100;
+
+  ShardedEngineOptions engine_options;
+  engine_options.shards = 2;
+  // Batches large enough that each series' slice of one batch spans
+  // complete pane groups (512 records / 8 series = 64 > pane size 20)
+  // — otherwise conflation has only short trailing groups to keep.
+  engine_options.batch_size = 512;
+  engine_options.queue_capacity = 1;
+  engine_options.overflow_policy = OverflowPolicy::kConflate;
+  ShardedEngine engine =
+      ShardedEngine::Create(series_options, engine_options).ValueOrDie();
+
+  InterleavingMultiSource source(engine.catalog());
+  const size_t kSeries = 8;
+  const size_t kPointsPerSeries = 8000;
+  for (size_t i = 0; i < kSeries; ++i) {
+    source.AddVector(HostName(i), FleetSeries(i, kPointsPerSeries));
+  }
+  const FleetReport report = engine.RunToCompletion(&source);
+
+  EXPECT_EQ(report.points, kSeries * kPointsPerSeries);
+  // The slow consumers guarantee overflow, so conflation must have
+  // engaged...
+  EXPECT_GT(report.conflated, 0u);
+  // ...and the accounting closes: consumed records + records collapsed
+  // away (+ any stalled-consumer backstop drops) equals everything
+  // pulled.
+  uint64_t consumed = 0;
+  uint64_t conflated = 0;
+  uint64_t dropped = 0;
+  for (const ShardReport& sr : report.shards) {
+    consumed += sr.points;
+    conflated += sr.conflated;
+    dropped += sr.dropped;
+    EXPECT_LE(sr.peak_queue_depth, engine_options.queue_capacity);
+  }
+  EXPECT_EQ(conflated, report.conflated);
+  EXPECT_EQ(dropped, report.dropped);
+  EXPECT_EQ(consumed + conflated + dropped, report.points);
+  // Every series still produced frames (its shape survived).
+  for (size_t i = 0; i < kSeries; ++i) {
+    const auto frame = engine.Snapshot(HostName(i));
+    ASSERT_NE(frame, nullptr) << HostName(i);
+    EXPECT_GT(frame->refreshes, 0u) << HostName(i);
+  }
+}
+
 TEST(ShardedEngineTest, RegistriesPersistAcrossRuns) {
   ShardedEngine engine = ShardedEngine::Create(FleetOptions()).ValueOrDie();
 
-  InterleavingMultiSource first;
-  first.AddVector(5, FleetSeries(5, 3000));
+  InterleavingMultiSource first(engine.catalog());
+  first.AddVector("persistent/series", FleetSeries(5, 3000));
   const FleetReport r1 = engine.RunToCompletion(&first);
   const uint64_t refreshes_after_first = r1.refreshes;
   EXPECT_GT(refreshes_after_first, 0u);
 
-  // A second run over the same series continues its state: refresh
-  // counters are lifetime, and the visible window carries over.
-  InterleavingMultiSource second;
-  second.AddVector(5, FleetSeries(5, 3000));
+  // A second run over the same named series continues its state:
+  // refresh counters are lifetime, and the visible window carries
+  // over.
+  InterleavingMultiSource second(engine.catalog());
+  second.AddVector("persistent/series", FleetSeries(5, 3000));
   const FleetReport r2 = engine.RunToCompletion(&second);
   EXPECT_GT(r2.refreshes, refreshes_after_first);
   EXPECT_EQ(r2.series, 1u);
-  EXPECT_EQ(engine.Snapshot(5)->refreshes, r2.refreshes);
+  EXPECT_EQ(engine.Snapshot("persistent/series")->refreshes, r2.refreshes);
 }
 
 }  // namespace

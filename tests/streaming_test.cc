@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "common/random.h"
 #include "core/smooth.h"
@@ -267,6 +269,84 @@ TEST(StreamingAsapTest, SnapshotRingRetainsLastKFrames) {
   // Dashboard diffing: every retained frame is immutable, so a reader
   // can compare consecutive frames without copies.
   EXPECT_GE(history[2]->window, 1u);
+}
+
+TEST(StreamingAsapTest, SnapshotRingEvictsOldestInOrderOnWraparound) {
+  // Publish far more refreshes than the ring holds: the window slides
+  // forward refresh by refresh, always the *newest* K in order — the
+  // oldest frame evicted first, never reordered or skipped.
+  StreamingOptions options = BasicOptions();
+  options.refresh_every_points = 200;
+  const size_t kRing = 4;
+  options.snapshot_ring_frames = kRing;
+  StreamingAsap op = StreamingAsap::Create(options).ValueOrDie();
+
+  const std::vector<double> data = PeriodicStream(24, 12000);
+  size_t pushed = 0;
+  uint64_t last_newest = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (op.Push(data[i])) {
+      ++pushed;
+      const auto history = op.FrameHistory();
+      ASSERT_EQ(history.size(), std::min<size_t>(pushed, kRing));
+      // Contiguous ascending refresh counters ending at the current
+      // refresh — exactly the newest min(pushed, K) frames.
+      for (size_t j = 0; j < history.size(); ++j) {
+        EXPECT_EQ(history[j]->refreshes,
+                  pushed - history.size() + 1 + j);
+      }
+      EXPECT_EQ(history.back()->refreshes, pushed);
+      EXPECT_GT(history.back()->refreshes, last_newest);
+      last_newest = history.back()->refreshes;
+    }
+  }
+  ASSERT_GT(pushed, 3 * kRing);  // the ring really wrapped, repeatedly
+  EXPECT_EQ(op.FrameHistory().size(), kRing);
+}
+
+TEST(StreamingAsapTest, SnapshotRingReadsStayCoherentUnderConcurrentPush) {
+  // A reader diffs FrameHistory() while the ingest thread pushes: it
+  // must always observe an immutable ring — oldest-first, contiguous
+  // refresh counters, back() agreeing with frame_snapshot() — no
+  // matter how the writer races it (the TSan CI job gates this).
+  StreamingOptions options = BasicOptions();
+  options.refresh_every_points = 100;
+  options.snapshot_ring_frames = 3;
+  StreamingAsap op = StreamingAsap::Create(options).ValueOrDie();
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> rings_seen{0};
+  std::thread reader([&] {
+    uint64_t newest_seen = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto history = op.FrameHistory();
+      if (history.empty()) {
+        continue;
+      }
+      ASSERT_LE(history.size(), 3u);
+      for (size_t j = 1; j < history.size(); ++j) {
+        EXPECT_EQ(history[j - 1]->refreshes + 1, history[j]->refreshes);
+      }
+      // Monotone publication: the ring never goes backwards.
+      EXPECT_GE(history.back()->refreshes, newest_seen);
+      newest_seen = history.back()->refreshes;
+      // A frame_snapshot taken right after must be at least as new as
+      // the ring's back (the ring IS the publication point).
+      EXPECT_GE(op.frame_snapshot()->refreshes, newest_seen);
+      rings_seen.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  const std::vector<double> data = PeriodicStream(25, 30000);
+  op.PushBatch(data);
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_GT(op.frame().refreshes, 3u);
+  EXPECT_GT(rings_seen.load(), 0u);
+  const auto final_history = op.FrameHistory();
+  ASSERT_EQ(final_history.size(), 3u);
+  EXPECT_EQ(final_history.back()->refreshes, op.frame().refreshes);
 }
 
 }  // namespace

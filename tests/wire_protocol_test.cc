@@ -1,7 +1,8 @@
-// FrameDecoder edge cases: the wire protocol must survive frames
-// split across arbitrary read boundaries, garbage bytes mid-stream,
-// oversized frames, CRLF line endings, and interleaved encodings —
-// and account for every malformed byte it skips.
+// FrameDecoder edge cases for the *named* wire protocol: frames split
+// across arbitrary read boundaries, garbage bytes mid-stream,
+// oversized frames, CRLF line endings, interleaved encodings, 0xA6
+// name-registration semantics (unknown ids, remaps, invalid names) —
+// and accounting for every malformed byte skipped.
 
 #include <gtest/gtest.h>
 
@@ -9,8 +10,10 @@
 #include <cstring>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "net/protocol.h"
+#include "stream/catalog.h"
 
 namespace asap {
 namespace net {
@@ -18,23 +21,50 @@ namespace {
 
 using stream::Record;
 using stream::RecordBatch;
+using stream::SeriesCatalog;
 
-RecordBatch SampleRecords() {
-  return RecordBatch{
-      {0, 1.0},
-      {7, -0.25},
-      {4294967295u, 3.141592653589793},
-      {12, 1e-300},              // denormal-adjacent magnitude
-      {12, -12345.678901234567},  // needs all 17 digits
-      {3, 0.1},                   // classic non-representable decimal
-  };
-}
+/// Sender-side fixture: a catalog with a handful of names and records
+/// whose values stress round-trip exactness.
+struct Sender {
+  SeriesCatalog catalog;
+  RecordBatch records;
 
-void ExpectBitwiseEqual(const RecordBatch& got, const RecordBatch& want) {
+  Sender() {
+    const std::vector<std::string> names = {"web-00/cpu", "web-01/cpu",
+                                            "db-00/io",   "cache-00/hits"};
+    for (const std::string& name : names) {
+      catalog.Intern(name);
+    }
+    records = RecordBatch{
+        {0, 1.0},
+        {1, -0.25},
+        {2, 3.141592653589793},
+        {3, 1e-300},               // denormal-adjacent magnitude
+        {3, -12345.678901234567},  // needs all 17 digits
+        {1, 0.1},                  // classic non-representable decimal
+    };
+  }
+
+  std::string Encode(WireEncoding encoding, size_t frame_records = 512) {
+    std::string wire;
+    WireEncoder encoder(&catalog, encoding, frame_records);
+    encoder.Encode(records.data(), records.size(), &wire);
+    return wire;
+  }
+};
+
+/// Bitwise record equality *by name*: sender and receiver catalogs
+/// assign ids independently, so identity is the interned name plus
+/// the exact value bits.
+void ExpectBitwiseEqual(const SeriesCatalog& got_catalog,
+                        const RecordBatch& got,
+                        const SeriesCatalog& want_catalog,
+                        const RecordBatch& want) {
   ASSERT_EQ(got.size(), want.size());
   for (size_t i = 0; i < want.size(); ++i) {
-    EXPECT_EQ(got[i].series_id, want[i].series_id) << "record " << i;
-    // Bitwise, not ==: the loopback parity guarantee is exact bits.
+    EXPECT_EQ(got_catalog.NameOf(got[i].series_id),
+              want_catalog.NameOf(want[i].series_id))
+        << "record " << i;
     uint64_t got_bits, want_bits;
     std::memcpy(&got_bits, &got[i].value, 8);
     std::memcpy(&want_bits, &want[i].value, 8);
@@ -43,47 +73,49 @@ void ExpectBitwiseEqual(const RecordBatch& got, const RecordBatch& want) {
 }
 
 TEST(WireProtocolTest, TextRoundTripIsBitwiseExact) {
-  const RecordBatch records = SampleRecords();
-  std::string wire;
-  EncodeRecords(records.data(), records.size(), WireEncoding::kText, 512,
-                &wire);
-  FrameDecoder decoder;
+  Sender sender;
+  const std::string wire = sender.Encode(WireEncoding::kText);
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
   RecordBatch out;
   EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
-  ExpectBitwiseEqual(out, records);
-  EXPECT_EQ(decoder.stats().text_records, records.size());
+  ExpectBitwiseEqual(sink, out, sender.catalog, sender.records);
+  EXPECT_EQ(decoder.stats().text_records, sender.records.size());
   EXPECT_EQ(decoder.stats().malformed_lines, 0u);
   EXPECT_EQ(decoder.buffered_bytes(), 0u);
 }
 
 TEST(WireProtocolTest, BinaryRoundTripIsBitwiseExact) {
-  const RecordBatch records = SampleRecords();
-  std::string wire;
-  EncodeRecords(records.data(), records.size(), WireEncoding::kBinary,
-                /*frame_records=*/2, &wire);
-  FrameDecoder decoder;
+  Sender sender;
+  const std::string wire =
+      sender.Encode(WireEncoding::kBinary, /*frame_records=*/2);
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
   RecordBatch out;
   EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
-  ExpectBitwiseEqual(out, records);
-  EXPECT_EQ(decoder.stats().binary_records, records.size());
+  ExpectBitwiseEqual(sink, out, sender.catalog, sender.records);
+  EXPECT_EQ(decoder.stats().binary_records, sender.records.size());
   EXPECT_EQ(decoder.stats().binary_frames, 3u);  // 6 records / 2 per frame
+  // One 0xA6 per distinct series, each announced before first use.
+  EXPECT_EQ(decoder.stats().name_registrations, 4u);
+  EXPECT_EQ(decoder.stats().unknown_series_records, 0u);
 }
 
-// The satellite-task checklist: split-across-read boundaries.
+// The satellite-task checklist: split-across-read boundaries,
+// including mid-0xA6-frame splits.
 TEST(WireProtocolTest, DecodesAcrossArbitraryReadBoundaries) {
-  const RecordBatch records = SampleRecords();
+  Sender sender;
   for (WireEncoding encoding : {WireEncoding::kText, WireEncoding::kBinary}) {
-    std::string wire;
-    EncodeRecords(records.data(), records.size(), encoding,
-                  /*frame_records=*/3, &wire);
+    const std::string wire = sender.Encode(encoding, /*frame_records=*/3);
     for (size_t chunk : {1u, 2u, 3u, 5u, 7u}) {
-      FrameDecoder decoder;
+      SeriesCatalog sink;
+      FrameDecoder decoder(&sink);
       RecordBatch out;
       for (size_t pos = 0; pos < wire.size(); pos += chunk) {
         EXPECT_TRUE(decoder.Feed(wire.data() + pos,
                                  std::min(chunk, wire.size() - pos), &out));
       }
-      ExpectBitwiseEqual(out, records);
+      ExpectBitwiseEqual(sink, out, sender.catalog, sender.records);
       EXPECT_EQ(decoder.buffered_bytes(), 0u)
           << WireEncodingName(encoding) << " chunk=" << chunk;
     }
@@ -91,69 +123,93 @@ TEST(WireProtocolTest, DecodesAcrossArbitraryReadBoundaries) {
 }
 
 TEST(WireProtocolTest, ToleratesCrlfAndEmptyLines) {
-  FrameDecoder decoder;
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
   RecordBatch out;
-  const std::string wire = "1 2.5\r\n\n\r\n  \n2 3.5\n";
+  const std::string wire = "alpha 2.5\r\n\n\r\n  \nbeta 3.5\n";
   EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out[0], (Record{1, 2.5}));
-  EXPECT_EQ(out[1], (Record{2, 3.5}));
+  EXPECT_EQ(sink.NameOf(out[0].series_id), "alpha");
+  EXPECT_EQ(out[0].value, 2.5);
+  EXPECT_EQ(sink.NameOf(out[1].series_id), "beta");
+  EXPECT_EQ(out[1].value, 3.5);
   EXPECT_EQ(decoder.stats().malformed_lines, 0u);
 }
 
 TEST(WireProtocolTest, SkipsGarbageLinesAndKeepsGoing) {
-  FrameDecoder decoder;
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
   RecordBatch out;
   const std::string wire =
-      "1 2.5\n"
-      "not a record\n"       // no leading digit
-      "3\n"                  // missing value
-      "4 nonsense\n"         // unparseable value
-      "5 1.5 trailing\n"     // junk after the value
-      "-1 2.0\n"             // negative id
-      "4294967296 1.0\n"     // id overflows uint32
-      "6 7.5\n";
+      "good 2.5\n"
+      "lonely\n"               // missing value
+      "bad nonsense\n"         // unparseable value
+      "bad 1.5 trailing\n"     // junk after the value
+      "ok-name\t \n"           // name but only trailing space
+      "also-good 7.5\n";
   EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out[0], (Record{1, 2.5}));
-  EXPECT_EQ(out[1], (Record{6, 7.5}));
-  EXPECT_EQ(decoder.stats().malformed_lines, 6u);
+  EXPECT_EQ(sink.NameOf(out[0].series_id), "good");
+  EXPECT_EQ(sink.NameOf(out[1].series_id), "also-good");
+  EXPECT_EQ(decoder.stats().malformed_lines, 4u);
   EXPECT_FALSE(decoder.poisoned());
+  // Malformed lines intern nothing: only the two good names exist.
+  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_FALSE(sink.FindId("bad").has_value());
+}
+
+TEST(WireProtocolTest, RejectsInvalidNamesAsMalformed) {
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
+  RecordBatch out;
+  std::string wire;
+  wire += std::string(300, 'n') + " 1.0\n";  // name over the length cap
+  wire += "caf\xC3\xA9 1.0\n";               // non-ASCII byte in the name
+  wire += "fine 1.0\n";
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(sink.NameOf(out[0].series_id), "fine");
+  EXPECT_EQ(decoder.stats().malformed_lines, 2u);
+  EXPECT_EQ(sink.size(), 1u);
 }
 
 TEST(WireProtocolTest, RejectsNonFiniteValuesAsMalformed) {
   // One NaN would poison a series' pane sums for a whole visible
   // window, so non-finite values are malformed, not data.
-  FrameDecoder decoder;
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
   RecordBatch out;
   const std::string wire =
-      "1 nan\n"
-      "2 inf\n"
-      "3 -inf\n"
-      "4 1e999\n"   // overflows to +inf
-      "5 2.5\n";
+      "a nan\n"
+      "b inf\n"
+      "c -inf\n"
+      "d 1e999\n"   // overflows to +inf
+      "e 2.5\n";
   EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0], (Record{5, 2.5}));
+  EXPECT_EQ(sink.NameOf(out[0].series_id), "e");
   EXPECT_EQ(decoder.stats().malformed_lines, 4u);
 }
 
 TEST(WireProtocolTest, OversizedTextLineIsSkippedNotBuffered) {
-  FrameDecoder decoder(/*max_frame_bytes=*/64);
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink, /*max_frame_bytes=*/64);
   RecordBatch out;
   std::string wire(1000, 'x');  // far over the frame bound, no newline
   EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
   EXPECT_EQ(decoder.buffered_bytes(), 0u);  // discarded, not carried
   // The stream recovers at the line's eventual newline.
-  const std::string rest = "yyy\n8 9.5\n";
+  const std::string rest = "yyy\nnext 9.5\n";
   EXPECT_TRUE(decoder.Feed(rest.data(), rest.size(), &out));
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0], (Record{8, 9.5}));
+  EXPECT_EQ(sink.NameOf(out[0].series_id), "next");
+  EXPECT_EQ(out[0].value, 9.5);
   EXPECT_EQ(decoder.stats().malformed_lines, 1u);
 }
 
 TEST(WireProtocolTest, OversizedBinaryFramePoisonsTheStream) {
-  FrameDecoder decoder(/*max_frame_bytes=*/120);
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink, /*max_frame_bytes=*/120);
   std::string wire;
   const RecordBatch records(64, Record{1, 2.0});  // 768-byte payload
   AppendBinaryFrame(records.data(), records.size(), &wire);
@@ -163,7 +219,7 @@ TEST(WireProtocolTest, OversizedBinaryFramePoisonsTheStream) {
   EXPECT_EQ(decoder.stats().malformed_frames, 1u);
   EXPECT_TRUE(out.empty());
   // Poisoned streams stay dead — even for valid input.
-  const std::string good = "1 2.0\n";
+  const std::string good = "fine 2.0\n";
   EXPECT_FALSE(decoder.Feed(good.data(), good.size(), &out));
   EXPECT_TRUE(out.empty());
 }
@@ -174,13 +230,16 @@ TEST(WireProtocolTest, EncodingZeroRecordsAppendsNothing) {
   std::string wire;
   AppendBinaryFrame(nullptr, 0, &wire);
   EXPECT_TRUE(wire.empty());
-  EncodeRecords(nullptr, 0, WireEncoding::kBinary, 512, &wire);
+  SeriesCatalog catalog;
+  WireEncoder encoder(&catalog, WireEncoding::kBinary, 512);
+  encoder.Encode(nullptr, 0, &wire);
   EXPECT_TRUE(wire.empty());
 }
 
 TEST(WireProtocolTest, CorruptBinaryLengthPoisonsTheStream) {
   for (uint32_t bad_payload : {0u, 11u, 13u}) {  // zero / not 12-multiples
-    FrameDecoder decoder;
+    SeriesCatalog sink;
+    FrameDecoder decoder(&sink);
     std::string wire;
     wire.push_back(static_cast<char>(kBinaryMagic));
     wire.append(reinterpret_cast<const char*>(&bad_payload), 4);
@@ -191,78 +250,181 @@ TEST(WireProtocolTest, CorruptBinaryLengthPoisonsTheStream) {
   }
 }
 
-TEST(WireProtocolTest, TextAndBinaryInterleaveOnOneStream) {
-  const RecordBatch text_records = {{1, 1.5}, {2, 2.5}};
-  const RecordBatch binary_records = {{3, 3.5}, {4, 4.5}};
+TEST(WireProtocolTest, UnregisteredWireIdIsSkippedAndCounted) {
+  // A 0xA5 record whose wire id has no 0xA6 registration on this
+  // stream must never be guessed at (or silently truncated into some
+  // other series) — it is dropped and counted.
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
   std::string wire;
-  AppendTextRecord(text_records[0], &wire);
+  AppendNameFrame(7, "known", &wire);
+  const RecordBatch frame = {{7, 1.5}, {8, 99.0}, {7, 2.5}};
+  AppendBinaryFrame(frame.data(), frame.size(), &wire);
+  RecordBatch out;
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(sink.NameOf(out[0].series_id), "known");
+  EXPECT_EQ(out[0].value, 1.5);
+  EXPECT_EQ(out[1].value, 2.5);
+  EXPECT_EQ(decoder.stats().unknown_series_records, 1u);
+  EXPECT_EQ(decoder.stats().binary_records, 2u);
+  EXPECT_FALSE(decoder.poisoned());  // framing was intact throughout
+}
+
+TEST(WireProtocolTest, WireIdsAreSenderLocal) {
+  // Two streams may use the same wire id for different names; each
+  // decoder's map is per-connection, so both resolve correctly.
+  SeriesCatalog sink;  // one receiver catalog, two connections
+  FrameDecoder decoder_a(&sink);
+  FrameDecoder decoder_b(&sink);
+  std::string wire_a, wire_b;
+  AppendNameFrame(0, "from-a", &wire_a);
+  AppendNameFrame(0, "from-b", &wire_b);
+  const RecordBatch rec = {{0, 1.0}};
+  AppendBinaryFrame(rec.data(), rec.size(), &wire_a);
+  AppendBinaryFrame(rec.data(), rec.size(), &wire_b);
+  RecordBatch out_a, out_b;
+  EXPECT_TRUE(decoder_a.Feed(wire_a.data(), wire_a.size(), &out_a));
+  EXPECT_TRUE(decoder_b.Feed(wire_b.data(), wire_b.size(), &out_b));
+  ASSERT_EQ(out_a.size(), 1u);
+  ASSERT_EQ(out_b.size(), 1u);
+  EXPECT_EQ(sink.NameOf(out_a[0].series_id), "from-a");
+  EXPECT_EQ(sink.NameOf(out_b[0].series_id), "from-b");
+  EXPECT_NE(out_a[0].series_id, out_b[0].series_id);
+}
+
+TEST(WireProtocolTest, ReRegistrationRemapsAWireId) {
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
+  std::string wire;
+  const RecordBatch rec = {{3, 1.0}};
+  AppendNameFrame(3, "first", &wire);
+  AppendBinaryFrame(rec.data(), rec.size(), &wire);
+  AppendNameFrame(3, "second", &wire);  // last registration wins
+  AppendBinaryFrame(rec.data(), rec.size(), &wire);
+  RecordBatch out;
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(sink.NameOf(out[0].series_id), "first");
+  EXPECT_EQ(sink.NameOf(out[1].series_id), "second");
+  EXPECT_EQ(decoder.stats().name_registrations, 2u);
+}
+
+TEST(WireProtocolTest, InvalidRegistrationIsSkippedNotPoisoned) {
+  // A 0xA6 frame with a sane length but an invalid name payload has a
+  // trustworthy resync point (the length), so the stream survives.
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
+  std::string wire;
+  // Build by hand: payload = wire id only, no name bytes.
+  wire.push_back(static_cast<char>(kNameMagic));
+  const uint32_t payload_len = 4;
+  wire.append(reinterpret_cast<const char*>(&payload_len), 4);
+  const uint32_t wire_id = 9;
+  wire.append(reinterpret_cast<const char*>(&wire_id), 4);
+  // And one with a name containing a space (invalid charset).
+  wire.push_back(static_cast<char>(kNameMagic));
+  const uint32_t payload2 = 4 + 5;
+  wire.append(reinterpret_cast<const char*>(&payload2), 4);
+  wire.append(reinterpret_cast<const char*>(&wire_id), 4);
+  wire.append("a b c", 5);
+  // The stream keeps decoding afterwards.
+  AppendNameFrame(1, "valid", &wire);
+  const RecordBatch rec = {{1, 4.0}};
+  AppendBinaryFrame(rec.data(), rec.size(), &wire);
+  RecordBatch out;
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(sink.NameOf(out[0].series_id), "valid");
+  EXPECT_EQ(decoder.stats().malformed_registrations, 2u);
+  EXPECT_EQ(decoder.stats().name_registrations, 1u);
+  EXPECT_FALSE(decoder.poisoned());
+}
+
+TEST(WireProtocolTest, TextAndBinaryInterleaveOnOneStream) {
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
+  std::string wire;
+  AppendTextRecord("alpha", 1.5, &wire);
+  AppendNameFrame(0, "beta", &wire);
+  const RecordBatch binary_records = {{0, 3.5}, {0, 4.5}};
   AppendBinaryFrame(binary_records.data(), binary_records.size(), &wire);
-  AppendTextRecord(text_records[1], &wire);
-  FrameDecoder decoder;
+  AppendTextRecord("beta", 2.5, &wire);  // same series, text this time
   RecordBatch out;
   EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
   ASSERT_EQ(out.size(), 4u);
-  EXPECT_EQ(out[0], text_records[0]);
-  EXPECT_EQ(out[1], binary_records[0]);
-  EXPECT_EQ(out[2], binary_records[1]);
-  EXPECT_EQ(out[3], text_records[1]);
+  EXPECT_EQ(sink.NameOf(out[0].series_id), "alpha");
+  EXPECT_EQ(sink.NameOf(out[1].series_id), "beta");
+  EXPECT_EQ(out[1].value, 3.5);
+  EXPECT_EQ(out[2].value, 4.5);
+  // Text and 0xA6 registrations intern into the same catalog entry.
+  EXPECT_EQ(out[3].series_id, out[1].series_id);
   EXPECT_EQ(decoder.stats().text_records, 2u);
   EXPECT_EQ(decoder.stats().binary_records, 2u);
+  EXPECT_EQ(sink.size(), 2u);
 }
 
 TEST(WireProtocolTest, EofFlushesTrailingUnterminatedLine) {
-  FrameDecoder decoder;
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
   RecordBatch out;
-  const std::string wire = "1 2.5\n2 3.5";  // collector closed mid-line
+  const std::string wire = "a 2.5\nb 3.5";  // collector closed mid-line
   EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
   EXPECT_EQ(out.size(), 1u);
-  EXPECT_EQ(decoder.buffered_bytes(), 5u);  // "2 3.5"
+  EXPECT_EQ(decoder.buffered_bytes(), 5u);  // "b 3.5"
   decoder.FinishEof(&out);
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out[1], (Record{2, 3.5}));
+  EXPECT_EQ(sink.NameOf(out[1].series_id), "b");
+  EXPECT_EQ(out[1].value, 3.5);
   EXPECT_EQ(decoder.buffered_bytes(), 0u);
 }
 
 TEST(WireProtocolTest, AbnormalEofNeverParsesATruncatedLine) {
-  FrameDecoder decoder;
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
   RecordBatch out;
-  // A crash mid-line: "7 123" is the delivered prefix of "7 123456.0".
-  const std::string wire = "1 2.5\n7 123";
+  // A crash mid-line: "b 123" is the delivered prefix of "b 123456.0".
+  const std::string wire = "a 2.5\nb 123";
   EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
   ASSERT_EQ(out.size(), 1u);
   decoder.AbandonEof();
-  EXPECT_EQ(out.size(), 1u);  // the prefix did NOT become {7, 123.0}
+  EXPECT_EQ(out.size(), 1u);  // the prefix did NOT become {b, 123.0}
   EXPECT_EQ(decoder.stats().malformed_lines, 1u);
   EXPECT_EQ(decoder.buffered_bytes(), 0u);
 }
 
 TEST(WireProtocolTest, EofCountsTruncatedBinaryFrameAsMalformed) {
-  FrameDecoder decoder;
-  std::string wire;
-  const RecordBatch records = {{1, 2.0}, {3, 4.0}};
-  AppendBinaryFrame(records.data(), records.size(), &wire);
-  wire.resize(wire.size() - 5);  // cut the last record short
-  RecordBatch out;
-  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
-  EXPECT_TRUE(out.empty());  // whole frame still pending
-  decoder.FinishEof(&out);
-  EXPECT_TRUE(out.empty());
-  EXPECT_EQ(decoder.stats().malformed_frames, 1u);
+  for (unsigned char magic : {kBinaryMagic, kNameMagic}) {
+    SeriesCatalog sink;
+    FrameDecoder decoder(&sink);
+    std::string wire;
+    if (magic == kBinaryMagic) {
+      AppendNameFrame(1, "cut", &wire);
+      const RecordBatch records = {{1, 2.0}, {1, 4.0}};
+      AppendBinaryFrame(records.data(), records.size(), &wire);
+    } else {
+      AppendNameFrame(1, "cut-registration", &wire);
+    }
+    wire.resize(wire.size() - 5);  // cut the last frame short
+    RecordBatch out;
+    EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+    decoder.FinishEof(&out);
+    EXPECT_EQ(decoder.stats().malformed_frames, 1u)
+        << "magic=" << static_cast<int>(magic);
+  }
 }
 
 TEST(WireProtocolTest, StatsCountBytesAndRecords) {
-  const RecordBatch records = SampleRecords();
-  std::string wire;
-  EncodeRecords(records.data(), records.size(), WireEncoding::kText, 512,
-                &wire);
-  EncodeRecords(records.data(), records.size(), WireEncoding::kBinary, 512,
-                &wire);
-  FrameDecoder decoder;
+  Sender sender;
+  std::string wire = sender.Encode(WireEncoding::kText);
+  wire += sender.Encode(WireEncoding::kBinary);
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
   RecordBatch out;
   EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
   EXPECT_EQ(decoder.stats().bytes, wire.size());
-  EXPECT_EQ(decoder.stats().records, 2 * records.size());
-  EXPECT_EQ(out.size(), 2 * records.size());
+  EXPECT_EQ(decoder.stats().records, 2 * sender.records.size());
+  EXPECT_EQ(out.size(), 2 * sender.records.size());
 }
 
 }  // namespace

@@ -1,9 +1,10 @@
 // Loopback end-to-end tests for the wire-ingestion subsystem: a
-// WireClient replaying datasets into a WireServer must feed the
+// WireClient replaying named fleets into a WireServer must feed the
 // sharded fleet engine frames bitwise identical to in-process
-// ingestion (both encodings, TCP and UDS), and per-connection
-// malformed input must never take down the server or its other
-// connections.
+// ingestion (both encodings — including 0xA6 name registrations — over
+// TCP and UDS), FleetView queries must rank identically in both
+// paths, and per-connection malformed input must never take down the
+// server or its other connections.
 
 #include <gtest/gtest.h>
 
@@ -20,6 +21,7 @@
 #include "net/net_source.h"
 #include "net/wire_client.h"
 #include "net/wire_server.h"
+#include "stream/fleet_view.h"
 #include "stream/sharded_engine.h"
 #include "stream/source.h"
 #include "ts/generators.h"
@@ -30,13 +32,17 @@ namespace {
 
 using stream::Record;
 using stream::RecordBatch;
-using stream::SeriesId;
+using stream::SeriesCatalog;
 
-std::vector<double> FleetSeries(SeriesId id, size_t n) {
-  Pcg32 rng(500 + id);
-  const double period = 24.0 + 6.0 * static_cast<double>(id % 5);
-  return gen::Add(gen::Sine(n, period, 1.0 + 0.1 * id),
+std::vector<double> FleetSeries(size_t index, size_t n) {
+  Pcg32 rng(500 + index);
+  const double period = 24.0 + 6.0 * static_cast<double>(index % 5);
+  return gen::Add(gen::Sine(n, period, 1.0 + 0.1 * index),
                   gen::WhiteNoise(&rng, n, 0.4));
+}
+
+std::string HostName(size_t index) {
+  return "host-" + std::to_string(index) + "/load";
 }
 
 StreamingOptions FleetOptions() {
@@ -54,15 +60,20 @@ std::string TestUdsPath(const char* tag) {
 
 // The acceptance criterion: WireClient -> WireServer -> ShardedEngine
 // produces per-series final frames bitwise identical to in-process
-// InterleavingMultiSource ingestion, for both encodings.
+// InterleavingMultiSource ingestion — for both encodings (the binary
+// path exercising 0xA6 name-registration frames) — and
+// FleetView::TopKByRoughness returns the identical ranking over both
+// engines.
 TEST(WireServerTest, LoopbackParityWithInProcessIngestion) {
   const size_t kSeries = 6;
   const size_t kPointsPerSeries = 5000;
   const StreamingOptions options = FleetOptions();
 
+  std::vector<std::string> names;
   std::vector<std::vector<double>> payloads;
-  for (SeriesId id = 0; id < kSeries; ++id) {
-    payloads.push_back(FleetSeries(id, kPointsPerSeries));
+  for (size_t i = 0; i < kSeries; ++i) {
+    names.push_back(HostName(i));
+    payloads.push_back(FleetSeries(i, kPointsPerSeries));
   }
 
   // In-process reference run.
@@ -70,24 +81,35 @@ TEST(WireServerTest, LoopbackParityWithInProcessIngestion) {
   engine_options.shards = 2;
   stream::ShardedEngine reference =
       stream::ShardedEngine::Create(options, engine_options).ValueOrDie();
-  stream::InterleavingMultiSource in_process;
-  for (SeriesId id = 0; id < kSeries; ++id) {
-    in_process.AddVector(id, payloads[id]);
+  stream::InterleavingMultiSource in_process(reference.catalog());
+  for (size_t i = 0; i < kSeries; ++i) {
+    in_process.AddVector(names[i], payloads[i]);
   }
   reference.RunToCompletion(&in_process);
+  const stream::FleetView reference_view(&reference);
+  const std::vector<stream::SeriesRank> reference_ranks =
+      reference_view.TopKByRoughness(kSeries);
+  ASSERT_EQ(reference_ranks.size(), kSeries);
 
-  const RecordBatch records = stream::InterleaveToRecords(payloads);
+  // The collector's own catalog: ids on the wire are sender-local.
+  SeriesCatalog collector_catalog;
+  const RecordBatch records =
+      stream::InterleaveToRecords(&collector_catalog, names, payloads);
+
   for (WireEncoding encoding : {WireEncoding::kText, WireEncoding::kBinary}) {
     stream::ShardedEngine engine =
         stream::ShardedEngine::Create(options, engine_options).ValueOrDie();
 
     WireServerOptions server_options;
-    WireServer server = WireServer::Create(server_options).ValueOrDie();
+    WireServer server =
+        WireServer::Create(server_options, engine.catalog()).ValueOrDie();
     const uint16_t port = server.tcp_port();
     ASSERT_GT(port, 0);
 
-    std::thread client_thread([&records, port, encoding] {
+    std::thread client_thread([&collector_catalog, &records, port,
+                               encoding] {
       WireClientOptions client_options;
+      client_options.catalog = &collector_catalog;
       client_options.encoding = encoding;
       WireClient client =
           WireClient::ConnectTcp("127.0.0.1", port, client_options)
@@ -102,8 +124,7 @@ TEST(WireServerTest, LoopbackParityWithInProcessIngestion) {
     const stream::FleetReport report = engine.RunToCompletion(&source);
     client_thread.join();
 
-    EXPECT_EQ(report.points, records.size())
-        << WireEncodingName(encoding);
+    EXPECT_EQ(report.points, records.size()) << WireEncodingName(encoding);
     EXPECT_EQ(report.series, kSeries);
     EXPECT_EQ(report.dropped, 0u);
     const WireServerStats stats = server.stats();
@@ -111,61 +132,99 @@ TEST(WireServerTest, LoopbackParityWithInProcessIngestion) {
     EXPECT_EQ(stats.accepted, 1u);
     EXPECT_EQ(stats.malformed_lines, 0u);
     EXPECT_EQ(stats.malformed_frames, 0u);
+    EXPECT_EQ(stats.unknown_series_records, 0u);
+    if (encoding == WireEncoding::kBinary) {
+      // One 0xA6 per series, announced before its first record.
+      EXPECT_EQ(stats.name_registrations, kSeries);
+    }
 
-    for (SeriesId id = 0; id < kSeries; ++id) {
-      const auto got = engine.Snapshot(id);
-      const auto want = reference.Snapshot(id);
-      ASSERT_NE(got, nullptr) << "series " << id;
-      ASSERT_NE(want, nullptr) << "series " << id;
+    for (size_t i = 0; i < kSeries; ++i) {
+      const auto got = engine.Snapshot(names[i]);
+      const auto want = reference.Snapshot(names[i]);
+      ASSERT_NE(got, nullptr) << names[i];
+      ASSERT_NE(want, nullptr) << names[i];
       EXPECT_EQ(got->window, want->window)
-          << WireEncodingName(encoding) << " series " << id;
+          << WireEncodingName(encoding) << " " << names[i];
       EXPECT_EQ(got->refreshes, want->refreshes)
-          << WireEncodingName(encoding) << " series " << id;
+          << WireEncodingName(encoding) << " " << names[i];
       // Bitwise-identical smoothed values (vector operator== on
       // doubles is exact equality).
       EXPECT_EQ(got->series, want->series)
-          << WireEncodingName(encoding) << " series " << id;
+          << WireEncodingName(encoding) << " " << names[i];
+    }
+
+    // The per-series report carries names, sorted.
+    ASSERT_EQ(report.per_series.size(), kSeries);
+    for (size_t i = 1; i < report.per_series.size(); ++i) {
+      EXPECT_LT(report.per_series[i - 1].name, report.per_series[i].name);
+    }
+
+    // Fleet queries agree exactly: identical frames -> identical
+    // roughness bits -> identical rankings.
+    const stream::FleetView view(&engine);
+    const std::vector<stream::SeriesRank> ranks =
+        view.TopKByRoughness(kSeries);
+    ASSERT_EQ(ranks.size(), reference_ranks.size());
+    for (size_t i = 0; i < ranks.size(); ++i) {
+      EXPECT_EQ(ranks[i].name, reference_ranks[i].name)
+          << WireEncodingName(encoding) << " rank " << i;
+      EXPECT_EQ(ranks[i].roughness, reference_ranks[i].roughness)
+          << WireEncodingName(encoding) << " rank " << i;
+      EXPECT_EQ(ranks[i].window, reference_ranks[i].window);
     }
   }
 }
 
 TEST(WireServerTest, UnixDomainSocketCarriesTheSameProtocol) {
   const std::string uds_path = TestUdsPath("uds");
+  stream::ShardedEngine engine =
+      stream::ShardedEngine::Create(FleetOptions()).ValueOrDie();
   WireServerOptions server_options;
   server_options.enable_tcp = false;
   server_options.uds_path = uds_path;
-  WireServer server = WireServer::Create(server_options).ValueOrDie();
+  WireServer server =
+      WireServer::Create(server_options, engine.catalog()).ValueOrDie();
   EXPECT_EQ(server.tcp_port(), 0);
 
   const std::vector<double> payload = FleetSeries(0, 3000);
   std::thread client_thread([&payload, &uds_path] {
-    WireClient client = WireClient::ConnectUds(uds_path).ValueOrDie();
+    SeriesCatalog catalog;
+    const stream::SeriesId id = catalog.Intern("uds-host/load");
+    WireClientOptions client_options;
+    client_options.catalog = &catalog;
+    WireClient client =
+        WireClient::ConnectUds(uds_path, client_options).ValueOrDie();
     RecordBatch records;
     for (double x : payload) {
-      records.push_back(Record{9, x});
+      records.push_back(Record{id, x});
     }
     ASSERT_TRUE(client.Send(records).ok());
     ASSERT_TRUE(client.Flush().ok());
   });
 
-  stream::ShardedEngine engine =
-      stream::ShardedEngine::Create(FleetOptions()).ValueOrDie();
   NetMultiSource source(&server);
   const stream::FleetReport report = engine.RunToCompletion(&source);
   client_thread.join();
 
   EXPECT_EQ(report.points, payload.size());
-  ASSERT_NE(engine.Snapshot(9), nullptr);
+  ASSERT_NE(engine.Snapshot("uds-host/load"), nullptr);
 
   // Parity against driving the one series directly.
   StreamingAsap direct = StreamingAsap::Create(FleetOptions()).ValueOrDie();
   direct.PushBatch(payload);
-  EXPECT_EQ(engine.Snapshot(9)->series, direct.frame().series);
-  EXPECT_EQ(engine.Snapshot(9)->refreshes, direct.frame().refreshes);
+  EXPECT_EQ(engine.Snapshot("uds-host/load")->series, direct.frame().series);
+  EXPECT_EQ(engine.Snapshot("uds-host/load")->refreshes,
+            direct.frame().refreshes);
 }
 
 TEST(WireServerTest, ConcurrentClientsDemuxIntoDistinctSeries) {
-  WireServer server = WireServer::Create(WireServerOptions{}).ValueOrDie();
+  stream::ShardedEngineOptions engine_options;
+  engine_options.shards = 4;
+  stream::ShardedEngine engine =
+      stream::ShardedEngine::Create(FleetOptions(), engine_options)
+          .ValueOrDie();
+  WireServer server =
+      WireServer::Create(WireServerOptions{}, engine.catalog()).ValueOrDie();
   const uint16_t port = server.tcp_port();
   const size_t kClients = 4;
   const size_t kPointsPerClient = 3000;
@@ -177,7 +236,10 @@ TEST(WireServerTest, ConcurrentClientsDemuxIntoDistinctSeries) {
   std::vector<std::thread> clients;
   for (size_t c = 0; c < kClients; ++c) {
     clients.emplace_back([c, port, &connected] {
+      SeriesCatalog catalog;
+      const stream::SeriesId id = catalog.Intern(HostName(c));
       WireClientOptions client_options;
+      client_options.catalog = &catalog;
       client_options.encoding =
           c % 2 == 0 ? WireEncoding::kBinary : WireEncoding::kText;
       WireClient client =
@@ -187,22 +249,16 @@ TEST(WireServerTest, ConcurrentClientsDemuxIntoDistinctSeries) {
       while (connected.load() < kClients) {
         std::this_thread::yield();
       }
-      const std::vector<double> payload =
-          FleetSeries(static_cast<SeriesId>(c), kPointsPerClient);
+      const std::vector<double> payload = FleetSeries(c, kPointsPerClient);
       RecordBatch records;
       for (double x : payload) {
-        records.push_back(Record{static_cast<SeriesId>(c), x});
+        records.push_back(Record{id, x});
       }
       ASSERT_TRUE(client.Send(records).ok());
       ASSERT_TRUE(client.Flush().ok());
     });
   }
 
-  stream::ShardedEngineOptions engine_options;
-  engine_options.shards = 4;
-  stream::ShardedEngine engine =
-      stream::ShardedEngine::Create(FleetOptions(), engine_options)
-          .ValueOrDie();
   NetMultiSource source(&server);
   const stream::FleetReport report = engine.RunToCompletion(&source);
   for (auto& t : clients) {
@@ -213,29 +269,38 @@ TEST(WireServerTest, ConcurrentClientsDemuxIntoDistinctSeries) {
   EXPECT_EQ(report.series, kClients);
   // Each client's connection is its own ordered byte stream, so every
   // series still matches its sequential reference exactly.
-  for (SeriesId id = 0; id < kClients; ++id) {
+  for (size_t c = 0; c < kClients; ++c) {
     StreamingAsap direct = StreamingAsap::Create(FleetOptions()).ValueOrDie();
-    direct.PushBatch(FleetSeries(id, kPointsPerClient));
-    ASSERT_NE(engine.Snapshot(id), nullptr) << "series " << id;
-    EXPECT_EQ(engine.Snapshot(id)->series, direct.frame().series)
-        << "series " << id;
+    direct.PushBatch(FleetSeries(c, kPointsPerClient));
+    ASSERT_NE(engine.Snapshot(HostName(c)), nullptr) << HostName(c);
+    EXPECT_EQ(engine.Snapshot(HostName(c))->series, direct.frame().series)
+        << HostName(c);
   }
 }
 
 TEST(WireServerTest, MalformedConnectionIsDroppedOthersSurvive) {
-  WireServer server = WireServer::Create(WireServerOptions{}).ValueOrDie();
+  stream::ShardedEngine engine =
+      stream::ShardedEngine::Create(FleetOptions()).ValueOrDie();
+  WireServer server =
+      WireServer::Create(WireServerOptions{}, engine.catalog()).ValueOrDie();
   const uint16_t port = server.tcp_port();
 
   // Both clients connect before either starts its replay, so the drain
   // check never sees a no-connections gap.
   std::atomic<size_t> connected{0};
   std::thread bad_client([port, &connected] {
-    WireClient client = WireClient::ConnectTcp("127.0.0.1", port).ValueOrDie();
+    SeriesCatalog catalog;
+    const stream::SeriesId id = catalog.Intern("bad/metric");
+    WireClientOptions client_options;
+    client_options.catalog = &catalog;
+    WireClient client =
+        WireClient::ConnectTcp("127.0.0.1", port, client_options)
+            .ValueOrDie();
     connected.fetch_add(1);
     while (connected.load() < 2) {
       std::this_thread::yield();
     }
-    ASSERT_TRUE(client.Send(RecordBatch{{1, 2.0}}).ok());
+    ASSERT_TRUE(client.Send(RecordBatch{{id, 2.0}}).ok());
     ASSERT_TRUE(client.Flush().ok());
     // Corrupt binary header: magic with an absurd length.
     std::string garbage;
@@ -243,12 +308,15 @@ TEST(WireServerTest, MalformedConnectionIsDroppedOthersSurvive) {
     garbage.append("\xff\xff\xff\xff", 4);
     ASSERT_TRUE(client.SendRaw(garbage).ok());
     // These records ride a poisoned stream and must be ignored.
-    client.Send(RecordBatch{{1, 99.0}});
+    client.Send(RecordBatch{{id, 99.0}});
     client.Flush();  // may fail if the server already closed us
   });
 
   std::thread good_client([port, &connected] {
+    SeriesCatalog catalog;
+    const stream::SeriesId id = catalog.Intern("good/metric");
     WireClientOptions client_options;
+    client_options.catalog = &catalog;
     client_options.encoding = WireEncoding::kText;
     WireClient client =
         WireClient::ConnectTcp("127.0.0.1", port, client_options)
@@ -259,14 +327,12 @@ TEST(WireServerTest, MalformedConnectionIsDroppedOthersSurvive) {
     }
     RecordBatch records;
     for (double x : FleetSeries(2, 3000)) {
-      records.push_back(Record{2, x});
+      records.push_back(Record{id, x});
     }
     ASSERT_TRUE(client.Send(records).ok());
     ASSERT_TRUE(client.Flush().ok());
   });
 
-  stream::ShardedEngine engine =
-      stream::ShardedEngine::Create(FleetOptions()).ValueOrDie();
   NetMultiSource source(&server);
   const stream::FleetReport report = engine.RunToCompletion(&source);
   bad_client.join();
@@ -278,12 +344,14 @@ TEST(WireServerTest, MalformedConnectionIsDroppedOthersSurvive) {
   // The good client's series came through in full, plus the one
   // record the bad client sent before poisoning itself.
   EXPECT_EQ(report.points, 3000u + 1u);
-  ASSERT_NE(engine.Snapshot(2), nullptr);
-  EXPECT_GT(engine.Snapshot(2)->refreshes, 0u);
+  ASSERT_NE(engine.Snapshot("good/metric"), nullptr);
+  EXPECT_GT(engine.Snapshot("good/metric")->refreshes, 0u);
 }
 
 TEST(WireServerTest, StopUnblocksAnIdleNextBatch) {
-  WireServer server = WireServer::Create(WireServerOptions{}).ValueOrDie();
+  SeriesCatalog catalog;
+  WireServer server =
+      WireServer::Create(WireServerOptions{}, &catalog).ValueOrDie();
   NetMultiSourceOptions source_options;
   source_options.poll_timeout_ms = 5;
   source_options.exit_when_drained = false;  // long-lived server mode
@@ -303,7 +371,9 @@ TEST(WireServerTest, StopUnblocksAnIdleNextBatch) {
 TEST(WireServerTest, IdleTimeoutBoundsAnUnattendedNextBatch) {
   // RunForBudget checks its budget only between NextBatch calls, so a
   // long-lived source must be able to bound its own idle wait.
-  WireServer server = WireServer::Create(WireServerOptions{}).ValueOrDie();
+  SeriesCatalog catalog;
+  WireServer server =
+      WireServer::Create(WireServerOptions{}, &catalog).ValueOrDie();
   NetMultiSourceOptions source_options;
   source_options.poll_timeout_ms = 5;
   source_options.exit_when_drained = false;
@@ -317,28 +387,36 @@ TEST(WireServerTest, IdleTimeoutBoundsAnUnattendedNextBatch) {
 }
 
 TEST(WireServerTest, CreateValidatesOptions) {
+  SeriesCatalog catalog;
   WireServerOptions no_listeners;
   no_listeners.enable_tcp = false;
-  EXPECT_FALSE(WireServer::Create(no_listeners).ok());
+  EXPECT_FALSE(WireServer::Create(no_listeners, &catalog).ok());
+
+  EXPECT_FALSE(WireServer::Create(WireServerOptions{}, nullptr).ok());
 
   WireServerOptions bad_path;
   bad_path.enable_tcp = false;
   bad_path.uds_path = std::string(200, 'x');  // over sun_path
-  EXPECT_FALSE(WireServer::Create(bad_path).ok());
+  EXPECT_FALSE(WireServer::Create(bad_path, &catalog).ok());
 
   WireServerOptions bad_host;
   bad_host.tcp_host = "not-an-ip";
-  EXPECT_FALSE(WireServer::Create(bad_host).ok());
+  EXPECT_FALSE(WireServer::Create(bad_host, &catalog).ok());
 
   WireServerOptions tiny_frame;
   tiny_frame.max_frame_bytes = 8;  // cannot hold one binary record
-  EXPECT_FALSE(WireServer::Create(tiny_frame).ok());
+  EXPECT_FALSE(WireServer::Create(tiny_frame, &catalog).ok());
 }
 
 TEST(WireServerTest, ClientRejectsBadOptionsBeforeConnecting) {
+  SeriesCatalog catalog;
   WireClientOptions bad;
+  bad.catalog = &catalog;
   bad.frame_records = 0;
   EXPECT_FALSE(WireClient::ConnectTcp("127.0.0.1", 1, bad).ok());
+
+  WireClientOptions no_catalog;  // catalog is required
+  EXPECT_FALSE(WireClient::ConnectTcp("127.0.0.1", 1, no_catalog).ok());
 }
 
 TEST(WireServerTest, UdsRefusesToClobberANonSocketPath) {
@@ -348,10 +426,11 @@ TEST(WireServerTest, UdsRefusesToClobberANonSocketPath) {
   std::fputs("precious data\n", f);
   std::fclose(f);
 
+  SeriesCatalog catalog;
   WireServerOptions server_options;
   server_options.enable_tcp = false;
   server_options.uds_path = path;
-  EXPECT_FALSE(WireServer::Create(server_options).ok());
+  EXPECT_FALSE(WireServer::Create(server_options, &catalog).ok());
   // The file survived.
   f = std::fopen(path.c_str(), "r");
   ASSERT_NE(f, nullptr);
