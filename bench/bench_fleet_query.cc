@@ -1,0 +1,190 @@
+// Fleet query-tier throughput: the read side of the fleet engine under
+// dashboard load. Measures SeriesSelector matching over interned names
+// (glob vs regex vs the all-selector), catalog Select() sweeps, and
+// the whole-frame rollup queries (percentile bands, anomaly counts,
+// history diffs, change ranking) against a live-run fleet.
+//
+//   $ ./bench_fleet_query [scale]
+//
+// `scale` multiplies the fleet size (default 1 -> 512 series). Exits
+// nonzero if glob selector matching drops below the 1M matches/s CI
+// floor — the selector sits on every scoped query, so its regression
+// is a query-tier regression.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "stream/fleet_view.h"
+#include "stream/sharded_engine.h"
+#include "stream/source.h"
+#include "ts/generators.h"
+
+namespace {
+
+using asap::stream::FleetView;
+using asap::stream::SeriesCatalog;
+using asap::stream::SeriesId;
+using asap::stream::SeriesSelector;
+
+std::string HostName(size_t index) {
+  // dcN/rackNN/host-NNN/cpu — deep enough that glob matching does
+  // real work per name.
+  char name[64];
+  std::snprintf(name, sizeof(name), "dc%zu/rack%02zu/host-%03zu/cpu",
+                index % 4, index % 16, index);
+  return name;
+}
+
+/// Match throughput of one compiled selector over every interned name.
+double MatchesPerSecond(const SeriesSelector& selector,
+                        const SeriesCatalog& catalog, size_t rounds,
+                        size_t* matched_out) {
+  // Resolve names once: the bench measures the matcher, not the
+  // catalog's shared-lock NameOf (Select() sweeps cover that below).
+  std::vector<std::string_view> names;
+  names.reserve(catalog.size());
+  for (SeriesId id = 0; static_cast<size_t>(id) < catalog.size(); ++id) {
+    names.push_back(catalog.NameOf(id));
+  }
+  size_t matched = 0;
+  const double seconds = asap::bench::TimeBest(
+      [&] {
+        matched = 0;
+        for (size_t round = 0; round < rounds; ++round) {
+          for (const std::string_view name : names) {
+            matched += selector.Matches(name) ? 1 : 0;
+          }
+        }
+      },
+      3);
+  *matched_out = matched;
+  return static_cast<double>(rounds * names.size()) / seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using asap::bench::Banner;
+  using asap::bench::Fmt;
+  using asap::bench::FmtEng;
+  using asap::bench::Row;
+  using asap::bench::Rule;
+
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const size_t kSeries = static_cast<size_t>(512 * scale);
+  const size_t kPointsPerSeries = 4000;
+
+  Banner("Fleet query tier: selector matching and whole-frame rollups\n"
+         "over a " +
+         std::to_string(kSeries) + "-series fleet");
+
+  // A live fleet with published frames and a 4-deep snapshot ring, so
+  // rollups and history diffs measure real query work.
+  asap::StreamingOptions series_options;
+  series_options.resolution = 100;
+  series_options.visible_points = 2000;
+  series_options.refresh_every_points = 500;
+  series_options.snapshot_ring_frames = 4;
+  asap::stream::ShardedEngineOptions engine_options;
+  engine_options.shards = 4;
+  asap::stream::ShardedEngine engine =
+      asap::stream::ShardedEngine::Create(series_options, engine_options)
+          .ValueOrDie();
+  asap::stream::InterleavingMultiSource source(engine.catalog());
+  for (size_t i = 0; i < kSeries; ++i) {
+    asap::Pcg32 rng(31 + i);
+    source.AddVector(
+        HostName(i),
+        asap::gen::Add(asap::gen::Sine(kPointsPerSeries, 48.0, 1.0),
+                       asap::gen::WhiteNoise(&rng, kPointsPerSeries, 0.4)));
+  }
+  engine.RunToCompletion(&source);
+  const SeriesCatalog& catalog = *engine.catalog();
+  const FleetView view(&engine);
+
+  // --- Selector matching over interned names ------------------------------
+  Row({"Selector", "Pattern", "Matches/s", "Hit rate"}, 18);
+  Rule(4, 18);
+  const size_t kRounds = 200;
+  double glob_rate = 0.0;
+  struct SelectorCase {
+    const char* label;
+    SeriesSelector selector;
+  };
+  const SelectorCase cases[] = {
+      {"all", SeriesSelector::All()},
+      {"glob prefix", SeriesSelector::Glob("dc1/*")},
+      {"glob suffix", SeriesSelector::Glob("*/cpu")},
+      {"glob nested", SeriesSelector::Glob("dc?/rack0*/host-*/cpu")},
+      {"regex", SeriesSelector::Regex("dc1/rack[0-9]+/.*/cpu").ValueOrDie()},
+  };
+  for (const SelectorCase& c : cases) {
+    size_t matched = 0;
+    const double rate = MatchesPerSecond(c.selector, catalog, kRounds,
+                                         &matched);
+    if (std::string(c.label) == "glob nested") {
+      glob_rate = rate;
+    }
+    const double hit = static_cast<double>(matched) /
+                       static_cast<double>(kRounds * catalog.size());
+    Row({c.label,
+         c.selector.pattern().empty() ? "<all>" : c.selector.pattern(),
+         FmtEng(rate), Fmt(100.0 * hit, 1) + "%"},
+        18);
+  }
+
+  // --- Catalog sweeps and whole-frame rollups -----------------------------
+  const SeriesSelector dc1 = SeriesSelector::Glob("dc1/*");
+  std::vector<SeriesId> ids;
+  const double select_seconds =
+      asap::bench::TimeBest([&] { dc1.SelectInto(catalog, &ids); }, 5);
+  const double sample_seconds =
+      asap::bench::TimeBest([&] { (void)view.Sample(dc1); }, 5);
+  const double bands_seconds =
+      asap::bench::TimeBest([&] { (void)view.PercentileBands(dc1); }, 5);
+  const double anomaly_seconds =
+      asap::bench::TimeBest([&] { (void)view.AnomalyCounts(dc1); }, 5);
+  const double change_seconds =
+      asap::bench::TimeBest([&] { (void)view.TopKByChange(10, 3, dc1); }, 5);
+  const double diff_seconds = asap::bench::TimeBest(
+      [&] {
+        for (size_t i = 0; i < 64; ++i) {
+          (void)view.DiffHistory(HostName(i), 3);
+        }
+      },
+      5);
+
+  std::printf("\n");
+  Row({"Query (dc1 slice)", "Time/query", "Queries/s"}, 18);
+  Rule(3, 18);
+  const auto query_row = [](const char* label, double seconds) {
+    Row({label, asap::bench::Fmt(seconds * 1e3, 3) + " ms",
+         asap::bench::FmtEng(1.0 / seconds)},
+        18);
+  };
+  query_row("SelectInto", select_seconds);
+  query_row("Sample", sample_seconds);
+  query_row("PercentileBands", bands_seconds);
+  query_row("AnomalyCounts", anomaly_seconds);
+  query_row("TopKByChange", change_seconds);
+  query_row("DiffHistory x64", diff_seconds);
+  Rule(3, 18);
+
+  std::printf(
+      "\nMatching runs each compiled selector over every interned name\n"
+      "(%zu series); rollups run against live published frames with a\n"
+      "4-deep snapshot ring. PercentileBands covers every pane position\n"
+      "of every selected frame; AnomalyCounts runs the stream/alerts\n"
+      "detector per frame.\n",
+      catalog.size());
+
+  if (glob_rate < 1e6) {
+    std::printf("\nWARNING: glob selector matching below 1M matches/s.\n");
+    return 1;
+  }
+  return 0;
+}

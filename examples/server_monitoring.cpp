@@ -137,7 +137,7 @@ int main(int argc, char** argv) {
   // roughest dashboards fleet-wide and the fleet's smoothed CPU level.
   std::printf("\nRoughest smoothed dashboards (top 3 of %zu):\n",
               view.series_count());
-  for (const asap::stream::SeriesRank& rank : view.TopKByRoughness(3)) {
+  for (const asap::stream::SeriesRank& rank : view.TopKByRoughness(3).ranks) {
     std::printf("  %-12s roughness %.4f\n", rank.name.c_str(),
                 rank.roughness);
   }
@@ -146,8 +146,26 @@ int main(int argc, char** argv) {
   const asap::stream::FleetAggregate max_cpu =
       view.Aggregate(asap::stream::AggKind::kMax);
   std::printf(
-      "Fleet smoothed CPU now : mean %.1f%%, max %.1f%% over %zu hosts\n\n",
+      "Fleet smoothed CPU now : mean %.1f%%, max %.1f%% over %zu hosts\n",
       mean_cpu.value, max_cpu.value, mean_cpu.series);
+
+  // The whole-frame rollups: did the *fleet* move, or only a few
+  // hosts? The p50 band is the cluster's typical shape; the p99 band
+  // is whatever the incident hosts are doing.
+  const asap::stream::FleetPercentileBands bands = view.PercentileBands();
+  if (bands.positions > 0) {
+    const size_t newest = bands.positions - 1;
+    std::printf(
+        "Fleet envelope (newest): p50 %.1f%%  p90 %.1f%%  p99 %.1f%% "
+        "(%zu pane positions)\n",
+        bands.p50[newest], bands.p90[newest], bands.p99[newest],
+        bands.positions);
+  }
+  const asap::stream::FleetAnomalyCounts anomalies = view.AnomalyCounts();
+  std::printf(
+      "Anomaly rollup         : %zu of %zu hosts alerting "
+      "(%zu alert spans)\n\n",
+      anomalies.series_alerting, anomalies.series, anomalies.alerts);
 
   asap::render::AsciiChartOptions chart;
   chart.width = 76;

@@ -188,14 +188,62 @@ int RunServer(const Args& args, asap::stream::ShardedEngine* engine,
   // The query tier: cross-series questions over the published frames.
   const asap::stream::FleetView view(engine);
   std::printf("\nRoughest smoothed views (FleetView::TopKByRoughness):\n");
-  for (const asap::stream::SeriesRank& rank : view.TopKByRoughness(3)) {
+  for (const asap::stream::SeriesRank& rank :
+       view.TopKByRoughness(3).ranks) {
     std::printf("  %-10s roughness %.4f (window %zu)\n", rank.name.c_str(),
                 rank.roughness, rank.window);
   }
   const asap::stream::FleetAggregate mean =
       view.Aggregate(asap::stream::AggKind::kMean);
-  std::printf("Fleet-wide smoothed level: %.2f across %zu cabs.\n",
-              mean.value, mean.series);
+  std::printf("Fleet-wide smoothed level: %.2f across %zu cabs", mean.value,
+              mean.series);
+  if (mean.skipped_unpublished > 0) {
+    std::printf(" (%zu still warming up)", mean.skipped_unpublished);
+  }
+  std::printf(".\n");
+
+  // Selector-scoped slice: the single-digit cabs, as a glob over the
+  // interned names — no id bookkeeping anywhere.
+  const asap::stream::SeriesSelector single_digit =
+      asap::stream::SeriesSelector::Glob("cab-0?");
+  const asap::stream::FleetAggregate slice =
+      view.Aggregate(asap::stream::AggKind::kMean, single_digit);
+  std::printf("Slice \"%s\": smoothed level %.2f across %zu cabs.\n",
+              single_digit.pattern().c_str(), slice.value, slice.series);
+
+  // Whole-frame rollups: the fleet's percentile envelope (is the whole
+  // fleet moving, or a few outliers?) and the anomaly rollup through
+  // the stream/alerts detector.
+  const asap::stream::FleetPercentileBands bands = view.PercentileBands();
+  if (bands.positions > 0) {
+    const size_t newest = bands.positions - 1;
+    std::printf(
+        "Fleet envelope over %zu pane positions (%zu cabs), newest pane:\n"
+        "  p50 %.2f   p90 %.2f   p99 %.2f\n",
+        bands.positions, bands.series, bands.p50[newest], bands.p90[newest],
+        bands.p99[newest]);
+  }
+  const asap::stream::FleetAnomalyCounts anomalies = view.AnomalyCounts();
+  std::printf(
+      "Anomaly rollup: %zu alert spans across %zu of %zu scanned cabs.\n",
+      anomalies.alerts, anomalies.series_alerting, anomalies.series);
+
+  // History diffs over the snapshot ring: what changed since the
+  // previous refresh, and which cab changed most.
+  const asap::stream::HistoryDiff diff = view.DiffHistory(CabName(0), 1);
+  if (diff.known) {
+    std::printf(
+        "cab-00 since previous frame: mean |delta| %.3f, max |delta| %.3f "
+        "over %zu positions.\n",
+        diff.mean_abs_delta, diff.max_abs_delta, diff.delta.size());
+  }
+  const asap::stream::ChangeRanking movers = view.TopKByChange(3, 1);
+  std::printf("Biggest movers since previous frame:\n");
+  for (const asap::stream::SeriesChange& change : movers.ranks) {
+    std::printf("  %-10s mean |delta| %.3f (max %.3f)\n",
+                change.name.c_str(), change.mean_abs_delta,
+                change.max_abs_delta);
+  }
   return 0;
 }
 
@@ -220,6 +268,9 @@ asap::stream::ShardedEngine MakeEngine(const Args& args) {
   series_options.resolution = 800;
   series_options.visible_points = 3000;
   series_options.refresh_every_points = 600;
+  // Keep a few published frames per series so the history-diff
+  // queries (DiffHistory, TopKByChange) have ring entries to span.
+  series_options.snapshot_ring_frames = 4;
 
   asap::stream::ShardedEngineOptions engine_options;
   engine_options.shards = args.shards;

@@ -21,11 +21,14 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <regex>
 #include <shared_mutex>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/result.h"
 #include "stream/record.h"
 
 namespace asap {
@@ -96,6 +99,75 @@ class SeriesCatalog {
   /// id -> arena-backed name, indexed by the dense id.
   std::vector<std::string_view> names_;
 };
+
+/// How a SeriesSelector pattern is interpreted.
+enum class SelectorKind {
+  /// Matches every name (the fleet-wide selector).
+  kAll,
+  /// Shell-style glob: `*` matches any run of bytes (including none),
+  /// `?` matches exactly one byte, every other byte matches itself.
+  /// A pattern with no metacharacters is an exact-name match.
+  kGlob,
+  /// ECMAScript regular expression, anchored (the whole name must
+  /// match, like std::regex_match / Akumuli's series-index
+  /// regex_match).
+  kRegex,
+};
+
+/// A compiled name predicate over the catalog (Akumuli's series-index
+/// regex matching is the model). Compile once, then Matches() is
+/// allocation-free for glob/all and allocation-stable for regex, so a
+/// selector can sit on a dashboard's per-frame query path. Selectors
+/// are immutable after construction and safe to share across threads.
+class SeriesSelector {
+ public:
+  /// Matches every series.
+  static SeriesSelector All();
+
+  /// Compiles a glob pattern (never fails: any byte sequence is a
+  /// valid glob; bytes outside the series-name charset simply never
+  /// match an interned name).
+  static SeriesSelector Glob(std::string_view pattern);
+
+  /// Compiles an anchored ECMAScript regex; fails with
+  /// InvalidArgument on a malformed pattern. Caveat: std::regex has
+  /// no step bound, so a well-formed but pathological pattern (e.g.
+  /// "(a|aa)*x") can backtrack exponentially against a long name —
+  /// regex selectors are for operator-authored patterns; never
+  /// compile untrusted input, and prefer globs on hot query paths.
+  static Result<SeriesSelector> Regex(std::string_view pattern);
+
+  /// Whether `name` matches. Safe from any thread.
+  bool Matches(std::string_view name) const;
+
+  /// Appends the ids of every interned name that matches, in dense id
+  /// (first-seen) order, to *out (cleared first). Ids interned by
+  /// another thread after the embedded size() read may be missed —
+  /// the same point-in-time guarantee every catalog read has.
+  void SelectInto(const SeriesCatalog& catalog,
+                  std::vector<SeriesId>* out) const;
+
+  /// Convenience wrapper over SelectInto.
+  std::vector<SeriesId> Select(const SeriesCatalog& catalog) const;
+
+  SelectorKind kind() const { return kind_; }
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  SeriesSelector(SelectorKind kind, std::string pattern)
+      : kind_(kind), pattern_(std::move(pattern)) {}
+
+  SelectorKind kind_;
+  std::string pattern_;
+  /// Compiled form when kind_ == kRegex.
+  std::regex regex_;
+};
+
+/// The glob primitive behind SelectorKind::kGlob (exposed so property
+/// tests can pin the compiled selector against a naive reference).
+/// Iterative with single-star backtracking: O(name * pattern) worst
+/// case, zero allocation.
+bool GlobMatch(std::string_view pattern, std::string_view name);
 
 }  // namespace stream
 }  // namespace asap

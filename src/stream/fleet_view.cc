@@ -1,13 +1,33 @@
 #include "stream/fleet_view.h"
 
 #include <algorithm>
-#include <limits>
+#include <cmath>
 
 #include "common/macros.h"
 #include "core/metrics.h"
 
 namespace asap {
 namespace stream {
+
+namespace {
+
+/// Linear interpolation between the closest order statistics of an
+/// ascending-sorted vector (the "inclusive" definition): the result
+/// always lies within [sorted.front(), sorted.back()], so bands
+/// bracket their members by construction.
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  ASAP_DCHECK(!sorted.empty());
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
 
 FleetView::FleetView(const ShardedEngine* engine) : engine_(engine) {
   ASAP_CHECK(engine_ != nullptr);
@@ -27,41 +47,80 @@ std::vector<std::shared_ptr<const StreamingAsap::Frame>> FleetView::History(
   return engine_->FrameHistoryById(*id);
 }
 
-std::vector<SeriesRank> FleetView::TopKByRoughness(size_t k) const {
-  std::vector<SeriesRank> ranks;
-  ForEachSeries([&ranks](std::string_view name,
-                         const StreamingAsap::Frame& frame) {
+FleetSample FleetView::SampleSelected(const SeriesSelector* selector) const {
+  FleetSample sample;
+  const SeriesCatalog* catalog = this->catalog();
+  const size_t n = catalog->size();
+  for (SeriesId id = 0; static_cast<size_t>(id) < n; ++id) {
+    const std::string_view name = catalog->NameOf(id);
+    if (selector != nullptr && !selector->Matches(name)) {
+      continue;
+    }
+    auto frame = SnapshotById(id);
+    if (frame == nullptr || frame->refreshes == 0) {
+      sample.skipped_unpublished += 1;
+      continue;
+    }
+    sample.series.push_back(SampledSeries{name, id, std::move(frame)});
+  }
+  return sample;
+}
+
+FleetSample FleetView::Sample() const { return SampleSelected(nullptr); }
+
+FleetSample FleetView::Sample(const SeriesSelector& selector) const {
+  return SampleSelected(&selector);
+}
+
+RoughnessRanking FleetView::RankByRoughness(
+    size_t k, const SeriesSelector* selector) const {
+  const FleetSample sample = SampleSelected(selector);
+  RoughnessRanking ranking;
+  ranking.skipped_unpublished = sample.skipped_unpublished;
+  ranking.ranks.reserve(sample.series.size());
+  for (const SampledSeries& member : sample.series) {
     SeriesRank rank;
-    rank.name = std::string(name);
-    rank.roughness = Roughness(frame.series);
-    rank.window = frame.window;
-    rank.refreshes = frame.refreshes;
-    ranks.push_back(std::move(rank));
-  });
+    rank.name = std::string(member.name);
+    rank.roughness = Roughness(member.frame->series);
+    rank.window = member.frame->window;
+    rank.refreshes = member.frame->refreshes;
+    ranking.ranks.push_back(std::move(rank));
+  }
   // Descending roughness, ties by name: identical frames always
   // produce identical rankings (the wire-vs-in-process parity tests
   // lean on this determinism).
-  std::sort(ranks.begin(), ranks.end(),
+  std::sort(ranking.ranks.begin(), ranking.ranks.end(),
             [](const SeriesRank& a, const SeriesRank& b) {
               if (a.roughness != b.roughness) {
                 return a.roughness > b.roughness;
               }
               return a.name < b.name;
             });
-  if (ranks.size() > k) {
-    ranks.resize(k);
+  if (ranking.ranks.size() > k) {
+    ranking.ranks.resize(k);
   }
-  return ranks;
+  return ranking;
 }
 
-FleetAggregate FleetView::Aggregate(AggKind kind) const {
+RoughnessRanking FleetView::TopKByRoughness(size_t k) const {
+  return RankByRoughness(k, nullptr);
+}
+
+RoughnessRanking FleetView::TopKByRoughness(
+    size_t k, const SeriesSelector& selector) const {
+  return RankByRoughness(k, &selector);
+}
+
+FleetAggregate FleetView::AggregateSelected(
+    AggKind kind, const SeriesSelector* selector) const {
+  const FleetSample sample = SampleSelected(selector);
   FleetAggregate agg;
-  ForEachSeries([&agg, kind](std::string_view,
-                             const StreamingAsap::Frame& frame) {
-    if (frame.series.empty()) {
-      return;
+  agg.skipped_unpublished = sample.skipped_unpublished;
+  for (const SampledSeries& member : sample.series) {
+    if (member.frame->series.empty()) {
+      continue;
     }
-    const double latest = frame.series.back();
+    const double latest = member.frame->series.back();
     if (agg.series == 0) {
       agg.value = latest;
     } else {
@@ -79,11 +138,182 @@ FleetAggregate FleetView::Aggregate(AggKind kind) const {
       }
     }
     agg.series += 1;
-  });
+  }
   if (kind == AggKind::kMean && agg.series > 0) {
     agg.value /= static_cast<double>(agg.series);
   }
   return agg;
+}
+
+FleetAggregate FleetView::Aggregate(AggKind kind) const {
+  return AggregateSelected(kind, nullptr);
+}
+
+FleetAggregate FleetView::Aggregate(AggKind kind,
+                                    const SeriesSelector& selector) const {
+  return AggregateSelected(kind, &selector);
+}
+
+FleetPercentileBands FleetView::BandsOf(const FleetSample& sample) {
+  FleetPercentileBands bands;
+  bands.skipped_unpublished = sample.skipped_unpublished;
+  size_t positions = static_cast<size_t>(-1);
+  for (const SampledSeries& member : sample.series) {
+    positions = std::min(positions, member.frame->series.size());
+  }
+  if (sample.series.empty() || positions == 0) {
+    bands.series = sample.series.size();
+    return bands;
+  }
+  bands.positions = positions;
+  bands.series = sample.series.size();
+  bands.p50.resize(positions);
+  bands.p90.resize(positions);
+  bands.p99.resize(positions);
+  std::vector<double> column(sample.series.size());
+  for (size_t j = 0; j < positions; ++j) {
+    for (size_t s = 0; s < sample.series.size(); ++s) {
+      const std::vector<double>& series = sample.series[s].frame->series;
+      // Align every member at its newest pane: band position j is the
+      // member's own position j counted within the newest `positions`
+      // panes it published.
+      column[s] = series[series.size() - positions + j];
+    }
+    std::sort(column.begin(), column.end());
+    bands.p50[j] = PercentileOfSorted(column, 50.0);
+    bands.p90[j] = PercentileOfSorted(column, 90.0);
+    bands.p99[j] = PercentileOfSorted(column, 99.0);
+  }
+  return bands;
+}
+
+FleetPercentileBands FleetView::PercentileBands() const {
+  return BandsOf(SampleSelected(nullptr));
+}
+
+FleetPercentileBands FleetView::PercentileBands(
+    const SeriesSelector& selector) const {
+  return BandsOf(SampleSelected(&selector));
+}
+
+FleetAnomalyCounts FleetView::AnomalyCountsOf(const FleetSample& sample,
+                                              const AlertOptions& options) {
+  FleetAnomalyCounts counts;
+  counts.skipped_unpublished = sample.skipped_unpublished;
+  for (const SampledSeries& member : sample.series) {
+    const Result<std::vector<Alert>> alerts =
+        FindDeviations(member.frame->series, options);
+    if (!alerts.ok()) {
+      // The detector rejects only too-short series; a member that has
+      // refreshed but not yet filled enough panes lands here.
+      counts.skipped_short += 1;
+      continue;
+    }
+    counts.series += 1;
+    if (!alerts.ValueOrDie().empty()) {
+      counts.series_alerting += 1;
+      counts.alerts += alerts.ValueOrDie().size();
+    }
+  }
+  return counts;
+}
+
+FleetAnomalyCounts FleetView::AnomalyCounts(
+    const AlertOptions& options) const {
+  return AnomalyCountsOf(SampleSelected(nullptr), options);
+}
+
+FleetAnomalyCounts FleetView::AnomalyCounts(
+    const SeriesSelector& selector, const AlertOptions& options) const {
+  return AnomalyCountsOf(SampleSelected(&selector), options);
+}
+
+HistoryDiff FleetView::DiffRing(
+    const std::vector<std::shared_ptr<const StreamingAsap::Frame>>& ring,
+    size_t k) {
+  HistoryDiff diff;
+  if (ring.empty()) {
+    return diff;
+  }
+  diff.known = true;
+  diff.frames_apart = std::min(k, ring.size() - 1);
+  const StreamingAsap::Frame& newer = *ring.back();
+  const StreamingAsap::Frame& older =
+      *ring[ring.size() - 1 - diff.frames_apart];
+  diff.window_delta = static_cast<long long>(newer.window) -
+                      static_cast<long long>(older.window);
+  diff.refreshes_apart = newer.refreshes - older.refreshes;
+  const size_t len = std::min(newer.series.size(), older.series.size());
+  diff.delta.resize(len);
+  double sum_abs = 0.0;
+  for (size_t j = 0; j < len; ++j) {
+    // Newest-pane alignment, same as BandsOf: position j counts within
+    // the newest `len` panes of each frame.
+    const double d = newer.series[newer.series.size() - len + j] -
+                     older.series[older.series.size() - len + j];
+    diff.delta[j] = d;
+    const double a = std::fabs(d);
+    sum_abs += a;
+    diff.max_abs_delta = std::max(diff.max_abs_delta, a);
+  }
+  diff.mean_abs_delta = len > 0 ? sum_abs / static_cast<double>(len) : 0.0;
+  return diff;
+}
+
+HistoryDiff FleetView::DiffHistory(std::string_view name, size_t k) const {
+  const std::optional<SeriesId> id = catalog()->FindId(name);
+  if (!id.has_value()) {
+    return HistoryDiff{};
+  }
+  return DiffRing(engine_->FrameHistoryById(*id), k);
+}
+
+ChangeRanking FleetView::RankByChange(size_t k, size_t frames_back,
+                                      const SeriesSelector* selector) const {
+  ChangeRanking ranking;
+  const SeriesCatalog* catalog = this->catalog();
+  const size_t n = catalog->size();
+  for (SeriesId id = 0; static_cast<size_t>(id) < n; ++id) {
+    const std::string_view name = catalog->NameOf(id);
+    if (selector != nullptr && !selector->Matches(name)) {
+      continue;
+    }
+    const HistoryDiff diff =
+        DiffRing(engine_->FrameHistoryById(id), frames_back);
+    if (!diff.known) {
+      ranking.skipped_unpublished += 1;
+      continue;
+    }
+    SeriesChange change;
+    change.name = std::string(name);
+    change.mean_abs_delta = diff.mean_abs_delta;
+    change.max_abs_delta = diff.max_abs_delta;
+    change.frames_apart = diff.frames_apart;
+    ranking.ranks.push_back(std::move(change));
+  }
+  std::sort(ranking.ranks.begin(), ranking.ranks.end(),
+            [](const SeriesChange& a, const SeriesChange& b) {
+              if (a.mean_abs_delta != b.mean_abs_delta) {
+                return a.mean_abs_delta > b.mean_abs_delta;
+              }
+              if (a.max_abs_delta != b.max_abs_delta) {
+                return a.max_abs_delta > b.max_abs_delta;
+              }
+              return a.name < b.name;
+            });
+  if (ranking.ranks.size() > k) {
+    ranking.ranks.resize(k);
+  }
+  return ranking;
+}
+
+ChangeRanking FleetView::TopKByChange(size_t k, size_t frames_back) const {
+  return RankByChange(k, frames_back, nullptr);
+}
+
+ChangeRanking FleetView::TopKByChange(size_t k, size_t frames_back,
+                                      const SeriesSelector& selector) const {
+  return RankByChange(k, frames_back, &selector);
 }
 
 size_t FleetView::series_count() const { return catalog()->size(); }

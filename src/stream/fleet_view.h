@@ -4,26 +4,41 @@
 // per-series operators publish, addressed by series *name*, plus the
 // cross-series questions an operator actually asks a fleet — "which
 // hosts look roughest right now?" (top-k by roughness of the smoothed
-// view) and "what is the fleet-wide level?" (aggregates over each
-// series' latest smoothed value).
+// view), "what is the fleet-wide level?" (aggregates), "what is the
+// shape of the whole fleet?" (percentile bands over every pane
+// position), "who is misbehaving?" (anomaly counts via the
+// stream/alerts detector), and "what changed since I last looked?"
+// (history diffs over the snapshot ring, and which-changed-most
+// rankings). Any cross-series query can be scoped to a subset of the
+// fleet with a SeriesSelector (glob/regex over interned names).
 //
 // Coherence model: every frame is published behind an atomically
 // swapped shared_ptr (see StreamingAsap::frame_snapshot), so each
 // frame a query touches is an immutable, internally consistent
 // refresh result. A cross-series query samples each series' latest
-// published frame once; series refresh independently, so the sample
-// is per-series-coherent, not a fleet-wide barrier — the same
-// guarantee a dashboard polling N hosts gets.
+// published frame once (FleetSample); series refresh independently,
+// so the sample is per-series-coherent, not a fleet-wide barrier —
+// the same guarantee a dashboard polling N hosts gets. The rollup
+// math itself (BandsOf, AnomalyCountsOf) is a pure function of the
+// sample, so recomputing over an already-taken sample is bitwise
+// reproducible even while ingestion keeps running.
+//
+// Warming-up accounting: a series whose first frame is not yet
+// published contributes to no rollup; every cross-series result
+// carries a skipped_unpublished count so callers can tell a quiet
+// fleet from one that is still warming up.
 
 #ifndef ASAP_STREAM_FLEET_VIEW_H_
 #define ASAP_STREAM_FLEET_VIEW_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/streaming_asap.h"
+#include "stream/alerts.h"
 #include "stream/catalog.h"
 #include "stream/sharded_engine.h"
 
@@ -39,6 +54,9 @@ struct FleetAggregate {
   size_t series = 0;
   /// The rollup; 0.0 when no series has refreshed yet.
   double value = 0.0;
+  /// Selected series skipped because no frame of theirs is published
+  /// yet (interned but still warming up).
+  size_t skipped_unpublished = 0;
 };
 
 /// One row of FleetView::TopKByRoughness, roughest first.
@@ -50,6 +68,110 @@ struct SeriesRank {
   double roughness = 0.0;
   size_t window = 1;
   uint64_t refreshes = 0;
+};
+
+/// Result of FleetView::TopKByRoughness.
+struct RoughnessRanking {
+  /// At most k rows, descending roughness (ties broken by name).
+  std::vector<SeriesRank> ranks;
+  /// Selected series skipped as unpublished (see FleetAggregate).
+  size_t skipped_unpublished = 0;
+};
+
+/// One series' latest published frame inside a FleetSample. The name
+/// view points into the catalog arena (stable for the catalog's
+/// lifetime); the frame is immutable and owned by the shared_ptr.
+struct SampledSeries {
+  std::string_view name;
+  SeriesId id = 0;
+  std::shared_ptr<const StreamingAsap::Frame> frame;
+};
+
+/// A point-in-time sample of the selected slice of the fleet: each
+/// member's latest published frame, in catalog (first-seen) order.
+/// Taking the sample is the only part of a cross-series query that
+/// touches live state; every rollup over a sample is pure.
+struct FleetSample {
+  std::vector<SampledSeries> series;
+  size_t skipped_unpublished = 0;
+};
+
+/// Fleet-wide percentile bands: at each pane position of the smoothed
+/// view, the p50/p90/p99 of the selected series' values — the
+/// "envelope" chart an operator reads to see whether the whole fleet
+/// moved or just a few outliers did.
+///
+/// Alignment: series may publish frames of slightly different lengths
+/// (the chosen SMA window trims each series' smoothed view), so bands
+/// cover the newest `positions` pane positions every member covers
+/// (positions == the shortest member frame). Band vectors are oldest
+/// first, like Frame::series; index [positions-1] is the newest pane.
+struct FleetPercentileBands {
+  /// Pane positions covered (0 when no selected series has refreshed).
+  size_t positions = 0;
+  /// Per-position percentiles of the member values, oldest first
+  /// (linear interpolation between closest order statistics, so every
+  /// band value lies within the member min/max at that position).
+  std::vector<double> p50;
+  std::vector<double> p90;
+  std::vector<double> p99;
+  /// Members that contributed.
+  size_t series = 0;
+  size_t skipped_unpublished = 0;
+};
+
+/// Fleet-wide anomaly rollup: the stream/alerts deviation detector run
+/// over each selected series' latest smoothed frame.
+struct FleetAnomalyCounts {
+  /// Members whose frame was scanned.
+  size_t series = 0;
+  /// Of those, how many currently contain at least one alert.
+  size_t series_alerting = 0;
+  /// Total alerts across all scanned members.
+  size_t alerts = 0;
+  /// Members whose smoothed frame is still too short for the detector.
+  size_t skipped_short = 0;
+  size_t skipped_unpublished = 0;
+};
+
+/// Pane-position-aligned delta between two entries of one series'
+/// snapshot ring (StreamingOptions::snapshot_ring_frames): what an
+/// incremental dashboard renderer needs — how much each rendered
+/// position changed between two refreshes.
+struct HistoryDiff {
+  /// False iff the name is unknown or the series has no published
+  /// frame yet; every other field is meaningless then.
+  bool known = false;
+  /// Ring entries actually spanned: the requested k clamped to the
+  /// ring's depth - 1 (0 means "latest vs itself", identically zero).
+  size_t frames_apart = 0;
+  /// Per-position delta (newer - older) over the newest positions both
+  /// frames cover, oldest first; delta.size() == the shorter frame.
+  std::vector<double> delta;
+  double max_abs_delta = 0.0;
+  double mean_abs_delta = 0.0;
+  /// Chosen-window drift between the two frames (newer - older).
+  long long window_delta = 0;
+  /// Refreshes between the two ring entries (== frames_apart unless
+  /// the ring wrapped while this query ran).
+  uint64_t refreshes_apart = 0;
+};
+
+/// One row of FleetView::TopKByChange: how much one series' rendered
+/// view moved over the last `frames_apart` refreshes.
+struct SeriesChange {
+  std::string name;
+  double mean_abs_delta = 0.0;
+  double max_abs_delta = 0.0;
+  /// Ring entries this series' diff actually spanned (its ring may be
+  /// shallower than the requested k).
+  size_t frames_apart = 0;
+};
+
+/// Result of FleetView::TopKByChange, most-changed first.
+struct ChangeRanking {
+  std::vector<SeriesChange> ranks;
+  size_t skipped_unpublished = 0;
 };
 
 /// Read-only, name-addressed query API over a ShardedEngine's
@@ -86,14 +208,58 @@ class FleetView {
     }
   }
 
+  /// Samples the latest published frame of every series (or of every
+  /// series the selector matches), in catalog order. The sample is the
+  /// raw material of every cross-series rollup below; take it once and
+  /// reuse it to answer several questions about the same instant.
+  FleetSample Sample() const;
+  FleetSample Sample(const SeriesSelector& selector) const;
+
   /// The k series whose latest smoothed frames are roughest, in
   /// descending roughness (ties broken by name, so rankings are
   /// deterministic). Fewer than k rows if fewer series have refreshed.
-  std::vector<SeriesRank> TopKByRoughness(size_t k) const;
+  RoughnessRanking TopKByRoughness(size_t k) const;
+  RoughnessRanking TopKByRoughness(size_t k,
+                                   const SeriesSelector& selector) const;
 
   /// Rolls each refreshed series' latest smoothed value (the "current
-  /// level" of its dashboard) up across the fleet.
+  /// level" of its dashboard) up across the fleet (or the selected
+  /// slice of it).
   FleetAggregate Aggregate(AggKind kind) const;
+  FleetAggregate Aggregate(AggKind kind,
+                           const SeriesSelector& selector) const;
+
+  /// Fleet-wide percentile bands over each pane position of the
+  /// selected series' latest smoothed frames (see
+  /// FleetPercentileBands for alignment semantics).
+  FleetPercentileBands PercentileBands() const;
+  FleetPercentileBands PercentileBands(const SeriesSelector& selector) const;
+
+  /// Pure rollup over an already-taken sample: deterministic and
+  /// bitwise reproducible for a given sample, even mid-run.
+  static FleetPercentileBands BandsOf(const FleetSample& sample);
+
+  /// Runs the stream/alerts deviation detector over each selected
+  /// series' latest smoothed frame and rolls the counts up.
+  FleetAnomalyCounts AnomalyCounts(const AlertOptions& options = {}) const;
+  FleetAnomalyCounts AnomalyCounts(const SeriesSelector& selector,
+                                   const AlertOptions& options = {}) const;
+  static FleetAnomalyCounts AnomalyCountsOf(const FleetSample& sample,
+                                            const AlertOptions& options);
+
+  /// Pane-position-aligned delta between the series' latest published
+  /// frame and the ring entry `k` refreshes back (clamped to the
+  /// ring's depth; k == 0 diffs the latest frame against itself and
+  /// is identically zero). See HistoryDiff.
+  HistoryDiff DiffHistory(std::string_view name, size_t k) const;
+
+  /// The k series whose rendered views changed most over the last
+  /// `frames_back` ring entries (per series, clamped to its ring
+  /// depth), in descending mean absolute delta; ties broken by max
+  /// absolute delta, then name.
+  ChangeRanking TopKByChange(size_t k, size_t frames_back) const;
+  ChangeRanking TopKByChange(size_t k, size_t frames_back,
+                             const SeriesSelector& selector) const;
 
   /// Names interned so far (refreshed or not).
   size_t series_count() const;
@@ -104,6 +270,19 @@ class FleetView {
       SeriesId id) const {
     return engine_->SnapshotById(id);
   }
+
+  /// selector == nullptr means "all series".
+  FleetSample SampleSelected(const SeriesSelector* selector) const;
+  RoughnessRanking RankByRoughness(size_t k,
+                                   const SeriesSelector* selector) const;
+  FleetAggregate AggregateSelected(AggKind kind,
+                                   const SeriesSelector* selector) const;
+  ChangeRanking RankByChange(size_t k, size_t frames_back,
+                             const SeriesSelector* selector) const;
+  /// DiffHistory body over an already-resolved ring.
+  static HistoryDiff DiffRing(
+      const std::vector<std::shared_ptr<const StreamingAsap::Frame>>& ring,
+      size_t k);
 
   const ShardedEngine* engine_;
 };

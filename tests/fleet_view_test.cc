@@ -104,7 +104,7 @@ TEST(FleetViewTest, TopKByRoughnessRanksAndTruncates) {
       });
   ASSERT_EQ(expected.size(), 8u);
 
-  const std::vector<SeriesRank> all = view.TopKByRoughness(100);
+  const std::vector<SeriesRank> all = view.TopKByRoughness(100).ranks;
   ASSERT_EQ(all.size(), 8u);
   for (size_t i = 0; i < all.size(); ++i) {
     EXPECT_EQ(all[i].roughness, expected.at(all[i].name)) << all[i].name;
@@ -116,7 +116,7 @@ TEST(FleetViewTest, TopKByRoughnessRanksAndTruncates) {
     EXPECT_GT(all[i].refreshes, 0u);
   }
 
-  const std::vector<SeriesRank> top3 = view.TopKByRoughness(3);
+  const std::vector<SeriesRank> top3 = view.TopKByRoughness(3).ranks;
   ASSERT_EQ(top3.size(), 3u);
   for (size_t i = 0; i < 3; ++i) {
     EXPECT_EQ(top3[i].name, all[i].name);
@@ -155,10 +155,44 @@ TEST(FleetViewTest, EmptyFleetAggregatesToZeroSeries) {
   ShardedEngine engine = ShardedEngine::Create(FleetOptions()).ValueOrDie();
   FleetView view(&engine);
   EXPECT_EQ(view.series_count(), 0u);
-  EXPECT_EQ(view.TopKByRoughness(5).size(), 0u);
+  const RoughnessRanking ranking = view.TopKByRoughness(5);
+  EXPECT_EQ(ranking.ranks.size(), 0u);
+  EXPECT_EQ(ranking.skipped_unpublished, 0u);
   const FleetAggregate agg = view.Aggregate(AggKind::kMean);
   EXPECT_EQ(agg.series, 0u);
   EXPECT_EQ(agg.value, 0.0);
+  EXPECT_EQ(agg.skipped_unpublished, 0u);
+}
+
+TEST(FleetViewTest, SkippedUnpublishedDistinguishesWarmupFromQuietFleet) {
+  // Two ways a series can be interned yet contribute nothing: its name
+  // arrived but no record reached a shard (no operator), or records
+  // arrived but too few for a first refresh (operator, empty frame).
+  // Both must be *counted*, not silently dropped, so a caller can tell
+  // "the fleet is quiet" from "the fleet is still warming up".
+  ShardedEngine engine = RunFleet(FleetOptions(), 4, 4000);
+  engine.catalog()->Intern("host-interned-only/load");
+  InterleavingMultiSource trickle(engine.catalog());
+  trickle.AddVector("host-warming/load", FleetSeries(9, 50));  // < 1 refresh
+  engine.RunToCompletion(&trickle);
+  FleetView view(&engine);
+
+  EXPECT_EQ(view.series_count(), 6u);
+  const FleetAggregate agg = view.Aggregate(AggKind::kSum);
+  EXPECT_EQ(agg.series, 4u);
+  EXPECT_EQ(agg.skipped_unpublished, 2u);
+  const RoughnessRanking ranking = view.TopKByRoughness(100);
+  EXPECT_EQ(ranking.ranks.size(), 4u);
+  EXPECT_EQ(ranking.skipped_unpublished, 2u);
+  const FleetSample sample = view.Sample();
+  EXPECT_EQ(sample.series.size(), 4u);
+  EXPECT_EQ(sample.skipped_unpublished, 2u);
+
+  // Scoping to the warming slice: everything selected is unpublished.
+  const SeriesSelector warming = SeriesSelector::Glob("host-warming/*");
+  const FleetAggregate warming_agg = view.Aggregate(AggKind::kSum, warming);
+  EXPECT_EQ(warming_agg.series, 0u);
+  EXPECT_EQ(warming_agg.skipped_unpublished, 1u);
 }
 
 TEST(FleetViewTest, HistoryServesTheSnapshotRingByName) {
@@ -195,7 +229,7 @@ TEST(FleetViewTest, QueriesAreSafeWhileARunIsInFlight) {
   std::atomic<bool> done{false};
   std::thread reader([&] {
     while (!done.load(std::memory_order_acquire)) {
-      const auto ranks = view.TopKByRoughness(3);
+      const auto ranks = view.TopKByRoughness(3).ranks;
       for (const SeriesRank& rank : ranks) {
         EXPECT_TRUE(std::isfinite(rank.roughness));
         EXPECT_GE(rank.window, 1u);
@@ -212,7 +246,7 @@ TEST(FleetViewTest, QueriesAreSafeWhileARunIsInFlight) {
   done.store(true, std::memory_order_release);
   reader.join();
 
-  EXPECT_EQ(view.TopKByRoughness(100).size(), kSeries);
+  EXPECT_EQ(view.TopKByRoughness(100).ranks.size(), kSeries);
 }
 
 }  // namespace

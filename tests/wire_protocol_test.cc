@@ -6,12 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
 #include <string>
 #include <vector>
 
+#include "common/random.h"
 #include "net/protocol.h"
 #include "stream/catalog.h"
 
@@ -411,6 +413,202 @@ TEST(WireProtocolTest, EofCountsTruncatedBinaryFrameAsMalformed) {
     decoder.FinishEof(&out);
     EXPECT_EQ(decoder.stats().malformed_frames, 1u)
         << "magic=" << static_cast<int>(magic);
+  }
+}
+
+// --- Deterministic replay fuzz harness --------------------------------------
+//
+// A seed-driven generator interleaves valid text records, garbage
+// lines, 0xA6 registrations, and 0xA5 record frames (with known and
+// unknown wire ids), then replays the stream through the decoder at
+// seed-driven split points. Every stream pins the accounting identity
+//
+//   records + malformed_lines + unknown_series_records == units
+//
+// where `units` counts every record-bearing unit the generator
+// emitted. A second pass mutates random bytes and asserts the decoder
+// never crashes, never interns an invalid name, and isolates poison:
+// once a Feed returns false, nothing further ever decodes.
+// The CI fuzz-smoke step replays this suite's fixed seed list.
+
+struct FuzzScript {
+  std::string wire;
+  /// Record-bearing units: text lines (valid or malformed) + binary
+  /// records (known or unknown wire id). Registrations and empty
+  /// lines carry no record and are not units.
+  uint64_t units = 0;
+  uint64_t expected_records = 0;
+  uint64_t expected_malformed_lines = 0;
+  uint64_t expected_unknown = 0;
+};
+
+std::string RandomFuzzName(Pcg32* rng) {
+  static const char kChars[] = "abcdefgh01234/._-";
+  const size_t len = 1 + rng->NextBounded(10);
+  std::string name;
+  for (size_t i = 0; i < len; ++i) {
+    name.push_back(kChars[rng->NextBounded(sizeof(kChars) - 1)]);
+  }
+  return name;
+}
+
+FuzzScript GenerateScript(uint64_t seed) {
+  Pcg32 rng(seed * 6364136223846793005ULL + 1442695040888963407ULL);
+  FuzzScript script;
+  bool registered[8] = {};
+  bool any_registered = false;
+  // Each template is exactly one malformed line to the decoder.
+  const char* kGarbage[] = {
+      "lonely\n",             // name without a value
+      "bad nonsense\n",       // unparseable value
+      "a 1.5 junk\n",         // trailing junk after the value
+      "x inf\n",              // non-finite value
+      "caf\xC3\xA9 1.0\n",    // invalid byte in the name
+  };
+  const size_t steps = 30 + rng.NextBounded(50);
+  for (size_t step = 0; step < steps; ++step) {
+    switch (rng.NextBounded(8)) {
+      case 0:
+      case 1:
+      case 2: {  // valid text record
+        AppendTextRecord(RandomFuzzName(&rng), rng.Gaussian(0.0, 1e3),
+                         &script.wire);
+        script.units += 1;
+        script.expected_records += 1;
+        break;
+      }
+      case 3: {  // garbage line
+        script.wire += kGarbage[rng.NextBounded(5)];
+        script.units += 1;
+        script.expected_malformed_lines += 1;
+        break;
+      }
+      case 4: {  // empty / CRLF-only line: no unit
+        script.wire += rng.NextBounded(2) == 0 ? "\n" : "\r\n";
+        break;
+      }
+      case 5: {  // 0xA6 registration (possibly a remap)
+        const uint32_t id = rng.NextBounded(8);
+        AppendNameFrame(id, RandomFuzzName(&rng), &script.wire);
+        registered[id] = true;
+        any_registered = true;
+        break;
+      }
+      default: {  // 0xA5 record frame, mixing known and unknown ids
+        if (!any_registered) {
+          AppendNameFrame(0, RandomFuzzName(&rng), &script.wire);
+          registered[0] = true;
+          any_registered = true;
+        }
+        RecordBatch frame;
+        const size_t n = 1 + rng.NextBounded(6);
+        for (size_t i = 0; i < n; ++i) {
+          if (rng.NextBounded(4) == 0) {
+            // A wire id no 0xA6 on this stream ever declared.
+            frame.push_back(Record{100 + rng.NextBounded(8), 1.0});
+            script.expected_unknown += 1;
+          } else {
+            uint32_t id = rng.NextBounded(8);
+            while (!registered[id]) {
+              id = (id + 1) % 8;
+            }
+            frame.push_back(Record{id, rng.Gaussian(0.0, 1e3)});
+            script.expected_records += 1;
+          }
+          script.units += 1;
+        }
+        AppendBinaryFrame(frame.data(), frame.size(), &script.wire);
+        break;
+      }
+    }
+  }
+  return script;
+}
+
+class WireFuzz : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Range<uint64_t>(1, 25));
+
+TEST_P(WireFuzz, ReplayAccountingIsExactAcrossRandomSplitPoints) {
+  const FuzzScript script = GenerateScript(GetParam());
+  Pcg32 rng(GetParam() * 977);
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
+  RecordBatch out;
+  size_t pos = 0;
+  while (pos < script.wire.size()) {
+    const size_t chunk =
+        std::min<size_t>(1 + rng.NextBounded(64), script.wire.size() - pos);
+    EXPECT_TRUE(decoder.Feed(script.wire.data() + pos, chunk, &out));
+    pos += chunk;
+  }
+  decoder.FinishEof(&out);
+
+  EXPECT_FALSE(decoder.poisoned());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  EXPECT_EQ(decoder.stats().bytes, script.wire.size());
+  EXPECT_EQ(out.size(), script.expected_records);
+  EXPECT_EQ(decoder.stats().records, script.expected_records);
+  EXPECT_EQ(decoder.stats().malformed_lines,
+            script.expected_malformed_lines);
+  EXPECT_EQ(decoder.stats().unknown_series_records, script.expected_unknown);
+  // The accounting identity: every record-bearing unit the generator
+  // emitted is consumed, counted malformed, or counted unknown.
+  EXPECT_EQ(decoder.stats().records + decoder.stats().malformed_lines +
+                decoder.stats().unknown_series_records,
+            script.units);
+  // Nothing interned is ever invalid.
+  for (const Record& r : out) {
+    EXPECT_TRUE(stream::IsValidSeriesName(sink.NameOf(r.series_id)));
+  }
+}
+
+TEST_P(WireFuzz, MutatedReplayNeverCrashesAndIsolatesPoison) {
+  const FuzzScript script = GenerateScript(GetParam());
+  for (uint64_t round = 0; round < 4; ++round) {
+    Pcg32 rng(GetParam() * 31337 + round);
+    std::string wire = script.wire;
+    const size_t mutations = 1 + rng.NextBounded(4);
+    for (size_t m = 0; m < mutations; ++m) {
+      wire[rng.NextBounded(static_cast<uint32_t>(wire.size()))] =
+          static_cast<char>(rng.NextBounded(256));
+    }
+    SeriesCatalog sink;
+    FrameDecoder decoder(&sink);
+    RecordBatch out;
+    bool poisoned = false;
+    size_t pos = 0;
+    while (pos < wire.size()) {
+      const size_t chunk =
+          std::min<size_t>(1 + rng.NextBounded(64), wire.size() - pos);
+      const size_t before = out.size();
+      const bool alive = decoder.Feed(wire.data() + pos, chunk, &out);
+      if (poisoned) {
+        // Poison isolation: once dead, always dead, and nothing more
+        // ever decodes.
+        EXPECT_FALSE(alive);
+        EXPECT_EQ(out.size(), before);
+      }
+      if (!alive) {
+        EXPECT_TRUE(decoder.poisoned());
+        poisoned = true;
+      }
+      pos += chunk;
+    }
+    decoder.FinishEof(&out);
+    EXPECT_EQ(poisoned, decoder.poisoned());
+    // Even against a hostile stream: every decoded record was counted
+    // and resolves to a validly interned name.
+    EXPECT_EQ(out.size(), decoder.stats().records);
+    for (const Record& r : out) {
+      EXPECT_TRUE(stream::IsValidSeriesName(sink.NameOf(r.series_id)));
+    }
+    // A poisoned stream rejects even pristine input.
+    if (poisoned) {
+      const std::string good = "fine 2.0\n";
+      const size_t before = out.size();
+      EXPECT_FALSE(decoder.Feed(good.data(), good.size(), &out));
+      EXPECT_EQ(out.size(), before);
+    }
   }
 }
 

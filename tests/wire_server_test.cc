@@ -88,7 +88,7 @@ TEST(WireServerTest, LoopbackParityWithInProcessIngestion) {
   reference.RunToCompletion(&in_process);
   const stream::FleetView reference_view(&reference);
   const std::vector<stream::SeriesRank> reference_ranks =
-      reference_view.TopKByRoughness(kSeries);
+      reference_view.TopKByRoughness(kSeries).ranks;
   ASSERT_EQ(reference_ranks.size(), kSeries);
 
   // The collector's own catalog: ids on the wire are sender-local.
@@ -163,7 +163,7 @@ TEST(WireServerTest, LoopbackParityWithInProcessIngestion) {
     // roughness bits -> identical rankings.
     const stream::FleetView view(&engine);
     const std::vector<stream::SeriesRank> ranks =
-        view.TopKByRoughness(kSeries);
+        view.TopKByRoughness(kSeries).ranks;
     ASSERT_EQ(ranks.size(), reference_ranks.size());
     for (size_t i = 0; i < ranks.size(); ++i) {
       EXPECT_EQ(ranks[i].name, reference_ranks[i].name)
