@@ -11,13 +11,16 @@
 // floor — the selector sits on every scoped query, so its regression
 // is a query-tier regression.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/exec_policy.h"
 #include "common/random.h"
+#include "core/series_context.h"
 #include "stream/fleet_view.h"
 #include "stream/sharded_engine.h"
 #include "stream/source.h"
@@ -25,7 +28,10 @@
 
 namespace {
 
+using asap::stream::FleetPercentileBands;
+using asap::stream::FleetSample;
 using asap::stream::FleetView;
+using asap::stream::SampledSeries;
 using asap::stream::SeriesCatalog;
 using asap::stream::SeriesId;
 using asap::stream::SeriesSelector;
@@ -63,6 +69,51 @@ double MatchesPerSecond(const SeriesSelector& selector,
       3);
   *matched_out = matched;
   return static_cast<double>(rounds * names.size()) / seconds;
+}
+
+/// The pre-optimization percentile-band rollup, kept verbatim as the
+/// throughput baseline the kernel rewrite is gated against: for every
+/// pane position, gather the member column, fully std::sort it, and
+/// interpolate the three percentiles. FleetView::BandsOf must return
+/// bitwise-identical bands (the exec_parity_test pins that) at a
+/// multiple of this throughput (the floor below).
+FleetPercentileBands BaselineBands(const FleetSample& sample) {
+  FleetPercentileBands bands;
+  size_t positions = static_cast<size_t>(-1);
+  for (const SampledSeries& member : sample.series) {
+    positions = std::min(positions, member.frame->series.size());
+  }
+  if (sample.series.empty() || positions == 0) {
+    bands.series = sample.series.size();
+    return bands;
+  }
+  bands.positions = positions;
+  bands.series = sample.series.size();
+  bands.p50.resize(positions);
+  bands.p90.resize(positions);
+  bands.p99.resize(positions);
+  std::vector<double> column(sample.series.size());
+  const auto percentile = [](const std::vector<double>& sorted, double p) {
+    if (sorted.size() == 1) {
+      return sorted[0];
+    }
+    const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  };
+  for (size_t j = 0; j < positions; ++j) {
+    for (size_t s = 0; s < sample.series.size(); ++s) {
+      const std::vector<double>& series = sample.series[s].frame->series;
+      column[s] = series[series.size() - positions + j];
+    }
+    std::sort(column.begin(), column.end());
+    bands.p50[j] = percentile(column, 50.0);
+    bands.p90[j] = percentile(column, 90.0);
+    bands.p99[j] = percentile(column, 99.0);
+  }
+  return bands;
 }
 
 }  // namespace
@@ -182,9 +233,69 @@ int main(int argc, char** argv) {
       "detector per frame.\n",
       catalog.size());
 
+  // --- Rollup kernel floors -----------------------------------------------
+  //
+  // The optimized percentile-band rollup (tiled transpose gather +
+  // bucketed order-statistic selection, core/kernels dispatch) is
+  // gated at >= 4x the throughput of the sort-based baseline it
+  // replaced, single-threaded, on the same sample. Both produce
+  // bitwise-identical bands (exec_parity_test), so the ratio isolates
+  // the kernel work. Sequential scalar execution keeps the gate
+  // deterministic across CI core counts.
+  const FleetSample rollup_sample = view.Sample();
+  asap::ExecPolicy sequential;
+  sequential.threads = 1;
+  const double baseline_seconds =
+      asap::bench::TimeBest([&] { (void)BaselineBands(rollup_sample); }, 5);
+  const double optimized_seconds = asap::bench::TimeBest(
+      [&] { (void)FleetView::BandsOf(rollup_sample, sequential); }, 5);
+  const double rollup_ratio = baseline_seconds / optimized_seconds;
+
+  // Smoothing-kernel latency at scale: one fused ScoreWindow pass over
+  // a 10M-point series (the per-candidate unit of every window
+  // search). The floor is ~8x the tuned single-core time, so it trips
+  // on a kernel regression, not on a slow CI runner.
+  constexpr size_t kSmoothN = 10'000'000;
+  asap::Pcg32 smooth_rng(99);
+  const std::vector<double> smooth_x = asap::gen::Add(
+      asap::gen::Sine(kSmoothN, 480.0, 1.0),
+      asap::gen::WhiteNoise(&smooth_rng, kSmoothN, 0.4));
+  asap::SeriesContext smooth_ctx(smooth_x);
+  const double smooth_seconds = asap::bench::TimeBest(
+      [&] {
+        (void)asap::ScoreWindow(smooth_ctx, kSmoothN / 2000, sequential);
+      },
+      3);
+
+  std::printf("\n");
+  Row({"Kernel floor", "Time", "Floor", "Status"}, 18);
+  Rule(4, 18);
+  const bool rollup_ok = rollup_ratio >= 4.0;
+  const bool smooth_ok = smooth_seconds <= 0.120;
+  Row({"Bands vs sort-based", Fmt(rollup_ratio, 2) + "x",
+       ">= 4.00x", rollup_ok ? "ok" : "FAIL"},
+      18);
+  Row({"ScoreWindow 10M", Fmt(smooth_seconds * 1e3, 1) + " ms",
+       "<= 120.0 ms", smooth_ok ? "ok" : "FAIL"},
+      18);
+  Rule(4, 18);
+
+  bool failed = false;
   if (glob_rate < 1e6) {
     std::printf("\nWARNING: glob selector matching below 1M matches/s.\n");
-    return 1;
+    failed = true;
   }
-  return 0;
+  if (!rollup_ok) {
+    std::printf(
+        "\nWARNING: percentile-band rollup below 4x the sort-based "
+        "baseline.\n");
+    failed = true;
+  }
+  if (!smooth_ok) {
+    std::printf(
+        "\nWARNING: 10M-point ScoreWindow above the 120 ms latency "
+        "floor.\n");
+    failed = true;
+  }
+  return failed ? 1 : 0;
 }

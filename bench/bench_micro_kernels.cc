@@ -9,7 +9,9 @@
 #include "baselines/m4.h"
 #include "baselines/paa.h"
 #include "baselines/visvalingam.h"
+#include "common/exec_policy.h"
 #include "common/random.h"
+#include "core/kernels.h"
 #include "core/search.h"
 #include "core/series_context.h"
 #include "core/smooth.h"
@@ -198,6 +200,84 @@ void BM_VisvalingamSimplify(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (1 << 15));
 }
 BENCHMARK(BM_VisvalingamSimplify);
+
+// --- Scalar vs SIMD kernel table ---------------------------------------------
+//
+// Side-by-side pairs for each dispatched kernel: the same work through
+// kern::ScalarKernels() and through the runtime-selected SIMD table
+// (identical results by contract — see core/kernels.h — so the pair
+// isolates the vectorization win). On a host without AVX2/NEON, or
+// with ASAP_DISABLE_SIMD set, the Simd variants measure scalar again.
+// Run with --benchmark_filter='ScalarVsSimd' for just these.
+
+asap::ExecPolicy SimdOnlyPolicy(asap::SimdMode mode) {
+  asap::ExecPolicy policy;
+  policy.threads = 1;
+  policy.simd = mode;
+  return policy;
+}
+
+void BM_ScalarVsSimd_ScoreWindow(benchmark::State& state, asap::SimdMode mode) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> x = MakeSignal(n);
+  asap::SeriesContext ctx(x);
+  const asap::ExecPolicy policy = SimdOnlyPolicy(mode);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(asap::ScoreWindow(ctx, n / 20, policy));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+void BM_ScoreWindowScalar(benchmark::State& state) {
+  BM_ScalarVsSimd_ScoreWindow(state, asap::SimdMode::kScalar);
+}
+void BM_ScoreWindowSimd(benchmark::State& state) {
+  BM_ScalarVsSimd_ScoreWindow(state, asap::SimdMode::kAuto);
+}
+BENCHMARK(BM_ScoreWindowScalar)->Arg(100000)->Arg(1000000)->Arg(10000000);
+BENCHMARK(BM_ScoreWindowSimd)->Arg(100000)->Arg(1000000)->Arg(10000000);
+
+void BM_ScalarVsSimd_AbsDelta(benchmark::State& state, asap::SimdMode mode) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> newer = MakeSignal(n);
+  const std::vector<double> older = MakeSignal(n + 1);
+  std::vector<double> delta(n);
+  const asap::kern::KernelTable& kt = asap::kern::ActiveKernels(mode);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kt.abs_delta(newer.data(), older.data(), n, delta.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+void BM_AbsDeltaScalar(benchmark::State& state) {
+  BM_ScalarVsSimd_AbsDelta(state, asap::SimdMode::kScalar);
+}
+void BM_AbsDeltaSimd(benchmark::State& state) {
+  BM_ScalarVsSimd_AbsDelta(state, asap::SimdMode::kAuto);
+}
+BENCHMARK(BM_AbsDeltaScalar)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_AbsDeltaSimd)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ScalarVsSimd_ComplexNorm(benchmark::State& state,
+                                 asap::SimdMode mode) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> signal = MakeSignal(2 * n);
+  std::vector<double> interleaved = signal;
+  const asap::kern::KernelTable& kt = asap::kern::ActiveKernels(mode);
+  for (auto _ : state) {
+    interleaved.assign(signal.begin(), signal.end());
+    kt.complex_norm(interleaved.data(), n);
+    benchmark::DoNotOptimize(interleaved.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+void BM_ComplexNormScalar(benchmark::State& state) {
+  BM_ScalarVsSimd_ComplexNorm(state, asap::SimdMode::kScalar);
+}
+void BM_ComplexNormSimd(benchmark::State& state) {
+  BM_ScalarVsSimd_ComplexNorm(state, asap::SimdMode::kAuto);
+}
+BENCHMARK(BM_ComplexNormScalar)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_ComplexNormSimd)->Arg(1 << 16)->Arg(1 << 20);
 
 // Streaming ingest: per-point Push vs the pane-granular PushBatch
 // fast path, at a lazy refresh cadence where ingest (not the window

@@ -135,16 +135,25 @@ int main(int argc, char** argv) {
 
   // Cross-host questions, straight off the published frames: the
   // roughest dashboards fleet-wide and the fleet's smoothed CPU level.
+  //
+  // This dashboard "tick" asks four questions about the same instant,
+  // so it takes ONE Sample() and feeds it to the pure *Of rollups —
+  // sampling per query would walk every shard's snapshots four times
+  // and could even see different fleets between questions.
+  const asap::stream::FleetSample sample = view.Sample();
   std::printf("\nRoughest smoothed dashboards (top 3 of %zu):\n",
               view.series_count());
-  for (const asap::stream::SeriesRank& rank : view.TopKByRoughness(3).ranks) {
+  for (const asap::stream::SeriesRank& rank :
+       asap::stream::FleetView::TopKByRoughnessOf(sample, 3).ranks) {
     std::printf("  %-12s roughness %.4f\n", rank.name.c_str(),
                 rank.roughness);
   }
   const asap::stream::FleetAggregate mean_cpu =
-      view.Aggregate(asap::stream::AggKind::kMean);
+      asap::stream::FleetView::AggregateOf(sample,
+                                           asap::stream::AggKind::kMean);
   const asap::stream::FleetAggregate max_cpu =
-      view.Aggregate(asap::stream::AggKind::kMax);
+      asap::stream::FleetView::AggregateOf(sample,
+                                           asap::stream::AggKind::kMax);
   std::printf(
       "Fleet smoothed CPU now : mean %.1f%%, max %.1f%% over %zu hosts\n",
       mean_cpu.value, max_cpu.value, mean_cpu.series);
@@ -152,7 +161,8 @@ int main(int argc, char** argv) {
   // The whole-frame rollups: did the *fleet* move, or only a few
   // hosts? The p50 band is the cluster's typical shape; the p99 band
   // is whatever the incident hosts are doing.
-  const asap::stream::FleetPercentileBands bands = view.PercentileBands();
+  const asap::stream::FleetPercentileBands bands =
+      asap::stream::FleetView::BandsOf(sample);
   if (bands.positions > 0) {
     const size_t newest = bands.positions - 1;
     std::printf(
@@ -161,7 +171,8 @@ int main(int argc, char** argv) {
         bands.p50[newest], bands.p90[newest], bands.p99[newest],
         bands.positions);
   }
-  const asap::stream::FleetAnomalyCounts anomalies = view.AnomalyCounts();
+  const asap::stream::FleetAnomalyCounts anomalies =
+      asap::stream::FleetView::AnomalyCountsOf(sample, {});
   std::printf(
       "Anomaly rollup         : %zu of %zu hosts alerting "
       "(%zu alert spans)\n\n",

@@ -186,15 +186,22 @@ int RunServer(const Args& args, asap::stream::ShardedEngine* engine,
   }
 
   // The query tier: cross-series questions over the published frames.
+  // One Sample() per dashboard tick: the fleet-wide rollups below all
+  // describe the same instant, so they share one sample through the
+  // pure *Of entry points instead of re-walking the shards per query.
+  // (The selector-scoped slice further down is a different question —
+  // a different subset — so it takes its own scoped sample.)
   const asap::stream::FleetView view(engine);
+  const asap::stream::FleetSample sample = view.Sample();
   std::printf("\nRoughest smoothed views (FleetView::TopKByRoughness):\n");
   for (const asap::stream::SeriesRank& rank :
-       view.TopKByRoughness(3).ranks) {
+       asap::stream::FleetView::TopKByRoughnessOf(sample, 3).ranks) {
     std::printf("  %-10s roughness %.4f (window %zu)\n", rank.name.c_str(),
                 rank.roughness, rank.window);
   }
   const asap::stream::FleetAggregate mean =
-      view.Aggregate(asap::stream::AggKind::kMean);
+      asap::stream::FleetView::AggregateOf(sample,
+                                           asap::stream::AggKind::kMean);
   std::printf("Fleet-wide smoothed level: %.2f across %zu cabs", mean.value,
               mean.series);
   if (mean.skipped_unpublished > 0) {
@@ -214,7 +221,8 @@ int RunServer(const Args& args, asap::stream::ShardedEngine* engine,
   // Whole-frame rollups: the fleet's percentile envelope (is the whole
   // fleet moving, or a few outliers?) and the anomaly rollup through
   // the stream/alerts detector.
-  const asap::stream::FleetPercentileBands bands = view.PercentileBands();
+  const asap::stream::FleetPercentileBands bands =
+      asap::stream::FleetView::BandsOf(sample);
   if (bands.positions > 0) {
     const size_t newest = bands.positions - 1;
     std::printf(
@@ -223,7 +231,8 @@ int RunServer(const Args& args, asap::stream::ShardedEngine* engine,
         bands.positions, bands.series, bands.p50[newest], bands.p90[newest],
         bands.p99[newest]);
   }
-  const asap::stream::FleetAnomalyCounts anomalies = view.AnomalyCounts();
+  const asap::stream::FleetAnomalyCounts anomalies =
+      asap::stream::FleetView::AnomalyCountsOf(sample, {});
   std::printf(
       "Anomaly rollup: %zu alert spans across %zu of %zu scanned cabs.\n",
       anomalies.alerts, anomalies.series_alerting, anomalies.series);

@@ -1,0 +1,116 @@
+#include "common/task_pool.h"
+
+namespace asap {
+
+TaskPool& TaskPool::Global() {
+  static TaskPool pool;
+  return pool;
+}
+
+TaskPool::TaskPool() {
+  // hardware_concurrency - 1 (the caller of a job is always its first
+  // thread), but never zero: one worker keeps the fan-out handshake —
+  // and the data races TSan watches for — exercised on 1-core hosts.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const size_t n = hw > 1 ? hw - 1 : 1;
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void TaskPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    wake_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+    seen = epoch_;
+    if (stop_) {
+      return;
+    }
+    Job* job = active_;
+    if (job == nullptr || job->next.load() >= job->count ||
+        job->helpers.load() >= job->max_helpers) {
+      continue;  // stale wakeup, drained job, or enough helpers already
+    }
+    // Register under mu_: ParallelFor's completion wait counts us, so
+    // `job` stays alive until our matching deregistration below.
+    job->helpers.fetch_add(1);
+    lk.unlock();
+
+    size_t i;
+    while ((i = job->next.fetch_add(1)) < job->count) {
+      (*job->fn)(i);
+      if (job->pending.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> done_lk(mu_);
+        done_cv_.notify_all();
+      }
+    }
+
+    job->helpers.fetch_sub(1);  // last touch of `job`
+    lk.lock();
+    done_cv_.notify_all();
+  }
+}
+
+void TaskPool::ParallelFor(size_t count, size_t parallelism,
+                           const std::function<void(size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  const bool sequential = parallelism <= 1 || count == 1 || workers_.empty();
+  // At most one job drives the workers; a ParallelFor issued while
+  // another is in flight (nested fan-out, or two queries racing) runs
+  // inline instead of queueing — simple, deadlock-free, and
+  // result-identical because index->thread assignment never matters.
+  std::unique_lock<std::mutex> job_lk(job_mu_, std::defer_lock);
+  if (sequential || !job_lk.try_lock()) {
+    for (size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.count = count;
+  job.max_helpers = parallelism - 1;  // the caller is the first thread
+  job.pending.store(count);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    active_ = &job;
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+
+  // The caller always participates, so the job completes even if every
+  // worker stays busy elsewhere.
+  size_t i;
+  while ((i = job.next.fetch_add(1)) < count) {
+    fn(i);
+    if (job.pending.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_all();
+    }
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  active_ = nullptr;
+  done_cv_.wait(lk, [&] {
+    return job.pending.load() == 0 && job.helpers.load() == 0;
+  });
+}
+
+}  // namespace asap

@@ -8,6 +8,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/exec_policy.h"
+
 namespace asap {
 
 /// ACF summary used by the searches.
@@ -25,8 +27,11 @@ struct AcfInfo {
 /// implementations use threshold = 0.2; below it, periodicity is too
 /// weak for the Eq. 5/6 pruning rules to be trustworthy and ASAP falls
 /// back to binary search.
+/// The policy parallelizes/vectorizes the FFT passes; the computed
+/// values are bitwise-identical under every policy.
 AcfInfo ComputeAcfInfo(const std::vector<double>& series, size_t max_lag,
-                       double peak_threshold = 0.2);
+                       double peak_threshold = 0.2,
+                       const ExecPolicy& policy = {});
 
 /// Peak detection over an existing ACF vector (lags 1..size-1).
 std::vector<size_t> FindAcfPeaks(const std::vector<double>& acf,

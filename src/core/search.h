@@ -23,6 +23,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/exec_policy.h"
 #include "core/acf_peaks.h"
 #include "core/series_context.h"
 
@@ -80,6 +81,13 @@ struct SearchOptions {
   /// benchmarking only: the parity tests and bench_micro_kernels use it
   /// to compare the two evaluators through identical search logic.
   bool use_naive_evaluator = false;
+
+  /// Intra-search execution: threads and SIMD mode for the candidate
+  /// sweep (exhaustive/grid fan candidates out across threads; binary
+  /// and ASAP fan out inside the scoring kernel), the fused
+  /// ScoreWindow kernel, and the ACF's FFT passes. Search results are
+  /// bitwise-identical under every policy (see common/exec_policy.h).
+  ExecPolicy exec;
 
   /// Resolved maximum window for a series of length n (>= 1, <= n).
   size_t ResolveMaxWindow(size_t n) const;

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/task_pool.h"
+#include "core/kernels.h"
 #include "core/metrics.h"
 #include "core/search.h"
 #include "stats/descriptive.h"
@@ -65,15 +67,16 @@ double SeriesContext::SmaAt(size_t w, size_t i) const {
   return mean_ + (prefix_[i + w] - prefix_[i]) / static_cast<double>(w);
 }
 
-const AcfInfo& SeriesContext::EnsureAcf(size_t max_lag,
-                                        double peak_threshold) {
+const AcfInfo& SeriesContext::EnsureAcf(size_t max_lag, double peak_threshold,
+                                        const ExecPolicy& policy) {
   // Exact-parameter caching only: reusing a *broader* cached ACF for a
   // smaller max_lag would change max_acf (and the Eq. 6 pruning) the
   // moment a context is shared across searches with different window
-  // ranges, making results depend on call history.
+  // ranges, making results depend on call history. The policy is not
+  // part of the key: it never changes the computed values.
   if (!acf_valid_ || acf_max_lag_ != max_lag ||
       acf_threshold_ != peak_threshold) {
-    acf_ = ComputeAcfInfo(x_, max_lag, peak_threshold);
+    acf_ = ComputeAcfInfo(x_, max_lag, peak_threshold, policy);
     acf_valid_ = true;
     acf_max_lag_ = max_lag;
     acf_threshold_ = peak_threshold;
@@ -170,6 +173,11 @@ CandidateScore ReplayNaiveScore(const std::vector<double>& x, size_t w) {
 }  // namespace
 
 CandidateScore ScoreWindow(const SeriesContext& ctx, size_t w) {
+  return ScoreWindow(ctx, w, ExecPolicy{});
+}
+
+CandidateScore ScoreWindow(const SeriesContext& ctx, size_t w,
+                           const ExecPolicy& policy) {
   ASAP_CHECK_GE(w, 1u);
   ASAP_CHECK_LE(w, ctx.size());
   if (w == 1) {
@@ -214,16 +222,29 @@ CandidateScore ScoreWindow(const SeriesContext& ctx, size_t w) {
     s2 = dy2;
     s4 = dy2 * dy2;
   }
-  double prev_u = u0;
-  for (size_t i = 1; i < m; ++i) {
-    const double u = (prefix[i + w] - prefix[i]) * inv_w;
-    const double dy = u - mean_u;
-    const double dy2 = dy * dy;
-    s2 += dy2;
-    s4 += dy2 * dy2;
-    const double dd = (u - prev_u) - mean_d;
-    sd2 += dd * dd;
-    prev_u = u;
+  // Elements i in [1, m) run through the canonical chunked reduction
+  // (core/kernels.h): the chunk layout depends only on the element
+  // count and partials merge in chunk order, so every ExecPolicy —
+  // scalar or SIMD, one thread or many — produces bitwise-identical
+  // moments. The loop is data-parallel because u_{i-1} is recomputed
+  // from the prefix array with the exact FP expression the sequential
+  // loop's carried prev_u held.
+  const size_t total = m - 1;
+  if (total > 0) {
+    const kern::KernelTable& kt = kern::ActiveKernels(policy.simd);
+    const size_t chunks = kern::ChunksFor(total);
+    kern::MomentPartials parts[kern::kMaxChunks];
+    ParallelChunks(policy, chunks, [&](size_t c) {
+      parts[c] = kt.score_segment(
+          prefix, w, inv_w, mean_u, mean_d,
+          1 + kern::ChunkBound(total, chunks, c),
+          1 + kern::ChunkBound(total, chunks, c + 1));
+    });
+    for (size_t c = 0; c < chunks; ++c) {
+      s2 += parts[c].s2;
+      s4 += parts[c].s4;
+      sd2 += parts[c].sd2;
+    }
   }
 
   // Degenerate-input conventions match the naive metrics exactly:

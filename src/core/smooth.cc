@@ -82,7 +82,8 @@ Result<SmoothingResult> Smooth(const std::vector<double>& values,
   result.series = window::Sma(x, search.window);
   // After-metrics through the same fused evaluator the search used, so
   // the reported scores are exactly the ones the decision was made on.
-  const CandidateScore after = ScoreWindow(ctx, search.window);
+  const CandidateScore after = ScoreWindow(ctx, search.window,
+                                           options.search.exec);
   result.roughness_after = after.roughness;
   result.kurtosis_after = after.kurtosis;
   result.diag = search.diag;

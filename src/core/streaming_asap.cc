@@ -129,8 +129,8 @@ void StreamingAsap::Refresh() {
 
   // UpdateAcf: the visible window changed, recompute its ACF (one
   // extra lag so a period at exactly max_window remains detectable).
-  const AcfInfo& acf =
-      ctx_.EnsureAcf(max_window + 1, options_.search.acf_threshold);
+  const AcfInfo& acf = ctx_.EnsureAcf(
+      max_window + 1, options_.search.acf_threshold, options_.search.exec);
   const double kurtosis_x = ctx_.kurtosis();
 
   // CheckLastWindow: seed with the previous solution if it is still
@@ -143,7 +143,7 @@ void StreamingAsap::Refresh() {
     if (options_.search.use_naive_evaluator) {
       score = EvaluateWindow(x, previous_window_);
     } else {
-      score = ScoreWindow(ctx_, previous_window_);
+      score = ScoreWindow(ctx_, previous_window_, options_.search.exec);
       frame_.allocation_free_evals += 1;
     }
     frame_.candidates_evaluated += 1;

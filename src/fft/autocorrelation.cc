@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/task_pool.h"
+#include "core/kernels.h"
 #include "fft/fft.h"
 
 namespace asap {
@@ -19,7 +21,8 @@ double Mean(const std::vector<double>& v) {
 }  // namespace
 
 std::vector<double> AutocorrelationFft(const std::vector<double>& series,
-                                       size_t max_lag) {
+                                       size_t max_lag,
+                                       const ExecPolicy& policy) {
   const size_t n = series.size();
   ASAP_CHECK_GE(n, 1u);
   ASAP_CHECK_LT(max_lag, n);
@@ -32,11 +35,21 @@ std::vector<double> AutocorrelationFft(const std::vector<double>& series,
   for (size_t i = 0; i < n; ++i) {
     buf[i] = Complex(series[i] - mean, 0.0);
   }
-  TransformRadix2(&buf, /*inverse=*/false);
-  for (Complex& c : buf) {
-    c = Complex(std::norm(c), 0.0);
+  TransformRadix2(&buf, /*inverse=*/false, policy);
+  // Power pass |X_k|^2 through the kernel table: the per-element
+  // re*re + im*im is exact in every implementation, and elements are
+  // independent, so chunking it is free of ordering effects.
+  {
+    double* interleaved = reinterpret_cast<double*>(buf.data());
+    const kern::KernelTable& kt = kern::ActiveKernels(policy.simd);
+    const size_t chunks = kern::ChunksFor(m);
+    ParallelChunks(policy, chunks, [&](size_t c) {
+      const size_t b0 = kern::ChunkBound(m, chunks, c);
+      const size_t b1 = kern::ChunkBound(m, chunks, c + 1);
+      kt.complex_norm(interleaved + 2 * b0, b1 - b0);
+    });
   }
-  TransformRadix2(&buf, /*inverse=*/true);
+  TransformRadix2(&buf, /*inverse=*/true, policy);
 
   std::vector<double> acf(max_lag + 1, 0.0);
   const double c0 = buf[0].real();

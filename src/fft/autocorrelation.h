@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/exec_policy.h"
+
 namespace asap {
 namespace fft {
 
@@ -19,8 +21,11 @@ namespace fft {
 ///   acf[k] = sum_{i<n-k} (x_i - mean)(x_{i+k} - mean) / sum (x_i - mean)^2
 /// so acf[0] == 1. Returns max_lag + 1 values. If the series is constant
 /// (zero variance) all lags are defined as 0 except lag 0 which is 1.
+/// The policy threads/vectorizes the FFT stages and the power pass;
+/// the returned values are bitwise-identical under every policy.
 std::vector<double> AutocorrelationFft(const std::vector<double>& series,
-                                       size_t max_lag);
+                                       size_t max_lag,
+                                       const ExecPolicy& policy = {});
 
 /// Quadratic-time reference estimator (identical definition).
 std::vector<double> AutocorrelationBruteForce(const std::vector<double>& series,

@@ -1,8 +1,11 @@
 #include "fft/fft.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/task_pool.h"
+#include "core/kernels.h"
 
 namespace asap {
 namespace fft {
@@ -38,7 +41,18 @@ void BitReversePermute(std::vector<Complex>* data) {
 
 }  // namespace
 
-void TransformRadix2(std::vector<Complex>* data, bool inverse) {
+namespace {
+
+// Minimum transform size before a stage's blocks are worth fanning
+// out (a pure function of n, so the decision never depends on the
+// environment — though even if it did, the per-block arithmetic is
+// identical either way).
+constexpr size_t kMinParallelFftSize = 1u << 14;
+
+}  // namespace
+
+void TransformRadix2(std::vector<Complex>* data, bool inverse,
+                     const ExecPolicy& policy) {
   const size_t n = data->size();
   ASAP_CHECK(IsPowerOfTwo(n));
   if (n == 1) {
@@ -46,10 +60,15 @@ void TransformRadix2(std::vector<Complex>* data, bool inverse) {
   }
   BitReversePermute(data);
 
+  const size_t threads = policy.ResolveThreads();
   for (size_t len = 2; len <= n; len <<= 1) {
     const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
     const Complex wlen(std::cos(angle), std::sin(angle));
-    for (size_t i = 0; i < n; i += len) {
+    // One butterfly block starting at element i. Blocks of a stage
+    // touch disjoint elements and carry their own twiddle recurrence,
+    // so they can run in any order — or concurrently — without
+    // changing a single operation.
+    const auto run_block = [&](size_t i) {
       Complex w(1.0, 0.0);
       for (size_t k = 0; k < len / 2; ++k) {
         Complex u = (*data)[i + k];
@@ -57,6 +76,21 @@ void TransformRadix2(std::vector<Complex>* data, bool inverse) {
         (*data)[i + k] = u + v;
         (*data)[i + k + len / 2] = u - v;
         w *= wlen;
+      }
+    };
+    const size_t blocks = n / len;
+    if (threads > 1 && blocks > 1 && n >= kMinParallelFftSize) {
+      const size_t chunks = std::min(blocks, kern::kMaxChunks);
+      ParallelChunks(policy, chunks, [&](size_t c) {
+        const size_t b0 = kern::ChunkBound(blocks, chunks, c);
+        const size_t b1 = kern::ChunkBound(blocks, chunks, c + 1);
+        for (size_t b = b0; b < b1; ++b) {
+          run_block(b * len);
+        }
+      });
+    } else {
+      for (size_t i = 0; i < n; i += len) {
+        run_block(i);
       }
     }
   }

@@ -18,6 +18,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/exec_policy.h"
+
 namespace asap {
 namespace fft {
 
@@ -29,8 +31,13 @@ bool IsPowerOfTwo(size_t n);
 /// Smallest power of two >= n (n >= 1).
 size_t NextPowerOfTwo(size_t n);
 
-/// In-place forward FFT; data.size() must be a power of two.
-void TransformRadix2(std::vector<Complex>* data, bool inverse);
+/// In-place forward FFT; data.size() must be a power of two. The
+/// policy may split each butterfly stage's independent blocks across
+/// threads; the per-block arithmetic (including the carried twiddle
+/// recurrence) is untouched, so the output is bitwise-identical to
+/// the sequential transform at any thread count.
+void TransformRadix2(std::vector<Complex>* data, bool inverse,
+                     const ExecPolicy& policy = {});
 
 /// Forward DFT of arbitrary length via Bluestein's algorithm (in place).
 void TransformBluestein(std::vector<Complex>* data, bool inverse);

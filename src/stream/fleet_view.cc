@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "common/macros.h"
+#include "common/task_pool.h"
+#include "core/kernels.h"
 #include "core/metrics.h"
 
 namespace asap {
@@ -11,25 +15,131 @@ namespace stream {
 
 namespace {
 
-/// Linear interpolation between the closest order statistics of an
-/// ascending-sorted vector (the "inclusive" definition): the result
-/// always lies within [sorted.front(), sorted.back()], so bands
-/// bracket their members by construction.
-double PercentileOfSorted(const std::vector<double>& sorted, double p) {
-  ASAP_DCHECK(!sorted.empty());
-  if (sorted.size() == 1) {
-    return sorted[0];
+// IEEE-754 total order on doubles (negative NaN < -inf < ... < +inf <
+// positive NaN): the deterministic tie-breaker for columns containing
+// NaN, where operator< is not a strict weak ordering.
+uint64_t TotalOrderKey(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return (bits & (1ull << 63)) ? ~bits : (bits | (1ull << 63));
+}
+
+bool TotalOrderLess(double a, double b) {
+  return TotalOrderKey(a) < TotalOrderKey(b);
+}
+
+// The band percentile ranks over a column of n values: the lo/hi
+// order statistics of p50, p90, p99 under the inclusive linear
+// interpolation definition (fractional rank = p/100 * (n-1), result
+// always within [min, max] so bands bracket their members).
+struct BandRanks {
+  double r50, r90, r99;   // fractional ranks
+  size_t idx[6];          // lo/hi statistic indices, ascending
+};
+
+BandRanks RanksFor(size_t n) {
+  BandRanks r;
+  const double m = static_cast<double>(n - 1);
+  r.r50 = (50.0 / 100.0) * m;
+  r.r90 = (90.0 / 100.0) * m;
+  r.r99 = (99.0 / 100.0) * m;
+  const size_t l50 = static_cast<size_t>(r.r50);
+  const size_t l90 = static_cast<size_t>(r.r90);
+  const size_t l99 = static_cast<size_t>(r.r99);
+  r.idx[0] = l50;
+  r.idx[1] = std::min(l50 + 1, n - 1);
+  r.idx[2] = l90;
+  r.idx[3] = std::min(l90 + 1, n - 1);
+  r.idx[4] = l99;
+  r.idx[5] = std::min(l99 + 1, n - 1);
+  return r;
+}
+
+// Exact p50/p90/p99 of col[0..n) without sorting the whole column:
+// one min/max pass, one linear 256-bucket histogram pass (values
+// scaled into the [min, max] range), then only the buckets containing
+// the six needed order statistics are collected and sorted. Selecting
+// the k-th smallest element this way returns exactly the value
+// std::sort + indexing would, so the result matches a sort-based
+// rollup bitwise while doing a fraction of its work.
+// Columns containing NaN fall back to a full sort under IEEE total
+// order (deterministic where operator< is not).
+//
+// `col` is scratch (the gathered column), `bidx`/`pool` are reusable
+// per-thread scratch buffers.
+void SelectColumnPercentiles(const double* col, size_t n,
+                             const kern::KernelTable& kt,
+                             unsigned char* bidx, std::vector<double>* pool,
+                             double* out50, double* out90, double* out99) {
+  ASAP_DCHECK(n >= 1);
+  if (n == 1) {
+    *out50 = *out90 = *out99 = col[0];
+    return;
   }
-  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  const BandRanks ranks = RanksFor(n);
+  double vals[6];
+  const kern::ColumnMinMax mm = kt.column_minmax(col, n);
+  if (mm.has_nan) {
+    pool->assign(col, col + n);
+    std::sort(pool->begin(), pool->end(), TotalOrderLess);
+    for (int k = 0; k < 6; ++k) {
+      vals[k] = (*pool)[ranks.idx[k]];
+    }
+  } else if (!(mm.max_v > mm.min_v)) {
+    // Constant column (every order statistic is the one value).
+    for (int k = 0; k < 6; ++k) {
+      vals[k] = mm.min_v;
+    }
+  } else {
+    unsigned int hist[256] = {0};
+    const double scale = 255.0 / (mm.max_v - mm.min_v);
+    kt.bucketize(col, n, mm.min_v, scale, bidx, hist);
+    // The six statistic indices are not ascending in k for small n
+    // (p90's hi index can exceed p99's lo index), so visit them in
+    // rank order to keep the histogram walk monotone.
+    int order[6] = {0, 1, 2, 3, 4, 5};
+    std::sort(order, order + 6, [&ranks](int a, int b) {
+      return ranks.idx[a] < ranks.idx[b];
+    });
+    size_t cum = 0;  // elements in buckets below b
+    size_t b = 0;
+    size_t loaded = static_cast<size_t>(-1);
+    for (int kk = 0; kk < 6; ++kk) {
+      const int k = order[kk];
+      const size_t r = ranks.idx[k];
+      while (cum + hist[b] <= r) {
+        cum += hist[b];
+        ++b;
+      }
+      if (b != loaded) {
+        pool->clear();
+        for (size_t i = 0; i < n; ++i) {
+          if (bidx[i] == b) {
+            pool->push_back(col[i]);
+          }
+        }
+        std::sort(pool->begin(), pool->end());
+        loaded = b;
+      }
+      vals[k] = (*pool)[r - cum];
+    }
+  }
+  const double f50 = ranks.r50 - static_cast<double>(ranks.idx[0]);
+  const double f90 = ranks.r90 - static_cast<double>(ranks.idx[2]);
+  const double f99 = ranks.r99 - static_cast<double>(ranks.idx[4]);
+  *out50 = vals[0] + f50 * (vals[1] - vals[0]);
+  *out90 = vals[2] + f90 * (vals[3] - vals[2]);
+  *out99 = vals[4] + f99 * (vals[5] - vals[4]);
 }
 
 }  // namespace
 
 FleetView::FleetView(const ShardedEngine* engine) : engine_(engine) {
+  ASAP_CHECK(engine_ != nullptr);
+}
+
+FleetView::FleetView(const ShardedEngine* engine, const ExecPolicy& policy)
+    : engine_(engine), policy_(policy) {
   ASAP_CHECK(engine_ != nullptr);
 }
 
@@ -72,16 +182,35 @@ FleetSample FleetView::Sample(const SeriesSelector& selector) const {
   return SampleSelected(&selector);
 }
 
-RoughnessRanking FleetView::RankByRoughness(
-    size_t k, const SeriesSelector* selector) const {
-  const FleetSample sample = SampleSelected(selector);
+RoughnessRanking FleetView::TopKByRoughnessOf(const FleetSample& sample,
+                                              size_t k) {
+  return TopKByRoughnessOf(sample, k, ExecPolicy{});
+}
+
+RoughnessRanking FleetView::TopKByRoughnessOf(const FleetSample& sample,
+                                              size_t k,
+                                              const ExecPolicy& policy) {
   RoughnessRanking ranking;
   ranking.skipped_unpublished = sample.skipped_unpublished;
-  ranking.ranks.reserve(sample.series.size());
-  for (const SampledSeries& member : sample.series) {
+  const size_t n = sample.series.size();
+  // Member roughnesses are independent; compute them into per-member
+  // slots across threads, then assemble rows in sample order — the
+  // ranking is identical at any parallelism.
+  std::vector<double> roughness(n);
+  const size_t chunks = std::min(n, kern::kMaxChunks);
+  ParallelChunks(policy, chunks, [&](size_t c) {
+    const size_t i0 = kern::ChunkBound(n, chunks, c);
+    const size_t i1 = kern::ChunkBound(n, chunks, c + 1);
+    for (size_t i = i0; i < i1; ++i) {
+      roughness[i] = Roughness(sample.series[i].frame->series);
+    }
+  });
+  ranking.ranks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const SampledSeries& member = sample.series[i];
     SeriesRank rank;
     rank.name = std::string(member.name);
-    rank.roughness = Roughness(member.frame->series);
+    rank.roughness = roughness[i];
     rank.window = member.frame->window;
     rank.refreshes = member.frame->refreshes;
     ranking.ranks.push_back(std::move(rank));
@@ -102,6 +231,11 @@ RoughnessRanking FleetView::RankByRoughness(
   return ranking;
 }
 
+RoughnessRanking FleetView::RankByRoughness(
+    size_t k, const SeriesSelector* selector) const {
+  return TopKByRoughnessOf(SampleSelected(selector), k, policy_);
+}
+
 RoughnessRanking FleetView::TopKByRoughness(size_t k) const {
   return RankByRoughness(k, nullptr);
 }
@@ -111,9 +245,8 @@ RoughnessRanking FleetView::TopKByRoughness(
   return RankByRoughness(k, &selector);
 }
 
-FleetAggregate FleetView::AggregateSelected(
-    AggKind kind, const SeriesSelector* selector) const {
-  const FleetSample sample = SampleSelected(selector);
+FleetAggregate FleetView::AggregateOf(const FleetSample& sample,
+                                      AggKind kind) {
   FleetAggregate agg;
   agg.skipped_unpublished = sample.skipped_unpublished;
   for (const SampledSeries& member : sample.series) {
@@ -145,6 +278,11 @@ FleetAggregate FleetView::AggregateSelected(
   return agg;
 }
 
+FleetAggregate FleetView::AggregateSelected(
+    AggKind kind, const SeriesSelector* selector) const {
+  return AggregateOf(SampleSelected(selector), kind);
+}
+
 FleetAggregate FleetView::Aggregate(AggKind kind) const {
   return AggregateSelected(kind, nullptr);
 }
@@ -155,6 +293,11 @@ FleetAggregate FleetView::Aggregate(AggKind kind,
 }
 
 FleetPercentileBands FleetView::BandsOf(const FleetSample& sample) {
+  return BandsOf(sample, ExecPolicy{});
+}
+
+FleetPercentileBands FleetView::BandsOf(const FleetSample& sample,
+                                        const ExecPolicy& policy) {
   FleetPercentileBands bands;
   bands.skipped_unpublished = sample.skipped_unpublished;
   size_t positions = static_cast<size_t>(-1);
@@ -170,49 +313,99 @@ FleetPercentileBands FleetView::BandsOf(const FleetSample& sample) {
   bands.p50.resize(positions);
   bands.p90.resize(positions);
   bands.p99.resize(positions);
-  std::vector<double> column(sample.series.size());
-  for (size_t j = 0; j < positions; ++j) {
-    for (size_t s = 0; s < sample.series.size(); ++s) {
-      const std::vector<double>& series = sample.series[s].frame->series;
-      // Align every member at its newest pane: band position j is the
-      // member's own position j counted within the newest `positions`
-      // panes it published.
-      column[s] = series[series.size() - positions + j];
-    }
-    std::sort(column.begin(), column.end());
-    bands.p50[j] = PercentileOfSorted(column, 50.0);
-    bands.p90[j] = PercentileOfSorted(column, 90.0);
-    bands.p99[j] = PercentileOfSorted(column, 99.0);
+
+  const size_t n = sample.series.size();
+  // Align every member at its newest pane: band position j is the
+  // member's own position j counted within the newest `positions`
+  // panes it published.
+  std::vector<const double*> bases(n);
+  for (size_t s = 0; s < n; ++s) {
+    const std::vector<double>& series = sample.series[s].frame->series;
+    bases[s] = series.data() + (series.size() - positions);
   }
+
+  const kern::KernelTable& kt = kern::ActiveKernels(policy.simd);
+  // Positions are processed in blocks of 4 so the gather is a tiled
+  // 4x4 transpose (one vector load per series row covers 4 columns).
+  // Blocks write disjoint output positions, so they fan out freely.
+  const size_t blocks = (positions + 3) / 4;
+  const size_t chunks = std::min(blocks, kern::kMaxChunks);
+  ParallelChunks(policy, chunks, [&](size_t c) {
+    std::vector<double> cols(4 * n);
+    std::vector<unsigned char> bidx(n);
+    std::vector<double> pool;
+    const size_t b0 = kern::ChunkBound(blocks, chunks, c);
+    const size_t b1 = kern::ChunkBound(blocks, chunks, c + 1);
+    for (size_t b = b0; b < b1; ++b) {
+      const size_t j0 = 4 * b;
+      const size_t bw = std::min<size_t>(4, positions - j0);
+      if (bw == 4) {
+        kt.gather4(bases.data(), j0, n, cols.data(), cols.data() + n,
+                   cols.data() + 2 * n, cols.data() + 3 * n);
+      } else {
+        for (size_t s = 0; s < n; ++s) {
+          const double* r = bases[s] + j0;
+          for (size_t q = 0; q < bw; ++q) {
+            cols[q * n + s] = r[q];
+          }
+        }
+      }
+      for (size_t q = 0; q < bw; ++q) {
+        const size_t j = j0 + q;
+        SelectColumnPercentiles(cols.data() + q * n, n, kt, bidx.data(),
+                                &pool, &bands.p50[j], &bands.p90[j],
+                                &bands.p99[j]);
+      }
+    }
+  });
   return bands;
 }
 
 FleetPercentileBands FleetView::PercentileBands() const {
-  return BandsOf(SampleSelected(nullptr));
+  return BandsOf(SampleSelected(nullptr), policy_);
 }
 
 FleetPercentileBands FleetView::PercentileBands(
     const SeriesSelector& selector) const {
-  return BandsOf(SampleSelected(&selector));
+  return BandsOf(SampleSelected(&selector), policy_);
 }
 
 FleetAnomalyCounts FleetView::AnomalyCountsOf(const FleetSample& sample,
                                               const AlertOptions& options) {
+  return AnomalyCountsOf(sample, options, ExecPolicy{});
+}
+
+FleetAnomalyCounts FleetView::AnomalyCountsOf(const FleetSample& sample,
+                                              const AlertOptions& options,
+                                              const ExecPolicy& policy) {
   FleetAnomalyCounts counts;
   counts.skipped_unpublished = sample.skipped_unpublished;
-  for (const SampledSeries& member : sample.series) {
-    const Result<std::vector<Alert>> alerts =
-        FindDeviations(member.frame->series, options);
-    if (!alerts.ok()) {
+  const size_t n = sample.series.size();
+  // Per-member detector runs are independent; SIZE_MAX marks a member
+  // whose frame the detector rejected as too short.
+  std::vector<size_t> alerts_per(n, 0);
+  const size_t chunks = std::min(n, kern::kMaxChunks);
+  ParallelChunks(policy, chunks, [&](size_t c) {
+    const size_t i0 = kern::ChunkBound(n, chunks, c);
+    const size_t i1 = kern::ChunkBound(n, chunks, c + 1);
+    for (size_t i = i0; i < i1; ++i) {
+      const Result<std::vector<Alert>> alerts =
+          FindDeviations(sample.series[i].frame->series, options);
+      alerts_per[i] =
+          alerts.ok() ? alerts.ValueOrDie().size() : static_cast<size_t>(-1);
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
+    if (alerts_per[i] == static_cast<size_t>(-1)) {
       // The detector rejects only too-short series; a member that has
       // refreshed but not yet filled enough panes lands here.
       counts.skipped_short += 1;
       continue;
     }
     counts.series += 1;
-    if (!alerts.ValueOrDie().empty()) {
+    if (alerts_per[i] > 0) {
       counts.series_alerting += 1;
-      counts.alerts += alerts.ValueOrDie().size();
+      counts.alerts += alerts_per[i];
     }
   }
   return counts;
@@ -220,17 +413,17 @@ FleetAnomalyCounts FleetView::AnomalyCountsOf(const FleetSample& sample,
 
 FleetAnomalyCounts FleetView::AnomalyCounts(
     const AlertOptions& options) const {
-  return AnomalyCountsOf(SampleSelected(nullptr), options);
+  return AnomalyCountsOf(SampleSelected(nullptr), options, policy_);
 }
 
 FleetAnomalyCounts FleetView::AnomalyCounts(
     const SeriesSelector& selector, const AlertOptions& options) const {
-  return AnomalyCountsOf(SampleSelected(&selector), options);
+  return AnomalyCountsOf(SampleSelected(&selector), options, policy_);
 }
 
 HistoryDiff FleetView::DiffRing(
     const std::vector<std::shared_ptr<const StreamingAsap::Frame>>& ring,
-    size_t k) {
+    size_t k, const ExecPolicy& policy) {
   HistoryDiff diff;
   if (ring.empty()) {
     return diff;
@@ -243,20 +436,33 @@ HistoryDiff FleetView::DiffRing(
   diff.window_delta = static_cast<long long>(newer.window) -
                       static_cast<long long>(older.window);
   diff.refreshes_apart = newer.refreshes - older.refreshes;
+  // Newest-pane alignment, same as BandsOf: position j counts within
+  // the newest `len` panes of each frame.
   const size_t len = std::min(newer.series.size(), older.series.size());
   diff.delta.resize(len);
-  double sum_abs = 0.0;
-  for (size_t j = 0; j < len; ++j) {
-    // Newest-pane alignment, same as BandsOf: position j counts within
-    // the newest `len` panes of each frame.
-    const double d = newer.series[newer.series.size() - len + j] -
-                     older.series[older.series.size() - len + j];
-    diff.delta[j] = d;
-    const double a = std::fabs(d);
-    sum_abs += a;
-    diff.max_abs_delta = std::max(diff.max_abs_delta, a);
+  if (len == 0) {
+    diff.mean_abs_delta = 0.0;
+    return diff;
   }
-  diff.mean_abs_delta = len > 0 ? sum_abs / static_cast<double>(len) : 0.0;
+  const double* newer_p = newer.series.data() + (newer.series.size() - len);
+  const double* older_p = older.series.data() + (older.series.size() - len);
+  const kern::KernelTable& kt = kern::ActiveKernels(policy.simd);
+  const size_t chunks = kern::ChunksFor(len);
+  kern::AbsDeltaPartials parts[kern::kMaxChunks];
+  ParallelChunks(policy, chunks, [&](size_t c) {
+    const size_t b0 = kern::ChunkBound(len, chunks, c);
+    const size_t b1 = kern::ChunkBound(len, chunks, c + 1);
+    parts[c] = kt.abs_delta(newer_p + b0, older_p + b0, b1 - b0,
+                            diff.delta.data() + b0);
+  });
+  double sum_abs = 0.0;
+  double max_abs = 0.0;
+  for (size_t c = 0; c < chunks; ++c) {
+    sum_abs += parts[c].sum_abs;
+    max_abs = (parts[c].max_abs > max_abs) ? parts[c].max_abs : max_abs;
+  }
+  diff.max_abs_delta = max_abs;
+  diff.mean_abs_delta = sum_abs / static_cast<double>(len);
   return diff;
 }
 
@@ -265,7 +471,7 @@ HistoryDiff FleetView::DiffHistory(std::string_view name, size_t k) const {
   if (!id.has_value()) {
     return HistoryDiff{};
   }
-  return DiffRing(engine_->FrameHistoryById(*id), k);
+  return DiffRing(engine_->FrameHistoryById(*id), k, policy_);
 }
 
 ChangeRanking FleetView::RankByChange(size_t k, size_t frames_back,
@@ -273,19 +479,35 @@ ChangeRanking FleetView::RankByChange(size_t k, size_t frames_back,
   ChangeRanking ranking;
   const SeriesCatalog* catalog = this->catalog();
   const size_t n = catalog->size();
+  // Selector matching stays sequential (cheap, preserves catalog
+  // order); the per-series ring diffs fan out into per-series slots.
+  std::vector<SeriesId> ids;
+  ids.reserve(n);
   for (SeriesId id = 0; static_cast<size_t>(id) < n; ++id) {
-    const std::string_view name = catalog->NameOf(id);
-    if (selector != nullptr && !selector->Matches(name)) {
-      continue;
+    if (selector == nullptr || selector->Matches(catalog->NameOf(id))) {
+      ids.push_back(id);
     }
-    const HistoryDiff diff =
-        DiffRing(engine_->FrameHistoryById(id), frames_back);
+  }
+  std::vector<HistoryDiff> diffs(ids.size());
+  ExecPolicy inner = policy_;
+  inner.threads = 1;  // parallelism is across series here
+  const size_t chunks = std::min(ids.size(), kern::kMaxChunks);
+  ParallelChunks(policy_, chunks, [&](size_t c) {
+    const size_t i0 = kern::ChunkBound(ids.size(), chunks, c);
+    const size_t i1 = kern::ChunkBound(ids.size(), chunks, c + 1);
+    for (size_t i = i0; i < i1; ++i) {
+      diffs[i] = DiffRing(engine_->FrameHistoryById(ids[i]), frames_back,
+                          inner);
+    }
+  });
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const HistoryDiff& diff = diffs[i];
     if (!diff.known) {
       ranking.skipped_unpublished += 1;
       continue;
     }
     SeriesChange change;
-    change.name = std::string(name);
+    change.name = std::string(catalog->NameOf(ids[i]));
     change.mean_abs_delta = diff.mean_abs_delta;
     change.max_abs_delta = diff.max_abs_delta;
     change.frames_apart = diff.frames_apart;

@@ -37,6 +37,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/exec_policy.h"
 #include "core/streaming_asap.h"
 #include "stream/alerts.h"
 #include "stream/catalog.h"
@@ -182,6 +183,15 @@ class FleetView {
   /// `engine` is borrowed and must outlive this view.
   explicit FleetView(const ShardedEngine* engine);
 
+  /// Same, with an execution policy applied to every rollup this view
+  /// runs (threads + SIMD; see common/exec_policy.h). The policy
+  /// changes rollup speed only — every result is bitwise-identical to
+  /// the default sequential scalar execution.
+  FleetView(const ShardedEngine* engine, const ExecPolicy& policy);
+
+  const ExecPolicy& exec_policy() const { return policy_; }
+  void set_exec_policy(const ExecPolicy& policy) { policy_ = policy; }
+
   /// The latest published frame of one named series; nullptr if the
   /// name is unknown or no record of it has reached a shard yet.
   std::shared_ptr<const StreamingAsap::Frame> Frame(
@@ -222,12 +232,25 @@ class FleetView {
   RoughnessRanking TopKByRoughness(size_t k,
                                    const SeriesSelector& selector) const;
 
+  /// Pure ranking over an already-taken sample. A dashboard answering
+  /// several questions about the same instant should take one Sample()
+  /// and feed it to the *Of rollups instead of re-sampling per query
+  /// (see examples/server_monitoring.cpp).
+  static RoughnessRanking TopKByRoughnessOf(const FleetSample& sample,
+                                            size_t k);
+  static RoughnessRanking TopKByRoughnessOf(const FleetSample& sample,
+                                            size_t k,
+                                            const ExecPolicy& policy);
+
   /// Rolls each refreshed series' latest smoothed value (the "current
   /// level" of its dashboard) up across the fleet (or the selected
   /// slice of it).
   FleetAggregate Aggregate(AggKind kind) const;
   FleetAggregate Aggregate(AggKind kind,
                            const SeriesSelector& selector) const;
+
+  /// Pure aggregate over an already-taken sample.
+  static FleetAggregate AggregateOf(const FleetSample& sample, AggKind kind);
 
   /// Fleet-wide percentile bands over each pane position of the
   /// selected series' latest smoothed frames (see
@@ -236,8 +259,11 @@ class FleetView {
   FleetPercentileBands PercentileBands(const SeriesSelector& selector) const;
 
   /// Pure rollup over an already-taken sample: deterministic and
-  /// bitwise reproducible for a given sample, even mid-run.
+  /// bitwise reproducible for a given sample, even mid-run — across
+  /// every ExecPolicy, not just within one.
   static FleetPercentileBands BandsOf(const FleetSample& sample);
+  static FleetPercentileBands BandsOf(const FleetSample& sample,
+                                      const ExecPolicy& policy);
 
   /// Runs the stream/alerts deviation detector over each selected
   /// series' latest smoothed frame and rolls the counts up.
@@ -246,6 +272,9 @@ class FleetView {
                                    const AlertOptions& options = {}) const;
   static FleetAnomalyCounts AnomalyCountsOf(const FleetSample& sample,
                                             const AlertOptions& options);
+  static FleetAnomalyCounts AnomalyCountsOf(const FleetSample& sample,
+                                            const AlertOptions& options,
+                                            const ExecPolicy& policy);
 
   /// Pane-position-aligned delta between the series' latest published
   /// frame and the ring entry `k` refreshes back (clamped to the
@@ -282,9 +311,10 @@ class FleetView {
   /// DiffHistory body over an already-resolved ring.
   static HistoryDiff DiffRing(
       const std::vector<std::shared_ptr<const StreamingAsap::Frame>>& ring,
-      size_t k);
+      size_t k, const ExecPolicy& policy);
 
   const ShardedEngine* engine_;
+  ExecPolicy policy_;
 };
 
 }  // namespace stream
