@@ -39,6 +39,7 @@ struct Args {
   uint16_t port = 0;
   std::string uds_path;
   size_t shards = 4;
+  size_t loops = 1;
   size_t series = 12;
   WireEncoding encoding = WireEncoding::kBinary;
 };
@@ -47,10 +48,11 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  wire_fleet server [--port N | --uds PATH] [--shards T]\n"
+      "  wire_fleet server [--port N | --uds PATH] [--shards T] [--loops L]\n"
       "  wire_fleet client [--port N | --uds PATH] [--series K]\n"
       "                    [--encoding text|binary]\n"
-      "  wire_fleet demo   [--shards T] [--series K] [--encoding ...]\n");
+      "  wire_fleet demo   [--shards T] [--loops L] [--series K]\n"
+      "                    [--encoding ...]\n");
   return 2;
 }
 
@@ -74,6 +76,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->uds_path = value;
     } else if (flag == "--shards") {
       args->shards = static_cast<size_t>(std::atoi(value.c_str()));
+    } else if (flag == "--loops") {
+      args->loops = static_cast<size_t>(std::atoi(value.c_str()));
     } else if (flag == "--series") {
       args->series = static_cast<size_t>(std::atoi(value.c_str()));
     } else if (flag == "--encoding") {
@@ -155,7 +159,8 @@ int RunServer(const Args& args, asap::stream::ShardedEngine* engine,
   } else {
     std::printf("Listening on %s", server.uds_path().c_str());
   }
-  std::printf(" (%zu shards); waiting for a collector...\n", args.shards);
+  std::printf(" (%zu shards, %zu event loop%s); waiting for a collector...\n",
+              args.shards, args.loops, args.loops == 1 ? "" : "s");
 
   asap::net::NetMultiSource source(&server);
   const asap::stream::FleetReport report = engine->RunToCompletion(&source);
@@ -175,6 +180,27 @@ int RunServer(const Args& args, asap::stream::ShardedEngine* engine,
       static_cast<unsigned long long>(stats.name_registrations),
       static_cast<unsigned long long>(stats.malformed_lines),
       static_cast<unsigned long long>(stats.poisoned_connections));
+
+  std::printf("Event-loop tier: %llu wakeups, %llu events (%.1f ev/wakeup), "
+              "%llu batches\n",
+              static_cast<unsigned long long>(stats.wakeups),
+              static_cast<unsigned long long>(stats.events),
+              stats.wakeups > 0 ? static_cast<double>(stats.events) /
+                                      static_cast<double>(stats.wakeups)
+                                : 0.0,
+              static_cast<unsigned long long>(stats.batches));
+  for (size_t i = 0; i < stats.per_loop.size(); ++i) {
+    const asap::net::WireLoopStats& loop = stats.per_loop[i];
+    std::printf("  loop %zu: %llu accepted, %llu handoffs, %llu batches "
+                "(%.0f records avg)\n",
+                i, static_cast<unsigned long long>(loop.accepted),
+                static_cast<unsigned long long>(loop.handoffs),
+                static_cast<unsigned long long>(loop.batches),
+                loop.batches > 0 ? static_cast<double>(loop.batch_records) /
+                                       static_cast<double>(loop.batches)
+                                 : 0.0);
+  }
+  std::printf("\n");
 
   std::printf("Per-series final frames (smoothed taxi, chosen windows):\n");
   std::printf("%-10s%-10s%-12s%-10s\n", "series", "points", "refreshes",
@@ -265,6 +291,7 @@ asap::net::WireServer MakeServer(const Args& args,
   } else {
     server_options.tcp_port = args.port;
   }
+  server_options.num_event_loops = args.loops;
   return asap::net::WireServer::Create(server_options, engine->catalog())
       .ValueOrDie();
 }

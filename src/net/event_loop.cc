@@ -1,0 +1,117 @@
+#include "net/event_loop.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/eventfd.h>
+#endif
+
+namespace asap {
+namespace net {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Result<EventLoop> EventLoop::Create() {
+  EventLoop loop;
+  const int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd < 0) {
+    return Status::IOError(Errno("epoll_create1"));
+  }
+  loop.epoll_ = Socket(epfd);
+#if defined(__linux__)
+  const int wfd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wfd < 0) {
+    return Status::IOError(Errno("eventfd"));
+  }
+  loop.wake_ = Socket(wfd);
+#else
+  return Status::NotImplemented("EventLoop requires epoll + eventfd");
+#endif
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epfd, EPOLL_CTL_ADD, loop.wake_.fd(), &ev) < 0) {
+    return Status::IOError(Errno("epoll_ctl(ADD wakeup)"));
+  }
+  loop.scratch_.resize(64);
+  return loop;
+}
+
+Status EventLoop::Add(int fd, uint64_t tag, bool edge_triggered) {
+  if (tag == kWakeTag) {
+    return Status::InvalidArgument("kWakeTag is reserved for the wakeup fd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | (edge_triggered ? EPOLLET : 0u);
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_.fd(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return Status::IOError(Errno("epoll_ctl(ADD)"));
+  }
+  return Status::OK();
+}
+
+Status EventLoop::Remove(int fd) {
+  if (::epoll_ctl(epoll_.fd(), EPOLL_CTL_DEL, fd, nullptr) < 0) {
+    return Status::IOError(Errno("epoll_ctl(DEL)"));
+  }
+  return Status::OK();
+}
+
+size_t EventLoop::Wait(int timeout_ms, std::vector<Event>* out, bool* woken) {
+  out->clear();
+  if (woken != nullptr) {
+    *woken = false;
+  }
+  const int n = ::epoll_wait(epoll_.fd(), scratch_.data(),
+                             static_cast<int>(scratch_.size()), timeout_ms);
+  if (n <= 0) {
+    return 0;  // timeout, or EINTR read as an empty turn
+  }
+  for (int i = 0; i < n; ++i) {
+    const epoll_event& ev = scratch_[i];
+    if (ev.data.u64 == kWakeTag) {
+      uint64_t count = 0;
+      // Drain the eventfd counter so the level-triggered wakeup
+      // disarms; concurrent Wake()s coalesce into this one read.
+      while (::read(wake_.fd(), &count, sizeof(count)) < 0 &&
+             errno == EINTR) {
+      }
+      if (woken != nullptr) {
+        *woken = true;
+      }
+      continue;
+    }
+    Event event;
+    event.tag = ev.data.u64;
+    event.readable = (ev.events & EPOLLIN) != 0;
+    event.closed = (ev.events & (EPOLLHUP | EPOLLERR)) != 0;
+    out->push_back(event);
+  }
+  if (static_cast<size_t>(n) == scratch_.size()) {
+    // A full return may have left ready fds unreported (they re-arm:
+    // LT stays ready, ET re-fires on new bytes, and the drain loops
+    // read past the event anyway) — grow so bursts fit next time.
+    scratch_.resize(scratch_.size() * 2);
+  }
+  return out->size();
+}
+
+void EventLoop::Wake() {
+  const uint64_t one = 1;
+  // EAGAIN (counter at max) still leaves the eventfd readable, which
+  // is all a wakeup needs; other failures have no fallback worth a
+  // crash on this path.
+  while (::write(wake_.fd(), &one, sizeof(one)) < 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace net
+}  // namespace asap

@@ -1,0 +1,94 @@
+// EventLoop: one epoll instance with a persistent interest list, the
+// readiness primitive under the sharded WireServer. Where the old
+// poll() loop rebuilt an O(n) fd array every wakeup, an EventLoop
+// registers each fd once (epoll_ctl ADD) and every epoll_wait returns
+// only the fds that are actually ready — wakeup cost follows the
+// number of *active* connections, not the number of open ones, which
+// is what lets one loop sit on tens of thousands of mostly-idle
+// collector connections.
+//
+// Connections register edge-triggered (EPOLLET): one event per burst,
+// and the owner must drain the socket to EAGAIN before waiting again
+// (WireServer's read loop does exactly that). Listeners register
+// level-triggered — a backlog that could not be fully accepted this
+// turn (connection cap, fd pressure) re-arms on the next wait instead
+// of being lost, which is also the safe mode for the UDS listener.
+//
+// Wake() is the explicit shutdown/handoff wakeup: an eventfd on the
+// interest list that any thread may poke to break an indefinite
+// epoll_wait — the fix for the old server's stop-flag-checked-only-
+// after-poll race.
+
+#ifndef ASAP_NET_EVENT_LOOP_H_
+#define ASAP_NET_EVENT_LOOP_H_
+
+#include <sys/epoll.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "net/socket.h"
+
+namespace asap {
+namespace net {
+
+/// One epoll fd plus its wakeup eventfd. Move-only. All methods except
+/// Wake() must be called from the thread that pumps Wait(); Wake() is
+/// the one cross-thread entry point.
+class EventLoop {
+ public:
+  /// One readiness event, as seen by Wait().
+  struct Event {
+    /// The tag passed to Add() for this fd.
+    uint64_t tag = 0;
+    /// EPOLLIN: bytes (or a pending accept) are readable.
+    bool readable = false;
+    /// EPOLLHUP/EPOLLERR: the peer is gone; a read will surface the
+    /// EOF/error, so owners treat this as "read now" too.
+    bool closed = false;
+  };
+
+  /// Reserved tag for the internal wakeup eventfd; Add() rejects it.
+  static constexpr uint64_t kWakeTag = ~0ull;
+
+  static Result<EventLoop> Create();
+
+  EventLoop(EventLoop&&) noexcept = default;
+  EventLoop& operator=(EventLoop&&) noexcept = default;
+
+  /// Registers `fd` for EPOLLIN with `tag` returned on each readiness
+  /// event. Edge-triggered registrants must be drained to EAGAIN per
+  /// event; level-triggered ones re-arm while readable.
+  Status Add(int fd, uint64_t tag, bool edge_triggered);
+
+  /// Drops `fd` from the interest list. (A close()d fd leaves the
+  /// list on its own, but removing first is the race-free order.)
+  Status Remove(int fd);
+
+  /// Waits up to `timeout_ms` (-1 = indefinitely) and appends the
+  /// ready events to *out (cleared first), excluding the wakeup
+  /// eventfd, which is drained internally. Returns out->size().
+  /// *woken (if non-null) reports whether a Wake() was consumed —
+  /// a Wait may return 0 events with *woken == true. EINTR reads as
+  /// an empty turn.
+  size_t Wait(int timeout_ms, std::vector<Event>* out,
+              bool* woken = nullptr);
+
+  /// Breaks a concurrent (or the next) Wait(). Safe from any thread,
+  /// async-signal-unsafe only in the ways write(2) is.
+  void Wake();
+
+ private:
+  EventLoop() = default;
+
+  Socket epoll_;
+  Socket wake_;
+  /// Reused epoll_wait output buffer; grown when a wait fills it.
+  std::vector<epoll_event> scratch_;
+};
+
+}  // namespace net
+}  // namespace asap
+
+#endif  // ASAP_NET_EVENT_LOOP_H_

@@ -66,8 +66,14 @@ class NetMultiSource : public stream::MultiSource {
   size_t TotalPoints() const override { return 0; }
 
   /// Makes the next NextBatch turn return 0 (exhausted). Safe to call
-  /// from any thread — this is the one cross-thread entry point.
-  void Stop() { stop_.store(true, std::memory_order_release); }
+  /// from any thread — this is the one cross-thread entry point. Also
+  /// wakes the server's poll wait, so a NextBatch blocked idle returns
+  /// promptly instead of after its poll timeout: the wakeup is an
+  /// event the wait consumes, not a flag it might check too early.
+  void Stop() {
+    stop_.store(true, std::memory_order_release);
+    server_->Wake();
+  }
   bool stopped() const { return stop_.load(std::memory_order_acquire); }
 
   WireServer* server() const { return server_; }

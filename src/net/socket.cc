@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
@@ -79,6 +80,60 @@ Status Socket::SetNonBlocking() {
   return Status::OK();
 }
 
+Status Socket::SetTcpNoDelay() {
+  const int one = 1;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return Status::IOError(Errno("setsockopt(TCP_NODELAY)"));
+  }
+  return Status::OK();
+}
+
+Status Socket::SetReusePort() {
+#ifdef SO_REUSEPORT
+  const int one = 1;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+    return Status::IOError(Errno("setsockopt(SO_REUSEPORT)"));
+  }
+  return Status::OK();
+#else
+  return Status::NotImplemented("SO_REUSEPORT is not available here");
+#endif
+}
+
+bool ReusePortSupported() {
+#ifdef SO_REUSEPORT
+  return true;
+#else
+  return false;
+#endif
+}
+
+AcceptStatus AcceptNonBlocking(const Socket& listener, Socket* out) {
+#if defined(__linux__)
+  const int fd =
+      ::accept4(listener.fd(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+#else
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+#endif
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) {
+      return AcceptStatus::kRetry;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return AcceptStatus::kWouldBlock;
+    }
+    return AcceptStatus::kError;
+  }
+  Socket sock(fd);
+#if !defined(__linux__)
+  if (!sock.SetNonBlocking().ok()) {
+    return AcceptStatus::kRetry;  // treat a failed setup as a lost conn
+  }
+#endif
+  *out = std::move(sock);
+  return AcceptStatus::kAccepted;
+}
+
 RecvStatus RecvSome(int fd, char* buffer, size_t capacity, size_t* n) {
   for (;;) {
     const ssize_t got = ::recv(fd, buffer, capacity, 0);
@@ -115,11 +170,14 @@ Status SendAll(int fd, const char* data, size_t n) {
 }
 
 Result<Socket> ListenTcp(const std::string& host, uint16_t port,
-                         int backlog) {
+                         int backlog, bool reuse_port) {
   ASAP_ASSIGN_OR_RETURN(sockaddr_in addr, TcpAddress(host, port));
   ASAP_ASSIGN_OR_RETURN(Socket sock, MakeSocket(AF_INET, "socket(tcp)"));
   const int one = 1;
   ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+    ASAP_RETURN_NOT_OK(sock.SetReusePort());
+  }
   if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) < 0) {
     return Status::IOError(Errno("bind " + host + ":" + std::to_string(port)));

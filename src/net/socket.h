@@ -36,9 +36,39 @@ class Socket {
 
   Status SetNonBlocking();
 
+  /// Disables Nagle's algorithm (TCP_NODELAY). Fails with IOError on
+  /// an invalid fd or a non-TCP socket (e.g. Unix-domain).
+  Status SetTcpNoDelay();
+
+  /// Marks the socket SO_REUSEPORT so several listeners can bind the
+  /// same address and the kernel load-balances accepts across them
+  /// (the sharded-acceptor topology). Must be set before bind().
+  /// Returns NotImplemented where the platform lacks SO_REUSEPORT —
+  /// callers fall back to a single listener with fd handoff.
+  Status SetReusePort();
+
  private:
   int fd_ = -1;
 };
+
+/// True when this build knows SO_REUSEPORT (compile-time feature
+/// detection; a kernel that rejects the option still surfaces as a
+/// SetReusePort error at runtime).
+bool ReusePortSupported();
+
+/// Result of one non-blocking accept attempt.
+enum class AcceptStatus {
+  kAccepted,    // *out holds the new non-blocking connection
+  kWouldBlock,  // backlog drained
+  kRetry,       // transient (EINTR / ECONNABORTED): call again
+  kError,       // hard failure (e.g. EMFILE) — caller must back off
+};
+
+/// Accepts one pending connection from a non-blocking listener,
+/// using accept4(SOCK_NONBLOCK) where available (one syscall) and
+/// falling back to accept + fcntl elsewhere. On kAccepted, *out is
+/// the connection socket, already non-blocking.
+AcceptStatus AcceptNonBlocking(const Socket& listener, Socket* out);
 
 /// Result of one non-blocking read.
 enum class RecvStatus {
@@ -58,8 +88,11 @@ Status SendAll(int fd, const char* data, size_t n);
 /// Opens a listening IPv4 TCP socket on host:port (port 0 picks an
 /// ephemeral port — read it back with LocalPort). SO_REUSEADDR is set
 /// and TCP_NODELAY is inherited by accepted connections via the
-/// caller's option choice, not here.
-Result<Socket> ListenTcp(const std::string& host, uint16_t port, int backlog);
+/// caller's option choice, not here. With reuse_port, SO_REUSEPORT is
+/// set before bind so N listeners can shard one port (fails with
+/// NotImplemented where unsupported).
+Result<Socket> ListenTcp(const std::string& host, uint16_t port, int backlog,
+                         bool reuse_port = false);
 
 /// The port a TCP listener actually bound (resolves port 0).
 Result<uint16_t> LocalPort(const Socket& listener);

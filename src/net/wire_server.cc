@@ -1,24 +1,577 @@
 #include "net/wire_server.h"
 
-#include <poll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "common/macros.h"
+#include "net/event_loop.h"
 
 namespace asap {
 namespace net {
 
-WireServer::WireServer(const WireServerOptions& options,
-                       stream::SeriesCatalog* catalog)
-    : options_(options),
-      catalog_(catalog),
-      read_buffer_(options.read_chunk_bytes) {}
+namespace {
+
+// Interest-list tags: listeners get fixed small tags, connections get
+// a per-loop monotonically increasing tag starting past them.
+constexpr uint64_t kTcpListenerTag = 1;
+constexpr uint64_t kUdsListenerTag = 2;
+constexpr uint64_t kFirstConnectionTag = 16;
+
+size_t HistBucket(size_t batch_size) {
+  // Thresholds 1, 4, 16, 64, 256, 1024, 4096 — log-4 buckets.
+  size_t b = 0;
+  while (b + 1 < WireLoopStats::kBatchSizeBuckets &&
+         batch_size > (1ull << (2 * b))) {
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+struct WireServer::Core {
+  // ---- one accepted connection, owned by exactly one loop ----------
+  struct Connection {
+    Connection(Socket s, stream::SeriesCatalog* catalog,
+               size_t max_frame_bytes)
+        : sock(std::move(s)), decoder(catalog, max_frame_bytes) {}
+
+    Socket sock;
+    FrameDecoder decoder;
+    /// Decoder counters already folded into the loop's atomics; the
+    /// next fold adds only the delta. Lets stats() read atomics only —
+    /// never a decoder a loop thread is concurrently mutating.
+    DecoderStats folded;
+  };
+
+  // ---- per-loop counters, all relaxed atomics ----------------------
+  struct alignas(64) LoopCounters {
+    std::atomic<uint64_t> wakeups{0};
+    std::atomic<uint64_t> events{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> batch_records{0};
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> handoffs{0};
+    std::atomic<uint64_t> hist[WireLoopStats::kBatchSizeBuckets]{};
+    // Decode counters (deltas folded from connection decoders).
+    std::atomic<uint64_t> bytes{0};
+    std::atomic<uint64_t> records{0};
+    std::atomic<uint64_t> text_records{0};
+    std::atomic<uint64_t> binary_records{0};
+    std::atomic<uint64_t> name_registrations{0};
+    std::atomic<uint64_t> malformed_lines{0};
+    std::atomic<uint64_t> malformed_frames{0};
+    std::atomic<uint64_t> malformed_registrations{0};
+    std::atomic<uint64_t> unknown_series_records{0};
+  };
+
+  struct Loop {
+    explicit Loop(EventLoop e) : ev(std::move(e)) {}
+
+    size_t id = 0;
+    EventLoop ev;
+    /// Valid when this loop owns a TCP listener (every loop under the
+    /// SO_REUSEPORT sharding; loop 0 only on the handoff fallback).
+    Socket tcp_listener;
+    /// Valid on loop 0 only (UDS cannot shard a path).
+    Socket uds_listener;
+    std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+    uint64_t next_tag = kFirstConnectionTag;
+    std::vector<char> read_buffer;
+    /// The loop's fill batch, flushed to the output queue each turn
+    /// (or mid-turn at loop_batch_records).
+    std::unique_ptr<stream::RecordBatch> batch;
+    /// Tags of connections that hit EOF/error/poison this turn;
+    /// retired only *after* the turn's flush so the consumer never
+    /// observes active == 0 with their records still loop-local.
+    std::vector<uint64_t> dead;
+    LoopCounters counters;
+
+    /// fd-handoff mailbox: loop 0 pushes accepted sockets here, this
+    /// loop adopts them at the top of its next turn (ev.Wake()-driven).
+    std::mutex mail_mu;
+    std::vector<Socket> mailbox;
+
+    std::thread thread;
+  };
+
+  // ------------------------------------------------------------------
+  WireServerOptions options;
+  stream::SeriesCatalog* catalog = nullptr;
+  uint16_t tcp_port = 0;
+  bool sharded_tcp = false;
+  std::vector<std::unique_ptr<Loop>> loops;
+
+  std::once_flag start_once;
+  std::atomic<bool> started{false};
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> stopped{false};
+  std::atomic<bool> close_listeners{false};
+  /// Only a path this server actually bound may be unlinked — a
+  /// failed Create (e.g. the path exists and is not a socket) must
+  /// leave the caller's file alone.
+  bool uds_bound = false;
+  std::atomic<bool> uds_unlinked{false};
+
+  // Global connection accounting (slot reservation is the connection
+  // cap, exact across loops).
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<size_t> active{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> accept_failures{0};
+  std::atomic<uint64_t> poisoned{0};
+
+  // ---- decoded-output queue: loops produce, PollOnce consumes ------
+  std::mutex queue_mu;
+  std::condition_variable queue_not_empty;  // consumer side
+  std::condition_variable queue_not_full;   // producer side
+  std::deque<std::unique_ptr<stream::RecordBatch>> queue;
+  std::vector<std::unique_ptr<stream::RecordBatch>> free_batches;
+  size_t queued_records = 0;
+  bool consumer_wake = false;
+  /// Loops joined; the queue holds the final drain and only shrinks.
+  bool queue_stopped = false;
+  /// Consumer-local partially delivered batch (guarded by queue_mu so
+  /// pending_records() stays callable from anywhere).
+  std::unique_ptr<stream::RecordBatch> delivering;
+  size_t delivering_pos = 0;
+
+  // ------------------------------------------------------------------
+
+  ~Core() { UnlinkUds(); }
+
+  void UnlinkUds() {
+    if (uds_bound && !uds_unlinked.exchange(true)) {
+      ::unlink(options.uds_path.c_str());
+    }
+  }
+
+  bool ReserveSlot() {
+    size_t cur = active.load(std::memory_order_relaxed);
+    while (cur < options.max_connections) {
+      if (active.compare_exchange_weak(cur, cur + 1)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::unique_ptr<stream::RecordBatch> TakeFreeBatchLocked() {
+    if (!free_batches.empty()) {
+      auto batch = std::move(free_batches.back());
+      free_batches.pop_back();
+      return batch;
+    }
+    return std::make_unique<stream::RecordBatch>();
+  }
+
+  void RecycleBatchLocked(std::unique_ptr<stream::RecordBatch> batch) {
+    batch->clear();
+    if (free_batches.size() < options.queue_batches + loops.size()) {
+      free_batches.push_back(std::move(batch));
+    }
+  }
+
+  /// Adds decode counters accumulated since `before` into `lc`.
+  static void FoldStats(const DecoderStats& s, const DecoderStats& before,
+                        LoopCounters* lc) {
+    const auto add = [](std::atomic<uint64_t>& a, uint64_t now,
+                        uint64_t prev) {
+      if (now != prev) {
+        a.fetch_add(now - prev, std::memory_order_relaxed);
+      }
+    };
+    add(lc->bytes, s.bytes, before.bytes);
+    add(lc->records, s.records, before.records);
+    add(lc->text_records, s.text_records, before.text_records);
+    add(lc->binary_records, s.binary_records, before.binary_records);
+    add(lc->name_registrations, s.name_registrations,
+        before.name_registrations);
+    add(lc->malformed_lines, s.malformed_lines, before.malformed_lines);
+    add(lc->malformed_frames, s.malformed_frames, before.malformed_frames);
+    add(lc->malformed_registrations, s.malformed_registrations,
+        before.malformed_registrations);
+    add(lc->unknown_series_records, s.unknown_series_records,
+        before.unknown_series_records);
+  }
+
+  /// Folds the delta since the last fold of `conn`'s decoder counters
+  /// into `lc`. Must run on the loop thread that owns `conn`.
+  static void FoldDelta(Connection* conn, LoopCounters* lc) {
+    FoldStats(conn->decoder.stats(), conn->folded, lc);
+    conn->folded = conn->decoder.stats();
+  }
+
+  /// Hands the loop's batch to the output queue (FIFO — the ordering
+  /// determinism parity rests on) and replaces it with a recycled one.
+  /// Blocks on a full queue: that stalls this loop's reads, which is
+  /// TCP backpressure; during shutdown the cap is waived so the final
+  /// drain can never deadlock against a sated consumer.
+  void FlushBatch(Loop* l) {
+    if (l->batch->empty()) {
+      return;
+    }
+    const size_t n = l->batch->size();
+    l->counters.batches.fetch_add(1, std::memory_order_relaxed);
+    l->counters.batch_records.fetch_add(n, std::memory_order_relaxed);
+    l->counters.hist[HistBucket(n)].fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lk(queue_mu);
+    queue_not_full.wait(lk, [&] {
+      return queue.size() < options.queue_batches ||
+             stopping.load(std::memory_order_acquire);
+    });
+    queue.push_back(std::move(l->batch));
+    queued_records += n;
+    l->batch = TakeFreeBatchLocked();
+    queue_not_empty.notify_one();
+  }
+
+  /// Registers an accepted (slot-reserved) socket with this loop.
+  void AdoptConnection(Loop* l, Socket sock, bool via_handoff) {
+    auto conn = std::make_unique<Connection>(std::move(sock), catalog,
+                                             options.max_frame_bytes);
+    const uint64_t tag = l->next_tag++;
+    if (!l->ev.Add(conn->sock.fd(), tag, /*edge_triggered=*/true).ok()) {
+      rejected.fetch_add(1, std::memory_order_relaxed);
+      active.fetch_sub(1);
+      return;
+    }
+    l->counters.accepted.fetch_add(1, std::memory_order_relaxed);
+    if (via_handoff) {
+      l->counters.handoffs.fetch_add(1, std::memory_order_relaxed);
+    }
+    l->conns.emplace(tag, std::move(conn));
+    // Bytes that raced in before the epoll ADD are not lost: ADD
+    // reports an initial readiness edge for an already-readable fd.
+  }
+
+  /// Accepts everything a listener's backlog holds right now.
+  /// `handoff` round-robins new sockets across loops (single-acceptor
+  /// fallback topology); self-adoption otherwise.
+  void AcceptAll(Loop* l, const Socket& listener, bool is_tcp, bool handoff,
+                 size_t* rr) {
+    for (;;) {
+      Socket sock;
+      switch (AcceptNonBlocking(listener, &sock)) {
+        case AcceptStatus::kRetry:
+          continue;
+        case AcceptStatus::kWouldBlock:
+          return;
+        case AcceptStatus::kError:
+          accept_failures.fetch_add(1, std::memory_order_relaxed);
+          // The un-accepted connection keeps the (level-triggered)
+          // listener readable; sleep so the loop backs off instead of
+          // spinning until fd pressure clears.
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          return;
+        case AcceptStatus::kAccepted:
+          break;
+      }
+      if (!ReserveSlot()) {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+        continue;  // sock closes on scope exit
+      }
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      if (is_tcp && options.tcp_nodelay) {
+        (void)sock.SetTcpNoDelay();  // advisory; never worth a drop
+      }
+      if (!handoff || loops.size() == 1 ||
+          stopping.load(std::memory_order_acquire)) {
+        // Once stopping, peer loops may have exited their final adopt
+        // — a mailboxed fd would strand, so the acceptor keeps it.
+        AdoptConnection(l, std::move(sock), /*via_handoff=*/false);
+        continue;
+      }
+      const size_t target = *rr % loops.size();
+      *rr += 1;
+      if (target == l->id) {
+        AdoptConnection(l, std::move(sock), /*via_handoff=*/false);
+        continue;
+      }
+      Loop* t = loops[target].get();
+      {
+        std::lock_guard<std::mutex> lk(t->mail_mu);
+        t->mailbox.push_back(std::move(sock));
+      }
+      t->ev.Wake();
+    }
+  }
+
+  void AdoptMailbox(Loop* l) {
+    std::vector<Socket> incoming;
+    {
+      std::lock_guard<std::mutex> lk(l->mail_mu);
+      incoming.swap(l->mailbox);
+    }
+    for (Socket& sock : incoming) {
+      AdoptConnection(l, std::move(sock), /*via_handoff=*/true);
+    }
+  }
+
+  /// Drains one connection to EAGAIN/EOF/error, decoding into the
+  /// loop's batch (mid-drain flush at loop_batch_records). Marks the
+  /// connection dead (into l->dead) when the stream ended.
+  void DrainConnection(Loop* l, uint64_t tag, Connection* conn) {
+    bool dead = false;
+    for (;;) {
+      if (l->batch->size() >= options.loop_batch_records) {
+        FlushBatch(l);
+      }
+      size_t n = 0;
+      const RecvStatus rs = RecvSome(conn->sock.fd(), l->read_buffer.data(),
+                                     l->read_buffer.size(), &n);
+      if (rs == RecvStatus::kData) {
+        if (!conn->decoder.Feed(l->read_buffer.data(), n, l->batch.get())) {
+          poisoned.fetch_add(1, std::memory_order_relaxed);
+          dead = true;
+          break;
+        }
+        continue;
+      }
+      if (rs == RecvStatus::kWouldBlock) {
+        break;  // edge drained; epoll re-arms on new bytes
+      }
+      if (rs == RecvStatus::kEof) {
+        // Orderly close: a complete trailing text line still counts.
+        conn->decoder.FinishEof(l->batch.get());
+      } else {
+        // Reset mid-stream: a buffered partial line could parse as a
+        // valid-but-wrong record — discard as malformed instead.
+        conn->decoder.AbandonEof();
+      }
+      dead = true;
+      break;
+    }
+    FoldDelta(conn, &l->counters);
+    if (dead) {
+      l->dead.push_back(tag);
+    }
+  }
+
+  /// Erases this turn's dead connections. Runs after FlushBatch: their
+  /// records are already published to the queue, so active never drops
+  /// to 0 ahead of the bytes that connection delivered.
+  void RetireDead(Loop* l) {
+    for (const uint64_t tag : l->dead) {
+      auto it = l->conns.find(tag);
+      if (it == l->conns.end()) {
+        continue;
+      }
+      (void)l->ev.Remove(it->second->sock.fd());
+      l->conns.erase(it);
+      active.fetch_sub(1);
+    }
+    l->dead.clear();
+  }
+
+  void CloseOwnListeners(Loop* l) {
+    if (l->tcp_listener.valid()) {
+      (void)l->ev.Remove(l->tcp_listener.fd());
+      l->tcp_listener.Close();
+    }
+    if (l->uds_listener.valid()) {
+      (void)l->ev.Remove(l->uds_listener.fd());
+      l->uds_listener.Close();
+      UnlinkUds();
+    }
+  }
+
+  /// The shutdown pass: adopt any last handoffs, accept what the
+  /// backlogs already hold, read every connection to EAGAIN/EOF and
+  /// flush — the drain-on-shutdown guarantee — then release
+  /// everything this loop owns.
+  void FinalDrain(Loop* l, size_t* rr) {
+    AdoptMailbox(l);
+    if (l->tcp_listener.valid()) {
+      AcceptAll(l, l->tcp_listener, /*is_tcp=*/true, /*handoff=*/false, rr);
+    }
+    if (l->uds_listener.valid()) {
+      AcceptAll(l, l->uds_listener, /*is_tcp=*/false, /*handoff=*/false, rr);
+    }
+    for (auto& entry : l->conns) {
+      DrainConnection(l, entry.first, entry.second.get());
+    }
+    FlushBatch(l);
+    RetireDead(l);
+    // Connections still open just lose their peer; any buffered
+    // partial frame is abandoned (counted malformed), never parsed.
+    for (auto& entry : l->conns) {
+      entry.second->decoder.AbandonEof();
+      FoldDelta(entry.second.get(), &l->counters);
+      active.fetch_sub(1);
+    }
+    l->conns.clear();
+    CloseOwnListeners(l);
+  }
+
+  void RunLoop(Loop* l) {
+    std::vector<EventLoop::Event> events;
+    size_t rr = l->id;  // round-robin cursor for handoffs (loop 0)
+    const bool handoff_tcp = !sharded_tcp;
+    for (;;) {
+      const bool stop_now = stopping.load(std::memory_order_acquire);
+      bool woken = false;
+      const size_t n = l->ev.Wait(stop_now ? 0 : -1, &events, &woken);
+      if (n > 0 || woken) {
+        l->counters.wakeups.fetch_add(1, std::memory_order_relaxed);
+        l->counters.events.fetch_add(n, std::memory_order_relaxed);
+      }
+      AdoptMailbox(l);
+      if (close_listeners.load(std::memory_order_acquire)) {
+        CloseOwnListeners(l);
+      }
+      for (const EventLoop::Event& ev : events) {
+        if (ev.tag == kTcpListenerTag) {
+          if (l->tcp_listener.valid()) {
+            AcceptAll(l, l->tcp_listener, /*is_tcp=*/true, handoff_tcp, &rr);
+          }
+        } else if (ev.tag == kUdsListenerTag) {
+          if (l->uds_listener.valid()) {
+            AcceptAll(l, l->uds_listener, /*is_tcp=*/false, /*handoff=*/true,
+                      &rr);
+          }
+        } else {
+          auto it = l->conns.find(ev.tag);
+          if (it != l->conns.end()) {
+            DrainConnection(l, it->first, it->second.get());
+          }
+        }
+      }
+      // Turn order matters: flush (publish records), then retire
+      // (decrement active) — the consumer-side drain check reads them
+      // in the opposite order and must never see both empty early.
+      FlushBatch(l);
+      RetireDead(l);
+      if (stop_now) {
+        FinalDrain(l, &rr);
+        return;
+      }
+    }
+  }
+
+  void Start() {
+    std::call_once(start_once, [this] {
+      for (auto& loop : loops) {
+        Loop* l = loop.get();
+        l->thread = std::thread([this, l] { RunLoop(l); });
+      }
+      started.store(true, std::memory_order_release);
+    });
+  }
+
+  /// Reads a socket that was mailboxed to a loop that had already
+  /// passed its final adopt (the one shutdown race fd handoff has);
+  /// runs on the Stop() thread after every loop has joined.
+  void DrainStray(Socket sock) {
+    FrameDecoder decoder(catalog, options.max_frame_bytes);
+    stream::RecordBatch batch;
+    std::vector<char> buf(options.read_chunk_bytes);
+    for (;;) {
+      size_t n = 0;
+      const RecvStatus rs = RecvSome(sock.fd(), buf.data(), buf.size(), &n);
+      if (rs == RecvStatus::kData) {
+        if (!decoder.Feed(buf.data(), n, &batch)) {
+          poisoned.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        continue;
+      }
+      if (rs == RecvStatus::kEof) {
+        decoder.FinishEof(&batch);
+      } else {
+        decoder.AbandonEof();
+      }
+      break;
+    }
+    // Fold the stray's counters into loop 0 (its acceptor).
+    FoldStats(decoder.stats(), DecoderStats{}, &loops[0]->counters);
+    active.fetch_sub(1);
+    if (batch.empty()) {
+      return;
+    }
+    std::lock_guard<std::mutex> lk(queue_mu);
+    queued_records += batch.size();
+    queue.push_back(
+        std::make_unique<stream::RecordBatch>(std::move(batch)));
+  }
+
+  void Stop() {
+    if (stopped.exchange(true)) {
+      return;
+    }
+    if (!started.load(std::memory_order_acquire)) {
+      // Never polled: no loops to drain. Release the listeners so the
+      // port/path free immediately.
+      for (auto& l : loops) {
+        l->tcp_listener.Close();
+        l->uds_listener.Close();
+      }
+      UnlinkUds();
+      std::lock_guard<std::mutex> lk(queue_mu);
+      queue_stopped = true;
+      queue_not_empty.notify_all();
+      return;
+    }
+    stopping.store(true, std::memory_order_release);
+    for (auto& l : loops) {
+      l->ev.Wake();
+    }
+    queue_not_full.notify_all();  // release any loop mid-FlushBatch
+    for (auto& l : loops) {
+      if (l->thread.joinable()) {
+        l->thread.join();
+      }
+    }
+    // Post-join mailbox sweep: adopt-before-exit can race a push.
+    for (auto& l : loops) {
+      std::vector<Socket> strays;
+      {
+        std::lock_guard<std::mutex> lk(l->mail_mu);
+        strays.swap(l->mailbox);
+      }
+      for (Socket& sock : strays) {
+        DrainStray(std::move(sock));
+      }
+    }
+    UnlinkUds();
+    std::lock_guard<std::mutex> lk(queue_mu);
+    queue_stopped = true;
+    queue_not_empty.notify_all();
+  }
+};
+
+// ---------------------------------------------------------------------
+// WireServer: thin handle over Core.
+
+WireServer::WireServer(std::unique_ptr<Core> core) : core_(std::move(core)) {}
+
+WireServer::~WireServer() {
+  if (core_ != nullptr) {
+    core_->Stop();
+  }
+}
+
+WireServer::WireServer(WireServer&&) noexcept = default;
+
+WireServer& WireServer::operator=(WireServer&& other) noexcept {
+  if (this != &other) {
+    if (core_ != nullptr) {
+      core_->Stop();
+    }
+    core_ = std::move(other.core_);
+  }
+  return *this;
+}
 
 Result<WireServer> WireServer::Create(const WireServerOptions& options,
                                       stream::SeriesCatalog* catalog) {
@@ -41,242 +594,229 @@ Result<WireServer> WireServer::Create(const WireServerOptions& options,
     return Status::InvalidArgument(
         "max_frame_bytes must fit at least one binary record");
   }
-  WireServer server(options, catalog);
+  if (options.num_event_loops < 1) {
+    return Status::InvalidArgument("num_event_loops must be >= 1");
+  }
+  if (options.loop_batch_records < 1) {
+    return Status::InvalidArgument("loop_batch_records must be >= 1");
+  }
+  if (options.queue_batches < 1) {
+    return Status::InvalidArgument("queue_batches must be >= 1");
+  }
+
+  auto core = std::make_unique<Core>();
+  core->options = options;
+  core->catalog = catalog;
+  for (size_t i = 0; i < options.num_event_loops; ++i) {
+    ASAP_ASSIGN_OR_RETURN(EventLoop ev, EventLoop::Create());
+    core->loops.push_back(std::make_unique<Core::Loop>(std::move(ev)));
+    Core::Loop* l = core->loops.back().get();
+    l->id = i;
+    l->read_buffer.resize(options.read_chunk_bytes);
+    l->batch = std::make_unique<stream::RecordBatch>();
+  }
+
   if (options.enable_tcp) {
+    const bool want_shards = options.reuse_port &&
+                             options.num_event_loops > 1 &&
+                             ReusePortSupported();
     ASAP_ASSIGN_OR_RETURN(
-        server.tcp_listener_,
-        ListenTcp(options.tcp_host, options.tcp_port, options.listen_backlog));
-    ASAP_RETURN_NOT_OK(server.tcp_listener_.SetNonBlocking());
-    ASAP_ASSIGN_OR_RETURN(server.tcp_port_, LocalPort(server.tcp_listener_));
+        Socket first,
+        ListenTcp(options.tcp_host, options.tcp_port, options.listen_backlog,
+                  /*reuse_port=*/want_shards));
+    ASAP_RETURN_NOT_OK(first.SetNonBlocking());
+    ASAP_ASSIGN_OR_RETURN(core->tcp_port, LocalPort(first));
+    core->loops[0]->tcp_listener = std::move(first);
+    if (want_shards) {
+      core->sharded_tcp = true;
+      for (size_t i = 1; i < core->loops.size(); ++i) {
+        // Siblings bind the now-resolved port; a kernel that refuses
+        // drops us back to the single-acceptor handoff topology.
+        Result<Socket> sib =
+            ListenTcp(options.tcp_host, core->tcp_port,
+                      options.listen_backlog, /*reuse_port=*/true);
+        if (!sib.ok() || !sib.ValueOrDie().SetNonBlocking().ok()) {
+          for (size_t j = 1; j < i; ++j) {
+            core->loops[j]->tcp_listener.Close();
+          }
+          core->sharded_tcp = false;
+          break;
+        }
+        core->loops[i]->tcp_listener = std::move(sib).ValueOrDie();
+      }
+    }
   }
   if (!options.uds_path.empty()) {
     ASAP_ASSIGN_OR_RETURN(
-        server.uds_listener_,
-        ListenUds(options.uds_path, options.listen_backlog));
-    ASAP_RETURN_NOT_OK(server.uds_listener_.SetNonBlocking());
+        Socket uds, ListenUds(options.uds_path, options.listen_backlog));
+    ASAP_RETURN_NOT_OK(uds.SetNonBlocking());
+    core->uds_bound = true;
+    core->loops[0]->uds_listener = std::move(uds);
   }
-  return server;
+
+  // Register the listeners level-triggered: a backlog this turn could
+  // not fully accept (connection cap, fd pressure) re-arms next wait.
+  for (auto& l : core->loops) {
+    if (l->tcp_listener.valid()) {
+      ASAP_RETURN_NOT_OK(l->ev.Add(l->tcp_listener.fd(), kTcpListenerTag,
+                                   /*edge_triggered=*/false));
+    }
+    if (l->uds_listener.valid()) {
+      ASAP_RETURN_NOT_OK(l->ev.Add(l->uds_listener.fd(), kUdsListenerTag,
+                                   /*edge_triggered=*/false));
+    }
+  }
+  return WireServer(std::move(core));
 }
 
-WireServer::~WireServer() {
-  if (uds_listener_.valid()) {
-    ::unlink(options_.uds_path.c_str());
-  }
+uint16_t WireServer::tcp_port() const { return core_->tcp_port; }
+
+const std::string& WireServer::uds_path() const {
+  return core_->options.uds_path;
 }
 
-WireServer::WireServer(WireServer&&) noexcept = default;
+void WireServer::Start() { core_->Start(); }
 
-WireServer& WireServer::operator=(WireServer&& other) noexcept {
-  if (this != &other) {
-    // A defaulted move-assign would overwrite options_.uds_path and
-    // orphan this server's socket file on disk; release our listeners
-    // (and unlink) first.
-    CloseListeners();
-    options_ = std::move(other.options_);
-    catalog_ = other.catalog_;
-    tcp_port_ = other.tcp_port_;
-    tcp_listener_ = std::move(other.tcp_listener_);
-    uds_listener_ = std::move(other.uds_listener_);
-    connections_ = std::move(other.connections_);
-    read_buffer_ = std::move(other.read_buffer_);
-    pending_ = std::move(other.pending_);
-    pending_pos_ = other.pending_pos_;
-    read_rotation_ = other.read_rotation_;
-    stats_ = other.stats_;
+void WireServer::Stop() { core_->Stop(); }
+
+void WireServer::Wake() {
+  std::lock_guard<std::mutex> lk(core_->queue_mu);
+  core_->consumer_wake = true;
+  core_->queue_not_empty.notify_all();
+}
+
+bool WireServer::ever_accepted() const {
+  return core_->accepted.load(std::memory_order_acquire) > 0;
+}
+
+size_t WireServer::active_connections() const {
+  return core_->active.load(std::memory_order_acquire);
+}
+
+size_t WireServer::pending_records() const {
+  std::lock_guard<std::mutex> lk(core_->queue_mu);
+  size_t n = core_->queued_records;
+  if (core_->delivering != nullptr) {
+    n += core_->delivering->size() - core_->delivering_pos;
   }
-  return *this;
+  return n;
 }
 
 void WireServer::CloseListeners() {
-  tcp_listener_.Close();
-  if (uds_listener_.valid()) {
-    uds_listener_.Close();
-    ::unlink(options_.uds_path.c_str());
-  }
-}
-
-bool WireServer::AcceptPending(const Socket& listener) {
-  if (!listener.valid()) {
-    return true;
-  }
-  for (;;) {
-    const int fd = ::accept(listener.fd(), nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) {
-        continue;
+  if (!core_->started.load(std::memory_order_acquire)) {
+    for (auto& l : core_->loops) {
+      l->tcp_listener.Close();
+      if (l->uds_listener.valid()) {
+        l->uds_listener.Close();
+        core_->UnlinkUds();
       }
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return true;  // backlog drained
-      }
-      // Hard failure (typically EMFILE/ENFILE): the queued connection
-      // stays in the backlog keeping the listener readable, so the
-      // caller must back off instead of re-polling hot.
-      stats_.accept_failures += 1;
-      return false;
     }
-    Socket sock(fd);
-    if (connections_.size() >= options_.max_connections) {
-      stats_.rejected_connections += 1;
-      continue;  // sock closes on scope exit
-    }
-    if (!sock.SetNonBlocking().ok()) {
-      stats_.rejected_connections += 1;  // setup failed: also turned away
-      continue;
-    }
-    stats_.accepted += 1;
-    connections_.push_back(std::make_unique<Connection>(
-        std::move(sock), catalog_, options_.max_frame_bytes));
+    return;
   }
-}
-
-bool WireServer::ReadConnection(Connection* conn, size_t read_cap) {
-  for (;;) {
-    if (pending_.size() - pending_pos_ >= read_cap) {
-      return true;  // enough decoded work buffered; poll again later
-    }
-    size_t n = 0;
-    const RecvStatus rs =
-        RecvSome(conn->sock.fd(), read_buffer_.data(), read_buffer_.size(),
-                 &n);
-    switch (rs) {
-      case RecvStatus::kData:
-        if (!conn->decoder.Feed(read_buffer_.data(), n, &pending_)) {
-          stats_.poisoned_connections += 1;
-          return false;
-        }
-        continue;
-      case RecvStatus::kWouldBlock:
-        return true;
-      case RecvStatus::kEof:
-        // Orderly close: a complete trailing text line still counts.
-        conn->decoder.FinishEof(&pending_);
-        return false;
-      case RecvStatus::kError:
-        // Abnormal close (reset mid-stream): a buffered partial line
-        // could parse as a valid-but-wrong record — discard it as
-        // malformed instead.
-        conn->decoder.AbandonEof();
-        return false;
-    }
+  core_->close_listeners.store(true, std::memory_order_release);
+  for (auto& l : core_->loops) {
+    l->ev.Wake();
   }
-}
-
-namespace {
-
-void FoldDecoderStats(const DecoderStats& ds, WireServerStats* s) {
-  s->bytes += ds.bytes;
-  s->records += ds.records;
-  s->text_records += ds.text_records;
-  s->binary_records += ds.binary_records;
-  s->name_registrations += ds.name_registrations;
-  s->malformed_lines += ds.malformed_lines;
-  s->malformed_frames += ds.malformed_frames;
-  s->malformed_registrations += ds.malformed_registrations;
-  s->unknown_series_records += ds.unknown_series_records;
-}
-
-}  // namespace
-
-void WireServer::RetireConnection(size_t index) {
-  FoldDecoderStats(connections_[index]->decoder.stats(), &stats_);
-  connections_.erase(connections_.begin() + static_cast<ptrdiff_t>(index));
-}
-
-WireServerStats WireServer::stats() const {
-  WireServerStats s = stats_;
-  s.active = connections_.size();
-  for (const auto& conn : connections_) {
-    FoldDecoderStats(conn->decoder.stats(), &s);
-  }
-  return s;
 }
 
 size_t WireServer::PollOnce(int timeout_ms, size_t max_records,
                             stream::RecordBatch* out) {
   ASAP_CHECK(out != nullptr);
   ASAP_CHECK_GE(max_records, 1u);
-  // Deliver already-decoded records before touching the sockets (and
-  // don't wait on poll while work is buffered).
-  if (pending_.size() - pending_pos_ == 0) {
-    std::vector<pollfd>& fds = pollfds_;
-    fds.clear();
-    fds.reserve(connections_.size() + 2);
-    if (tcp_listener_.valid()) {
-      fds.push_back(pollfd{tcp_listener_.fd(), POLLIN, 0});
+  Core* c = core_.get();
+  c->Start();
+  std::unique_lock<std::mutex> lk(c->queue_mu);
+  const auto has_work = [c] {
+    return (c->delivering != nullptr &&
+            c->delivering_pos < c->delivering->size()) ||
+           !c->queue.empty() || c->consumer_wake || c->queue_stopped;
+  };
+  if (!has_work()) {
+    if (timeout_ms < 0) {
+      c->queue_not_empty.wait(lk, has_work);
+    } else {
+      c->queue_not_empty.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                                  has_work);
     }
-    if (uds_listener_.valid()) {
-      fds.push_back(pollfd{uds_listener_.fd(), POLLIN, 0});
-    }
-    const size_t first_conn = fds.size();
-    for (const auto& conn : connections_) {
-      fds.push_back(pollfd{conn->sock.fd(), POLLIN, 0});
-    }
-    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
-    if (ready <= 0) {
-      return 0;  // timeout (or EINTR): an idle turn
-    }
-    bool accept_backoff = false;
-    size_t fd_index = 0;
-    if (tcp_listener_.valid()) {
-      if (fds[fd_index].revents != 0) {
-        accept_backoff |= !AcceptPending(tcp_listener_);
+  }
+  c->consumer_wake = false;
+  size_t delivered = 0;
+  while (delivered < max_records) {
+    if (c->delivering == nullptr ||
+        c->delivering_pos >= c->delivering->size()) {
+      if (c->delivering != nullptr) {
+        c->RecycleBatchLocked(std::move(c->delivering));
       }
-      ++fd_index;
-    }
-    if (uds_listener_.valid()) {
-      if (fds[fd_index].revents != 0) {
-        accept_backoff |= !AcceptPending(uds_listener_);
+      if (c->queue.empty()) {
+        break;
       }
-      ++fd_index;
-    }
-    ASAP_DCHECK(fd_index == first_conn);
-    // Bound decoded backlog per turn: read until EAGAIN but stop once
-    // a few delivery quanta are buffered, so one firehose connection
-    // cannot grow pending_ without limit.
-    const size_t read_cap = std::max<size_t>(4 * max_records, 4096);
-    // Only the connections that existed when fds was built are paired
-    // with a pollfd (AcceptPending appends new ones past `polled`).
-    // The sweep starts at a rotating connection so a firehose that
-    // fills read_cap every turn cannot starve the others: whoever was
-    // skipped this turn goes first on a later one. Retirements are
-    // deferred to keep index/pollfd pairing stable during the sweep.
-    const size_t polled = fds.size() - first_conn;
-    std::vector<size_t> retired;
-    for (size_t j = 0; j < polled; ++j) {
-      const size_t i = (read_rotation_ + j) % polled;
-      if (fds[first_conn + i].revents == 0) {
+      c->delivering = std::move(c->queue.front());
+      c->queue.pop_front();
+      c->queued_records -= c->delivering->size();
+      c->delivering_pos = 0;
+      c->queue_not_full.notify_all();
+      // Zero-copy fast path: a consumer that arrives with an empty
+      // batch and room for this whole one takes it by swap, so bulk
+      // ingest moves each record exactly once end to end. The swapped-
+      // in (empty) batch is recycled on the next loop iteration.
+      if (out->empty() && c->delivering->size() <= max_records) {
+        out->swap(*c->delivering);
+        delivered = out->size();
         continue;
       }
-      if (!ReadConnection(connections_[i].get(), read_cap)) {
-        retired.push_back(i);
-      }
     }
-    if (polled > 0) {
-      read_rotation_ = (read_rotation_ + 1) % polled;
-    }
-    std::sort(retired.begin(), retired.end());
-    for (size_t k = retired.size(); k-- > 0;) {
-      RetireConnection(retired[k]);  // descending: erases don't shift
-    }
-    if (accept_backoff && pending_.size() - pending_pos_ == 0) {
-      // The un-accepted connection keeps the listener readable;
-      // without a sleep this idle turn would re-poll instantly and
-      // spin the producer thread hot until fd pressure clears.
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          std::max(timeout_ms, 1)));
-    }
+    const size_t take = std::min(max_records - delivered,
+                                 c->delivering->size() - c->delivering_pos);
+    out->insert(
+        out->end(),
+        c->delivering->begin() + static_cast<ptrdiff_t>(c->delivering_pos),
+        c->delivering->begin() +
+            static_cast<ptrdiff_t>(c->delivering_pos + take));
+    c->delivering_pos += take;
+    delivered += take;
   }
-  const size_t available = pending_.size() - pending_pos_;
-  const size_t take = std::min(available, max_records);
-  out->insert(out->end(),
-              pending_.begin() + static_cast<ptrdiff_t>(pending_pos_),
-              pending_.begin() + static_cast<ptrdiff_t>(pending_pos_ + take));
-  pending_pos_ += take;
-  if (pending_pos_ == pending_.size()) {
-    pending_.clear();
-    pending_pos_ = 0;
+  return delivered;
+}
+
+WireServerStats WireServer::stats() const {
+  const Core* c = core_.get();
+  WireServerStats s;
+  s.accepted = c->accepted.load(std::memory_order_relaxed);
+  s.active = c->active.load(std::memory_order_relaxed);
+  s.rejected_connections = c->rejected.load(std::memory_order_relaxed);
+  s.accept_failures = c->accept_failures.load(std::memory_order_relaxed);
+  s.poisoned_connections = c->poisoned.load(std::memory_order_relaxed);
+  s.per_loop.reserve(c->loops.size());
+  for (const auto& l : c->loops) {
+    const Core::LoopCounters& lc = l->counters;
+    WireLoopStats ls;
+    ls.wakeups = lc.wakeups.load(std::memory_order_relaxed);
+    ls.events = lc.events.load(std::memory_order_relaxed);
+    ls.batches = lc.batches.load(std::memory_order_relaxed);
+    ls.batch_records = lc.batch_records.load(std::memory_order_relaxed);
+    ls.accepted = lc.accepted.load(std::memory_order_relaxed);
+    ls.handoffs = lc.handoffs.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < WireLoopStats::kBatchSizeBuckets; ++b) {
+      ls.batch_size_hist[b] = lc.hist[b].load(std::memory_order_relaxed);
+    }
+    s.wakeups += ls.wakeups;
+    s.events += ls.events;
+    s.batches += ls.batches;
+    s.bytes += lc.bytes.load(std::memory_order_relaxed);
+    s.records += lc.records.load(std::memory_order_relaxed);
+    s.text_records += lc.text_records.load(std::memory_order_relaxed);
+    s.binary_records += lc.binary_records.load(std::memory_order_relaxed);
+    s.name_registrations +=
+        lc.name_registrations.load(std::memory_order_relaxed);
+    s.malformed_lines += lc.malformed_lines.load(std::memory_order_relaxed);
+    s.malformed_frames += lc.malformed_frames.load(std::memory_order_relaxed);
+    s.malformed_registrations +=
+        lc.malformed_registrations.load(std::memory_order_relaxed);
+    s.unknown_series_records +=
+        lc.unknown_series_records.load(std::memory_order_relaxed);
+    s.per_loop.push_back(ls);
   }
-  return take;
+  return s;
 }
 
 }  // namespace net

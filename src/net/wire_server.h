@@ -1,12 +1,29 @@
 // WireServer: the ingestion front door of the fleet engine, in the
 // mold of Akumuli's akumulid server tier sitting in front of the
-// storage engine. It listens on TCP and/or a Unix-domain socket,
-// multiplexes N collector connections over one poll() loop, runs each
-// connection's bytes through its own FrameDecoder, and demuxes the
-// decoded records into RecordBatches for whoever pumps it (normally a
-// NetMultiSource driven by ShardedEngine's producer thread — the
-// engine's producer IS the event loop, so no extra thread exists
-// between the socket and the shard queues).
+// storage engine — rearchitected from one poll() loop to a sharded
+// epoll event-loop tier.
+//
+// Topology: N acceptor/decoder loops (WireServerOptions::
+// num_event_loops), each a thread owning one epoll EventLoop with a
+// persistent interest list. Under SO_REUSEPORT every loop gets its own
+// TCP listener on the shared port and the kernel spreads accepts;
+// where SO_REUSEPORT is unavailable (and always for the UDS listener)
+// loop 0 accepts and hands the fd to a loop round-robin through a
+// mailbox + eventfd wake. A connection then lives and dies on its
+// loop: its FrameDecoder is touched by that loop's thread only, so
+// decoding stays lock-free. Each loop drains readable sockets
+// edge-triggered into one reused RecordBatch and enqueues it once per
+// loop turn (per-loop decode batching) into a bounded queue that
+// PollOnce — still pumped by the engine's producer thread via
+// NetMultiSource, exactly as before — drains. A full queue blocks the
+// loops, which stops their reads, which backpressures collectors
+// through TCP; the engine-side overflow policies (block / drop-newest
+// / conflate) apply downstream at the shard queues, unchanged.
+//
+// Ordering: one connection = one loop = one decoder, batches enter the
+// queue in decode order, and the queue is FIFO — so each connection's
+// records reach the engine in wire order no matter how many loops run,
+// which is the property determinism parity rests on.
 //
 // Malformed input is a per-connection affair: bad text lines are
 // counted and skipped; a corrupt binary frame drops (and counts) that
@@ -14,8 +31,6 @@
 
 #ifndef ASAP_NET_WIRE_SERVER_H_
 #define ASAP_NET_WIRE_SERVER_H_
-
-#include <poll.h>
 
 #include <cstdint>
 #include <memory>
@@ -42,17 +57,68 @@ struct WireServerOptions {
   /// disables UDS. At least one listener must be enabled.
   std::string uds_path;
 
-  /// Connections beyond this are accepted and immediately closed
-  /// (counted in stats().rejected_connections).
+  /// Acceptor/decoder event-loop threads. Each loop owns an epoll
+  /// instance and the connections it accepted (or was handed); under
+  /// SO_REUSEPORT each also owns its own TCP listener on the shared
+  /// port. 1 reproduces the old single-loop topology on epoll.
+  size_t num_event_loops = 1;
+
+  /// Use SO_REUSEPORT to shard the TCP listener across loops when
+  /// num_event_loops > 1 (ignored where unsupported, and for UDS,
+  /// which always uses the single-acceptor + fd-handoff fallback).
+  /// Off forces the handoff path — mainly a test/debug knob.
+  bool reuse_port = true;
+
+  /// Per-loop decode-batch cap: a loop flushes its batch to the
+  /// output queue at the end of every loop turn, or mid-turn once the
+  /// batch holds this many records (bounds loop-local memory while a
+  /// firehose connection is drained to EAGAIN).
+  size_t loop_batch_records = 8192;
+
+  /// Bounded depth (in batches) of the decoded-output queue between
+  /// the loops and PollOnce. A full queue blocks the loops — TCP
+  /// backpressure to collectors — until the consumer drains.
+  size_t queue_batches = 32;
+
+  /// Connections beyond this (across all loops) are accepted and
+  /// immediately closed (counted in stats().rejected_connections).
   size_t max_connections = 64;
 
-  /// recv() size per ready connection per loop turn.
+  /// Disable Nagle on accepted TCP connections (harmless no-op for
+  /// UDS): collectors see acks promptly if a reply channel is added.
+  bool tcp_nodelay = true;
+
+  /// recv() size per ready connection per read step.
   size_t read_chunk_bytes = 64 * 1024;
 
   /// Frame bound handed to each connection's FrameDecoder.
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
 
-  int listen_backlog = 16;
+  int listen_backlog = 128;
+};
+
+/// Per-event-loop counters (one entry per loop in
+/// WireServerStats::per_loop). Maintained with relaxed atomics on the
+/// loop's thread and aggregated lock-free by stats().
+struct WireLoopStats {
+  /// epoll_wait returns that delivered at least one event or a wake.
+  uint64_t wakeups = 0;
+  /// Readiness events handled (events / wakeups is the batching
+  /// ratio the connection-scaling bench reports).
+  uint64_t events = 0;
+  /// Decoded batches enqueued to the output queue.
+  uint64_t batches = 0;
+  /// Records across those batches.
+  uint64_t batch_records = 0;
+  /// Connections this loop owns/owned (its own accepts + handoffs).
+  uint64_t accepted = 0;
+  /// Of those, connections adopted via the fd-handoff mailbox.
+  uint64_t handoffs = 0;
+
+  /// Batch-size histogram, log-4 buckets:
+  /// [1], (1,4], (4,16], (16,64], (64,256], (256,1k], (1k,4k], >4k.
+  static constexpr size_t kBatchSizeBuckets = 8;
+  uint64_t batch_size_hist[kBatchSizeBuckets] = {};
 };
 
 /// Lifetime ingest counters (aggregated over closed connections too).
@@ -65,7 +131,8 @@ struct WireServerStats {
   /// or a failed non-blocking setup.
   uint64_t rejected_connections = 0;
   /// accept() calls that failed with a hard error (e.g. EMFILE); each
-  /// also makes the next idle poll turn sleep instead of spinning.
+  /// also makes the accepting loop back off briefly instead of
+  /// spinning on the still-readable listener.
   uint64_t accept_failures = 0;
   /// Connections dropped for corrupt binary framing.
   uint64_t poisoned_connections = 0;
@@ -85,20 +152,34 @@ struct WireServerStats {
   uint64_t malformed_registrations = 0;
   /// Binary records skipped for referencing an unregistered wire id.
   uint64_t unknown_series_records = 0;
+
+  /// Sums of the per-loop counters below.
+  uint64_t wakeups = 0;
+  uint64_t events = 0;
+  uint64_t batches = 0;
+
+  /// One entry per event loop, index == loop id.
+  std::vector<WireLoopStats> per_loop;
 };
 
-/// One poll()-loop server instance. Single-threaded by design: all
-/// methods must be called from the thread that pumps PollOnce (the
-/// engine's producer thread); only stats-free const accessors like
-/// tcp_port() are safe to read elsewhere before pumping starts.
+/// The sharded epoll ingestion server. Listeners are bound at Create
+/// (collectors can connect immediately; the backlog holds them); the
+/// loop threads start at Start(), or lazily on the first PollOnce.
+///
+/// Thread contract: PollOnce / Start / Stop / pending_records belong
+/// to one consumer thread (the engine's producer, via NetMultiSource).
+/// Wake(), stats(), active_connections(), ever_accepted() and
+/// tcp_port() are safe from any thread.
 class WireServer {
  public:
   /// `catalog` is the fleet's name table (normally the engine's,
   /// via ShardedEngine::catalog()): every connection's decoder interns
   /// incoming series names through it, so decoded records carry
-  /// catalog ids. Borrowed; must outlive the server.
+  /// catalog ids. Borrowed; must outlive the server. The catalog's own
+  /// locking makes concurrent interning from N loops safe.
   static Result<WireServer> Create(const WireServerOptions& options,
                                    stream::SeriesCatalog* catalog);
+  /// Stops and joins the loops (final-drain semantics, see Stop()).
   ~WireServer();
 
   WireServer(WireServer&&) noexcept;
@@ -106,71 +187,58 @@ class WireServer {
 
   /// The bound TCP port (resolves an ephemeral request), 0 if TCP is
   /// disabled.
-  uint16_t tcp_port() const { return tcp_port_; }
-  const std::string& uds_path() const { return options_.uds_path; }
+  uint16_t tcp_port() const;
+  const std::string& uds_path() const;
 
-  /// One event-loop turn: waits up to `timeout_ms` for socket
-  /// readiness (returning immediately if decoded records are already
-  /// pending), accepts new connections, reads and decodes ready ones,
-  /// and appends up to `max_records` records to *out. Returns the
-  /// number appended. 0 means the turn timed out idle — it never
-  /// means end-of-stream; connection state is exposed separately so
-  /// the caller owns the shutdown policy.
+  /// Spawns the event-loop threads. Idempotent; PollOnce calls it
+  /// lazily, so explicit Start is only for callers that want accepts
+  /// flowing before their first poll.
+  void Start();
+
+  /// One consumer turn: delivers up to `max_records` already-decoded
+  /// records into *out, waiting up to `timeout_ms` for the loops to
+  /// produce some if none are queued (returning immediately when
+  /// records are pending, on Wake(), or once the server is stopped
+  /// and drained). Returns the number appended. 0 means an idle (or
+  /// woken, or stopped-and-drained) turn — it never means
+  /// end-of-stream; connection state is exposed separately so the
+  /// caller owns the shutdown policy.
   size_t PollOnce(int timeout_ms, size_t max_records,
                   stream::RecordBatch* out);
 
-  /// True once any connection has ever been accepted.
-  bool ever_accepted() const { return stats_.accepted > 0; }
-  size_t active_connections() const { return connections_.size(); }
-  /// Decoded records not yet handed out via PollOnce.
-  size_t pending_records() const { return pending_.size() - pending_pos_; }
+  /// Stops the loops and joins them. Shutdown drains: every loop
+  /// accepts whatever its listener backlog already holds, reads each
+  /// of its connections to EAGAIN/EOF, decodes, and enqueues — so all
+  /// bytes the server had received are deliverable through PollOnce
+  /// after Stop returns (the drain-on-shutdown guarantee). Idempotent.
+  void Stop();
 
-  /// Aggregate counters: retired connections' totals plus the live
-  /// decoders' running counts.
+  /// Wakes a PollOnce blocked in its idle wait (it returns 0 early).
+  /// The cross-thread shutdown nudge NetMultiSource::Stop uses — no
+  /// stop-flag-vs-poll race: the wakeup is an event, not a flag read.
+  void Wake();
+
+  /// True once any connection has ever been accepted.
+  bool ever_accepted() const;
+  size_t active_connections() const;
+  /// Decoded records not yet handed out via PollOnce (queued batches
+  /// plus the consumer's partially delivered one).
+  size_t pending_records() const;
+
+  /// Aggregate counters: per-loop atomics summed lock-free, plus
+  /// retired connections' totals.
   WireServerStats stats() const;
 
-  /// Closes the listeners (existing connections keep draining).
+  /// Asks the loops to close the listeners (existing connections keep
+  /// draining); takes effect on each loop's next turn.
   void CloseListeners();
 
  private:
-  struct Connection {
-    Connection(Socket s, stream::SeriesCatalog* catalog,
-               size_t max_frame_bytes)
-        : sock(std::move(s)), decoder(catalog, max_frame_bytes) {}
-    Socket sock;
-    FrameDecoder decoder;
-  };
+  struct Core;
 
-  WireServer(const WireServerOptions& options,
-             stream::SeriesCatalog* catalog);
+  explicit WireServer(std::unique_ptr<Core> core);
 
-  /// Accepts until the backlog drains; returns false on a hard
-  /// accept() error (fd exhaustion), which the caller must back off
-  /// from — the backlogged connection keeps the listener readable, so
-  /// re-polling immediately would spin hot.
-  bool AcceptPending(const Socket& listener);
-  /// Reads one connection until EAGAIN (or `read_cap` decoded
-  /// records are pending); returns false if it should be closed.
-  bool ReadConnection(Connection* conn, size_t read_cap);
-  void RetireConnection(size_t index);
-
-  WireServerOptions options_;
-  stream::SeriesCatalog* catalog_ = nullptr;
-  uint16_t tcp_port_ = 0;
-  Socket tcp_listener_;
-  Socket uds_listener_;
-  std::vector<std::unique_ptr<Connection>> connections_;
-  std::vector<char> read_buffer_;
-  /// Decoded-but-undelivered records; compacted when fully drained.
-  stream::RecordBatch pending_;
-  size_t pending_pos_ = 0;
-  /// Rotating start index for the per-turn connection read sweep
-  /// (fairness under the per-turn decoded-backlog cap).
-  size_t read_rotation_ = 0;
-  /// Reused pollfd scratch — the poll turn is the ingest hot path, so
-  /// it must not allocate at steady state (same rule as read_buffer_).
-  std::vector<pollfd> pollfds_;
-  WireServerStats stats_;
+  std::unique_ptr<Core> core_;
 };
 
 }  // namespace net

@@ -182,6 +182,41 @@ FleetSample FleetView::Sample(const SeriesSelector& selector) const {
   return SampleSelected(&selector);
 }
 
+FleetSample FleetView::SampleGlob(std::string_view pattern) const {
+  std::lock_guard<std::mutex> lock(glob_cache_mu_);
+  if (!glob_cache_selector_.has_value() ||
+      pattern != glob_cache_pattern_) {
+    glob_cache_pattern_.assign(pattern);
+    glob_cache_selector_ = SeriesSelector::Glob(pattern);
+    glob_cache_ids_.clear();
+    glob_cache_covered_ = 0;
+  }
+  const SeriesCatalog* catalog = this->catalog();
+  const size_t n = catalog->size();
+  // The catalog interns append-only, so ids below glob_cache_covered_
+  // were matched on an earlier call and their names cannot change;
+  // only the newly interned tail needs glob matching.
+  for (SeriesId id = static_cast<SeriesId>(glob_cache_covered_);
+       static_cast<size_t>(id) < n; ++id) {
+    if (glob_cache_selector_->Matches(catalog->NameOf(id))) {
+      glob_cache_ids_.push_back(id);
+    }
+  }
+  glob_cache_covered_ = n;
+
+  FleetSample sample;
+  for (const SeriesId id : glob_cache_ids_) {
+    auto frame = SnapshotById(id);
+    if (frame == nullptr || frame->refreshes == 0) {
+      sample.skipped_unpublished += 1;
+      continue;
+    }
+    sample.series.push_back(
+        SampledSeries{catalog->NameOf(id), id, std::move(frame)});
+  }
+  return sample;
+}
+
 RoughnessRanking FleetView::TopKByRoughnessOf(const FleetSample& sample,
                                               size_t k) {
   return TopKByRoughnessOf(sample, k, ExecPolicy{});

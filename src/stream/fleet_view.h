@@ -33,6 +33,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -225,6 +227,17 @@ class FleetView {
   FleetSample Sample() const;
   FleetSample Sample(const SeriesSelector& selector) const;
 
+  /// Sample(SeriesSelector::Glob(pattern)), but with the compiled
+  /// selector AND its matched-id set cached on this view: a dashboard
+  /// re-issuing the same glob every refresh tick pays the compile and
+  /// the full catalog scan once, then each call only glob-matches
+  /// names interned since the last one (the catalog is append-only,
+  /// so growth can only add candidates — cached matches stay valid).
+  /// Switching patterns recompiles and rescans. Results are identical
+  /// to the uncached overload, call for call. Thread-safe, like every
+  /// other query on the view (the cache is internally locked).
+  FleetSample SampleGlob(std::string_view pattern) const;
+
   /// The k series whose latest smoothed frames are roughest, in
   /// descending roughness (ties broken by name, so rankings are
   /// deterministic). Fewer than k rows if fewer series have refreshed.
@@ -315,6 +328,17 @@ class FleetView {
 
   const ShardedEngine* engine_;
   ExecPolicy policy_;
+
+  /// SampleGlob's cache: the last compiled glob, the ids it matched,
+  /// and the catalog size those ids cover (ids past it have not been
+  /// matched yet). Guarded by glob_cache_mu_ so the view stays usable
+  /// from any thread; mutable because caching is not observable
+  /// through results.
+  mutable std::mutex glob_cache_mu_;
+  mutable std::string glob_cache_pattern_;
+  mutable std::optional<SeriesSelector> glob_cache_selector_;
+  mutable std::vector<SeriesId> glob_cache_ids_;
+  mutable size_t glob_cache_covered_ = 0;
 };
 
 }  // namespace stream

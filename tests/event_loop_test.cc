@@ -1,0 +1,202 @@
+// Unit tests for the epoll EventLoop primitive: persistent interest
+// lists, edge- vs level-triggered semantics, peer-close readiness, and
+// the cross-thread Wake() that fixes the old stop-flag-checked-only-
+// after-poll() shutdown race.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/socket.h"
+
+namespace asap {
+namespace net {
+namespace {
+
+/// A non-blocking AF_UNIX socketpair for readiness plumbing.
+struct Pair {
+  Socket a, b;
+};
+
+Pair MakePair() {
+  int fds[2] = {-1, -1};
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Pair p{Socket(fds[0]), Socket(fds[1])};
+  EXPECT_TRUE(p.a.SetNonBlocking().ok());
+  EXPECT_TRUE(p.b.SetNonBlocking().ok());
+  return p;
+}
+
+void DrainAll(int fd) {
+  char buf[256];
+  size_t n = 0;
+  while (RecvSome(fd, buf, sizeof(buf), &n) == RecvStatus::kData) {
+  }
+}
+
+TEST(EventLoopTest, ReportsReadinessWithTheRegisteredTag) {
+  EventLoop loop = EventLoop::Create().ValueOrDie();
+  Pair p = MakePair();
+  ASSERT_TRUE(loop.Add(p.a.fd(), 42, /*edge_triggered=*/false).ok());
+
+  std::vector<EventLoop::Event> events;
+  EXPECT_EQ(loop.Wait(0, &events), 0u);  // nothing readable yet
+
+  ASSERT_TRUE(SendAll(p.b.fd(), "x", 1).ok());
+  ASSERT_EQ(loop.Wait(1000, &events), 1u);
+  EXPECT_EQ(events[0].tag, 42u);
+  EXPECT_TRUE(events[0].readable);
+  EXPECT_FALSE(events[0].closed);
+}
+
+TEST(EventLoopTest, EdgeTriggeredFiresOncePerBurst) {
+  EventLoop loop = EventLoop::Create().ValueOrDie();
+  Pair p = MakePair();
+  ASSERT_TRUE(loop.Add(p.a.fd(), 7, /*edge_triggered=*/true).ok());
+  ASSERT_TRUE(SendAll(p.b.fd(), "abc", 3).ok());
+
+  std::vector<EventLoop::Event> events;
+  ASSERT_EQ(loop.Wait(1000, &events), 1u);
+  // Without reading the bytes, an edge-triggered fd stays silent...
+  EXPECT_EQ(loop.Wait(0, &events), 0u);
+  // ...until new bytes arrive (a fresh edge).
+  ASSERT_TRUE(SendAll(p.b.fd(), "d", 1).ok());
+  EXPECT_EQ(loop.Wait(1000, &events), 1u);
+}
+
+TEST(EventLoopTest, LevelTriggeredRearmsWhileReadable) {
+  EventLoop loop = EventLoop::Create().ValueOrDie();
+  Pair p = MakePair();
+  ASSERT_TRUE(loop.Add(p.a.fd(), 7, /*edge_triggered=*/false).ok());
+  ASSERT_TRUE(SendAll(p.b.fd(), "abc", 3).ok());
+
+  std::vector<EventLoop::Event> events;
+  // The unread bytes keep a level-triggered fd ready on every wait —
+  // the property the accept path relies on for backlogs it could not
+  // fully drain in one turn.
+  EXPECT_EQ(loop.Wait(1000, &events), 1u);
+  EXPECT_EQ(loop.Wait(0, &events), 1u);
+  DrainAll(p.a.fd());
+  EXPECT_EQ(loop.Wait(0, &events), 0u);
+}
+
+TEST(EventLoopTest, AddRegistersAnAlreadyReadableFd) {
+  EventLoop loop = EventLoop::Create().ValueOrDie();
+  Pair p = MakePair();
+  // Bytes that land before the epoll ADD must not be lost — the fd
+  // handoff path adopts sockets whose first frames already arrived.
+  ASSERT_TRUE(SendAll(p.b.fd(), "early", 5).ok());
+  ASSERT_TRUE(loop.Add(p.a.fd(), 9, /*edge_triggered=*/true).ok());
+  std::vector<EventLoop::Event> events;
+  ASSERT_EQ(loop.Wait(1000, &events), 1u);
+  EXPECT_EQ(events[0].tag, 9u);
+}
+
+TEST(EventLoopTest, PeerCloseSurfacesAsAnEvent) {
+  EventLoop loop = EventLoop::Create().ValueOrDie();
+  Pair p = MakePair();
+  ASSERT_TRUE(loop.Add(p.a.fd(), 3, /*edge_triggered=*/true).ok());
+  p.b.Close();
+  std::vector<EventLoop::Event> events;
+  ASSERT_EQ(loop.Wait(1000, &events), 1u);
+  // EOF may arrive as readable (read returns 0) and/or HUP; either
+  // way the owner is told to read now.
+  EXPECT_TRUE(events[0].readable || events[0].closed);
+}
+
+TEST(EventLoopTest, RemoveStopsDelivery) {
+  EventLoop loop = EventLoop::Create().ValueOrDie();
+  Pair p = MakePair();
+  ASSERT_TRUE(loop.Add(p.a.fd(), 5, /*edge_triggered=*/false).ok());
+  ASSERT_TRUE(loop.Remove(p.a.fd()).ok());
+  ASSERT_TRUE(SendAll(p.b.fd(), "x", 1).ok());
+  std::vector<EventLoop::Event> events;
+  EXPECT_EQ(loop.Wait(0, &events), 0u);
+}
+
+TEST(EventLoopTest, AddRejectsTheReservedWakeTag) {
+  EventLoop loop = EventLoop::Create().ValueOrDie();
+  Pair p = MakePair();
+  EXPECT_FALSE(
+      loop.Add(p.a.fd(), EventLoop::kWakeTag, /*edge_triggered=*/false).ok());
+}
+
+// The stop-race regression test at the primitive level: a waiter
+// blocked indefinitely (timeout -1) must return promptly on a
+// cross-thread Wake() — no flag polling, no timeout reliance.
+TEST(EventLoopTest, WakeBreaksAnIndefiniteWaitFromAnotherThread) {
+  EventLoop loop = EventLoop::Create().ValueOrDie();
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    std::vector<EventLoop::Event> events;
+    bool woken = false;
+    const size_t n = loop.Wait(-1, &events, &woken);
+    EXPECT_EQ(n, 0u);
+    EXPECT_TRUE(woken);
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());
+  loop.Wake();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(EventLoopTest, ConcurrentWakesCoalesceAndNeverBlock) {
+  EventLoop loop = EventLoop::Create().ValueOrDie();
+  for (int i = 0; i < 1000; ++i) {
+    loop.Wake();  // must not block even with no waiter draining
+  }
+  std::vector<EventLoop::Event> events;
+  bool woken = false;
+  EXPECT_EQ(loop.Wait(0, &events, &woken), 0u);
+  EXPECT_TRUE(woken);
+  // All 1000 wakes coalesced into that one consumed wakeup.
+  woken = false;
+  loop.Wait(0, &events, &woken);
+  EXPECT_FALSE(woken);
+}
+
+TEST(EventLoopTest, ManyFdsReportOnlyTheReadyOnes) {
+  EventLoop loop = EventLoop::Create().ValueOrDie();
+  std::vector<Pair> pairs;
+  for (size_t i = 0; i < 100; ++i) {
+    pairs.push_back(MakePair());
+    ASSERT_TRUE(
+        loop.Add(pairs[i].a.fd(), i, /*edge_triggered=*/true).ok());
+  }
+  // Only a handful are active; the wait must cost (and report) just
+  // those, not the whole interest list — the epoll-vs-poll point.
+  ASSERT_TRUE(SendAll(pairs[13].b.fd(), "x", 1).ok());
+  ASSERT_TRUE(SendAll(pairs[77].b.fd(), "y", 1).ok());
+  std::vector<EventLoop::Event> events;
+  size_t n = loop.Wait(1000, &events);
+  std::vector<uint64_t> tags;
+  for (const auto& ev : events) {
+    tags.push_back(ev.tag);
+  }
+  // Both edges may arrive in one wait or two.
+  while (n > 0 && tags.size() < 2) {
+    n = loop.Wait(100, &events);
+    for (const auto& ev : events) {
+      tags.push_back(ev.tag);
+    }
+  }
+  std::sort(tags.begin(), tags.end());
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_EQ(tags[0], 13u);
+  EXPECT_EQ(tags[1], 77u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace asap

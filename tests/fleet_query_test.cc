@@ -357,6 +357,50 @@ TEST(FleetQueryTest, TopKByChangeRanksMatchPerSeriesDiffs) {
   EXPECT_EQ(top2.ranks[1].name, ranking.ranks[1].name);
 }
 
+// --- Cached glob sampling ---------------------------------------------------
+
+void ExpectSamplesEqual(const FleetSample& cached, const FleetSample& plain,
+                        const std::string& context) {
+  EXPECT_EQ(cached.skipped_unpublished, plain.skipped_unpublished) << context;
+  ASSERT_EQ(cached.series.size(), plain.series.size()) << context;
+  for (size_t i = 0; i < cached.series.size(); ++i) {
+    EXPECT_EQ(cached.series[i].id, plain.series[i].id) << context;
+    EXPECT_EQ(cached.series[i].name, plain.series[i].name) << context;
+    // Both paths must hand out the same published frame object, not
+    // merely equal contents — the cache only memoizes *which* series
+    // match, never the data.
+    EXPECT_EQ(cached.series[i].frame, plain.series[i].frame) << context;
+  }
+}
+
+TEST(FleetQueryTest, SampleGlobMatchesUncachedSelectorExactly) {
+  ShardedEngine engine = RunFleet(FleetOptions(), 8, 4000);
+  FleetView view(&engine);
+
+  // Cold compile, warm cache hit, pattern switch, switch back (the
+  // cache holds only the last pattern, so this recompiles), and an
+  // empty selection — each must equal the uncached selector path.
+  const char* patterns[] = {"dc1/*", "dc1/*", "dc2/*", "dc1/*", "mars/*"};
+  for (const char* pattern : patterns) {
+    ExpectSamplesEqual(view.SampleGlob(pattern),
+                       view.Sample(SeriesSelector::Glob(pattern)), pattern);
+  }
+
+  // Catalog growth invalidates the cached match set: newly interned
+  // names must be considered on the next call. The fresh series has no
+  // published frame yet, so parity shows up via skipped_unpublished.
+  const FleetSample before = view.SampleGlob("dc1/*");
+  engine.catalog()->Intern("dc1/host-99/cpu");
+  engine.catalog()->Intern("dc2/host-98/cpu");  // non-matching growth
+  const FleetSample after = view.SampleGlob("dc1/*");
+  EXPECT_EQ(after.skipped_unpublished, before.skipped_unpublished + 1);
+  ExpectSamplesEqual(after, view.Sample(SeriesSelector::Glob("dc1/*")),
+                     "after growth");
+  ExpectSamplesEqual(view.SampleGlob("dc2/*"),
+                     view.Sample(SeriesSelector::Glob("dc2/*")),
+                     "after growth, other dc");
+}
+
 // --- Concurrency: the query tier racing live ingestion ----------------------
 
 class FleetQueryConcurrencyTest : public ::testing::TestWithParam<size_t> {};

@@ -1,0 +1,118 @@
+// Unit tests for the socket-option helpers behind the sharded
+// acceptor tier: TCP_NODELAY / SO_REUSEPORT setters (including their
+// error paths on invalid or wrong-protocol fds), non-blocking accept,
+// and SO_REUSEPORT port sharing between two listeners.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "net/socket.h"
+
+namespace asap {
+namespace net {
+namespace {
+
+TEST(SocketOptionsTest, TcpNoDelaySucceedsOnATcpSocket) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  Socket sock(fd);
+  EXPECT_TRUE(sock.SetTcpNoDelay().ok());
+}
+
+TEST(SocketOptionsTest, TcpNoDelayFailsOnAnInvalidFd) {
+  Socket sock;  // fd == -1
+  const Status status = sock.SetTcpNoDelay();
+  EXPECT_FALSE(status.ok());
+  // The error names the failing option so a log line is actionable.
+  EXPECT_NE(status.message().find("TCP_NODELAY"), std::string::npos);
+}
+
+TEST(SocketOptionsTest, TcpNoDelayFailsOnAUnixSocket) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  Socket sock(fd);
+  // IPPROTO_TCP options do not apply to AF_UNIX; the setter must
+  // surface the error, not swallow it.
+  EXPECT_FALSE(sock.SetTcpNoDelay().ok());
+}
+
+TEST(SocketOptionsTest, ReusePortMatchesFeatureDetection) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  Socket sock(fd);
+  const Status status = sock.SetReusePort();
+  if (ReusePortSupported()) {
+    EXPECT_TRUE(status.ok());
+  } else {
+    EXPECT_EQ(status.code(), StatusCode::kNotImplemented);
+  }
+}
+
+TEST(SocketOptionsTest, ReusePortFailsOnAnInvalidFd) {
+  if (!ReusePortSupported()) {
+    GTEST_SKIP() << "no SO_REUSEPORT on this platform";
+  }
+  Socket sock;  // fd == -1
+  EXPECT_FALSE(sock.SetReusePort().ok());
+}
+
+TEST(SocketOptionsTest, TwoListenersShareAPortUnderReusePort) {
+  if (!ReusePortSupported()) {
+    GTEST_SKIP() << "no SO_REUSEPORT on this platform";
+  }
+  Socket first =
+      ListenTcp("127.0.0.1", 0, 4, /*reuse_port=*/true).ValueOrDie();
+  const uint16_t port = LocalPort(first).ValueOrDie();
+  ASSERT_GT(port, 0);
+  // The second bind of the same port succeeds only because both
+  // listeners carry SO_REUSEPORT — the sharded-acceptor topology.
+  Result<Socket> second =
+      ListenTcp("127.0.0.1", port, 4, /*reuse_port=*/true);
+  EXPECT_TRUE(second.ok()) << second.status().message();
+  // And without the option the same bind is refused.
+  Result<Socket> plain = ListenTcp("127.0.0.1", port, 4);
+  EXPECT_FALSE(plain.ok());
+}
+
+TEST(SocketOptionsTest, AcceptNonBlockingReportsAnEmptyBacklog) {
+  Socket listener = ListenTcp("127.0.0.1", 0, 4).ValueOrDie();
+  ASSERT_TRUE(listener.SetNonBlocking().ok());
+  Socket conn;
+  EXPECT_EQ(AcceptNonBlocking(listener, &conn), AcceptStatus::kWouldBlock);
+  EXPECT_FALSE(conn.valid());
+}
+
+TEST(SocketOptionsTest, AcceptNonBlockingYieldsANonBlockingConnection) {
+  Socket listener = ListenTcp("127.0.0.1", 0, 4).ValueOrDie();
+  ASSERT_TRUE(listener.SetNonBlocking().ok());
+  const uint16_t port = LocalPort(listener).ValueOrDie();
+  Socket client = ConnectTcp("127.0.0.1", port).ValueOrDie();
+
+  Socket conn;
+  AcceptStatus status = AcceptNonBlocking(listener, &conn);
+  while (status == AcceptStatus::kRetry) {
+    status = AcceptNonBlocking(listener, &conn);
+  }
+  ASSERT_EQ(status, AcceptStatus::kAccepted);
+  ASSERT_TRUE(conn.valid());
+  const int flags = ::fcntl(conn.fd(), F_GETFL, 0);
+  ASSERT_GE(flags, 0);
+  // accept4(SOCK_NONBLOCK) (or the fcntl fallback) must already have
+  // marked the connection non-blocking — the event loops never set it.
+  EXPECT_NE(flags & O_NONBLOCK, 0);
+}
+
+TEST(SocketOptionsTest, AcceptNonBlockingFailsOnAnInvalidListener) {
+  Socket bogus;  // fd == -1
+  Socket conn;
+  EXPECT_EQ(AcceptNonBlocking(bogus, &conn), AcceptStatus::kError);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace asap

@@ -419,6 +419,228 @@ TEST(WireServerTest, ClientRejectsBadOptionsBeforeConnecting) {
   EXPECT_FALSE(WireClient::ConnectTcp("127.0.0.1", 1, no_catalog).ok());
 }
 
+// The drain-on-shutdown guarantee: every byte the server received
+// before Stop() — including on connections still open — is decoded and
+// deliverable through PollOnce after Stop() returns. The old poll()
+// server could only offer "whatever the last turn happened to read".
+TEST(WireServerTest, StopDrainsEverythingAlreadyReceived) {
+  SeriesCatalog catalog;
+  WireServerOptions server_options;
+  server_options.num_event_loops = 2;
+  WireServer server =
+      WireServer::Create(server_options, &catalog).ValueOrDie();
+  server.Start();
+  const uint16_t port = server.tcp_port();
+
+  const size_t kRecordsPerClient = 400;
+  std::vector<Socket> open_clients;
+  for (size_t c = 0; c < 3; ++c) {
+    Socket sock = ConnectTcp("127.0.0.1", port).ValueOrDie();
+    std::string payload;
+    for (size_t i = 0; i < kRecordsPerClient; ++i) {
+      AppendTextRecord(HostName(c), static_cast<double>(i), &payload);
+    }
+    ASSERT_TRUE(SendAll(sock.fd(), payload.data(), payload.size()).ok());
+    // The connections stay OPEN across Stop(): the drain must not
+    // depend on peers closing first.
+    open_clients.push_back(std::move(sock));
+  }
+  // Loopback send() completing puts the bytes in the server's socket
+  // buffers; a short grace covers scheduling of the accept itself.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  server.Stop();
+
+  RecordBatch got;
+  while (server.PollOnce(0, 4096, &got) > 0) {
+  }
+  EXPECT_EQ(got.size(), 3 * kRecordsPerClient);
+  EXPECT_EQ(server.pending_records(), 0u);
+  EXPECT_EQ(server.active_connections(), 0u);
+  const WireServerStats stats = server.stats();
+  EXPECT_EQ(stats.records, 3 * kRecordsPerClient);
+  EXPECT_EQ(stats.accepted, 3u);
+}
+
+// Connection churn: waves of short-lived connections across both
+// encodings, including peers that vanish mid-binary-frame, against a
+// two-loop server. Every well-formed record must land, every aborted
+// frame must be counted, and the server must survive it all.
+TEST(WireServerTest, ConnectionChurnAcrossEncodingsSurvives) {
+  SeriesCatalog catalog;
+  WireServerOptions server_options;
+  server_options.num_event_loops = 2;
+  WireServer server =
+      WireServer::Create(server_options, &catalog).ValueOrDie();
+  server.Start();
+  const uint16_t port = server.tcp_port();
+
+  const size_t kRounds = 25;
+  const size_t kPerConn = 50;
+  std::thread churn([port] {
+    for (size_t round = 0; round < kRounds; ++round) {
+      for (WireEncoding encoding :
+           {WireEncoding::kText, WireEncoding::kBinary}) {
+        SeriesCatalog sender;
+        const stream::SeriesId id =
+            sender.Intern(HostName(round % 5));
+        WireClientOptions client_options;
+        client_options.catalog = &sender;
+        client_options.encoding = encoding;
+        WireClient client =
+            WireClient::ConnectTcp("127.0.0.1", port, client_options)
+                .ValueOrDie();
+        RecordBatch records;
+        for (size_t i = 0; i < kPerConn; ++i) {
+          records.push_back(Record{id, static_cast<double>(i)});
+        }
+        ASSERT_TRUE(client.Send(records).ok());
+        ASSERT_TRUE(client.Flush().ok());
+        client.Close();
+      }
+      // And one peer that dies mid-frame: a 0xA5 header promising 120
+      // payload bytes, only half delivered before the close.
+      Socket abrupt = ConnectTcp("127.0.0.1", port).ValueOrDie();
+      std::string partial;
+      partial.push_back(static_cast<char>(0xA5));
+      const uint32_t len = 120;
+      partial.append(reinterpret_cast<const char*>(&len), 4);
+      partial.append(60, '\0');
+      ASSERT_TRUE(SendAll(abrupt.fd(), partial.data(), partial.size()).ok());
+      abrupt.Close();
+    }
+  });
+
+  const size_t kExpected = kRounds * 2 * kPerConn;
+  RecordBatch got;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (got.size() < kExpected || server.active_connections() > 0) {
+    server.PollOnce(10, 4096, &got);
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "stalled at " << got.size() << "/" << kExpected;
+  }
+  churn.join();
+  server.Stop();
+  while (server.PollOnce(0, 4096, &got) > 0) {
+  }
+
+  EXPECT_EQ(got.size(), kExpected);
+  const WireServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, kRounds * 3);
+  EXPECT_EQ(stats.records, kExpected);
+  // Each mid-frame disconnect is one malformed frame, and none of
+  // them poisoned a *parsing* stream (the abort is an EOF, not a
+  // corrupt byte fed to the decoder).
+  EXPECT_GE(stats.malformed_frames, kRounds);
+  EXPECT_EQ(stats.active, 0u);
+  // Per-loop adoption accounting covers every kept connection.
+  uint64_t adopted = 0;
+  for (const WireLoopStats& ls : stats.per_loop) {
+    adopted += ls.accepted;
+  }
+  EXPECT_EQ(adopted, stats.accepted);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GT(stats.wakeups, 0u);
+}
+
+// Determinism parity across loop counts and acceptor topologies: the
+// same multi-client replay through 1, 2, and 4 loops — kernel-sharded
+// TCP (SO_REUSEPORT), handoff TCP (reuse_port off), and UDS (always
+// handoff) — must produce frames bitwise identical to each series'
+// sequential reference. One connection = one loop = one decoder, and
+// the output queue is FIFO, so loop count must never reorder a
+// connection's records.
+TEST(WireServerTest, MultiLoopDemuxParityMatchesSequentialReference) {
+  const size_t kClients = 4;
+  const size_t kPointsPerClient = 2000;
+
+  enum class Transport { kTcpSharded, kTcpHandoff, kUds };
+  for (Transport transport :
+       {Transport::kTcpSharded, Transport::kTcpHandoff, Transport::kUds}) {
+    for (size_t loops : {size_t{1}, size_t{2}, size_t{4}}) {
+      stream::ShardedEngineOptions engine_options;
+      engine_options.shards = 2;
+      stream::ShardedEngine engine =
+          stream::ShardedEngine::Create(FleetOptions(), engine_options)
+              .ValueOrDie();
+
+      WireServerOptions server_options;
+      server_options.num_event_loops = loops;
+      const std::string uds_path = TestUdsPath("demux");
+      if (transport == Transport::kUds) {
+        server_options.enable_tcp = false;
+        server_options.uds_path = uds_path;
+      } else if (transport == Transport::kTcpHandoff) {
+        server_options.reuse_port = false;  // force the mailbox path
+      }
+      WireServer server =
+          WireServer::Create(server_options, engine.catalog()).ValueOrDie();
+      const uint16_t port = server.tcp_port();
+
+      std::atomic<size_t> connected{0};
+      std::vector<std::thread> clients;
+      for (size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([c, port, transport, &uds_path, &connected] {
+          SeriesCatalog sender;
+          const stream::SeriesId id = sender.Intern(HostName(c));
+          WireClientOptions client_options;
+          client_options.catalog = &sender;
+          client_options.encoding =
+              c % 2 == 0 ? WireEncoding::kBinary : WireEncoding::kText;
+          Result<WireClient> connect =
+              transport == Transport::kUds
+                  ? WireClient::ConnectUds(uds_path, client_options)
+                  : WireClient::ConnectTcp("127.0.0.1", port, client_options);
+          WireClient client = std::move(connect).ValueOrDie();
+          connected.fetch_add(1);
+          while (connected.load() < kClients) {
+            std::this_thread::yield();
+          }
+          RecordBatch records;
+          for (double x : FleetSeries(c, kPointsPerClient)) {
+            records.push_back(Record{id, x});
+          }
+          ASSERT_TRUE(client.Send(records).ok());
+          ASSERT_TRUE(client.Flush().ok());
+        });
+      }
+
+      NetMultiSource source(&server);
+      const stream::FleetReport report = engine.RunToCompletion(&source);
+      for (auto& t : clients) {
+        t.join();
+      }
+
+      EXPECT_EQ(report.points, kClients * kPointsPerClient);
+      EXPECT_EQ(report.series, kClients);
+      for (size_t c = 0; c < kClients; ++c) {
+        StreamingAsap direct =
+            StreamingAsap::Create(FleetOptions()).ValueOrDie();
+        direct.PushBatch(FleetSeries(c, kPointsPerClient));
+        ASSERT_NE(engine.Snapshot(HostName(c)), nullptr) << HostName(c);
+        EXPECT_EQ(engine.Snapshot(HostName(c))->series,
+                  direct.frame().series)
+            << "transport=" << static_cast<int>(transport)
+            << " loops=" << loops << " " << HostName(c);
+      }
+
+      const WireServerStats stats = server.stats();
+      ASSERT_EQ(stats.per_loop.size(), loops);
+      uint64_t handoffs = 0;
+      for (const WireLoopStats& ls : stats.per_loop) {
+        handoffs += ls.handoffs;
+      }
+      if (transport != Transport::kTcpSharded && loops > 1) {
+        // Single-acceptor topologies spread connections by mailbox.
+        EXPECT_GT(handoffs, 0u)
+            << "transport=" << static_cast<int>(transport)
+            << " loops=" << loops;
+      }
+    }
+  }
+}
+
 TEST(WireServerTest, UdsRefusesToClobberANonSocketPath) {
   const std::string path = TestUdsPath("clobber");
   FILE* f = std::fopen(path.c_str(), "w");
