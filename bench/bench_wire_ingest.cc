@@ -31,6 +31,7 @@
 #include "net/wire_client.h"
 #include "net/wire_server.h"
 #include "stream/sharded_engine.h"
+#include "telemetry/metrics.h"
 #include "ts/generators.h"
 
 namespace {
@@ -68,7 +69,11 @@ double DecodeOnly(const SeriesCatalog& catalog, const RecordBatch& records,
   encoder.Encode(records.data(), records.size(), &wire);
   RecordBatch out;
   out.reserve(records.size());
-  const double seconds = asap::bench::TimeBest(
+  const std::string label = encoding == WireEncoding::kText
+                                ? "decode_text"
+                                : "decode_binary";
+  const double seconds = asap::bench::TimeBestReported(
+      label,
       [&] {
         out.clear();
         SeriesCatalog sink;
@@ -380,6 +385,19 @@ int main(int argc, char** argv) {
        Fmt(drain_binary4 / drain_text4, 2) + "x"},
       16);
 
+  // The price of observability: the same drain with every telemetry
+  // instrument short-circuited by the global kill switch. The gate at
+  // the bottom holds the instrumented path to >= 0.95x of this.
+  asap::telemetry::SetTelemetryEnabled(false);
+  const double drain_text_off =
+      LoopbackDrain(catalog, records, WireEncoding::kText, /*loops=*/1);
+  const double drain_binary_off =
+      LoopbackDrain(catalog, records, WireEncoding::kBinary, /*loops=*/1);
+  asap::telemetry::SetTelemetryEnabled(true);
+  Row({"drain (telem off)", FmtEng(drain_text_off), FmtEng(drain_binary_off),
+       Fmt(drain_binary_off / drain_text_off, 2) + "x"},
+      16);
+
   const size_t shards = 4;
   const double engine_text =
       LoopbackEngine(catalog, records, WireEncoding::kText, shards);
@@ -394,6 +412,8 @@ int main(int argc, char** argv) {
   std::printf(
       "\ndecode only   : FrameDecoder over in-memory bytes, 64KB chunks\n"
       "loopback drain: WireClient -> TCP loopback -> WireServer -> discard\n"
+      "telem off     : 1-loop drain with SetTelemetryEnabled(false) —\n"
+      "                the drain/telem-off ratio is the telemetry tax\n"
       "engine        : same wire path feeding ShardedEngine smoothing\n"
       "Binary is 0xA6 name registrations + length-prefixed 12-byte\n"
       "records; text is '<name> <value>' lines (shortest round-trip\n"
@@ -460,6 +480,18 @@ int main(int argc, char** argv) {
         "\nWARNING: binary loopback drain below 1M records/s "
         "(1 loop: %.0f, 4 loops: %.0f).\n",
         drain_binary, drain_binary4);
+    rc = 1;
+  }
+  // Telemetry overhead gate: the instrumented hot path (the default —
+  // every wire/shard counter and ScopedTimer live) must stay within 5%
+  // of the kill-switched drain. Instrument writes are batch-granular
+  // per-thread-sharded relaxed atomics, so a failure here means
+  // someone added a per-record write.
+  if (drain_binary < 0.95 * drain_binary_off) {
+    std::printf(
+        "\nWARNING: instrumented binary drain (%.0f rec/s) fell below "
+        "0.95x the telemetry-disabled drain (%.0f rec/s, ratio %.2f).\n",
+        drain_binary, drain_binary_off, drain_binary / drain_binary_off);
     rc = 1;
   }
   // The scaling floor: the epoll tier watching ~10k active

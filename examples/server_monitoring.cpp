@@ -5,12 +5,20 @@
 // plots bury becomes visible — and the fleet report says which hosts
 // it hit, by name, with FleetView answering the cross-host questions.
 //
-//   $ ./server_monitoring [hosts] [shards]
+//   $ ./server_monitoring [hosts] [shards] [--self]
+//
+// --self appends the dogfood act: a SelfScrapeSource samples the fleet
+// engine's own telemetry registry and streams the `asap.self.*` series
+// through a second (smaller) ShardedEngine — the identical pipeline
+// the CPU telemetry just took — then charts the engine's own query
+// latency next to the fleet dashboards and prints the Prometheus
+// exposition of the shared registry.
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -21,6 +29,9 @@
 #include "stream/fleet_view.h"
 #include "stream/sharded_engine.h"
 #include "stream/source.h"
+#include "telemetry/exposition.h"
+#include "telemetry/metrics.h"
+#include "telemetry/self_scrape.h"
 #include "ts/generators.h"
 
 namespace {
@@ -63,10 +74,20 @@ int main(int argc, char** argv) {
   // host (web-01) exist for the side-by-side dashboards below; bounded
   // above so negative/garbage arguments (strtoll of "-4") cannot ask
   // for 2^64 hosts or threads.
+  bool self_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--self") == 0) {
+      self_mode = true;
+    }
+  }
   const long long raw_hosts =
-      argc > 1 ? std::strtoll(argv[1], nullptr, 10) : 12;
+      argc > 1 && std::strcmp(argv[1], "--self") != 0
+          ? std::strtoll(argv[1], nullptr, 10)
+          : 12;
   const long long raw_shards =
-      argc > 2 ? std::strtoll(argv[2], nullptr, 10) : 4;
+      argc > 2 && std::strcmp(argv[2], "--self") != 0
+          ? std::strtoll(argv[2], nullptr, 10)
+          : 4;
   const size_t hosts =
       static_cast<size_t>(std::clamp<long long>(raw_hosts, 2, 4096));
   const size_t shards =
@@ -196,5 +217,76 @@ int main(int argc, char** argv) {
       "engine smooths every host's dashboard in one pass, sharded\n"
       "across threads (cf. paper §2, Figure 2).\n",
       incident_host.c_str());
+
+  if (!self_mode) {
+    return 0;
+  }
+
+  // --- The dogfood act: the engine monitors itself -----------------------
+  //
+  // The fleet engine's registry already holds live asap_shard_* and
+  // asap_query_* instruments from the run above. A SelfScrapeSource
+  // samples that registry every tick and emits `asap.self.*` records;
+  // a second, smaller ShardedEngine ingests them through the exact
+  // pipeline the CPU telemetry took. Each tick also runs one
+  // FleetView::Sample() against the fleet engine (the tick_hook), so
+  // the self-stream carries a *moving* signal: the engine's own query
+  // latency under a steady dashboard load.
+  constexpr size_t kSelfTicks = 240;
+  std::printf(
+      "\nDogfood: scraping the engine's own registry for %zu ticks and\n"
+      "streaming asap.self.* through a second fleet engine...\n",
+      kSelfTicks);
+
+  asap::StreamingOptions self_series_options;
+  self_series_options.resolution = 80;
+  self_series_options.visible_points = kSelfTicks;
+  self_series_options.refresh_every_points = kSelfTicks / 4;
+
+  asap::stream::ShardedEngineOptions self_engine_options;
+  self_engine_options.shards = 2;
+  asap::stream::ShardedEngine self_engine =
+      asap::stream::ShardedEngine::Create(self_series_options,
+                                          self_engine_options)
+          .ValueOrDie();
+
+  asap::telemetry::SelfScrapeOptions scrape_options;
+  scrape_options.tick_interval_ms = 0.0;  // free-run: demo, not deployment
+  scrape_options.max_ticks = kSelfTicks;
+  scrape_options.tick_hook = [&view] { view.Sample(); };
+
+  asap::telemetry::SelfScrapeSource self_source(
+      self_engine.catalog(), engine.metrics(), scrape_options);
+  const asap::stream::FleetReport self_report =
+      self_engine.RunToCompletion(&self_source);
+  std::printf(
+      "  %zu ticks -> %llu self-telemetry points across %zu series\n"
+      "  (%llu refreshes through the standard pane/smooth pipeline)\n",
+      self_source.ticks(),
+      static_cast<unsigned long long>(self_report.points),
+      self_report.series,
+      static_cast<unsigned long long>(self_report.refreshes));
+
+  // Chart one self-series exactly the way the host dashboards were
+  // charted: the engine's own Sample() p99 latency, smoothed by ASAP.
+  const std::string self_series_name = asap::telemetry::SelfSeriesName(
+      {"asap_query_seconds", "", {{"kind", "sample"}}}, ".p99");
+  const asap::stream::FleetView self_view(&self_engine);
+  const auto self_frame = self_view.Frame(self_series_name);
+  if (self_frame != nullptr && !self_frame->series.empty()) {
+    asap::render::AsciiChartOptions self_chart;
+    self_chart.width = 76;
+    self_chart.height = 9;
+    std::printf("\n-- %s (the engine watching itself) --\n%s\n",
+                self_series_name.c_str(),
+                asap::render::AsciiChart(
+                    asap::stats::ZScore(self_frame->series), self_chart)
+                    .c_str());
+  }
+
+  // And the scrape surface itself: the same registry, rendered the way
+  // an HTTP /metrics endpoint would serve it.
+  std::printf("Prometheus exposition of the fleet engine's registry:\n\n%s",
+              asap::telemetry::RenderPrometheus(*engine.metrics()).c_str());
   return 0;
 }

@@ -15,6 +15,8 @@
 //
 //   ./wire_fleet demo        # "--demo" also accepted
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +30,8 @@
 #include "net/wire_server.h"
 #include "stream/fleet_view.h"
 #include "stream/sharded_engine.h"
+#include "telemetry/exposition.h"
+#include "telemetry/metrics.h"
 
 namespace {
 
@@ -42,6 +46,10 @@ struct Args {
   size_t loops = 1;
   size_t series = 12;
   WireEncoding encoding = WireEncoding::kBinary;
+  /// > 0: dump the Prometheus exposition of the shared registry
+  /// (wire + shard + query instruments) every this-many seconds while
+  /// the server runs, plus a final dump after ingest completes.
+  double stats_interval = 0.0;
 };
 
 int Usage() {
@@ -49,10 +57,11 @@ int Usage() {
       stderr,
       "usage:\n"
       "  wire_fleet server [--port N | --uds PATH] [--shards T] [--loops L]\n"
+      "                    [--stats-interval SECONDS]\n"
       "  wire_fleet client [--port N | --uds PATH] [--series K]\n"
       "                    [--encoding text|binary]\n"
       "  wire_fleet demo   [--shards T] [--loops L] [--series K]\n"
-      "                    [--encoding ...]\n");
+      "                    [--encoding ...] [--stats-interval SECONDS]\n");
   return 2;
 }
 
@@ -88,6 +97,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       } else {
         return false;
       }
+    } else if (flag == "--stats-interval") {
+      args->stats_interval = std::atof(value.c_str());
     } else {
       return false;
     }
@@ -152,6 +163,15 @@ int RunClient(const Args& args) {
   return 0;
 }
 
+/// Dumps the shared registry in Prometheus exposition format, fenced
+/// so the periodic blocks are easy to grep out of the demo transcript.
+void DumpTelemetry(const asap::telemetry::MetricsRegistry* registry,
+                   const char* tag) {
+  std::printf("--- telemetry (%s) ---\n%s--- end telemetry ---\n", tag,
+              asap::telemetry::RenderPrometheus(*registry).c_str());
+  std::fflush(stdout);
+}
+
 int RunServer(const Args& args, asap::stream::ShardedEngine* engine,
               asap::net::WireServer server) {
   if (server.tcp_port() != 0) {
@@ -162,8 +182,38 @@ int RunServer(const Args& args, asap::stream::ShardedEngine* engine,
   std::printf(" (%zu shards, %zu event loop%s); waiting for a collector...\n",
               args.shards, args.loops, args.loops == 1 ? "" : "s");
 
+  // The periodic stats printer: scrape-by-print. The same text a real
+  // deployment would serve from a /metrics endpoint, on a timer.
+  std::atomic<bool> stats_done{false};
+  std::thread stats_printer;
+  if (args.stats_interval > 0.0) {
+    stats_printer = std::thread([&stats_done, engine, interval =
+                                                         args.stats_interval] {
+      const auto step = std::chrono::milliseconds(50);
+      auto next = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(interval));
+      size_t tick = 0;
+      while (!stats_done.load(std::memory_order_acquire)) {
+        if (std::chrono::steady_clock::now() >= next) {
+          char tag[32];
+          std::snprintf(tag, sizeof(tag), "tick %zu", ++tick);
+          DumpTelemetry(engine->metrics(), tag);
+          next += std::chrono::duration_cast<
+              std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(interval));
+        }
+        std::this_thread::sleep_for(step);
+      }
+    });
+  }
+
   asap::net::NetMultiSource source(&server);
   const asap::stream::FleetReport report = engine->RunToCompletion(&source);
+  if (stats_printer.joinable()) {
+    stats_done.store(true, std::memory_order_release);
+    stats_printer.join();
+  }
 
   const asap::net::WireServerStats stats = server.stats();
   std::printf(
@@ -279,6 +329,13 @@ int RunServer(const Args& args, asap::stream::ShardedEngine* engine,
                 change.name.c_str(), change.mean_abs_delta,
                 change.max_abs_delta);
   }
+
+  // Final exposition dump: now the asap_query_seconds families carry
+  // the latencies of every FleetView call made above.
+  if (args.stats_interval > 0.0) {
+    std::printf("\n");
+    DumpTelemetry(engine->metrics(), "final");
+  }
   return 0;
 }
 
@@ -292,6 +349,10 @@ asap::net::WireServer MakeServer(const Args& args,
     server_options.tcp_port = args.port;
   }
   server_options.num_event_loops = args.loops;
+  // One registry for the whole pipeline: the server's asap_wire_*
+  // instruments land next to the engine's asap_shard_* and the view's
+  // asap_query_* families, so one dump covers ingest to query.
+  server_options.metrics = engine->metrics();
   return asap::net::WireServer::Create(server_options, engine->catalog())
       .ValueOrDie();
 }

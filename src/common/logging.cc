@@ -1,12 +1,48 @@
 #include "common/logging.h"
 
+#include <unistd.h>
+
 #include <atomic>
-#include <cstdio>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
 
 namespace asap {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Parses ASAP_LOG_LEVEL ("debug"/"info"/"warning"/"error", case
+/// insensitive, or a bare 0-3). Unset/unparsable -> the quiet default.
+int InitialLevelFromEnv() {
+  const char* env = std::getenv("ASAP_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (env[0] >= '0' && env[0] <= '3' && env[1] == '\0') {
+    return env[0] - '0';
+  }
+  // Compare on the first letter: debug/info/warn(ing)/error are
+  // unambiguous; anything else keeps the default.
+  switch (env[0] | 0x20) {
+    case 'd':
+      return static_cast<int>(LogLevel::kDebug);
+    case 'i':
+      return static_cast<int>(LogLevel::kInfo);
+    case 'w':
+      return static_cast<int>(LogLevel::kWarning);
+    case 'e':
+      return static_cast<int>(LogLevel::kError);
+    default:
+      return static_cast<int>(LogLevel::kWarning);
+  }
+}
+
+std::atomic<int>& LevelAtom() {
+  // Function-local so the env read happens on first use, after the
+  // process environment is guaranteed set up (static-init order safe).
+  static std::atomic<int> level{InitialLevelFromEnv()};
+  return level;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,21 +57,22 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
-  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  LevelAtom().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(LevelAtom().load(std::memory_order_relaxed));
 }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >=
-               g_log_level.load(std::memory_order_relaxed)),
+               LevelAtom().load(std::memory_order_relaxed)),
       level_(level) {
   if (enabled_) {
     // Keep only the basename to stay readable.
@@ -50,8 +87,27 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (!enabled_) return;
+  // Emit the whole line (terminator included) with write() calls on
+  // the unbuffered fd rather than stdio streaming: concurrent wire
+  // loops and shard workers each get an atomic-enough single syscall
+  // per line, so lines cannot interleave mid-byte. Partial writes and
+  // EINTR resume; any other error drops the rest (logging must never
+  // throw or loop forever).
+  stream_ << '\n';
+  const std::string line = stream_.str();
+  const char* p = line.data();
+  size_t remaining = line.size();
+  while (remaining > 0) {
+    ssize_t n = ::write(STDERR_FILENO, p, remaining);
+    if (n > 0) {
+      p += n;
+      remaining -= static_cast<size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      break;
+    }
   }
 }
 

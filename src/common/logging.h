@@ -2,7 +2,10 @@
 //
 // Usage: ASAP_LOG(INFO) << "searched " << n << " candidates";
 // The default threshold is WARNING so library internals stay quiet in
-// tests and benches; raise verbosity with SetLogLevel.
+// tests and benches; raise verbosity with SetLogLevel or by setting
+// the ASAP_LOG_LEVEL environment variable before startup ("debug",
+// "info", "warning", "error", or 0-3). Each line is emitted with a
+// single write() so concurrent threads never interleave partial lines.
 
 #ifndef ASAP_COMMON_LOGGING_H_
 #define ASAP_COMMON_LOGGING_H_

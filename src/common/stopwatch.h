@@ -1,9 +1,15 @@
-// Wall-clock stopwatch used by the benchmark harnesses.
+// The repo's timing primitive: a monotonic wall-clock stopwatch.
+//
+// Originally a bench-harness helper, it now times production paths
+// too — shard worker busy time, run budgets, wire idle timeouts, and
+// (via telemetry::ScopedTimer) every latency histogram. steady_clock
+// only: never subject to NTP steps, safe across threads.
 
 #ifndef ASAP_COMMON_STOPWATCH_H_
 #define ASAP_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace asap {
 
@@ -25,6 +31,15 @@ class Stopwatch {
 
   /// Elapsed microseconds since construction / last Reset.
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+  /// Elapsed nanoseconds as an integer — the unit latency histograms
+  /// record in (no double rounding on the hot path).
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

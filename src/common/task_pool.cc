@@ -1,5 +1,7 @@
 #include "common/task_pool.h"
 
+#include "common/stopwatch.h"
+
 namespace asap {
 
 TaskPool& TaskPool::Global() {
@@ -13,6 +15,22 @@ TaskPool::TaskPool() {
   // and the data races TSan watches for — exercised on 1-core hosts.
   const unsigned hw = std::thread::hardware_concurrency();
   const size_t n = hw > 1 ? hw - 1 : 1;
+
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::Global();
+  jobs_total_ = reg.GetCounter(
+      {"asap_pool_jobs_total", "ParallelFor calls broadcast to workers"});
+  inline_total_ = reg.GetCounter(
+      {"asap_pool_inline_total",
+       "ParallelFor calls run inline (sequential or pool contended)"});
+  chunks_total_ =
+      reg.GetCounter({"asap_pool_chunks_total", "Task indices executed"});
+  participations_total_ = reg.GetCounter(
+      {"asap_pool_participations_total", "Worker joins into broadcast jobs"});
+  fanout_nanos_ = reg.GetHistogram({"asap_pool_fanout_seconds",
+                                    "Broadcast job wall time",
+                                    {},
+                                    1e-9});
+
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -49,15 +67,19 @@ void TaskPool::WorkerLoop() {
     // `job` stays alive until our matching deregistration below.
     job->helpers.fetch_add(1);
     lk.unlock();
+    participations_total_->Increment();
 
     size_t i;
+    uint64_t ran = 0;
     while ((i = job->next.fetch_add(1)) < job->count) {
       (*job->fn)(i);
+      ++ran;
       if (job->pending.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> done_lk(mu_);
         done_cv_.notify_all();
       }
     }
+    chunks_total_->Add(ran);
 
     job->helpers.fetch_sub(1);  // last touch of `job`
     lk.lock();
@@ -80,8 +102,13 @@ void TaskPool::ParallelFor(size_t count, size_t parallelism,
     for (size_t i = 0; i < count; ++i) {
       fn(i);
     }
+    inline_total_->Increment();
+    chunks_total_->Add(count);
     return;
   }
+
+  jobs_total_->Increment();
+  telemetry::ScopedTimer fanout_timer(fanout_nanos_.get());
 
   Job job;
   job.fn = &fn;
@@ -98,13 +125,16 @@ void TaskPool::ParallelFor(size_t count, size_t parallelism,
   // The caller always participates, so the job completes even if every
   // worker stays busy elsewhere.
   size_t i;
+  uint64_t ran = 0;
   while ((i = job.next.fetch_add(1)) < count) {
     fn(i);
+    ++ran;
     if (job.pending.fetch_sub(1) == 1) {
       std::lock_guard<std::mutex> lk(mu_);
       done_cv_.notify_all();
     }
   }
+  chunks_total_->Add(ran);
 
   std::unique_lock<std::mutex> lk(mu_);
   active_ = nullptr;

@@ -32,12 +32,14 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/exec_policy.h"
+#include "telemetry/metrics.h"
 
 namespace asap {
 
@@ -89,6 +91,15 @@ class TaskPool {
   Job* active_ = nullptr;
 
   std::vector<std::thread> workers_;
+
+  // asap_pool_* instruments in MetricsRegistry::Global() (the pool is
+  // a true process singleton). shared_ptr handles keep them valid
+  // regardless of static destruction order.
+  std::shared_ptr<telemetry::Counter> jobs_total_;      // broadcast fan-outs
+  std::shared_ptr<telemetry::Counter> inline_total_;    // sequential/contended
+  std::shared_ptr<telemetry::Counter> chunks_total_;    // indices executed
+  std::shared_ptr<telemetry::Counter> participations_total_;  // helper joins
+  std::shared_ptr<telemetry::LatencyHistogram> fanout_nanos_;  // job wall time
 };
 
 /// Canonical fan-out helper: runs fn(c) for every chunk c in

@@ -8,10 +8,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/macros.h"
 #include "net/event_loop.h"
@@ -26,16 +29,6 @@ namespace {
 constexpr uint64_t kTcpListenerTag = 1;
 constexpr uint64_t kUdsListenerTag = 2;
 constexpr uint64_t kFirstConnectionTag = 16;
-
-size_t HistBucket(size_t batch_size) {
-  // Thresholds 1, 4, 16, 64, 256, 1024, 4096 — log-4 buckets.
-  size_t b = 0;
-  while (b + 1 < WireLoopStats::kBatchSizeBuckets &&
-         batch_size > (1ull << (2 * b))) {
-    ++b;
-  }
-  return b;
-}
 
 }  // namespace
 
@@ -54,25 +47,86 @@ struct WireServer::Core {
     DecoderStats folded;
   };
 
-  // ---- per-loop counters, all relaxed atomics ----------------------
-  struct alignas(64) LoopCounters {
-    std::atomic<uint64_t> wakeups{0};
-    std::atomic<uint64_t> events{0};
-    std::atomic<uint64_t> batches{0};
-    std::atomic<uint64_t> batch_records{0};
-    std::atomic<uint64_t> accepted{0};
-    std::atomic<uint64_t> handoffs{0};
-    std::atomic<uint64_t> hist[WireLoopStats::kBatchSizeBuckets]{};
+  // ---- per-loop instruments: asap_wire_*{loop="i"} -----------------
+  // What used to be a private struct of relaxed atomics is now the
+  // same relaxed-atomic writes on registry-owned instruments, so the
+  // counters feed stats(), Prometheus exposition, and SelfScrapeSource
+  // from one source of truth. Writes stay loop-thread-local and
+  // batch-granular (FlushBatch / DrainConnection / accept path — never
+  // per record).
+  struct LoopCounters {
+    std::shared_ptr<telemetry::Counter> wakeups;
+    std::shared_ptr<telemetry::Counter> events;
+    std::shared_ptr<telemetry::Counter> batches;
+    std::shared_ptr<telemetry::Counter> batch_records;
+    std::shared_ptr<telemetry::Counter> accepted;
+    std::shared_ptr<telemetry::Counter> handoffs;
+    /// Records every flushed batch's size; WireLoopStats'
+    /// batch_size_hist is reconstructed from its snapshot.
+    std::shared_ptr<telemetry::LatencyHistogram> batch_size;
+    /// Per-connection drain-to-EAGAIN decode latency.
+    std::shared_ptr<telemetry::LatencyHistogram> decode_nanos;
     // Decode counters (deltas folded from connection decoders).
-    std::atomic<uint64_t> bytes{0};
-    std::atomic<uint64_t> records{0};
-    std::atomic<uint64_t> text_records{0};
-    std::atomic<uint64_t> binary_records{0};
-    std::atomic<uint64_t> name_registrations{0};
-    std::atomic<uint64_t> malformed_lines{0};
-    std::atomic<uint64_t> malformed_frames{0};
-    std::atomic<uint64_t> malformed_registrations{0};
-    std::atomic<uint64_t> unknown_series_records{0};
+    std::shared_ptr<telemetry::Counter> bytes;
+    std::shared_ptr<telemetry::Counter> records;
+    std::shared_ptr<telemetry::Counter> text_records;
+    std::shared_ptr<telemetry::Counter> binary_records;
+    std::shared_ptr<telemetry::Counter> name_registrations;
+    std::shared_ptr<telemetry::Counter> malformed_lines;
+    std::shared_ptr<telemetry::Counter> malformed_frames;
+    std::shared_ptr<telemetry::Counter> malformed_registrations;
+    std::shared_ptr<telemetry::Counter> unknown_series_records;
+
+    void Register(telemetry::MetricsRegistry* reg, size_t loop_id) {
+      using Labels = std::vector<std::pair<std::string, std::string>>;
+      const Labels labels = {{"loop", std::to_string(loop_id)}};
+      wakeups = reg->GetCounter(
+          {"asap_wire_wakeups_total",
+           "epoll waits that delivered events or a wake", labels});
+      events = reg->GetCounter(
+          {"asap_wire_events_total", "Readiness events handled", labels});
+      batches = reg->GetCounter(
+          {"asap_wire_batches_total", "Decoded batches enqueued", labels});
+      batch_records = reg->GetCounter(
+          {"asap_wire_batch_records_total", "Records across those batches",
+           labels});
+      accepted = reg->GetCounter(
+          {"asap_wire_accepted_total", "Connections this loop adopted",
+           labels});
+      handoffs = reg->GetCounter(
+          {"asap_wire_handoffs_total",
+           "Connections adopted via the fd-handoff mailbox", labels});
+      batch_size = reg->GetHistogram(
+          {"asap_wire_batch_size", "Records per flushed batch", labels});
+      decode_nanos = reg->GetHistogram(
+          {"asap_wire_decode_seconds",
+           "Per-connection drain+decode latency", labels, 1e-9});
+      bytes = reg->GetCounter(
+          {"asap_wire_bytes_total", "Wire bytes consumed", labels});
+      records = reg->GetCounter(
+          {"asap_wire_records_total", "Records decoded (text + binary)",
+           labels});
+      text_records = reg->GetCounter(
+          {"asap_wire_text_records_total", "Text records decoded", labels});
+      binary_records = reg->GetCounter(
+          {"asap_wire_binary_records_total", "Binary records decoded",
+           labels});
+      name_registrations = reg->GetCounter(
+          {"asap_wire_name_registrations_total",
+           "0xA6 name registrations applied", labels});
+      malformed_lines = reg->GetCounter(
+          {"asap_wire_malformed_lines_total", "Malformed text lines skipped",
+           labels});
+      malformed_frames = reg->GetCounter(
+          {"asap_wire_malformed_frames_total",
+           "Malformed binary frames (each poisons its connection)", labels});
+      malformed_registrations = reg->GetCounter(
+          {"asap_wire_malformed_registrations_total",
+           "0xA6 frames skipped for an invalid name payload", labels});
+      unknown_series_records = reg->GetCounter(
+          {"asap_wire_unknown_series_total",
+           "Binary records referencing an unregistered wire id", labels});
+    }
   };
 
   struct Loop {
@@ -112,6 +166,10 @@ struct WireServer::Core {
   bool sharded_tcp = false;
   std::vector<std::unique_ptr<Loop>> loops;
 
+  /// Owns the private registry when options.metrics was null.
+  std::shared_ptr<telemetry::MetricsRegistry> owned_metrics;
+  telemetry::MetricsRegistry* metrics = nullptr;
+
   std::once_flag start_once;
   std::atomic<bool> started{false};
   std::atomic<bool> stopping{false};
@@ -123,13 +181,17 @@ struct WireServer::Core {
   bool uds_bound = false;
   std::atomic<bool> uds_unlinked{false};
 
-  // Global connection accounting (slot reservation is the connection
-  // cap, exact across loops).
+  // Global connection accounting. `accepted` and `active` stay plain
+  // atomics — they are control flow (the CAS connection cap,
+  // ever_accepted()'s shutdown signal), so they must keep counting
+  // even with the telemetry kill switch off. The rest are pure
+  // observability and live as server-level registry instruments.
   std::atomic<uint64_t> accepted{0};
   std::atomic<size_t> active{0};
-  std::atomic<uint64_t> rejected{0};
-  std::atomic<uint64_t> accept_failures{0};
-  std::atomic<uint64_t> poisoned{0};
+  std::shared_ptr<telemetry::Counter> rejected;
+  std::shared_ptr<telemetry::Counter> accept_failures;
+  std::shared_ptr<telemetry::Counter> poisoned;
+  std::shared_ptr<telemetry::Gauge> active_gauge;
 
   // ---- decoded-output queue: loops produce, PollOnce consumes ------
   std::mutex queue_mu;
@@ -185,23 +247,22 @@ struct WireServer::Core {
   /// Adds decode counters accumulated since `before` into `lc`.
   static void FoldStats(const DecoderStats& s, const DecoderStats& before,
                         LoopCounters* lc) {
-    const auto add = [](std::atomic<uint64_t>& a, uint64_t now,
-                        uint64_t prev) {
+    const auto add = [](telemetry::Counter& c, uint64_t now, uint64_t prev) {
       if (now != prev) {
-        a.fetch_add(now - prev, std::memory_order_relaxed);
+        c.Add(now - prev);
       }
     };
-    add(lc->bytes, s.bytes, before.bytes);
-    add(lc->records, s.records, before.records);
-    add(lc->text_records, s.text_records, before.text_records);
-    add(lc->binary_records, s.binary_records, before.binary_records);
-    add(lc->name_registrations, s.name_registrations,
+    add(*lc->bytes, s.bytes, before.bytes);
+    add(*lc->records, s.records, before.records);
+    add(*lc->text_records, s.text_records, before.text_records);
+    add(*lc->binary_records, s.binary_records, before.binary_records);
+    add(*lc->name_registrations, s.name_registrations,
         before.name_registrations);
-    add(lc->malformed_lines, s.malformed_lines, before.malformed_lines);
-    add(lc->malformed_frames, s.malformed_frames, before.malformed_frames);
-    add(lc->malformed_registrations, s.malformed_registrations,
+    add(*lc->malformed_lines, s.malformed_lines, before.malformed_lines);
+    add(*lc->malformed_frames, s.malformed_frames, before.malformed_frames);
+    add(*lc->malformed_registrations, s.malformed_registrations,
         before.malformed_registrations);
-    add(lc->unknown_series_records, s.unknown_series_records,
+    add(*lc->unknown_series_records, s.unknown_series_records,
         before.unknown_series_records);
   }
 
@@ -222,9 +283,9 @@ struct WireServer::Core {
       return;
     }
     const size_t n = l->batch->size();
-    l->counters.batches.fetch_add(1, std::memory_order_relaxed);
-    l->counters.batch_records.fetch_add(n, std::memory_order_relaxed);
-    l->counters.hist[HistBucket(n)].fetch_add(1, std::memory_order_relaxed);
+    l->counters.batches->Increment();
+    l->counters.batch_records->Add(n);
+    l->counters.batch_size->Record(n);
     std::unique_lock<std::mutex> lk(queue_mu);
     queue_not_full.wait(lk, [&] {
       return queue.size() < options.queue_batches ||
@@ -242,14 +303,15 @@ struct WireServer::Core {
                                              options.max_frame_bytes);
     const uint64_t tag = l->next_tag++;
     if (!l->ev.Add(conn->sock.fd(), tag, /*edge_triggered=*/true).ok()) {
-      rejected.fetch_add(1, std::memory_order_relaxed);
-      active.fetch_sub(1);
+      rejected->Increment();
+      active_gauge->Set(static_cast<double>(active.fetch_sub(1) - 1));
       return;
     }
-    l->counters.accepted.fetch_add(1, std::memory_order_relaxed);
+    l->counters.accepted->Increment();
     if (via_handoff) {
-      l->counters.handoffs.fetch_add(1, std::memory_order_relaxed);
+      l->counters.handoffs->Increment();
     }
+    active_gauge->Set(static_cast<double>(active.load(std::memory_order_relaxed)));
     l->conns.emplace(tag, std::move(conn));
     // Bytes that raced in before the epoll ADD are not lost: ADD
     // reports an initial readiness edge for an already-readable fd.
@@ -268,7 +330,7 @@ struct WireServer::Core {
         case AcceptStatus::kWouldBlock:
           return;
         case AcceptStatus::kError:
-          accept_failures.fetch_add(1, std::memory_order_relaxed);
+          accept_failures->Increment();
           // The un-accepted connection keeps the (level-triggered)
           // listener readable; sleep so the loop backs off instead of
           // spinning until fd pressure clears.
@@ -278,7 +340,7 @@ struct WireServer::Core {
           break;
       }
       if (!ReserveSlot()) {
-        rejected.fetch_add(1, std::memory_order_relaxed);
+        rejected->Increment();
         continue;  // sock closes on scope exit
       }
       accepted.fetch_add(1, std::memory_order_relaxed);
@@ -322,6 +384,7 @@ struct WireServer::Core {
   /// loop's batch (mid-drain flush at loop_batch_records). Marks the
   /// connection dead (into l->dead) when the stream ended.
   void DrainConnection(Loop* l, uint64_t tag, Connection* conn) {
+    telemetry::ScopedTimer decode_timer(l->counters.decode_nanos.get());
     bool dead = false;
     for (;;) {
       if (l->batch->size() >= options.loop_batch_records) {
@@ -332,7 +395,7 @@ struct WireServer::Core {
                                      l->read_buffer.size(), &n);
       if (rs == RecvStatus::kData) {
         if (!conn->decoder.Feed(l->read_buffer.data(), n, l->batch.get())) {
-          poisoned.fetch_add(1, std::memory_order_relaxed);
+          poisoned->Increment();
           dead = true;
           break;
         }
@@ -369,7 +432,7 @@ struct WireServer::Core {
       }
       (void)l->ev.Remove(it->second->sock.fd());
       l->conns.erase(it);
-      active.fetch_sub(1);
+      active_gauge->Set(static_cast<double>(active.fetch_sub(1) - 1));
     }
     l->dead.clear();
   }
@@ -408,7 +471,7 @@ struct WireServer::Core {
     for (auto& entry : l->conns) {
       entry.second->decoder.AbandonEof();
       FoldDelta(entry.second.get(), &l->counters);
-      active.fetch_sub(1);
+      active_gauge->Set(static_cast<double>(active.fetch_sub(1) - 1));
     }
     l->conns.clear();
     CloseOwnListeners(l);
@@ -423,8 +486,8 @@ struct WireServer::Core {
       bool woken = false;
       const size_t n = l->ev.Wait(stop_now ? 0 : -1, &events, &woken);
       if (n > 0 || woken) {
-        l->counters.wakeups.fetch_add(1, std::memory_order_relaxed);
-        l->counters.events.fetch_add(n, std::memory_order_relaxed);
+        l->counters.wakeups->Increment();
+        l->counters.events->Add(n);
       }
       AdoptMailbox(l);
       if (close_listeners.load(std::memory_order_acquire)) {
@@ -481,7 +544,7 @@ struct WireServer::Core {
       const RecvStatus rs = RecvSome(sock.fd(), buf.data(), buf.size(), &n);
       if (rs == RecvStatus::kData) {
         if (!decoder.Feed(buf.data(), n, &batch)) {
-          poisoned.fetch_add(1, std::memory_order_relaxed);
+          poisoned->Increment();
           break;
         }
         continue;
@@ -495,7 +558,7 @@ struct WireServer::Core {
     }
     // Fold the stray's counters into loop 0 (its acceptor).
     FoldStats(decoder.stats(), DecoderStats{}, &loops[0]->counters);
-    active.fetch_sub(1);
+    active_gauge->Set(static_cast<double>(active.fetch_sub(1) - 1));
     if (batch.empty()) {
       return;
     }
@@ -607,6 +670,22 @@ Result<WireServer> WireServer::Create(const WireServerOptions& options,
   auto core = std::make_unique<Core>();
   core->options = options;
   core->catalog = catalog;
+  if (options.metrics != nullptr) {
+    core->metrics = options.metrics;
+  } else {
+    core->owned_metrics = std::make_shared<telemetry::MetricsRegistry>();
+    core->metrics = core->owned_metrics.get();
+  }
+  core->rejected = core->metrics->GetCounter(
+      {"asap_wire_rejected_total",
+       "Connections accepted but immediately closed"});
+  core->accept_failures = core->metrics->GetCounter(
+      {"asap_wire_accept_failures_total", "accept() hard errors"});
+  core->poisoned = core->metrics->GetCounter(
+      {"asap_wire_poisoned_total",
+       "Connections dropped for corrupt binary framing"});
+  core->active_gauge = core->metrics->GetGauge(
+      {"asap_wire_connections_active", "Connections currently open"});
   for (size_t i = 0; i < options.num_event_loops; ++i) {
     ASAP_ASSIGN_OR_RETURN(EventLoop ev, EventLoop::Create());
     core->loops.push_back(std::make_unique<Core::Loop>(std::move(ev)));
@@ -614,6 +693,7 @@ Result<WireServer> WireServer::Create(const WireServerOptions& options,
     l->id = i;
     l->read_buffer.resize(options.read_chunk_bytes);
     l->batch = std::make_unique<stream::RecordBatch>();
+    l->counters.Register(core->metrics, i);
   }
 
   if (options.enable_tcp) {
@@ -783,40 +863,56 @@ WireServerStats WireServer::stats() const {
   WireServerStats s;
   s.accepted = c->accepted.load(std::memory_order_relaxed);
   s.active = c->active.load(std::memory_order_relaxed);
-  s.rejected_connections = c->rejected.load(std::memory_order_relaxed);
-  s.accept_failures = c->accept_failures.load(std::memory_order_relaxed);
-  s.poisoned_connections = c->poisoned.load(std::memory_order_relaxed);
+  s.rejected_connections = c->rejected->Value();
+  s.accept_failures = c->accept_failures->Value();
+  s.poisoned_connections = c->poisoned->Value();
   s.per_loop.reserve(c->loops.size());
   for (const auto& l : c->loops) {
     const Core::LoopCounters& lc = l->counters;
     WireLoopStats ls;
-    ls.wakeups = lc.wakeups.load(std::memory_order_relaxed);
-    ls.events = lc.events.load(std::memory_order_relaxed);
-    ls.batches = lc.batches.load(std::memory_order_relaxed);
-    ls.batch_records = lc.batch_records.load(std::memory_order_relaxed);
-    ls.accepted = lc.accepted.load(std::memory_order_relaxed);
-    ls.handoffs = lc.handoffs.load(std::memory_order_relaxed);
-    for (size_t b = 0; b < WireLoopStats::kBatchSizeBuckets; ++b) {
-      ls.batch_size_hist[b] = lc.hist[b].load(std::memory_order_relaxed);
+    ls.wakeups = lc.wakeups->Value();
+    ls.events = lc.events->Value();
+    ls.batches = lc.batches->Value();
+    ls.batch_records = lc.batch_records->Value();
+    ls.accepted = lc.accepted->Value();
+    ls.handoffs = lc.handoffs->Value();
+    // Reconstruct the log-4 batch-size buckets from the registry
+    // histogram. Every threshold below is 2^k - 1, and 2^k is a bucket
+    // boundary of the base-2 layout, so each cumulative count — and
+    // hence each difference — is exact, not an estimate.
+    {
+      const telemetry::LatencyHistogram::Snapshot snap =
+          lc.batch_size->TakeSnapshot();
+      uint64_t prev = 0;
+      for (size_t b = 0; b + 1 < WireLoopStats::kBatchSizeBuckets; ++b) {
+        // Upper bounds 1, 3, 15, 63, 255, 1023, 4095 (inclusive).
+        const uint64_t bound = (b == 0) ? 1 : (uint64_t{1} << (2 * b)) - 1;
+        const uint64_t cum = snap.CountAtMost(bound);
+        ls.batch_size_hist[b] = cum - prev;
+        prev = cum;
+      }
+      ls.batch_size_hist[WireLoopStats::kBatchSizeBuckets - 1] =
+          snap.count - prev;
     }
     s.wakeups += ls.wakeups;
     s.events += ls.events;
     s.batches += ls.batches;
-    s.bytes += lc.bytes.load(std::memory_order_relaxed);
-    s.records += lc.records.load(std::memory_order_relaxed);
-    s.text_records += lc.text_records.load(std::memory_order_relaxed);
-    s.binary_records += lc.binary_records.load(std::memory_order_relaxed);
-    s.name_registrations +=
-        lc.name_registrations.load(std::memory_order_relaxed);
-    s.malformed_lines += lc.malformed_lines.load(std::memory_order_relaxed);
-    s.malformed_frames += lc.malformed_frames.load(std::memory_order_relaxed);
-    s.malformed_registrations +=
-        lc.malformed_registrations.load(std::memory_order_relaxed);
-    s.unknown_series_records +=
-        lc.unknown_series_records.load(std::memory_order_relaxed);
+    s.bytes += lc.bytes->Value();
+    s.records += lc.records->Value();
+    s.text_records += lc.text_records->Value();
+    s.binary_records += lc.binary_records->Value();
+    s.name_registrations += lc.name_registrations->Value();
+    s.malformed_lines += lc.malformed_lines->Value();
+    s.malformed_frames += lc.malformed_frames->Value();
+    s.malformed_registrations += lc.malformed_registrations->Value();
+    s.unknown_series_records += lc.unknown_series_records->Value();
     s.per_loop.push_back(ls);
   }
   return s;
+}
+
+telemetry::MetricsRegistry* WireServer::metrics() const {
+  return core_->metrics;
 }
 
 }  // namespace net

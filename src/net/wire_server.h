@@ -42,6 +42,7 @@
 #include "net/socket.h"
 #include "stream/catalog.h"
 #include "stream/record.h"
+#include "telemetry/metrics.h"
 
 namespace asap {
 namespace net {
@@ -95,11 +96,20 @@ struct WireServerOptions {
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
 
   int listen_backlog = 128;
+
+  /// Registry the server's asap_wire_* instruments register in. Null
+  /// (the default) gives the server a private registry — exact
+  /// per-instance counts, reachable via metrics(). Inject the engine's
+  /// (ShardedEngine::metrics()) to scrape wire + shard + query
+  /// instruments from one surface. Must outlive the server.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-event-loop counters (one entry per loop in
-/// WireServerStats::per_loop). Maintained with relaxed atomics on the
-/// loop's thread and aggregated lock-free by stats().
+/// WireServerStats::per_loop). Backed by asap_wire_* registry
+/// instruments (per-thread-sharded relaxed atomics, labelled
+/// loop="i"); stats() folds them lock-free. The same numbers are
+/// scrapeable via telemetry::RenderPrometheus(*server.metrics()).
 struct WireLoopStats {
   /// epoll_wait returns that delivered at least one event or a wake.
   uint64_t wakeups = 0;
@@ -115,8 +125,10 @@ struct WireLoopStats {
   /// Of those, connections adopted via the fd-handoff mailbox.
   uint64_t handoffs = 0;
 
-  /// Batch-size histogram, log-4 buckets:
-  /// [1], (1,4], (4,16], (16,64], (64,256], (256,1k], (1k,4k], >4k.
+  /// Batch-size histogram, log-4 buckets (lower-inclusive):
+  /// [1], [2,4), [4,16), [16,64), [64,256), [256,1k), [1k,4k), >=4k.
+  /// Reconstructed exactly from the asap_wire_batch_size registry
+  /// histogram — every power of two is one of its bucket boundaries.
   static constexpr size_t kBatchSizeBuckets = 8;
   uint64_t batch_size_hist[kBatchSizeBuckets] = {};
 };
@@ -225,9 +237,14 @@ class WireServer {
   /// plus the consumer's partially delivered one).
   size_t pending_records() const;
 
-  /// Aggregate counters: per-loop atomics summed lock-free, plus
-  /// retired connections' totals.
+  /// Aggregate counters: per-loop registry instruments folded
+  /// lock-free, plus retired connections' totals. Note the counters
+  /// freeze while telemetry::SetTelemetryEnabled(false) is in effect.
   WireServerStats stats() const;
+
+  /// The registry holding this server's asap_wire_* instruments: the
+  /// injected WireServerOptions::metrics, or the server-private one.
+  telemetry::MetricsRegistry* metrics() const;
 
   /// Asks the loops to close the listeners (existing connections keep
   /// draining); takes effect on each loop's next turn.

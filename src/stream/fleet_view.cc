@@ -134,13 +134,27 @@ void SelectColumnPercentiles(const double* col, size_t n,
 
 }  // namespace
 
+namespace {
+constexpr const char* kQueryKindNames[] = {
+    "sample",    "sample_glob", "topk_roughness", "aggregate",
+    "bands",     "anomalies",   "diff_history",   "topk_change",
+};
+}  // namespace
+
 FleetView::FleetView(const ShardedEngine* engine) : engine_(engine) {
   ASAP_CHECK(engine_ != nullptr);
+  for (size_t i = 0; i < kQueryKindCount; ++i) {
+    query_nanos_[i] = engine_->metrics()->GetHistogram(
+        {"asap_query_seconds",
+         "FleetView query latency by rollup kind",
+         {{"kind", kQueryKindNames[i]}},
+         1e-9});
+  }
 }
 
 FleetView::FleetView(const ShardedEngine* engine, const ExecPolicy& policy)
-    : engine_(engine), policy_(policy) {
-  ASAP_CHECK(engine_ != nullptr);
+    : FleetView(engine) {
+  policy_ = policy;
 }
 
 std::shared_ptr<const StreamingAsap::Frame> FleetView::Frame(
@@ -176,13 +190,18 @@ FleetSample FleetView::SampleSelected(const SeriesSelector* selector) const {
   return sample;
 }
 
-FleetSample FleetView::Sample() const { return SampleSelected(nullptr); }
+FleetSample FleetView::Sample() const {
+  telemetry::ScopedTimer timer(query_nanos_[kQSample].get());
+  return SampleSelected(nullptr);
+}
 
 FleetSample FleetView::Sample(const SeriesSelector& selector) const {
+  telemetry::ScopedTimer timer(query_nanos_[kQSample].get());
   return SampleSelected(&selector);
 }
 
 FleetSample FleetView::SampleGlob(std::string_view pattern) const {
+  telemetry::ScopedTimer timer(query_nanos_[kQSampleGlob].get());
   std::lock_guard<std::mutex> lock(glob_cache_mu_);
   if (!glob_cache_selector_.has_value() ||
       pattern != glob_cache_pattern_) {
@@ -268,6 +287,7 @@ RoughnessRanking FleetView::TopKByRoughnessOf(const FleetSample& sample,
 
 RoughnessRanking FleetView::RankByRoughness(
     size_t k, const SeriesSelector* selector) const {
+  telemetry::ScopedTimer timer(query_nanos_[kQTopKRoughness].get());
   return TopKByRoughnessOf(SampleSelected(selector), k, policy_);
 }
 
@@ -315,6 +335,7 @@ FleetAggregate FleetView::AggregateOf(const FleetSample& sample,
 
 FleetAggregate FleetView::AggregateSelected(
     AggKind kind, const SeriesSelector* selector) const {
+  telemetry::ScopedTimer timer(query_nanos_[kQAggregate].get());
   return AggregateOf(SampleSelected(selector), kind);
 }
 
@@ -397,11 +418,13 @@ FleetPercentileBands FleetView::BandsOf(const FleetSample& sample,
 }
 
 FleetPercentileBands FleetView::PercentileBands() const {
+  telemetry::ScopedTimer timer(query_nanos_[kQBands].get());
   return BandsOf(SampleSelected(nullptr), policy_);
 }
 
 FleetPercentileBands FleetView::PercentileBands(
     const SeriesSelector& selector) const {
+  telemetry::ScopedTimer timer(query_nanos_[kQBands].get());
   return BandsOf(SampleSelected(&selector), policy_);
 }
 
@@ -448,11 +471,13 @@ FleetAnomalyCounts FleetView::AnomalyCountsOf(const FleetSample& sample,
 
 FleetAnomalyCounts FleetView::AnomalyCounts(
     const AlertOptions& options) const {
+  telemetry::ScopedTimer timer(query_nanos_[kQAnomalies].get());
   return AnomalyCountsOf(SampleSelected(nullptr), options, policy_);
 }
 
 FleetAnomalyCounts FleetView::AnomalyCounts(
     const SeriesSelector& selector, const AlertOptions& options) const {
+  telemetry::ScopedTimer timer(query_nanos_[kQAnomalies].get());
   return AnomalyCountsOf(SampleSelected(&selector), options, policy_);
 }
 
@@ -502,6 +527,7 @@ HistoryDiff FleetView::DiffRing(
 }
 
 HistoryDiff FleetView::DiffHistory(std::string_view name, size_t k) const {
+  telemetry::ScopedTimer timer(query_nanos_[kQDiffHistory].get());
   const std::optional<SeriesId> id = catalog()->FindId(name);
   if (!id.has_value()) {
     return HistoryDiff{};
@@ -511,6 +537,7 @@ HistoryDiff FleetView::DiffHistory(std::string_view name, size_t k) const {
 
 ChangeRanking FleetView::RankByChange(size_t k, size_t frames_back,
                                       const SeriesSelector* selector) const {
+  telemetry::ScopedTimer timer(query_nanos_[kQTopKChange].get());
   ChangeRanking ranking;
   const SeriesCatalog* catalog = this->catalog();
   const size_t n = catalog->size();

@@ -44,6 +44,7 @@
 #include "stream/alerts.h"
 #include "stream/catalog.h"
 #include "stream/sharded_engine.h"
+#include "telemetry/metrics.h"
 
 namespace asap {
 namespace stream {
@@ -328,6 +329,23 @@ class FleetView {
 
   const ShardedEngine* engine_;
   ExecPolicy policy_;
+
+  /// asap_query_seconds{kind=...} latency histograms in the engine's
+  /// registry — one per rollup kind, resolved once at construction so
+  /// per-query cost is a ScopedTimer. Indexed by QueryKind.
+  enum QueryKind : size_t {
+    kQSample = 0,
+    kQSampleGlob,
+    kQTopKRoughness,
+    kQAggregate,
+    kQBands,
+    kQAnomalies,
+    kQDiffHistory,
+    kQTopKChange,
+    kQueryKindCount,
+  };
+  std::shared_ptr<telemetry::LatencyHistogram>
+      query_nanos_[kQueryKindCount];
 
   /// SampleGlob's cache: the last compiled glob, the ids it matched,
   /// and the catalog size those ids cover (ids past it have not been

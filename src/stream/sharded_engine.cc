@@ -4,7 +4,9 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/stopwatch.h"
@@ -26,10 +28,43 @@ struct ShardedEngine::Shard {
   /// queued memory instead of growing the merge batch forever.
   static constexpr size_t kConflateBackstopBatches = 8;
 
-  explicit Shard(const StreamingOptions& series_options)
-      : registry(series_options) {}
+  Shard(const StreamingOptions& series_options, size_t index,
+        telemetry::MetricsRegistry* metrics)
+      : registry(series_options) {
+    const std::string shard_label = std::to_string(index);
+    using Labels = std::vector<std::pair<std::string, std::string>>;
+    const Labels labels = {{"shard", shard_label}};
+    queue_depth = metrics->GetGauge(
+        {"asap_shard_queue_depth", "Batches queued for the shard worker",
+         labels});
+    push_nanos = metrics->GetHistogram(
+        {"asap_shard_push_seconds", "Producer enqueue latency per batch",
+         labels, 1e-9});
+    drain_nanos = metrics->GetHistogram(
+        {"asap_shard_drain_seconds", "Worker consume latency per batch",
+         labels, 1e-9});
+    records_total = metrics->GetCounter(
+        {"asap_shard_records_total", "Records consumed by the shard worker",
+         labels});
+    dropped_total = metrics->GetCounter(
+        {"asap_shard_dropped_total", "Records dropped at the full queue",
+         labels});
+    conflated_total = metrics->GetCounter(
+        {"asap_shard_conflated_total",
+         "Records collapsed into pane partials at the full queue", labels});
+  }
 
   SeriesRegistry registry;
+
+  // asap_shard_* instruments (labelled shard="i") in the engine's
+  // registry. Writes are batch-granular: one gauge store + histogram
+  // record per Enqueue/Dequeue, never per record.
+  std::shared_ptr<telemetry::Gauge> queue_depth;
+  std::shared_ptr<telemetry::LatencyHistogram> push_nanos;
+  std::shared_ptr<telemetry::LatencyHistogram> drain_nanos;
+  std::shared_ptr<telemetry::Counter> records_total;
+  std::shared_ptr<telemetry::Counter> dropped_total;
+  std::shared_ptr<telemetry::Counter> conflated_total;
   mutable std::mutex registry_mu;
 
   std::mutex mu;
@@ -60,11 +95,13 @@ struct ShardedEngine::Shard {
   /// dropped (0, batch.size(), or the collapsed overflow).
   size_t Enqueue(RecordBatch batch, size_t capacity, OverflowPolicy policy,
                  size_t pane_size, size_t nominal_batch_size) {
+    telemetry::ScopedTimer push_timer(push_nanos.get());
     std::unique_lock<std::mutex> lock(mu);
     if (policy == OverflowPolicy::kDropNewest) {
       if (queue.size() >= capacity) {
         const size_t n = batch.size();
         dropped += n;
+        dropped_total->Add(n);
         peak_queue_depth = std::max(peak_queue_depth, queue.size());
         return n;
       }
@@ -73,6 +110,7 @@ struct ShardedEngine::Shard {
         const size_t before = batch.size();
         RecordBatch collapsed = ConflateBatch(std::move(batch), pane_size);
         conflated += before - collapsed.size();
+        conflated_total->Add(before - collapsed.size());
         RecordBatch& back = queue.back();
         const size_t room_cap = kConflateBackstopBatches * nominal_batch_size;
         size_t keep = collapsed.size();
@@ -85,6 +123,7 @@ struct ShardedEngine::Shard {
                     collapsed.begin() + static_cast<ptrdiff_t>(keep));
         const size_t overflow = collapsed.size() - keep;
         dropped += overflow;
+        dropped_total->Add(overflow);
         peak_queue_depth = std::max(peak_queue_depth, queue.size());
         not_empty.notify_one();
         return overflow;
@@ -94,6 +133,7 @@ struct ShardedEngine::Shard {
     }
     queue.push_back(std::move(batch));
     peak_queue_depth = std::max(peak_queue_depth, queue.size());
+    queue_depth->Set(static_cast<double>(queue.size()));
     not_empty.notify_one();
     return 0;
   }
@@ -156,6 +196,7 @@ struct ShardedEngine::Shard {
     }
     *out = std::move(queue.front());
     queue.pop_front();
+    queue_depth->Set(static_cast<double>(queue.size()));
     not_full.notify_one();
     return true;
   }
@@ -196,7 +237,10 @@ struct ShardedEngine::Shard {
       }
       points += batch.size();
       batches += 1;
-      busy_seconds += busy.ElapsedSeconds();
+      records_total->Add(batch.size());
+      const uint64_t busy_nanos = busy.ElapsedNanos();
+      drain_nanos->Record(busy_nanos);
+      busy_seconds += static_cast<double>(busy_nanos) * 1e-9;
     }
   }
 
@@ -243,9 +287,15 @@ ShardedEngine::ShardedEngine(const StreamingOptions& series_options,
       options_(engine_options),
       catalog_(std::make_shared<SeriesCatalog>()),
       run_in_flight_(std::make_shared<std::atomic<bool>>(false)) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_shared<telemetry::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
   shards_.reserve(options_.shards);
   for (size_t i = 0; i < options_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(series_options_));
+    shards_.push_back(std::make_unique<Shard>(series_options_, i, metrics_));
   }
 }
 

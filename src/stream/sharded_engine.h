@@ -37,6 +37,7 @@
 #include "stream/record.h"
 #include "stream/registry.h"
 #include "stream/source.h"
+#include "telemetry/metrics.h"
 
 namespace asap {
 namespace stream {
@@ -82,6 +83,14 @@ struct ShardedEngineOptions {
   /// Full-queue behavior. Note kDropNewest forfeits determinism
   /// parity: which records drop depends on shard timing.
   OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
+
+  /// Registry the engine's asap_shard_* instruments register in.
+  /// Null (the default) gives the engine a private registry — exact
+  /// per-instance counts, reachable via metrics(). Inject a shared one
+  /// (e.g. a process registry also holding the wire server's
+  /// instruments) to scrape everything from one surface — which is
+  /// also what SelfScrapeSource samples. Must outlive the engine.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-shard slice of a fleet run.
@@ -178,6 +187,11 @@ class ShardedEngine {
   /// stay valid. Interning is thread-safe.
   SeriesCatalog* catalog() const { return catalog_.get(); }
 
+  /// The registry holding this engine's asap_shard_* and asap_query_*
+  /// instruments: the injected ShardedEngineOptions::metrics, or the
+  /// engine-private one. Stable across engine moves.
+  telemetry::MetricsRegistry* metrics() const { return metrics_; }
+
   /// The shard a series id maps to (stable for the engine's lifetime).
   static size_t ShardOf(SeriesId id, size_t shard_count);
 
@@ -225,6 +239,9 @@ class ShardedEngine {
   /// width for OverflowPolicy::kConflate.
   size_t pane_size_ = 1;
   std::shared_ptr<SeriesCatalog> catalog_;
+  /// Owns the private registry when options_.metrics was null.
+  std::shared_ptr<telemetry::MetricsRegistry> owned_metrics_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// True while Run is pumping/joining (heap-allocated so the engine
   /// stays movable); guards the shard_registry() contract above.

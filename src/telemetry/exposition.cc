@@ -1,0 +1,133 @@
+#include "telemetry/exposition.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace asap {
+namespace telemetry {
+
+namespace {
+
+// Deterministic number rendering: exact integers print as integers
+// (the common case for counters and unscaled histogram counts), the
+// rest as shortest-ish %.9g — stable across runs, pinnable in tests.
+void AppendNumber(double v, std::string* out) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+    out->append(buf);
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out->append(buf);
+  }
+}
+
+void AppendLabels(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    const char* extra_key, const char* extra_value, std::string* out) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out->push_back('{');
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append(kv.first);
+    out->append("=\"");
+    out->append(kv.second);
+    out->push_back('"');
+  }
+  if (extra_key != nullptr) {
+    if (!first) out->push_back(',');
+    out->append(extra_key);
+    out->append("=\"");
+    out->append(extra_value);
+    out->push_back('"');
+  }
+  out->push_back('}');
+}
+
+void AppendSample(const std::string& name,
+                  const std::vector<std::pair<std::string, std::string>>& labels,
+                  const char* extra_key, const char* extra_value, double value,
+                  std::string* out) {
+  out->append(name);
+  AppendLabels(labels, extra_key, extra_value, out);
+  out->push_back(' ');
+  AppendNumber(value, out);
+  out->push_back('\n');
+}
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
+constexpr const char* kQuantileNames[] = {"0.5", "0.9", "0.99"};
+
+}  // namespace
+
+void AppendEntry(const MetricsRegistry::Entry& entry, std::string* out) {
+  const MetricSpec& spec = entry.spec;
+  switch (entry.kind) {
+    case MetricsRegistry::Kind::kCounter:
+      AppendSample(spec.name, spec.labels, nullptr, nullptr,
+                   static_cast<double>(entry.counter->Value()) * spec.scale,
+                   out);
+      break;
+    case MetricsRegistry::Kind::kGauge:
+      AppendSample(spec.name, spec.labels, nullptr, nullptr,
+                   entry.gauge->Value() * spec.scale, out);
+      break;
+    case MetricsRegistry::Kind::kHistogram: {
+      LatencyHistogram::Snapshot snap = entry.histogram->TakeSnapshot();
+      for (unsigned i = 0; i < 3; ++i) {
+        AppendSample(spec.name, spec.labels, "quantile", kQuantileNames[i],
+                     static_cast<double>(snap.Quantile(kQuantiles[i])) *
+                         spec.scale,
+                     out);
+      }
+      AppendSample(spec.name + "_sum", spec.labels, nullptr, nullptr,
+                   static_cast<double>(snap.sum) * spec.scale, out);
+      AppendSample(spec.name + "_count", spec.labels, nullptr, nullptr,
+                   static_cast<double>(snap.count), out);
+      break;
+    }
+  }
+}
+
+std::string RenderPrometheus(const MetricsRegistry& registry) {
+  std::string out;
+  out.reserve(4096);
+  const std::vector<MetricsRegistry::Entry> entries = registry.Entries();
+  // One # TYPE header per family (entries are sorted by name, so a
+  // family's label variants are contiguous).
+  const std::string* last_family = nullptr;
+  for (const MetricsRegistry::Entry& e : entries) {
+    if (last_family == nullptr || *last_family != e.spec.name) {
+      out.append("# TYPE ");
+      out.append(e.spec.name);
+      switch (e.kind) {
+        case MetricsRegistry::Kind::kCounter:
+          out.append(" counter\n");
+          break;
+        case MetricsRegistry::Kind::kGauge:
+          out.append(" gauge\n");
+          break;
+        case MetricsRegistry::Kind::kHistogram:
+          out.append(" summary\n");
+          break;
+      }
+      if (!e.spec.help.empty()) {
+        out.append("# HELP ");
+        out.append(e.spec.name);
+        out.push_back(' ');
+        out.append(e.spec.help);
+        out.push_back('\n');
+      }
+    }
+    AppendEntry(e, &out);
+    last_family = &e.spec.name;
+  }
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace asap

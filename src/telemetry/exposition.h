@@ -1,0 +1,37 @@
+// Prometheus-style text exposition for a MetricsRegistry.
+//
+// Counters render as `<name>{labels} <value>`, gauges the same, and
+// histograms as summary-style quantile lines plus `_sum`/`_count`:
+//
+//   # TYPE asap_wire_records_total counter
+//   asap_wire_records_total{loop="2"} 1048576
+//   # TYPE asap_shard_push_seconds summary
+//   asap_shard_push_seconds{shard="0",quantile="0.5"} 0.0000012
+//   asap_shard_push_seconds_sum{shard="0"} 0.37
+//   asap_shard_push_seconds_count{shard="0"} 250000
+//
+// Output order is deterministic (registry order: name, then labels),
+// so tests can pin golden dumps and CI can grep for families. The HTTP
+// frontend on the ROADMAP can serve this string verbatim as /metrics.
+
+#ifndef ASAP_TELEMETRY_EXPOSITION_H_
+#define ASAP_TELEMETRY_EXPOSITION_H_
+
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace asap {
+namespace telemetry {
+
+/// Renders every instrument in `registry` to exposition text.
+std::string RenderPrometheus(const MetricsRegistry& registry);
+
+/// Renders a single already-materialized entry (used by the renderer
+/// and by callers that scrape incrementally).
+void AppendEntry(const MetricsRegistry::Entry& entry, std::string* out);
+
+}  // namespace telemetry
+}  // namespace asap
+
+#endif  // ASAP_TELEMETRY_EXPOSITION_H_

@@ -1,0 +1,105 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+
+namespace asap {
+namespace telemetry {
+
+namespace internal {
+std::atomic<bool> g_enabled{true};
+
+namespace {
+std::atomic<unsigned> g_next_slot{0};
+}  // namespace
+
+unsigned ThreadSlot() {
+  thread_local unsigned slot =
+      g_next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+}  // namespace internal
+
+void SetTelemetryEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TelemetryEnabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instruments handed out as shared_ptrs may be
+  // touched by detached threads during static destruction.
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+namespace {
+std::string EntryKey(const MetricSpec& spec) {
+  std::string key = spec.name;
+  key.push_back('\0');
+  for (const auto& kv : spec.labels) {
+    key += kv.first;
+    key.push_back('=');
+    key += kv.second;
+    key.push_back('\0');
+  }
+  return key;
+}
+}  // namespace
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(MetricSpec&& spec,
+                                                      Kind kind) {
+  std::sort(spec.labels.begin(), spec.labels.end());
+  std::string key = EntryKey(spec);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Re-registration with a different kind is a programming error;
+    // returning null makes the caller's Get* return an empty handle
+    // rather than corrupting the existing instrument.
+    return it->second.kind == kind ? &it->second : nullptr;
+  }
+  Entry entry;
+  entry.spec = std::move(spec);
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_shared<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_shared<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_shared<LatencyHistogram>();
+      break;
+  }
+  return &entries_.emplace(std::move(key), std::move(entry)).first->second;
+}
+
+std::shared_ptr<Counter> MetricsRegistry::GetCounter(MetricSpec spec) {
+  Entry* e = FindOrCreate(std::move(spec), Kind::kCounter);
+  return e != nullptr ? e->counter : nullptr;
+}
+
+std::shared_ptr<Gauge> MetricsRegistry::GetGauge(MetricSpec spec) {
+  Entry* e = FindOrCreate(std::move(spec), Kind::kGauge);
+  return e != nullptr ? e->gauge : nullptr;
+}
+
+std::shared_ptr<LatencyHistogram> MetricsRegistry::GetHistogram(
+    MetricSpec spec) {
+  Entry* e = FindOrCreate(std::move(spec), Kind::kHistogram);
+  return e != nullptr ? e->histogram : nullptr;
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& kv : entries_) out.push_back(kv.second);
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace asap

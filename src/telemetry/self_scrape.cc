@@ -1,0 +1,109 @@
+#include "telemetry/self_scrape.h"
+
+#include <chrono>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace asap {
+namespace telemetry {
+
+std::string SelfSeriesName(const MetricSpec& spec, const char* suffix) {
+  std::string name = "asap.self.";
+  std::string_view family = spec.name;
+  if (family.rfind("asap_", 0) == 0) family.remove_prefix(5);
+  name.append(family);
+  if (suffix != nullptr) name.append(suffix);
+  if (!spec.labels.empty()) {
+    name.push_back('{');
+    bool first = true;
+    for (const auto& kv : spec.labels) {
+      if (!first) name.push_back(',');
+      first = false;
+      name += kv.first;
+      name.push_back('=');
+      name += kv.second;
+    }
+    name.push_back('}');
+  }
+  return name;
+}
+
+SelfScrapeSource::SelfScrapeSource(stream::SeriesCatalog* catalog,
+                                   const MetricsRegistry* registry,
+                                   SelfScrapeOptions options)
+    : catalog_(catalog), registry_(registry), options_(std::move(options)) {}
+
+stream::SeriesId SelfScrapeSource::InternFor(const std::string& series_name) {
+  auto it = ids_.find(series_name);
+  if (it != ids_.end()) return it->second;
+  stream::SeriesId id = catalog_->Intern(series_name);
+  ids_.emplace(series_name, id);
+  return id;
+}
+
+void SelfScrapeSource::ScrapeOnce() {
+  if (options_.tick_hook) options_.tick_hook();
+  const std::vector<MetricsRegistry::Entry> entries = registry_->Entries();
+  for (const MetricsRegistry::Entry& e : entries) {
+    const MetricSpec& spec = e.spec;
+    switch (e.kind) {
+      case MetricsRegistry::Kind::kCounter: {
+        const uint64_t now = e.counter->Value();
+        // Key on the full self-series name (name+labels) — unique per
+        // instrument by registry construction.
+        std::string name = SelfSeriesName(spec, nullptr);
+        uint64_t& prev = prev_counters_[name];
+        const uint64_t delta = now - prev;
+        prev = now;
+        pending_.push_back({InternFor(name),
+                            static_cast<double>(delta) * spec.scale});
+        break;
+      }
+      case MetricsRegistry::Kind::kGauge: {
+        std::string name = SelfSeriesName(spec, nullptr);
+        pending_.push_back({InternFor(name), e.gauge->Value() * spec.scale});
+        break;
+      }
+      case MetricsRegistry::Kind::kHistogram: {
+        const LatencyHistogram::Snapshot snap = e.histogram->TakeSnapshot();
+        pending_.push_back(
+            {InternFor(SelfSeriesName(spec, ".p50")),
+             static_cast<double>(snap.Quantile(0.5)) * spec.scale});
+        pending_.push_back(
+            {InternFor(SelfSeriesName(spec, ".p99")),
+             static_cast<double>(snap.Quantile(0.99)) * spec.scale});
+        break;
+      }
+    }
+  }
+  ++ticks_;
+}
+
+size_t SelfScrapeSource::NextBatch(size_t max_records,
+                                   stream::RecordBatch* out) {
+  if (pending_pos_ >= pending_.size()) {
+    pending_.clear();
+    pending_pos_ = 0;
+    if (stopped_.load(std::memory_order_relaxed)) return 0;
+    if (options_.max_ticks != 0 && ticks_ >= options_.max_ticks) return 0;
+    if (ticks_ > 0 && options_.tick_interval_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          options_.tick_interval_ms));
+      // A Stop() during the pause should win over one more scrape.
+      if (stopped_.load(std::memory_order_relaxed)) return 0;
+    }
+    ScrapeOnce();
+    if (pending_.empty()) return 0;  // registry had no instruments
+  }
+  size_t n = pending_.size() - pending_pos_;
+  if (n > max_records) n = max_records;
+  out->insert(out->end(), pending_.begin() + pending_pos_,
+              pending_.begin() + pending_pos_ + n);
+  pending_pos_ += n;
+  return n;
+}
+
+}  // namespace telemetry
+}  // namespace asap

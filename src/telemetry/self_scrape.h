@@ -1,0 +1,101 @@
+// SelfScrapeSource: the dogfooding bridge. Samples a MetricsRegistry
+// every tick and emits the samples as `asap.self.*` named records —
+// a stream::MultiSource, so the engine's own telemetry flows through
+// the identical ASAP pipeline (sharding, pane aggregation, smoothing,
+// FleetView rollups) as any fleet workload. Modeled on Akumuli's
+// PerfmonCounters sampler, but closing the loop: the engine monitors
+// itself.
+//
+// Per tick, each instrument becomes one or more records:
+//   counter    -> delta since the previous tick (rate per tick)
+//   gauge      -> current value
+//   histogram  -> `.p50` and `.p99` sub-series (quantiles of the
+//                 cumulative distribution), scaled by MetricSpec.scale
+//
+// Series names are `asap.self.<family>` with the redundant `asap_`
+// exposition prefix stripped and labels appended in registry order,
+// e.g. `asap.self.shard_queue_depth{shard=0}` or
+// `asap.self.wire_decode_seconds.p99{loop=1}` — every byte printable
+// non-space ASCII, so the names are legal wire/catalog names.
+
+#ifndef ASAP_TELEMETRY_SELF_SCRAPE_H_
+#define ASAP_TELEMETRY_SELF_SCRAPE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "stream/catalog.h"
+#include "stream/record.h"
+#include "stream/source.h"
+#include "telemetry/metrics.h"
+
+namespace asap {
+namespace telemetry {
+
+struct SelfScrapeOptions {
+  /// Wall-time pause before each tick after the first (0 = free-run).
+  /// Scrape cadence is the self-stream's sample rate: 100ms ≈ 10Hz.
+  double tick_interval_ms = 100.0;
+
+  /// Stop after this many ticks (0 = run until Stop()).
+  size_t max_ticks = 0;
+
+  /// Called immediately before each scrape — tests use it to advance
+  /// the instruments deterministically, making the emitted stream a
+  /// pure function of tick count.
+  std::function<void()> tick_hook;
+};
+
+/// MultiSource over a registry. Single-consumer (the engine's producer
+/// thread); Stop() may be called from any thread.
+class SelfScrapeSource : public stream::MultiSource {
+ public:
+  SelfScrapeSource(stream::SeriesCatalog* catalog,
+                   const MetricsRegistry* registry,
+                   SelfScrapeOptions options = {});
+
+  /// One scrape tick per call once the previous tick's records have
+  /// drained; records beyond `max_records` buffer for the next call.
+  size_t NextBatch(size_t max_records, stream::RecordBatch* out) override;
+
+  /// Unbounded (0) — the registry never runs dry; termination is
+  /// max_ticks or Stop().
+  size_t TotalPoints() const override { return 0; }
+
+  /// Makes NextBatch return 0 once buffered records drain.
+  void Stop() { stopped_.store(true, std::memory_order_relaxed); }
+
+  size_t ticks() const { return ticks_; }
+
+ private:
+  void ScrapeOnce();
+  stream::SeriesId InternFor(const std::string& series_name);
+
+  stream::SeriesCatalog* catalog_;
+  const MetricsRegistry* registry_;
+  SelfScrapeOptions options_;
+
+  std::atomic<bool> stopped_{false};
+  size_t ticks_ = 0;
+  stream::RecordBatch pending_;
+  size_t pending_pos_ = 0;
+  /// Previous counter values, for delta emission (key = name+labels).
+  std::unordered_map<std::string, uint64_t> prev_counters_;
+  /// Interned ids by series name, so steady-state ticks do no catalog
+  /// lookups beyond a hash probe.
+  std::unordered_map<std::string, stream::SeriesId> ids_;
+};
+
+/// The self-series name for an instrument (exposed for tests and for
+/// dashboards that want to Sample() a specific self metric):
+/// `asap.self.` + spec name minus any `asap_` prefix + `suffix`
+/// (e.g. ".p99" or "") + `{k=v,...}` if the spec has labels.
+std::string SelfSeriesName(const MetricSpec& spec, const char* suffix);
+
+}  // namespace telemetry
+}  // namespace asap
+
+#endif  // ASAP_TELEMETRY_SELF_SCRAPE_H_
