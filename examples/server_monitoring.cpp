@@ -5,7 +5,12 @@
 // plots bury becomes visible — and the fleet report says which hosts
 // it hit, by name, with FleetView answering the cross-host questions.
 //
-//   $ ./server_monitoring [hosts] [shards] [--self]
+//   $ ./server_monitoring [hosts] [shards] [--self] [--data-dir PATH]
+//
+// --data-dir makes the fleet durable: completed panes persist to a
+// WAL-backed store at PATH, and a re-run replays the stored history
+// into the engine before streaming — the monitoring deployment
+// surviving a restart with its dashboards' history intact.
 //
 // --self appends the dogfood act: a SelfScrapeSource samples the fleet
 // engine's own telemetry registry and streams the `asap.self.*` series
@@ -19,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +32,8 @@
 #include "core/streaming_asap.h"
 #include "render/ascii_chart.h"
 #include "stats/normalize.h"
+#include "storage/recovery.h"
+#include "storage/store.h"
 #include "stream/fleet_view.h"
 #include "stream/sharded_engine.h"
 #include "stream/source.h"
@@ -75,19 +83,21 @@ int main(int argc, char** argv) {
   // above so negative/garbage arguments (strtoll of "-4") cannot ask
   // for 2^64 hosts or threads.
   bool self_mode = false;
+  std::string data_dir;
+  std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--self") == 0) {
       self_mode = true;
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
     }
   }
   const long long raw_hosts =
-      argc > 1 && std::strcmp(argv[1], "--self") != 0
-          ? std::strtoll(argv[1], nullptr, 10)
-          : 12;
+      positional.size() > 0 ? std::strtoll(positional[0], nullptr, 10) : 12;
   const long long raw_shards =
-      argc > 2 && std::strcmp(argv[2], "--self") != 0
-          ? std::strtoll(argv[2], nullptr, 10)
-          : 4;
+      positional.size() > 1 ? std::strtoll(positional[1], nullptr, 10) : 4;
   const size_t hosts =
       static_cast<size_t>(std::clamp<long long>(raw_hosts, 2, 4096));
   const size_t shards =
@@ -103,12 +113,50 @@ int main(int argc, char** argv) {
   series_options.visible_points = kDays * kDay;  // "the past ten days"
   series_options.refresh_every_points = kDay;    // re-render once per day
 
+  // The durable tier (--data-dir): completed panes stream into a
+  // WAL-backed store as the shard workers drain, and a re-run replays
+  // the store back through the engine so the dashboards resume with
+  // history no in-memory ring could hold. The store outlives the
+  // engine (workers append into it until shutdown).
+  std::unique_ptr<asap::storage::DurableStore> store;
+  if (!data_dir.empty()) {
+    asap::storage::StoreOptions store_options;
+    store_options.metrics = &asap::telemetry::MetricsRegistry::Global();
+    store = asap::storage::DurableStore::Open(data_dir, store_options)
+                .ValueOrDie();
+    const asap::storage::RecoveryReport& rec = store->recovery();
+    std::printf(
+        "Durable store at %s: %zu series recovered "
+        "(%llu chunk panes, %llu WAL panes%s).\n\n",
+        data_dir.c_str(), store->series_count(),
+        static_cast<unsigned long long>(rec.chunk_panes),
+        static_cast<unsigned long long>(rec.replayed_panes),
+        rec.tail_truncated ? ", torn tail truncated" : "");
+  }
+
   asap::stream::ShardedEngineOptions engine_options;
   engine_options.shards = shards;
   engine_options.batch_size = 2048;
+  engine_options.storage = store.get();
+  if (store != nullptr) {
+    engine_options.metrics = &asap::telemetry::MetricsRegistry::Global();
+  }
   asap::stream::ShardedEngine engine =
       asap::stream::ShardedEngine::Create(series_options, engine_options)
           .ValueOrDie();
+  if (store != nullptr) {
+    const asap::storage::EngineReplayReport replayed =
+        asap::storage::ReplayIntoEngine(
+            *store, &engine, asap::storage::ReplayFidelity::kFaithful)
+            .ValueOrDie();
+    if (replayed.series_restored > 0) {
+      std::printf(
+          "Replayed %llu series / %llu panes before streaming today's "
+          "telemetry.\n\n",
+          static_cast<unsigned long long>(replayed.series_restored),
+          static_cast<unsigned long long>(replayed.panes_restored));
+    }
+  }
 
   // The fleet stream: one named series per host, interleaved the way
   // a scrape cycle visits the cluster. Names intern through the
@@ -198,6 +246,18 @@ int main(int argc, char** argv) {
       "Anomaly rollup         : %zu of %zu hosts alerting "
       "(%zu alert spans)\n\n",
       anomalies.series_alerting, anomalies.series, anomalies.alerts);
+
+  // With the durable tier attached, dashboard history runs deeper
+  // than the engine's in-memory snapshot ring: FleetView reconstructs
+  // older frames from the store's pane log on demand.
+  if (engine.storage() != nullptr) {
+    const auto ring = view.History(incident_host);
+    const auto deep = view.History(incident_host, 64);
+    std::printf(
+        "Durable history for %s: %zu frames on tap "
+        "(snapshot ring holds %zu).\n\n",
+        incident_host.c_str(), deep.size(), ring.size());
+  }
 
   asap::render::AsciiChartOptions chart;
   chart.width = 76;

@@ -14,12 +14,21 @@
 // ephemeral loopback port:
 //
 //   ./wire_fleet demo        # "--demo" also accepted
+//
+// --data-dir PATH makes the server side durable: every completed pane
+// lands in a WAL-backed DurableStore at PATH, a restart replays the
+// store back through the engine before accepting new traffic, and
+// FleetView serves history deeper than the in-memory snapshot ring.
+// --crash-after-ingest 1 hard-exits (std::_Exit, no shutdown path)
+// right after ingest — run again with the same --data-dir to watch
+// recovery pick the fleet back up.
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +37,8 @@
 #include "net/net_source.h"
 #include "net/wire_client.h"
 #include "net/wire_server.h"
+#include "storage/recovery.h"
+#include "storage/store.h"
 #include "stream/fleet_view.h"
 #include "stream/sharded_engine.h"
 #include "telemetry/exposition.h"
@@ -50,6 +61,12 @@ struct Args {
   /// (wire + shard + query instruments) every this-many seconds while
   /// the server runs, plus a final dump after ingest completes.
   double stats_interval = 0.0;
+  /// Non-empty: persist panes to a DurableStore rooted here and
+  /// replay it into the engine on startup.
+  std::string data_dir;
+  /// Exit without any shutdown path right after ingest completes —
+  /// the crash half of the durable restart demo.
+  bool crash_after_ingest = false;
 };
 
 int Usage() {
@@ -57,11 +74,13 @@ int Usage() {
       stderr,
       "usage:\n"
       "  wire_fleet server [--port N | --uds PATH] [--shards T] [--loops L]\n"
-      "                    [--stats-interval SECONDS]\n"
+      "                    [--stats-interval SECONDS] [--data-dir PATH]\n"
+      "                    [--crash-after-ingest 0|1]\n"
       "  wire_fleet client [--port N | --uds PATH] [--series K]\n"
       "                    [--encoding text|binary]\n"
       "  wire_fleet demo   [--shards T] [--loops L] [--series K]\n"
-      "                    [--encoding ...] [--stats-interval SECONDS]\n");
+      "                    [--encoding ...] [--stats-interval SECONDS]\n"
+      "                    [--data-dir PATH] [--crash-after-ingest 0|1]\n");
   return 2;
 }
 
@@ -99,6 +118,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
     } else if (flag == "--stats-interval") {
       args->stats_interval = std::atof(value.c_str());
+    } else if (flag == "--data-dir") {
+      args->data_dir = value;
+    } else if (flag == "--crash-after-ingest") {
+      args->crash_after_ingest = std::atoi(value.c_str()) != 0;
     } else {
       return false;
     }
@@ -231,6 +254,17 @@ int RunServer(const Args& args, asap::stream::ShardedEngine* engine,
       static_cast<unsigned long long>(stats.malformed_lines),
       static_cast<unsigned long long>(stats.poisoned_connections));
 
+  if (args.crash_after_ingest) {
+    // The crash half of the durable restart demo: every acked pane is
+    // already written to the store (AppendPanes returns post-write),
+    // so a hard exit that skips every destructor loses nothing a real
+    // SIGKILL wouldn't. Restart with the same --data-dir to recover.
+    std::printf("Hard exit after ingest (no shutdown path); restart with "
+                "the same --data-dir to recover.\n");
+    std::fflush(stdout);
+    std::_Exit(0);
+  }
+
   std::printf("Event-loop tier: %llu wakeups, %llu events (%.1f ev/wakeup), "
               "%llu batches\n",
               static_cast<unsigned long long>(stats.wakeups),
@@ -330,6 +364,18 @@ int RunServer(const Args& args, asap::stream::ShardedEngine* engine,
                 change.max_abs_delta);
   }
 
+  // The durable history question the in-memory ring cannot answer:
+  // how deep does cab-00's frame history go when FleetView can
+  // reconstruct past frames from the store's pane log?
+  if (engine->storage() != nullptr) {
+    const auto ring = view.History(CabName(0));
+    const auto deep = view.History(CabName(0), 64);
+    std::printf(
+        "Durable history for cab-00: %zu frames on tap "
+        "(snapshot ring holds %zu) from %s.\n",
+        deep.size(), ring.size(), engine->storage()->dir().c_str());
+  }
+
   // Final exposition dump: now the asap_query_seconds families carry
   // the latencies of every FleetView call made above.
   if (args.stats_interval > 0.0) {
@@ -357,7 +403,8 @@ asap::net::WireServer MakeServer(const Args& args,
       .ValueOrDie();
 }
 
-asap::stream::ShardedEngine MakeEngine(const Args& args) {
+asap::stream::ShardedEngine MakeEngine(const Args& args,
+                                       asap::storage::DurableStore* store) {
   // The taxi series is 3600 half-hourly points; a 3000-point visible
   // window refreshed every 600 gives each series several refreshes as
   // its replay streams in.
@@ -371,15 +418,65 @@ asap::stream::ShardedEngine MakeEngine(const Args& args) {
 
   asap::stream::ShardedEngineOptions engine_options;
   engine_options.shards = args.shards;
+  engine_options.storage = store;
+  if (store != nullptr) {
+    // The store's asap_store_* instruments live in the global
+    // registry; point the engine (and through it the wire server and
+    // FleetView) at the same registry so one stats dump covers the
+    // whole pipeline, durability included.
+    engine_options.metrics = &asap::telemetry::MetricsRegistry::Global();
+  }
   return asap::stream::ShardedEngine::Create(series_options, engine_options)
       .ValueOrDie();
+}
+
+/// Opens (or recovers) the durable store at --data-dir and prints
+/// what recovery found. The store must outlive the engine whose shard
+/// workers append into it, so callers construct it first.
+std::unique_ptr<asap::storage::DurableStore> OpenStore(const Args& args) {
+  asap::storage::StoreOptions store_options;
+  store_options.metrics = &asap::telemetry::MetricsRegistry::Global();
+  auto store =
+      asap::storage::DurableStore::Open(args.data_dir, store_options)
+          .ValueOrDie();
+  const asap::storage::RecoveryReport& rec = store->recovery();
+  std::printf(
+      "Durable store at %s: %zu series recovered "
+      "(%llu chunk panes, %llu WAL panes%s).\n",
+      args.data_dir.c_str(), store->series_count(),
+      static_cast<unsigned long long>(rec.chunk_panes),
+      static_cast<unsigned long long>(rec.replayed_panes),
+      rec.tail_truncated ? ", torn tail truncated" : "");
+  return store;
+}
+
+void ReplayStore(const asap::storage::DurableStore& store,
+                 asap::stream::ShardedEngine* engine) {
+  const asap::storage::EngineReplayReport replayed =
+      asap::storage::ReplayIntoEngine(store, engine,
+                                      asap::storage::ReplayFidelity::kFaithful)
+          .ValueOrDie();
+  if (replayed.series_restored > 0) {
+    std::printf(
+        "Replayed %llu series / %llu panes into the fleet engine "
+        "before opening for traffic.\n",
+        static_cast<unsigned long long>(replayed.series_restored),
+        static_cast<unsigned long long>(replayed.panes_restored));
+  }
 }
 
 int RunDemo(const Args& args) {
   // Both halves in one process: the server side owns the main thread
   // (as in real deployments, the engine's producer thread is the
   // socket event loop); the collector replays from a second thread.
-  asap::stream::ShardedEngine engine = MakeEngine(args);
+  std::unique_ptr<asap::storage::DurableStore> store;
+  if (!args.data_dir.empty()) {
+    store = OpenStore(args);
+  }
+  asap::stream::ShardedEngine engine = MakeEngine(args, store.get());
+  if (store != nullptr) {
+    ReplayStore(*store, &engine);
+  }
   asap::net::WireServer server = MakeServer(args, &engine);
   Args client_args = args;
   client_args.port = server.tcp_port();
@@ -408,7 +505,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "server needs --port or --uds\n");
       return 2;
     }
-    asap::stream::ShardedEngine engine = MakeEngine(args);
+    std::unique_ptr<asap::storage::DurableStore> store;
+    if (!args.data_dir.empty()) {
+      store = OpenStore(args);
+    }
+    asap::stream::ShardedEngine engine = MakeEngine(args, store.get());
+    if (store != nullptr) {
+      ReplayStore(*store, &engine);
+    }
     asap::net::WireServer server = MakeServer(args, &engine);
     return RunServer(args, &engine, std::move(server));
   }

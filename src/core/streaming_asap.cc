@@ -87,6 +87,34 @@ size_t StreamingAsap::PushBatch(const double* xs, size_t n) {
   return refreshes;
 }
 
+void StreamingAsap::RestorePanes(const double* means, size_t n,
+                                 bool cadenced) {
+  if (!cadenced) {
+    panes_.RestoreCompleted(means, n);
+    points_consumed_ += n * pane_size_;
+    points_since_refresh_ = 0;
+    if (panes_.size() >= 4) {
+      Refresh();
+    }
+    return;
+  }
+  // Replay the live refresh cadence one pane at a time: each restored
+  // pane advances the point clock by pane_size, firing Refresh at
+  // exactly the boundaries live ingestion would have (boundaries are
+  // pane-aligned whenever refresh_interval_points is a multiple of
+  // pane_size — in particular for the refresh-per-pane default).
+  for (size_t i = 0; i < n; ++i) {
+    panes_.RestoreCompleted(means + i, 1);
+    points_consumed_ += pane_size_;
+    points_since_refresh_ += pane_size_;
+    if (points_since_refresh_ >= refresh_interval_points_ &&
+        panes_.size() >= 4) {
+      Refresh();
+      points_since_refresh_ = 0;
+    }
+  }
+}
+
 std::shared_ptr<const StreamingAsap::Frame> StreamingAsap::frame_snapshot()
     const {
   if (options_.snapshot_ring_frames > 1) {

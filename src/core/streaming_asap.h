@@ -113,6 +113,24 @@ class StreamingAsap {
   /// No-op until at least 4 panes are buffered.
   void Refresh();
 
+  /// Routes each completed pane's mean to `sink` (the durable-store
+  /// hookup; see window::PaneBuffer::PaneSink). Pass nullptr to clear.
+  void set_pane_sink(window::PaneBuffer::PaneSink sink, void* ctx) {
+    panes_.set_pane_sink(sink, ctx);
+  }
+
+  /// Restores `n` recovered pane means as already-complete panes,
+  /// advancing the point clock by n * pane_size and NOT firing the
+  /// pane sink (the panes are already durable). With cadenced == true
+  /// the refresh schedule live ingestion would have run is replayed
+  /// pane by pane — frames (and the snapshot ring) come out identical
+  /// to an uninterrupted run whenever refresh_interval_points is a
+  /// multiple of pane_size (always true for the refresh-per-pane
+  /// default). With cadenced == false the panes load in bulk and a
+  /// single Refresh renders the final frame (fast-forward recovery).
+  /// Only legal before any live point is pushed.
+  void RestorePanes(const double* means, size_t n, bool cadenced);
+
   const Frame& frame() const { return frame_; }
 
   /// Snapshot of the most recent frame, safe to call from any thread

@@ -1,0 +1,54 @@
+// Columnar codec for pane pre-aggregate blocks, Gorilla/Akumuli
+// style. A block holds one series' panes as two columns:
+//
+//   pane indices — monotonically increasing u64s, encoded as
+//   delta-of-delta zigzag varints. Because the ingest path appends
+//   panes contiguously, almost every delta-of-delta is zero, so runs
+//   of zeros are run-length encoded: the byte 0x00 followed by a
+//   varint run length. (Safe: a nonzero zigzag varint never starts
+//   with 0x00.) A chunk of 10k contiguous panes spends ~4 bytes on
+//   its whole index column.
+//
+//   pane means — doubles, XOR-compressed against the previous value
+//   (Gorilla §4.1.2): identical → 1 bit; same leading/trailing-zero
+//   window → '10' + meaningful bits; else '11' + 5-bit leading-zero
+//   count + 6-bit length + bits. Smooth series cluster near each
+//   other, so most panes cost far less than 64 bits.
+//
+// Blocks are self-delimiting ([u32 count] ... [u32 index bytes]) and
+// integrity is handled a layer up: the chunk file stores a masked
+// CRC32C per block.
+
+#ifndef ASAP_STORAGE_CHUNK_CODEC_H_
+#define ASAP_STORAGE_CHUNK_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace asap {
+namespace storage {
+
+/// Encodes `n` (index, value) pairs into a block appended to `*out`.
+/// Indices must be strictly increasing.
+void EncodePaneBlock(const uint64_t* indices, const double* values, size_t n,
+                     std::string* out);
+
+/// Convenience for the common contiguous case: panes
+/// [first_index, first_index + n).
+void EncodeContiguousPaneBlock(uint64_t first_index, const double* values,
+                               size_t n, std::string* out);
+
+/// Decodes a block produced by EncodePaneBlock. Appends to the output
+/// vectors. Fails (without crashing) on any malformed input.
+Status DecodePaneBlock(const char* data, size_t len,
+                       std::vector<uint64_t>* indices,
+                       std::vector<double>* values);
+
+}  // namespace storage
+}  // namespace asap
+
+#endif  // ASAP_STORAGE_CHUNK_CODEC_H_

@@ -1,0 +1,70 @@
+#include "storage/crc32c.h"
+
+namespace asap {
+namespace storage {
+
+namespace {
+
+// 8 x 256-entry tables for slice-by-8, generated once at first use.
+// Table 0 is the plain byte-at-a-time table; table k folds a byte
+// that sits k positions deeper in the 8-byte slice.
+struct Tables {
+  uint32_t t[8][256];
+
+  Tables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const Tables& tb = GetTables();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  // Head: align to 8 bytes.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --n;
+  }
+  // Body: 8 bytes per iteration through the sliced tables.
+  while (n >= 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, p, sizeof(chunk));
+    chunk ^= crc;  // fold the running CRC into the low word
+    crc = tb.t[7][chunk & 0xFFu] ^ tb.t[6][(chunk >> 8) & 0xFFu] ^
+          tb.t[5][(chunk >> 16) & 0xFFu] ^ tb.t[4][(chunk >> 24) & 0xFFu] ^
+          tb.t[3][(chunk >> 32) & 0xFFu] ^ tb.t[2][(chunk >> 40) & 0xFFu] ^
+          tb.t[1][(chunk >> 48) & 0xFFu] ^ tb.t[0][(chunk >> 56) & 0xFFu];
+    p += 8;
+    n -= 8;
+  }
+  // Tail.
+  while (n > 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace storage
+}  // namespace asap

@@ -1,0 +1,247 @@
+#include "storage/posix_file.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace asap {
+namespace storage {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " " + path + ": " + ::strerror(errno));
+}
+
+}  // namespace
+
+FileHandle& FileHandle::operator=(FileHandle&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void FileHandle::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status MakeDirs(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("MakeDirs: empty path");
+  }
+  std::string partial;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    size_t next = path.find('/', pos);
+    if (next == std::string::npos) {
+      next = path.size();
+    }
+    partial.assign(path, 0, next);
+    pos = next + 1;
+    if (partial.empty()) {
+      continue;  // leading '/'
+    }
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", partial);
+    }
+  }
+  return Status::OK();
+}
+
+Status OpenForWrite(const std::string& path, FileHandle* out) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Errno("open(write)", path);
+  }
+  *out = FileHandle(fd);
+  return Status::OK();
+}
+
+Status OpenForRead(const std::string& path, FileHandle* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Errno("open(read)", path);
+  }
+  *out = FileHandle(fd);
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::write(fd, p, n);
+    if (written < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IOError(std::string("write: ") + ::strerror(errno));
+    }
+    p += written;
+    n -= static_cast<size_t>(written);
+  }
+  return Status::OK();
+}
+
+Status ReadExactAt(int fd, uint64_t off, void* data, size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t got = ::pread(fd, p, n, static_cast<off_t>(off));
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IOError(std::string("pread: ") + ::strerror(errno));
+    }
+    if (got == 0) {
+      return Status::IOError("pread: unexpected EOF");
+    }
+    p += got;
+    off += static_cast<uint64_t>(got);
+    n -= static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  out->clear();
+  FileHandle f;
+  Status s = OpenForRead(path, &f);
+  if (!s.ok()) {
+    return s;
+  }
+  char buffer[64 * 1024];
+  for (;;) {
+    const ssize_t got = ::read(f.fd(), buffer, sizeof(buffer));
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("read", path);
+    }
+    if (got == 0) {
+      return Status::OK();
+    }
+    out->append(buffer, static_cast<size_t>(got));
+  }
+}
+
+Status SyncFd(int fd) {
+#if defined(__APPLE__)
+  if (::fsync(fd) != 0) {
+#else
+  if (::fdatasync(fd) != 0) {
+#endif
+    return Status::IOError(std::string("fdatasync: ") + ::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Errno("open(dir)", dir);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Errno("fsync(dir)", dir);
+  }
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Errno("truncate", path);
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return Errno("open(tmp)", tmp);
+    }
+    FileHandle f(fd);
+    Status s = WriteFull(fd, data.data(), data.size());
+    if (!s.ok()) {
+      return s;
+    }
+    s = SyncFd(fd);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename", path);
+  }
+  const size_t slash = path.find_last_of('/');
+  return SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("unlink " + path);
+    }
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status FileSize(const std::string& path, uint64_t* out) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Errno("stat", path);
+  }
+  *out = static_cast<uint64_t>(st.st_size);
+  return Status::OK();
+}
+
+Status ListDir(const std::string& dir, std::vector<std::string>* out) {
+  out->clear();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) {
+      return Status::OK();
+    }
+    return Errno("opendir", dir);
+  }
+  for (;;) {
+    errno = 0;
+    struct dirent* entry = ::readdir(d);
+    if (entry == nullptr) {
+      break;
+    }
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") {
+      continue;
+    }
+    out->push_back(name);
+  }
+  ::closedir(d);
+  std::sort(out->begin(), out->end());
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace asap

@@ -1,0 +1,91 @@
+// Thin POSIX file-IO layer for the durable tier: RAII fds, full-write
+// loops that survive short writes and EINTR, directory listing, and
+// the crash-safe publication idiom every storage engine builds on —
+// write-to-temp, fsync the file, rename over the target, fsync the
+// directory — so a reader either sees the old file or the complete
+// new one, never a torn intermediate.
+
+#ifndef ASAP_STORAGE_POSIX_FILE_H_
+#define ASAP_STORAGE_POSIX_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace asap {
+namespace storage {
+
+/// RAII file descriptor. Movable, closes on destruction.
+class FileHandle {
+ public:
+  FileHandle() = default;
+  explicit FileHandle(int fd) : fd_(fd) {}
+  FileHandle(const FileHandle&) = delete;
+  FileHandle& operator=(const FileHandle&) = delete;
+  FileHandle(FileHandle&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FileHandle& operator=(FileHandle&& other) noexcept;
+  ~FileHandle() { Close(); }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// mkdir -p: creates `path` and any missing parents (0755).
+Status MakeDirs(const std::string& path);
+
+/// Opens (creating if absent) for appending; O_APPEND is NOT used —
+/// the caller owns the write offset so it can truncate a torn tail
+/// and continue from the last valid byte.
+Status OpenForWrite(const std::string& path, FileHandle* out);
+
+/// Opens read-only.
+Status OpenForRead(const std::string& path, FileHandle* out);
+
+/// Writes all n bytes at the current offset, looping over short
+/// writes and EINTR.
+Status WriteFull(int fd, const void* data, size_t n);
+
+/// Reads exactly n bytes at absolute offset `off` (pread loop); fails
+/// with IOError on EOF before n bytes.
+Status ReadExactAt(int fd, uint64_t off, void* data, size_t n);
+
+/// Reads a whole file into *out (cleared first).
+Status ReadFile(const std::string& path, std::string* out);
+
+/// fdatasync (falls back to fsync where unavailable).
+Status SyncFd(int fd);
+
+/// fsyncs the directory containing `path` (or `path` itself if it is
+/// a directory) so a rename/create within it is durable.
+Status SyncDir(const std::string& dir);
+
+/// Truncates the file to `size` bytes.
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// Writes `data` to `path` crash-atomically: temp file in the same
+/// directory, fsync, rename over `path`, fsync the directory.
+Status AtomicWriteFile(const std::string& path, const std::string& data);
+
+/// Removes a file; NotFound if it does not exist.
+Status RemoveFile(const std::string& path);
+
+/// True iff `path` exists (any file type).
+bool PathExists(const std::string& path);
+
+/// Size of the file in bytes.
+Status FileSize(const std::string& path, uint64_t* out);
+
+/// Names (not paths) of regular files directly inside `dir`, sorted.
+/// An absent directory yields an empty list, not an error.
+Status ListDir(const std::string& dir, std::vector<std::string>* out);
+
+}  // namespace storage
+}  // namespace asap
+
+#endif  // ASAP_STORAGE_POSIX_FILE_H_

@@ -1,0 +1,65 @@
+// Recovery: rebuilding the live fleet from the durable tier.
+//
+// DurableStore::Open already does the storage-level half (manifest
+// load, WAL tail replay, torn-tail truncation). This header is the
+// engine-level half: pushing the recovered pane history back through
+// the SeriesCatalog + ShardedEngine ingest surface so dashboards see
+// the fleet exactly where it left off.
+//
+// Two fidelities:
+//
+//   kFaithful     — every recovered pane replays through the live
+//                   refresh cadence. Published frames, snapshot rings,
+//                   and frame counters come out bitwise identical to a
+//                   process that never crashed (the crash-recovery
+//                   property tests pin this). Cost: one window search
+//                   per refresh interval of history.
+//
+//   kFastForward  — only the visible window's worth of panes loads
+//                   (bulk), and one refresh renders the final frame.
+//                   The current frame matches the faithful result's
+//                   series values whenever the search is
+//                   deterministic; lifetime counters and ring depth
+//                   don't. Right for huge histories where time-to-
+//                   serve beats counter parity.
+
+#ifndef ASAP_STORAGE_RECOVERY_H_
+#define ASAP_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/store.h"
+#include "stream/sharded_engine.h"
+
+namespace asap {
+namespace storage {
+
+enum class ReplayFidelity {
+  kFaithful,
+  kFastForward,
+};
+
+/// What ReplayIntoEngine restored.
+struct EngineReplayReport {
+  uint64_t series_restored = 0;
+  uint64_t panes_restored = 0;
+  /// Series skipped: name no longer valid for the catalog, or the
+  /// engine already holds points for it (restore is boot-time only).
+  uint64_t series_skipped = 0;
+};
+
+/// Replays every series in `store` into `engine` (which must be
+/// between runs — typically freshly created). Series register in the
+/// catalog by name; pane means flow through
+/// ShardedEngine::RestoreSeries. Never fails on per-series oddities
+/// (they are counted as skipped); only infrastructure errors (chunk
+/// IO) surface as a non-OK status.
+Result<EngineReplayReport> ReplayIntoEngine(const DurableStore& store,
+                                            stream::ShardedEngine* engine,
+                                            ReplayFidelity fidelity);
+
+}  // namespace storage
+}  // namespace asap
+
+#endif  // ASAP_STORAGE_RECOVERY_H_

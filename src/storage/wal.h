@@ -1,0 +1,203 @@
+// Append-only write-ahead log: the durability frontier of the store.
+//
+// Layout: the WAL directory holds numbered segment files
+// (`00000001.wal`, `00000002.wal`, ...). Each segment starts with a
+// 16-byte header (magic, format version, segment seq) followed by a
+// run of frames:
+//
+//   [u32 payload_len][u32 masked crc32c(payload)][payload bytes]
+//
+// Payloads are opaque to the WAL — the store layers record types
+// (series registrations, pane batches) on top. Integers are
+// little-endian; the CRC is masked LevelDB-style so checksummed data
+// containing checksums stays robust.
+//
+// Write path: appends from any thread are group-committed. An
+// appender buffers its frame under the mutex; the first waiter whose
+// durability target is unmet becomes the leader, swaps out the whole
+// pending buffer, and performs one write() (and, per policy, one
+// fdatasync()) covering every frame buffered so far — including
+// frames that arrived while the previous leader's IO was in flight.
+// `Append` returning OK means the frame is durable to the level the
+// sync policy promises: kEveryBatch → fsynced, kInterval → fsynced
+// within the interval, kNone → written to the OS (page cache) only.
+//
+// Torn tails: a crash mid-write leaves a final partial or corrupt
+// frame. `ScanWal` verifies every frame's CRC and stops at the first
+// invalid one, reporting where the valid prefix ends so the store can
+// truncate the garbage and resume appending — recovery never crashes
+// on a torn tail, it just loses the unacked suffix.
+
+#ifndef ASAP_STORAGE_WAL_H_
+#define ASAP_STORAGE_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "storage/posix_file.h"
+
+namespace asap {
+namespace telemetry {
+class Counter;
+class Gauge;
+class LatencyHistogram;
+}  // namespace telemetry
+
+namespace storage {
+
+/// How eagerly `Append` makes frames durable.
+enum class SyncPolicy : uint8_t {
+  kNone,        ///< write() only; data survives process crash, not power loss
+  kInterval,    ///< fdatasync at most once per `sync_interval_seconds`
+  kEveryBatch,  ///< fdatasync before every Append returns (slowest, safest)
+};
+
+const char* SyncPolicyName(SyncPolicy policy);
+
+struct WalOptions {
+  SyncPolicy sync = SyncPolicy::kInterval;
+  /// kInterval only: maximum staleness of the durability frontier.
+  double sync_interval_seconds = 0.05;
+  /// Segments roll (seal + open next) once they exceed this size.
+  size_t segment_bytes = 16u << 20;
+
+  // Optional telemetry instruments (may be nullptr).
+  telemetry::LatencyHistogram* append_nanos = nullptr;
+  telemetry::LatencyHistogram* fsync_nanos = nullptr;
+  telemetry::Counter* appended_bytes = nullptr;
+  telemetry::Counter* fsync_total = nullptr;
+  telemetry::Counter* segments_sealed_total = nullptr;
+};
+
+/// Framing constants shared by writer, scanner, and the corruption
+/// property test.
+inline constexpr uint64_t kWalMagic = 0x314c'5750'4153'41ull;  // "ASAPWL1\0"
+inline constexpr uint32_t kWalFormatVersion = 1;
+inline constexpr size_t kWalSegmentHeaderBytes = 16;  // magic + version + seq
+inline constexpr size_t kWalFrameHeaderBytes = 8;     // len + masked crc
+inline constexpr size_t kWalMaxFrameBytes = 64u << 20;
+
+class Wal {
+ public:
+  /// Opens a WAL writer in `dir` (which must already exist), starting
+  /// a fresh live segment with sequence `live_seq`. Recovery passes
+  /// one past the newest replayed segment so replayed files are never
+  /// appended to.
+  static Result<std::unique_ptr<Wal>> Open(std::string dir, uint32_t live_seq,
+                                           WalOptions options);
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one frame. Thread-safe; group-committed. OK means the
+  /// frame is durable per the sync policy. After the first IO error
+  /// the WAL is poisoned and every call returns that error.
+  Status Append(const void* payload, size_t n);
+
+  /// Forces everything appended so far to disk (any policy).
+  Status Sync();
+
+  /// Seals the live segment (flushing buffered frames into it first)
+  /// and opens the next one. No-op if the live segment is empty.
+  /// Returns the live segment's seq after the roll.
+  Result<uint32_t> Roll();
+
+  /// Sequence number of the segment currently accepting appends.
+  uint32_t live_seq() const;
+
+  /// Sealed-but-not-yet-deleted segment sequence numbers, ascending.
+  std::vector<uint32_t> SealedSeqs() const;
+
+  /// Deletes sealed segment files with seq <= `seq` (post-compaction).
+  Status DropSealedThrough(uint32_t seq);
+
+  /// Bytes accepted by Append since open (frame headers included).
+  uint64_t appended_bytes() const;
+
+  static std::string SegmentFileName(uint32_t seq);
+  static std::string SegmentPath(const std::string& dir, uint32_t seq);
+  /// Parses a segment file name; returns 0 if it is not one.
+  static uint32_t ParseSegmentFileName(const std::string& name);
+  /// Serialises a segment header into `out` (appended).
+  static void AppendSegmentHeader(uint32_t seq, std::string* out);
+  /// Serialises one frame (header + payload) into `out` (appended).
+  static void AppendFrame(const void* payload, size_t n, std::string* out);
+
+ private:
+  Wal(std::string dir, WalOptions options);
+
+  /// Blocks until bytes up to `target` are written (and synced when
+  /// `need_sync`), becoming the group-commit leader when no flush is
+  /// active. Called with `lock` held; may release and reacquire it.
+  void FlushUntilLocked(std::unique_lock<std::mutex>& lock, uint64_t target,
+                        bool need_sync);
+
+  /// Leader-only: writes `buf` to the live segment, rolling first if
+  /// the segment is full. Runs without the mutex (flush_active_
+  /// guarantees exclusivity over the fd).
+  Status WriteToLiveSegment(const std::string& buf);
+
+  /// Seals the live segment and opens seq+1. Caller must hold fd
+  /// exclusivity (leader, or mutex with no flush active).
+  Status RollInternal();
+
+  Status OpenLiveSegment(uint32_t seq);
+
+  const std::string dir_;
+  const WalOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::string pending_;          // frames not yet handed to write()
+  uint64_t appended_end_ = 0;    // logical end offset of buffered frames
+  uint64_t written_end_ = 0;     // frontier handed to write()
+  uint64_t synced_end_ = 0;      // frontier covered by fdatasync()
+  uint64_t sync_wanted_ = 0;     // highest offset any appender wants durable
+  bool flush_active_ = false;    // a leader owns the fd right now
+  Status io_status_;             // sticky first IO error
+  Stopwatch sync_watch_;         // kInterval cadence
+  std::vector<uint32_t> sealed_;
+
+  // fd state: touched only with flush exclusivity (see above).
+  FileHandle live_;
+  uint32_t live_seq_ = 0;
+  uint64_t live_bytes_ = 0;  // bytes written into the live segment
+};
+
+/// Statistics from a `ScanWal` pass, consumed by recovery.
+struct WalScanStats {
+  uint64_t segments = 0;        ///< segment files visited
+  uint64_t frames = 0;          ///< valid frames delivered
+  uint64_t bytes = 0;           ///< payload bytes delivered
+  bool tail_truncated = false;  ///< an invalid frame stopped the scan
+  uint64_t truncated_bytes = 0;  ///< bytes discarded after the valid prefix
+  uint32_t last_seq = 0;         ///< seq of the last segment with valid data
+  uint64_t valid_end_offset = 0;  ///< valid byte count within last_seq
+};
+
+/// Replays every valid frame of segments with seq >= `floor_seq`, in
+/// segment then file order, invoking `fn(seq, payload, payload_len)`.
+/// A non-OK return from `fn` aborts the scan with that status. The
+/// scan stops cleanly at the first invalid frame (bad CRC, bad
+/// length, short header): `stats->tail_truncated` is set and
+/// everything from that byte on — including any later segments — is
+/// counted into `truncated_bytes`. Corrupt or foreign files never
+/// fail the scan.
+Status ScanWal(
+    const std::string& dir, uint32_t floor_seq,
+    const std::function<Status(uint32_t seq, const char* payload, size_t len)>&
+        fn,
+    WalScanStats* stats);
+
+}  // namespace storage
+}  // namespace asap
+
+#endif  // ASAP_STORAGE_WAL_H_

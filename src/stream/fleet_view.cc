@@ -9,6 +9,7 @@
 #include "common/task_pool.h"
 #include "core/kernels.h"
 #include "core/metrics.h"
+#include "storage/store.h"
 
 namespace asap {
 namespace stream {
@@ -138,6 +139,7 @@ namespace {
 constexpr const char* kQueryKindNames[] = {
     "sample",    "sample_glob", "topk_roughness", "aggregate",
     "bands",     "anomalies",   "diff_history",   "topk_change",
+    "history_deep",
 };
 }  // namespace
 
@@ -169,6 +171,83 @@ std::vector<std::shared_ptr<const StreamingAsap::Frame>> FleetView::History(
     return {};
   }
   return engine_->FrameHistoryById(*id);
+}
+
+std::vector<std::shared_ptr<const StreamingAsap::Frame>> FleetView::History(
+    std::string_view name, size_t max_frames) const {
+  if (max_frames == 0) {
+    return {};
+  }
+  std::vector<std::shared_ptr<const StreamingAsap::Frame>> ring =
+      History(name);
+  if (ring.size() >= max_frames) {
+    ring.erase(ring.begin(),
+               ring.end() - static_cast<ptrdiff_t>(max_frames));
+    return ring;
+  }
+  std::vector<std::shared_ptr<const StreamingAsap::Frame>> deep =
+      DeepHistory(name, max_frames);
+  // The live ring can only be deeper than the reconstruction when
+  // recent panes have not reached the store yet (sync lag); serve
+  // whichever view reaches further back.
+  return deep.size() > ring.size() ? deep : ring;
+}
+
+std::vector<std::shared_ptr<const StreamingAsap::Frame>>
+FleetView::DeepHistory(std::string_view name, size_t max_frames) const {
+  storage::DurableStore* store = engine_->storage();
+  if (store == nullptr || max_frames == 0) {
+    return {};
+  }
+  telemetry::ScopedTimer timer(query_nanos_[kQHistoryDeep].get());
+  const Result<uint32_t> sid = store->FindSeries(name);
+  if (!sid.ok()) {
+    return {};
+  }
+  const uint64_t total = store->PaneCount(sid.ValueOrDie());
+  if (total == 0) {
+    return {};
+  }
+
+  StreamingOptions opts = engine_->series_options();
+  opts.snapshot_ring_frames = max_frames;
+  Result<StreamingAsap> op = StreamingAsap::Create(opts);
+  if (!op.ok()) {
+    return {};
+  }
+  const size_t pane = std::max<size_t>(op->pane_size(), 1);
+  const size_t interval_points = op->refresh_interval_points();
+
+  // Skip the durable prefix no requested frame can see: with the
+  // refresh interval at I panes, boundaries sit at pane counts
+  // c0 + k*I (c0 = max(4, I) — the 4-pane floor delays early ones),
+  // and the oldest wanted boundary only renders the visible window's
+  // worth of panes before it. Skipping a multiple of I panes keeps
+  // the replayed boundary phase identical to a from-zero replay.
+  uint64_t skip = 0;
+  if (interval_points % pane == 0) {
+    const uint64_t ipanes = std::max<uint64_t>(interval_points / pane, 1);
+    const uint64_t c0 = std::max<uint64_t>(4, ipanes);
+    if (total < c0) {
+      return {};  // no refresh boundary fits the stored history
+    }
+    const uint64_t last = c0 + ((total - c0) / ipanes) * ipanes;
+    const uint64_t span = (max_frames - 1) * ipanes;
+    const uint64_t oldest = last > c0 + span ? last - span : c0;
+    const uint64_t window_panes = std::max<uint64_t>(
+        opts.visible_points / pane, 4);
+    const uint64_t keep_from =
+        std::min(oldest > window_panes ? oldest - window_panes : 0,
+                 oldest - c0);
+    skip = (keep_from / ipanes) * ipanes;
+  }
+
+  std::vector<double> means;
+  if (!store->ReadPanes(sid.ValueOrDie(), skip, total - skip, &means).ok()) {
+    return {};
+  }
+  op->RestorePanes(means.data(), means.size(), /*cadenced=*/true);
+  return op->FrameHistory();
 }
 
 FleetSample FleetView::SampleSelected(const SeriesSelector* selector) const {
@@ -532,7 +611,18 @@ HistoryDiff FleetView::DiffHistory(std::string_view name, size_t k) const {
   if (!id.has_value()) {
     return HistoryDiff{};
   }
-  return DiffRing(engine_->FrameHistoryById(*id), k, policy_);
+  std::vector<std::shared_ptr<const StreamingAsap::Frame>> ring =
+      engine_->FrameHistoryById(*id);
+  // A diff deeper than the ring holds reaches into the durable tier:
+  // reconstruct a k+1-deep ring from stored panes and diff that.
+  if (k + 1 > ring.size() && engine_->storage() != nullptr) {
+    std::vector<std::shared_ptr<const StreamingAsap::Frame>> deep =
+        DeepHistory(name, k + 1);
+    if (deep.size() > ring.size()) {
+      return DiffRing(deep, k, policy_);
+    }
+  }
+  return DiffRing(ring, k, policy_);
 }
 
 ChangeRanking FleetView::RankByChange(size_t k, size_t frames_back,

@@ -206,6 +206,23 @@ class FleetView {
   std::vector<std::shared_ptr<const StreamingAsap::Frame>> History(
       std::string_view name) const;
 
+  /// History extended past the snapshot ring: up to `max_frames`
+  /// frames, oldest first. While the ring satisfies the request this
+  /// is exactly History(name) (trimmed to max_frames, zero extra
+  /// cost). A deeper request consults the engine's durable store
+  /// (ShardedEngineOptions::storage): the series' pane history is read
+  /// back from chunks + WAL tail and the refresh cadence is replayed
+  /// into a scratch operator whose ring holds max_frames — so history
+  /// spans as far as the store does (hours), not K refreshes. Deep
+  /// frames are *recomputed* renders: deterministic functions of the
+  /// durable panes, rendered at the same refresh boundaries as live
+  /// ingestion, but their window-search seed lineage starts at the
+  /// replay horizon, so a frame may differ from the one the live ring
+  /// briefly held. Falls back to the ring when the engine has no
+  /// store or the store does not know the series.
+  std::vector<std::shared_ptr<const StreamingAsap::Frame>> History(
+      std::string_view name, size_t max_frames) const;
+
   /// Calls fn(name, frame) for every series with at least one
   /// published refresh, in catalog (first-seen) order. The frame
   /// reference is valid for the duration of the call.
@@ -293,7 +310,11 @@ class FleetView {
   /// Pane-position-aligned delta between the series' latest published
   /// frame and the ring entry `k` refreshes back (clamped to the
   /// ring's depth; k == 0 diffs the latest frame against itself and
-  /// is identically zero). See HistoryDiff.
+  /// is identically zero). When k exceeds the ring's depth and the
+  /// engine has a durable store, the comparison ring is reconstructed
+  /// from stored panes (see History(name, max_frames)) so diffs can
+  /// reach arbitrarily far back; otherwise k clamps to the ring as
+  /// before. See HistoryDiff.
   HistoryDiff DiffHistory(std::string_view name, size_t k) const;
 
   /// The k series whose rendered views changed most over the last
@@ -327,6 +348,14 @@ class FleetView {
       const std::vector<std::shared_ptr<const StreamingAsap::Frame>>& ring,
       size_t k, const ExecPolicy& policy);
 
+  /// Reconstructs up to `max_frames` frames of one series from the
+  /// engine's durable store by cadenced pane replay into a scratch
+  /// operator (see History(name, max_frames)); empty if the engine
+  /// has no store, the store does not know the name, or no refresh
+  /// boundary fits the stored pane count.
+  std::vector<std::shared_ptr<const StreamingAsap::Frame>> DeepHistory(
+      std::string_view name, size_t max_frames) const;
+
   const ShardedEngine* engine_;
   ExecPolicy policy_;
 
@@ -342,6 +371,7 @@ class FleetView {
     kQAnomalies,
     kQDiffHistory,
     kQTopKChange,
+    kQHistoryDeep,
     kQueryKindCount,
   };
   std::shared_ptr<telemetry::LatencyHistogram>

@@ -6,10 +6,12 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "storage/store.h"
 
 namespace asap {
 namespace stream {
@@ -29,8 +31,9 @@ struct ShardedEngine::Shard {
   static constexpr size_t kConflateBackstopBatches = 8;
 
   Shard(const StreamingOptions& series_options, size_t index,
-        telemetry::MetricsRegistry* metrics)
-      : registry(series_options) {
+        telemetry::MetricsRegistry* metrics, SeriesCatalog* catalog,
+        storage::DurableStore* storage)
+      : registry(series_options), catalog(catalog), storage(storage) {
     const std::string shard_label = std::to_string(index);
     using Labels = std::vector<std::pair<std::string, std::string>>;
     const Labels labels = {{"shard", shard_label}};
@@ -55,6 +58,27 @@ struct ShardedEngine::Shard {
   }
 
   SeriesRegistry registry;
+  SeriesCatalog* catalog = nullptr;          // for name-keyed registration
+  storage::DurableStore* storage = nullptr;  // null = memory-only
+
+  // Durable-tier scratch, touched by the worker thread only. Each
+  // drained batch accumulates completed-pane means per series run in
+  // `flat_panes` (one flat buffer, no per-run allocation) and flushes
+  // them in a single AppendPanes call.
+  std::unordered_map<SeriesId, uint32_t> storage_sids;  // engine -> store id
+  std::vector<double> pane_scratch;  // sink target while one run pushes
+  std::vector<double> flat_panes;
+  struct PaneRunMeta {
+    uint32_t sid;
+    size_t offset;
+    size_t count;
+  };
+  std::vector<PaneRunMeta> run_meta;
+  bool storage_ok = true;  // latches false on the first append error
+
+  static void PaneSinkThunk(void* ctx, double mean) {
+    static_cast<std::vector<double>*>(ctx)->push_back(mean);
+  }
 
   // asap_shard_* instruments (labelled shard="i") in the engine's
   // registry. Writes are batch-granular: one gauge store + histogram
@@ -216,6 +240,8 @@ struct ShardedEngine::Shard {
     while (Dequeue(&batch)) {
       Stopwatch busy;
       size_t i = 0;
+      flat_panes.clear();
+      run_meta.clear();
       while (i < batch.size()) {
         const SeriesId id = batch[i].series_id;
         size_t j = i + 1;
@@ -232,8 +258,46 @@ struct ShardedEngine::Shard {
           std::lock_guard<std::mutex> lock(registry_mu);
           op = &registry.GetOrCreate(id);
         }
-        op->PushBatch(run_values.data(), run_values.size());
+        if (storage != nullptr && storage_ok) {
+          // Catch the panes this run completes: the sink fills the
+          // shard scratch, flushed once per batch below. (Setting the
+          // sink each run is two pointer stores — cheap, and it also
+          // covers operators created by recovery's RestoreSeries.)
+          pane_scratch.clear();
+          op->set_pane_sink(&PaneSinkThunk, &pane_scratch);
+          op->PushBatch(run_values.data(), run_values.size());
+          op->set_pane_sink(nullptr, nullptr);
+          if (!pane_scratch.empty()) {
+            const uint32_t sid = StoreSidFor(id);
+            if (storage_ok) {
+              run_meta.push_back(
+                  PaneRunMeta{sid, flat_panes.size(), pane_scratch.size()});
+              flat_panes.insert(flat_panes.end(), pane_scratch.begin(),
+                                pane_scratch.end());
+            }
+          }
+        } else {
+          op->PushBatch(run_values.data(), run_values.size());
+        }
         i = j;
+      }
+      if (!run_meta.empty() && storage_ok) {
+        // One durable append per drained batch: all series' completed
+        // panes ride one WAL frame (batch-granular durability).
+        std::vector<storage::PaneRun> runs;
+        runs.reserve(run_meta.size());
+        for (const PaneRunMeta& m : run_meta) {
+          storage::PaneRun run;
+          run.sid = m.sid;
+          run.values = flat_panes.data() + m.offset;
+          run.count = static_cast<uint32_t>(m.count);
+          runs.push_back(run);
+        }
+        if (!storage->AppendPanes(runs.data(), runs.size()).ok()) {
+          // The store poisons itself on the first IO error; stop
+          // paying the append cost and keep the engine serving reads.
+          storage_ok = false;
+        }
       }
       points += batch.size();
       batches += 1;
@@ -242,6 +306,23 @@ struct ShardedEngine::Shard {
       drain_nanos->Record(busy_nanos);
       busy_seconds += static_cast<double>(busy_nanos) * 1e-9;
     }
+  }
+
+  /// Store id for an engine series id, registering by name on first
+  /// sight. Worker-thread only (the map is unsynchronized).
+  uint32_t StoreSidFor(SeriesId id) {
+    auto it = storage_sids.find(id);
+    if (it != storage_sids.end()) {
+      return it->second;
+    }
+    auto sid = storage->RegisterSeries(catalog->NameOf(id));
+    if (!sid.ok()) {
+      storage_ok = false;
+      storage_sids.emplace(id, 0);
+      return 0;
+    }
+    storage_sids.emplace(id, sid.ValueOrDie());
+    return sid.ValueOrDie();
   }
 
   void ResetRunCounters() {
@@ -295,7 +376,9 @@ ShardedEngine::ShardedEngine(const StreamingOptions& series_options,
   }
   shards_.reserve(options_.shards);
   for (size_t i = 0; i < options_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(series_options_, i, metrics_));
+    shards_.push_back(std::make_unique<Shard>(series_options_, i, metrics_,
+                                              catalog_.get(),
+                                              options_.storage));
   }
 }
 
@@ -340,6 +423,31 @@ ShardedEngine::FrameHistoryById(SeriesId id) const {
   return op == nullptr
              ? std::vector<std::shared_ptr<const StreamingAsap::Frame>>{}
              : op->FrameHistory();
+}
+
+Status ShardedEngine::RestoreSeries(std::string_view name,
+                                    const double* pane_means, size_t n,
+                                    bool cadenced) {
+  if (!IsValidSeriesName(name)) {
+    return Status::InvalidArgument("RestoreSeries: invalid series name");
+  }
+  if (run_in_flight_->load(std::memory_order_acquire)) {
+    return Status::Internal("RestoreSeries: run in flight");
+  }
+  const SeriesId id = catalog_->Intern(name);
+  Shard& shard = *shards_[ShardOf(id, shards_.size())];
+  StreamingAsap* op = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(shard.registry_mu);
+    op = &shard.registry.GetOrCreate(id);
+  }
+  if (op->points_consumed() != 0) {
+    return Status::AlreadyExists("RestoreSeries: series already has points");
+  }
+  // No sink: these panes are already durable (restore must never echo
+  // them back into the store).
+  op->RestorePanes(pane_means, n, cadenced);
+  return Status::OK();
 }
 
 const SeriesRegistry& ShardedEngine::shard_registry(size_t shard) const {

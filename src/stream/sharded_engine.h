@@ -40,6 +40,10 @@
 #include "telemetry/metrics.h"
 
 namespace asap {
+namespace storage {
+class DurableStore;
+}  // namespace storage
+
 namespace stream {
 
 /// What the producer does when a shard queue is full.
@@ -91,6 +95,16 @@ struct ShardedEngineOptions {
   /// instruments) to scrape everything from one surface — which is
   /// also what SelfScrapeSource samples. Must outlive the engine.
   telemetry::MetricsRegistry* metrics = nullptr;
+
+  /// Durable tier hookup. When non-null, every pane a shard worker
+  /// completes is appended to the store at batch granularity: one
+  /// DurableStore::AppendPanes call per drained batch, covering all
+  /// series the batch touched (the store's WAL group-commits them in
+  /// one frame). Series register in the store by *name* on first
+  /// sight, so the durable identity survives restarts even though
+  /// catalog ids are assigned in arrival order. Must outlive the
+  /// engine. Null (the default) keeps the engine memory-only.
+  storage::DurableStore* storage = nullptr;
 };
 
 /// Per-shard slice of a fleet run.
@@ -215,6 +229,25 @@ class ShardedEngine {
   /// implementation detail of FleetView::History.
   std::vector<std::shared_ptr<const StreamingAsap::Frame>>
   FrameHistoryById(SeriesId id) const;
+
+  /// The durable store wired in via ShardedEngineOptions::storage
+  /// (nullptr when the engine is memory-only). The query tier
+  /// (FleetView) reaches chunked pane history through this.
+  storage::DurableStore* storage() const { return options_.storage; }
+
+  /// The per-series operator configuration in effect (what the query
+  /// tier needs to rebuild frames from durable panes).
+  const StreamingOptions& series_options() const { return series_options_; }
+
+  /// Restores one recovered series: interns `name`, creates its
+  /// operator on the owning shard, and replays `n` pane means as
+  /// already-complete panes (see StreamingAsap::RestorePanes; the
+  /// pane sink does NOT fire — the panes are already durable). With
+  /// cadenced == true the live refresh cadence is replayed so frames
+  /// and the snapshot ring come out identical to an uninterrupted
+  /// run. Only legal between runs.
+  Status RestoreSeries(std::string_view name, const double* pane_means,
+                       size_t n, bool cadenced);
 
   /// Read access to one shard's series table. Contract: deep reads
   /// through the registry (iteration, frame() on operators) are

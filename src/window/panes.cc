@@ -117,10 +117,28 @@ size_t PaneBuffer::PointsUntilPaneCount(size_t target) const {
 }
 
 void PaneBuffer::CommitCurrent() {
+  if (sink_ != nullptr) {
+    // Fire with the exact mean the query path will later read back —
+    // recovery restores this double bitwise.
+    sink_(sink_ctx_, current_.Mean());
+  }
   panes_.push_back(current_);
   current_ = Pane{};
   if (max_panes_ != 0 && panes_.size() > max_panes_) {
     panes_.pop_front();
+  }
+}
+
+void PaneBuffer::RestoreCompleted(const double* means, size_t n) {
+  ASAP_CHECK(means != nullptr || n == 0);
+  ASAP_CHECK_EQ(current_.count, 0u);  // restore precedes live ingest
+  points_consumed_ += n * pane_size_;
+  for (size_t i = 0; i < n; ++i) {
+    // {sum: mean, count: 1} makes Mean() the recorded value bitwise.
+    panes_.push_back(Pane{means[i], 1});
+    if (max_panes_ != 0 && panes_.size() > max_panes_) {
+      panes_.pop_front();
+    }
   }
 }
 

@@ -44,6 +44,12 @@ std::vector<double> PaneSma(const std::vector<double>& x, size_t w,
 /// of Streaming ASAP).
 class PaneBuffer {
  public:
+  /// Observer fired once per *completed* pane with its mean — the
+  /// durable-store hookup (panes, not raw points, are the durable
+  /// unit). A plain function pointer + context keeps the common
+  /// no-sink case a single branch on the pane-commit path.
+  using PaneSink = void (*)(void* ctx, double mean);
+
   /// pane_size: points per pane; max_panes: retained pane count
   /// (0 = unbounded).
   PaneBuffer(size_t pane_size, size_t max_panes);
@@ -56,6 +62,20 @@ class PaneBuffer {
   /// accumulates whole panes in tight sum loops instead of branching
   /// per point. State is exactly as after n Push() calls.
   void PushBulk(const double* xs, size_t n);
+
+  /// Installs (or clears, with nullptr) the pane-completion sink.
+  void set_pane_sink(PaneSink sink, void* ctx) {
+    sink_ = sink;
+    sink_ctx_ = ctx;
+  }
+
+  /// Restores `n` previously completed panes (crash recovery): each
+  /// mean is appended as an already-complete pane and the point clock
+  /// advances by n * pane_size. The sink is NOT fired — these panes
+  /// are already durable. Restored panes are stored as {sum: mean,
+  /// count: 1} so Mean() returns the recorded value bitwise exactly
+  /// (re-multiplying by pane_size and dividing back would round).
+  void RestoreCompleted(const double* means, size_t n);
 
   /// Raw points that must still arrive before `target` complete panes
   /// are retained (0 if already there). Monotone: eviction never
@@ -85,6 +105,8 @@ class PaneBuffer {
   std::deque<Pane> panes_;  // complete panes only
   Pane current_;            // in-progress pane
   size_t points_consumed_ = 0;
+  PaneSink sink_ = nullptr;
+  void* sink_ctx_ = nullptr;
 };
 
 }  // namespace window

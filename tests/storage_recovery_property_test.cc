@@ -1,0 +1,254 @@
+// Crash-recovery property test for the durable store.
+//
+// Each round builds a WAL by driving a DurableStore through a random
+// op sequence (registrations + pane batches, kEveryBatch acks), then
+// mutilates the segment file the way a crash or bad sector would —
+// truncation at a random byte offset, or a flipped byte — and reopens
+// the directory. The property: recovery replays EXACTLY the ops whose
+// frames precede the damage, never crashes, and the recovered pane
+// sequences are bitwise identical both to a model replay of that op
+// prefix and to an uninterrupted store fed only that prefix. The
+// store must also keep accepting appends afterwards.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/posix_file.h"
+#include "storage/store.h"
+#include "storage/wal.h"
+
+namespace asap {
+namespace storage {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/asap_recovery_XXXXXX";
+    const char* made = mkdtemp(tmpl);
+    ASAP_CHECK(made != nullptr);
+    root_ = made;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+  std::string Sub(const std::string& tag) const { return root_ + "/" + tag; }
+
+ private:
+  std::string root_;
+};
+
+StoreOptions PropertyStoreOptions() {
+  StoreOptions options;
+  options.sync = SyncPolicy::kEveryBatch;
+  options.background_maintenance = false;
+  options.wal_segment_bytes = 64u << 20;  // keep one segment per round
+  return options;
+}
+
+/// One WAL frame's worth of store activity, in append order.
+struct Op {
+  bool is_registration = false;
+  std::string name;           // registration
+  uint32_t sid = 0;           // pane batch
+  std::vector<double> panes;  // pane batch
+};
+
+/// The in-test model of what a store holds after a prefix of ops.
+struct Model {
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> panes;  // by sid
+
+  void Apply(const Op& op) {
+    if (op.is_registration) {
+      names.push_back(op.name);
+      panes.emplace_back();
+    } else {
+      panes[op.sid].insert(panes[op.sid].end(), op.panes.begin(),
+                           op.panes.end());
+    }
+  }
+};
+
+std::vector<Op> RandomOps(Pcg32* rng) {
+  std::vector<Op> ops;
+  size_t series = 0;
+  const size_t n = 6 + rng->NextBounded(20);
+  for (size_t i = 0; i < n; ++i) {
+    if (series == 0 || (series < 4 && rng->NextBounded(4) == 0)) {
+      Op op;
+      op.is_registration = true;
+      op.name = "series/" + std::to_string(series);
+      ops.push_back(std::move(op));
+      ++series;
+      continue;
+    }
+    Op op;
+    op.sid = rng->NextBounded(static_cast<uint32_t>(series));
+    op.panes.resize(1 + rng->NextBounded(40));
+    for (double& v : op.panes) {
+      // Bit-diverse values: smooth walks, exact repeats, extremes.
+      const uint32_t kind = rng->NextBounded(8);
+      if (kind == 0) {
+        v = 1e300 * (rng->NextDouble() - 0.5);
+      } else if (kind == 1 && !op.panes.empty()) {
+        v = 0.0;
+      } else {
+        v = rng->Gaussian(100.0, 3.0);
+      }
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+void ApplyOps(DurableStore* store, const std::vector<Op>& ops) {
+  for (const Op& op : ops) {
+    if (op.is_registration) {
+      ASSERT_TRUE(store->RegisterSeries(op.name).ok());
+    } else {
+      PaneRun run = {op.sid, op.panes.data(),
+                     static_cast<uint32_t>(op.panes.size())};
+      ASSERT_TRUE(store->AppendPanes(&run, 1).ok());
+    }
+  }
+}
+
+void ExpectStoreMatchesModel(DurableStore* store, const Model& model) {
+  ASSERT_EQ(store->series_count(), model.names.size());
+  for (uint32_t sid = 0; sid < model.names.size(); ++sid) {
+    EXPECT_EQ(store->NameOf(sid), model.names[sid]);
+    const std::vector<double>& want = model.panes[sid];
+    ASSERT_EQ(store->PaneCount(sid), want.size()) << "sid " << sid;
+    std::vector<double> got;
+    ASSERT_TRUE(store->ReadPanes(sid, 0, want.size(), &got).ok());
+    ASSERT_EQ(got.size(), want.size());
+    EXPECT_TRUE(want.empty() ||
+                std::memcmp(got.data(), want.data(),
+                            want.size() * sizeof(double)) == 0)
+        << "sid " << sid;
+  }
+}
+
+/// Byte offset where each frame of segment 1 ends, in frame order
+/// (derived from a pre-damage scan, so the test never re-implements
+/// the writer).
+std::vector<uint64_t> FrameEndOffsets(const std::string& dir) {
+  std::vector<uint64_t> ends;
+  uint64_t offset = kWalSegmentHeaderBytes;
+  WalScanStats stats;
+  const Status st = ScanWal(
+      dir, 1,
+      [&](uint32_t, const char*, size_t len) {
+        offset += kWalFrameHeaderBytes + len;
+        ends.push_back(offset);
+        return Status::OK();
+      },
+      &stats);
+  ASAP_CHECK(st.ok());
+  ASAP_CHECK(!stats.tail_truncated);
+  return ends;
+}
+
+TEST(StorageRecoveryPropertyTest, RandomTailDamageRecoversExactValidPrefix) {
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Pcg32 rng(seed, 0x9e3779b97f4a7c15ull);
+    TempDir dirs;
+    const std::string damaged_dir = dirs.Sub("damaged");
+    const std::vector<Op> ops = RandomOps(&rng);
+
+    // Build the WAL, close cleanly (kEveryBatch: every op is acked).
+    {
+      auto store = DurableStore::Open(damaged_dir, PropertyStoreOptions());
+      ASSERT_TRUE(store.ok());
+      ApplyOps(store->get(), ops);
+    }
+    // The store keeps its segments under <dir>/wal.
+    const std::string wal_dir = damaged_dir + "/wal";
+    const std::vector<uint64_t> ends = FrameEndOffsets(wal_dir);
+    ASSERT_EQ(ends.size(), ops.size()) << "one WAL frame per op";
+    const std::string segment = Wal::SegmentPath(wal_dir, 1);
+    uint64_t file_size = 0;
+    ASSERT_TRUE(FileSize(segment, &file_size).ok());
+    ASSERT_EQ(file_size, ends.back());
+
+    // Damage: truncate at a random offset, or flip a random byte
+    // (both past the segment header — header damage drops the whole
+    // segment, which is a different, total-loss property).
+    const bool truncate = rng.NextBounded(2) == 0;
+    const uint64_t span = file_size - kWalSegmentHeaderBytes;
+    uint64_t damage_at =
+        kWalSegmentHeaderBytes + rng.NextBounded(static_cast<uint32_t>(span));
+    if (truncate) {
+      ASSERT_TRUE(TruncateFile(segment, damage_at).ok());
+    } else {
+      std::string contents;
+      ASSERT_TRUE(ReadFile(segment, &contents).ok());
+      contents[damage_at] = static_cast<char>(contents[damage_at] ^ 0x5a);
+      ASSERT_TRUE(AtomicWriteFile(segment, contents).ok());
+    }
+
+    // Expected survivors: ops whose frame ends at or before the
+    // damage point (a truncation exactly on a frame boundary keeps
+    // that frame; a flipped byte always invalidates the frame that
+    // contains it).
+    size_t survivors = 0;
+    while (survivors < ends.size() && ends[survivors] <= damage_at) {
+      ++survivors;
+    }
+    Model expected;
+    for (size_t i = 0; i < survivors; ++i) {
+      expected.Apply(ops[i]);
+    }
+
+    // Recovery must never crash, must report the damage, and must
+    // reconstruct exactly the survivor prefix.
+    auto recovered = DurableStore::Open(damaged_dir, PropertyStoreOptions());
+    ASSERT_TRUE(recovered.ok());
+    if (survivors < ops.size()) {
+      EXPECT_TRUE((*recovered)->recovery().tail_truncated);
+      EXPECT_GT((*recovered)->recovery().truncated_bytes, 0u);
+    }
+    EXPECT_EQ((*recovered)->recovery().wal_frames, survivors);
+    ExpectStoreMatchesModel(recovered->get(), expected);
+
+    // Parity vs an uninterrupted run of the surviving prefix: both
+    // stores must serve bitwise-identical pane sequences.
+    const std::string clean_dir = dirs.Sub("clean");
+    {
+      auto clean = DurableStore::Open(clean_dir, PropertyStoreOptions());
+      ASSERT_TRUE(clean.ok());
+      ApplyOps(clean->get(),
+               std::vector<Op>(ops.begin(),
+                               ops.begin() + static_cast<ptrdiff_t>(survivors)));
+    }
+    auto clean = DurableStore::Open(clean_dir, PropertyStoreOptions());
+    ASSERT_TRUE(clean.ok());
+    ExpectStoreMatchesModel(clean->get(), expected);
+
+    // The recovered store stays writable: appends land after the
+    // recovered prefix and read back.
+    if (!expected.names.empty()) {
+      const uint32_t sid = 0;
+      const uint64_t before = (*recovered)->PaneCount(sid);
+      const double tail[3] = {7.0, 8.0, 9.0};
+      PaneRun run = {sid, tail, 3};
+      ASSERT_TRUE((*recovered)->AppendPanes(&run, 1).ok());
+      ASSERT_EQ((*recovered)->PaneCount(sid), before + 3);
+      std::vector<double> got;
+      ASSERT_TRUE((*recovered)->ReadPanes(sid, before, 3, &got).ok());
+      EXPECT_EQ(got, std::vector<double>({7.0, 8.0, 9.0}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace asap
