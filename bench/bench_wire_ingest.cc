@@ -63,15 +63,18 @@ RecordBatch MakeRecords(SeriesCatalog* catalog, size_t n,
 }
 
 double DecodeOnly(const SeriesCatalog& catalog, const RecordBatch& records,
-                  WireEncoding encoding) {
+                  WireEncoding encoding, bool timestamped = false) {
   std::string wire;
-  asap::net::WireEncoder encoder(&catalog, encoding, /*frame_records=*/512);
+  asap::net::WireEncoder encoder(&catalog, encoding, /*frame_records=*/512,
+                                 timestamped);
   encoder.Encode(records.data(), records.size(), &wire);
   RecordBatch out;
   out.reserve(records.size());
-  const std::string label = encoding == WireEncoding::kText
-                                ? "decode_text"
-                                : "decode_binary";
+  std::string label = encoding == WireEncoding::kText ? "decode_text"
+                                                      : "decode_binary";
+  if (timestamped) {
+    label += "_timed";
+  }
   const double seconds = asap::bench::TimeBestReported(
       label,
       [&] {
@@ -369,6 +372,22 @@ int main(int argc, char** argv) {
        Fmt(decode_binary / decode_text, 2) + "x"},
       16);
 
+  // The timestamp tax: the same records with per-record timestamps on
+  // the wire (three-token lines, 20-byte 0xA7 records). The gate at
+  // the bottom holds timed binary decode to >= 0.9x of untimed.
+  RecordBatch timed_records = records;
+  for (size_t i = 0; i < timed_records.size(); ++i) {
+    timed_records[i].ts = static_cast<int64_t>(i);
+  }
+  const double decode_text_timed =
+      DecodeOnly(catalog, timed_records, WireEncoding::kText, true);
+  const double decode_binary_timed =
+      DecodeOnly(catalog, timed_records, WireEncoding::kBinary, true);
+  Row({"decode (timed)", FmtEng(decode_text_timed),
+       FmtEng(decode_binary_timed),
+       Fmt(decode_binary_timed / decode_text_timed, 2) + "x"},
+      16);
+
   const double drain_text =
       LoopbackDrain(catalog, records, WireEncoding::kText, /*loops=*/1);
   const double drain_binary =
@@ -415,6 +434,8 @@ int main(int argc, char** argv) {
       "telem off     : 1-loop drain with SetTelemetryEnabled(false) —\n"
       "                the drain/telem-off ratio is the telemetry tax\n"
       "engine        : same wire path feeding ShardedEngine smoothing\n"
+      "decode (timed): same decode with wire timestamps — three-token\n"
+      "                text lines and 20-byte 0xA7 binary records\n"
       "Binary is 0xA6 name registrations + length-prefixed 12-byte\n"
       "records; text is '<name> <value>' lines (shortest round-trip\n"
       "decimals, bit-exact both ways).\n");
@@ -492,6 +513,18 @@ int main(int argc, char** argv) {
         "\nWARNING: instrumented binary drain (%.0f rec/s) fell below "
         "0.95x the telemetry-disabled drain (%.0f rec/s, ratio %.2f).\n",
         drain_binary, drain_binary_off, drain_binary / drain_binary_off);
+    rc = 1;
+  }
+  // The timestamp-decode floor: a 0xA7 record is 8 bytes longer than
+  // its 0xA5 twin but decodes with the same per-record shape (one
+  // bounds check + three fixed-width copies); anything below 0.9x
+  // means the timed path grew per-record work, not just bytes.
+  if (decode_binary_timed < 0.9 * decode_binary) {
+    std::printf(
+        "\nWARNING: timed binary decode (%.0f rec/s) fell below 0.9x the "
+        "untimed decode (%.0f rec/s, ratio %.2f).\n",
+        decode_binary_timed, decode_binary,
+        decode_binary_timed / decode_binary);
     rc = 1;
   }
   // The scaling floor: the epoll tier watching ~10k active

@@ -83,11 +83,14 @@ int main(int argc, char** argv) {
   // above so negative/garbage arguments (strtoll of "-4") cannot ask
   // for 2^64 hosts or threads.
   bool self_mode = false;
+  bool timed_mode = false;
   std::string data_dir;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--self") == 0) {
       self_mode = true;
+    } else if (std::strcmp(argv[i], "--timed") == 0) {
+      timed_mode = true;
     } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
       data_dir = argv[++i];
     } else {
@@ -112,6 +115,18 @@ int main(int argc, char** argv) {
   series_options.resolution = 400;            // a phone-sized plot per host
   series_options.visible_points = kDays * kDay;  // "the past ten days"
   series_options.refresh_every_points = kDay;    // re-render once per day
+  if (timed_mode) {
+    // --timed: every reading carries a sample-clock timestamp (1 tick
+    // per 5-minute scrape) and panes derive from those timestamps
+    // instead of arrival order — the wire-ingestion configuration,
+    // demonstrated over an in-process source.
+    asap::StreamingOptions probe = series_options;
+    series_options.pane_width_ticks = static_cast<int64_t>(
+        asap::StreamingAsap::Create(probe).ValueOrDie().pane_size());
+    std::printf(
+        "Timed mode: timestamp-derived panes, %lld ticks per pane.\n\n",
+        static_cast<long long>(series_options.pane_width_ticks));
+  }
 
   // The durable tier (--data-dir): completed panes stream into a
   // WAL-backed store as the shard workers drain, and a re-run replays
@@ -138,6 +153,12 @@ int main(int argc, char** argv) {
   engine_options.shards = shards;
   engine_options.batch_size = 2048;
   engine_options.storage = store.get();
+  if (timed_mode) {
+    // Absorb cross-series skew from the interleaved scrape cycle (a
+    // few batches' worth) before records reach the timed panes.
+    engine_options.sequencer_horizon_ticks =
+        4 * static_cast<int64_t>(engine_options.batch_size);
+  }
   if (store != nullptr) {
     engine_options.metrics = &asap::telemetry::MetricsRegistry::Global();
   }
@@ -162,6 +183,9 @@ int main(int argc, char** argv) {
   // a scrape cycle visits the cluster. Names intern through the
   // engine's catalog — nobody mints a numeric id.
   asap::stream::InterleavingMultiSource source(engine.catalog());
+  if (timed_mode) {
+    source.StampTimestamps(/*epoch=*/0, /*tick=*/1);
+  }
   for (size_t host = 0; host < hosts; ++host) {
     source.AddVector(HostName(host), MakeCpuTelemetry(host));
   }

@@ -23,6 +23,7 @@
 // right after ingest — run again with the same --data-dir to watch
 // recovery pick the fleet back up.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -67,6 +68,21 @@ struct Args {
   /// Exit without any shutdown path right after ingest completes —
   /// the crash half of the durable restart demo.
   bool crash_after_ingest = false;
+  /// Collector side: stamp every record with a per-series sample clock
+  /// and send the timestamp-carrying wire forms (0xA7 / three-token).
+  bool timestamped = false;
+  /// Server side: pane width in ticks (> 0 turns on timestamp-derived
+  /// pane indexing; 0 keeps arrival-order panes).
+  int64_t pane_ticks = 0;
+  /// Server side: per-shard reordering horizon in ticks (0 = off).
+  int64_t seq_horizon = 0;
+  /// Collector side: shift this collector's clock back by N ticks —
+  /// the skewed collector of the sequencer demo. In demo mode with
+  /// --clients K, collector i lags by i * lag_ticks.
+  int64_t lag_ticks = 0;
+  /// Demo mode: how many concurrent collectors replay the fleet, the
+  /// series dealt round-robin among them.
+  size_t clients = 1;
 };
 
 int Usage() {
@@ -77,10 +93,16 @@ int Usage() {
       "                    [--stats-interval SECONDS] [--data-dir PATH]\n"
       "                    [--crash-after-ingest 0|1]\n"
       "  wire_fleet client [--port N | --uds PATH] [--series K]\n"
-      "                    [--encoding text|binary]\n"
+      "                    [--encoding text|binary] [--timestamped 0|1]\n"
+      "                    [--lag-ticks N]\n"
       "  wire_fleet demo   [--shards T] [--loops L] [--series K]\n"
       "                    [--encoding ...] [--stats-interval SECONDS]\n"
-      "                    [--data-dir PATH] [--crash-after-ingest 0|1]\n");
+      "                    [--data-dir PATH] [--crash-after-ingest 0|1]\n"
+      "                    [--timestamped 0|1] [--pane-ticks N]\n"
+      "                    [--seq-horizon N] [--lag-ticks N] [--clients K]\n"
+      "server also takes --pane-ticks / --seq-horizon (timestamp-derived\n"
+      "panes + per-shard reordering); client/demo --timestamped sends\n"
+      "0xA7 / three-token wire forms with a per-series sample clock.\n");
   return 2;
 }
 
@@ -122,6 +144,17 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->data_dir = value;
     } else if (flag == "--crash-after-ingest") {
       args->crash_after_ingest = std::atoi(value.c_str()) != 0;
+    } else if (flag == "--timestamped") {
+      args->timestamped = std::atoi(value.c_str()) != 0;
+    } else if (flag == "--pane-ticks") {
+      args->pane_ticks = std::atoll(value.c_str());
+    } else if (flag == "--seq-horizon") {
+      args->seq_horizon = std::atoll(value.c_str());
+    } else if (flag == "--lag-ticks") {
+      args->lag_ticks = std::atoll(value.c_str());
+    } else if (flag == "--clients") {
+      args->clients = std::max<size_t>(
+          1, static_cast<size_t>(std::atoi(value.c_str())));
     } else {
       return false;
     }
@@ -148,23 +181,40 @@ std::vector<std::vector<double>> TaxiFleet(size_t series) {
   return payloads;
 }
 
-int RunClient(const Args& args) {
+int RunClient(const Args& args, size_t client_index = 0,
+              size_t client_count = 1) {
   // The collector's own name table: names travel on the wire and the
   // server interns them into the engine's catalog — no id coordination
   // between the two processes.
   asap::stream::SeriesCatalog catalog;
+  const std::vector<std::vector<double>> fleet = TaxiFleet(args.series);
   std::vector<std::string> names;
-  names.reserve(args.series);
-  for (size_t i = 0; i < args.series; ++i) {
+  std::vector<std::vector<double>> payloads;
+  for (size_t i = client_index; i < args.series; i += client_count) {
     names.push_back(CabName(i));
+    payloads.push_back(fleet[i]);
   }
-  // Round-robin scrape order over the fleet, like a collector cycle.
-  const RecordBatch records = asap::stream::InterleaveToRecords(
-      &catalog, names, TaxiFleet(args.series));
+  if (names.empty()) {
+    return 0;  // more collectors than series
+  }
+  // This collector's clock skew: collector 0 is on time, each later
+  // one lags lag_ticks more — the out-of-order arrivals the server's
+  // sequencer exists to absorb.
+  const int64_t lag =
+      args.lag_ticks * static_cast<int64_t>(client_index + (client_count == 1));
+  // Round-robin scrape order over the fleet, like a collector cycle;
+  // timestamped mode stamps a per-series sample clock (1 tick/point)
+  // shifted back by this collector's lag.
+  const RecordBatch records =
+      args.timestamped
+          ? asap::stream::InterleaveToRecordsTimed(&catalog, names, payloads,
+                                                   /*epoch=*/-lag, /*tick=*/1)
+          : asap::stream::InterleaveToRecords(&catalog, names, payloads);
 
   asap::net::WireClientOptions client_options;
   client_options.catalog = &catalog;
   client_options.encoding = args.encoding;
+  client_options.timestamped = args.timestamped;
   asap::Result<asap::net::WireClient> client =
       args.uds_path.empty()
           ? asap::net::WireClient::ConnectTcp("127.0.0.1", args.port,
@@ -175,9 +225,11 @@ int RunClient(const Args& args) {
                  client.status().ToString().c_str());
     return 1;
   }
-  std::printf("Replaying taxi dataset as %zu series (%zu records, %s)...\n",
-              args.series, records.size(),
-              asap::net::WireEncodingName(args.encoding));
+  std::printf("Replaying taxi dataset as %zu series (%zu records, %s%s%s)...\n",
+              names.size(), records.size(),
+              asap::net::WireEncodingName(args.encoding),
+              args.timestamped ? ", timestamped" : "",
+              lag != 0 ? ", lagging" : "");
   client->Send(records).Abort();
   client->Flush().Abort();
   std::printf("Sent %llu records / %llu wire bytes.\n",
@@ -242,17 +294,25 @@ int RunServer(const Args& args, asap::stream::ShardedEngine* engine,
   std::printf(
       "\nIngested %llu records (%llu wire bytes) from %llu connections\n"
       "at %.2fM records/s into %zu series; %llu refreshes, %llu dropped,\n"
-      "%llu name registrations, %llu malformed lines, %llu poisoned\n"
-      "connections.\n\n",
+      "%llu late, %llu name registrations, %llu malformed lines,\n"
+      "%llu poisoned connections.\n\n",
       static_cast<unsigned long long>(report.points),
       static_cast<unsigned long long>(stats.bytes),
       static_cast<unsigned long long>(stats.accepted),
       report.points_per_second / 1e6, report.series,
       static_cast<unsigned long long>(report.refreshes),
       static_cast<unsigned long long>(report.dropped),
+      static_cast<unsigned long long>(report.late),
       static_cast<unsigned long long>(stats.name_registrations),
       static_cast<unsigned long long>(stats.malformed_lines),
       static_cast<unsigned long long>(stats.poisoned_connections));
+  if (args.seq_horizon > 0) {
+    std::printf(
+        "Sequencer: horizon %lld ticks; %llu records arrived past the "
+        "horizon and were dropped late.\n",
+        static_cast<long long>(args.seq_horizon),
+        static_cast<unsigned long long>(report.late));
+  }
 
   if (args.crash_after_ingest) {
     // The crash half of the durable restart demo: every acked pane is
@@ -287,12 +347,13 @@ int RunServer(const Args& args, asap::stream::ShardedEngine* engine,
   std::printf("\n");
 
   std::printf("Per-series final frames (smoothed taxi, chosen windows):\n");
-  std::printf("%-10s%-10s%-12s%-10s\n", "series", "points", "refreshes",
-              "window");
+  std::printf("%-10s%-10s%-12s%-10s%-8s\n", "series", "points", "refreshes",
+              "window", "late");
   for (const asap::stream::SeriesReport& sr : report.per_series) {
-    std::printf("%-10s%-10llu%-12llu%-10zu\n", sr.name.c_str(),
+    std::printf("%-10s%-10llu%-12llu%-10zu%-8llu\n", sr.name.c_str(),
                 static_cast<unsigned long long>(sr.points),
-                static_cast<unsigned long long>(sr.refreshes), sr.window);
+                static_cast<unsigned long long>(sr.refreshes), sr.window,
+                static_cast<unsigned long long>(sr.late));
   }
 
   // The query tier: cross-series questions over the published frames.
@@ -415,10 +476,15 @@ asap::stream::ShardedEngine MakeEngine(const Args& args,
   // Keep a few published frames per series so the history-diff
   // queries (DiffHistory, TopKByChange) have ring entries to span.
   series_options.snapshot_ring_frames = 4;
+  // Timestamp-derived panes: pane index = floor(ts / pane_ticks), so
+  // skewed collectors land in the panes their clocks name, not the
+  // panes their packets happened to arrive in.
+  series_options.pane_width_ticks = args.pane_ticks;
 
   asap::stream::ShardedEngineOptions engine_options;
   engine_options.shards = args.shards;
   engine_options.storage = store;
+  engine_options.sequencer_horizon_ticks = args.seq_horizon;
   if (store != nullptr) {
     // The store's asap_store_* instruments live in the global
     // registry; point the engine (and through it the wire server and
@@ -480,9 +546,17 @@ int RunDemo(const Args& args) {
   asap::net::WireServer server = MakeServer(args, &engine);
   Args client_args = args;
   client_args.port = server.tcp_port();
-  std::thread collector([client_args] { RunClient(client_args); });
+  std::vector<std::thread> collectors;
+  collectors.reserve(args.clients);
+  for (size_t c = 0; c < args.clients; ++c) {
+    collectors.emplace_back([client_args, c, count = args.clients] {
+      RunClient(client_args, c, count);
+    });
+  }
   const int rc = RunServer(args, &engine, std::move(server));
-  collector.join();
+  for (std::thread& t : collectors) {
+    t.join();
+  }
   return rc;
 }
 

@@ -34,6 +34,9 @@ Result<StreamingAsap> StreamingAsap::Create(const StreamingOptions& options) {
   if (options.snapshot_ring_frames < 1) {
     return Status::InvalidArgument("snapshot_ring_frames must be >= 1");
   }
+  if (options.pane_width_ticks < 0) {
+    return Status::InvalidArgument("pane_width_ticks must be >= 0");
+  }
   return StreamingAsap(options);
 }
 
@@ -77,6 +80,26 @@ size_t StreamingAsap::PushBatch(const double* xs, size_t n) {
     points_consumed_ += chunk;
     points_since_refresh_ += chunk;
     i += chunk;
+    if (points_since_refresh_ >= refresh_interval_points_ &&
+        panes_.size() >= 4) {
+      Refresh();
+      points_since_refresh_ = 0;
+      ++refreshes;
+    }
+  }
+  return refreshes;
+}
+
+size_t StreamingAsap::PushTimed(const double* xs, const int64_t* ts,
+                                size_t n) {
+  ASAP_CHECK_GT(options_.pane_width_ticks, 0);
+  size_t refreshes = 0;
+  for (size_t i = 0; i < n; ++i) {
+    panes_.PushTimed(xs[i],
+                     window::PaneIndexForTs(ts[i], options_.pane_epoch,
+                                            options_.pane_width_ticks));
+    ++points_consumed_;
+    ++points_since_refresh_;
     if (points_since_refresh_ >= refresh_interval_points_ &&
         panes_.size() >= 4) {
       Refresh();

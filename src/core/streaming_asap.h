@@ -58,6 +58,23 @@ struct StreamingOptions {
   /// refreshes for incremental rendering. Must be >= 1.
   size_t snapshot_ring_frames = 1;
 
+  /// Timed pane mode. When pane_width_ticks > 0 the operator assigns
+  /// points to panes by *timestamp* instead of arrival count: a point
+  /// with timestamp ts lands in pane floor((ts - pane_epoch) /
+  /// pane_width_ticks), ingested via PushTimed. The in-progress pane
+  /// commits when a point of a different pane index arrives, so a
+  /// pane holds however many points actually fell in its time bucket
+  /// — the fix for the arrival-order pane-stamping bug class, where
+  /// wall-clock skew between collectors smeared points across pane
+  /// boundaries. 0 (the default) keeps the arrival-count mode bit-
+  /// for-bit: Record::ts is never read. Both must be >= 0; choose
+  /// pane_width_ticks so a bucket covers ~pane_size() points of the
+  /// expected point rate (e.g. pane_size * tick period) — pane means
+  /// then match the arrival-order pane means whenever input arrives
+  /// in time order at a uniform rate.
+  int64_t pane_epoch = 0;
+  int64_t pane_width_ticks = 0;
+
   /// Window-search options.
   SearchOptions search;
 };
@@ -108,6 +125,16 @@ class StreamingAsap {
   size_t PushBatch(const std::vector<double>& xs) {
     return PushBatch(xs.data(), xs.size());
   }
+
+  /// Timed-mode batch ingest (requires pane_width_ticks > 0): point i
+  /// carries value xs[i] and timestamp ts[i]; each lands in the pane
+  /// its timestamp maps to (see StreamingOptions::pane_width_ticks).
+  /// The refresh condition is checked per point exactly as Push()
+  /// does. Returns the number of refreshes triggered. Callers feed
+  /// points in non-decreasing ts order per series (the sequencer's
+  /// output order); out-of-order input within a pane is tolerated,
+  /// across panes it would reopen a committed bucket as a new pane.
+  size_t PushTimed(const double* xs, const int64_t* ts, size_t n);
 
   /// Forces a refresh now (used when the user scrolls/zooms).
   /// No-op until at least 4 panes are buffered.

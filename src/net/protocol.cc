@@ -28,6 +28,18 @@ uint32_t GetU32(const char* p) {
   return v;
 }
 
+void PutI64(int64_t v, std::string* out) {
+  char raw[8];
+  std::memcpy(raw, &v, 8);
+  out->append(raw, 8);
+}
+
+int64_t GetI64(const char* p) {
+  int64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
 bool IsLineSpace(char c) { return c == ' ' || c == '\t'; }
 
 }  // namespace
@@ -46,6 +58,20 @@ void AppendTextRecord(std::string_view name, double value, std::string* out) {
   char digits[32];
   const std::to_chars_result r =
       std::to_chars(digits, digits + sizeof(digits), value);
+  ASAP_DCHECK(r.ec == std::errc());
+  out->append(digits, static_cast<size_t>(r.ptr - digits));
+  out->push_back('\n');
+}
+
+void AppendTextRecord(std::string_view name, double value, int64_t ts,
+                      std::string* out) {
+  AppendTextRecord(name, value, out);
+  // Splice the timestamp token in before the newline the two-token
+  // form just appended.
+  out->back() = ' ';
+  char digits[24];
+  const std::to_chars_result r =
+      std::to_chars(digits, digits + sizeof(digits), ts);
   ASAP_DCHECK(r.ec == std::errc());
   out->append(digits, static_cast<size_t>(r.ptr - digits));
   out->push_back('\n');
@@ -79,9 +105,31 @@ void AppendBinaryFrame(const stream::Record* records, size_t n,
   }
 }
 
+void AppendTimedFrame(const stream::Record* records, size_t n,
+                      std::string* out) {
+  if (n == 0) {
+    return;  // see AppendBinaryFrame: empty frames are corrupt framing
+  }
+  const size_t payload = n * kTimedRecordBytes;
+  ASAP_CHECK_LE(payload, std::numeric_limits<uint32_t>::max());
+  out->push_back(static_cast<char>(kTimedMagic));
+  PutU32(static_cast<uint32_t>(payload), out);
+  for (size_t i = 0; i < n; ++i) {
+    PutU32(records[i].series_id, out);
+    char raw[8];
+    std::memcpy(raw, &records[i].value, 8);
+    out->append(raw, 8);
+    PutI64(records[i].ts, out);
+  }
+}
+
 WireEncoder::WireEncoder(const stream::SeriesCatalog* catalog,
-                         WireEncoding encoding, size_t frame_records)
-    : catalog_(catalog), encoding_(encoding), frame_records_(frame_records) {
+                         WireEncoding encoding, size_t frame_records,
+                         bool timestamped)
+    : catalog_(catalog),
+      encoding_(encoding),
+      frame_records_(frame_records),
+      timestamped_(timestamped) {
   ASAP_CHECK(catalog_ != nullptr);
   ASAP_CHECK_GE(frame_records_, 1u);
 }
@@ -90,13 +138,18 @@ void WireEncoder::Encode(const stream::Record* records, size_t n,
                          std::string* out) {
   if (encoding_ == WireEncoding::kText) {
     for (size_t i = 0; i < n; ++i) {
-      AppendTextRecord(catalog_->NameOf(records[i].series_id),
-                       records[i].value, out);
+      if (timestamped_) {
+        AppendTextRecord(catalog_->NameOf(records[i].series_id),
+                         records[i].value, records[i].ts, out);
+      } else {
+        AppendTextRecord(catalog_->NameOf(records[i].series_id),
+                         records[i].value, out);
+      }
     }
     return;
   }
   // Announce every not-yet-registered id up front so each 0xA6 frame
-  // precedes the first 0xA5 record that references it.
+  // precedes the first 0xA5/0xA7 record that references it.
   for (size_t i = 0; i < n; ++i) {
     const stream::SeriesId id = records[i].series_id;
     if (id >= announced_.size()) {
@@ -108,7 +161,12 @@ void WireEncoder::Encode(const stream::Record* records, size_t n,
     }
   }
   for (size_t i = 0; i < n; i += frame_records_) {
-    AppendBinaryFrame(records + i, std::min(frame_records_, n - i), out);
+    const size_t chunk = std::min(frame_records_, n - i);
+    if (timestamped_) {
+      AppendTimedFrame(records + i, chunk, out);
+    } else {
+      AppendBinaryFrame(records + i, chunk, out);
+    }
   }
 }
 
@@ -150,7 +208,7 @@ void FrameDecoder::FinishEof(stream::RecordBatch* out) {
     return;
   }
   const unsigned char first = static_cast<unsigned char>(buffer_.front());
-  if (first == kBinaryMagic || first == kNameMagic) {
+  if (first == kBinaryMagic || first == kNameMagic || first == kTimedMagic) {
     // A binary frame cut off mid-stream.
     stats_.malformed_frames += 1;
   } else {
@@ -167,7 +225,8 @@ void FrameDecoder::FinishEof(stream::RecordBatch* out) {
 void FrameDecoder::AbandonEof() {
   if (!poisoned_ && !buffer_.empty()) {
     const unsigned char first = static_cast<unsigned char>(buffer_.front());
-    if (first == kBinaryMagic || first == kNameMagic) {
+    if (first == kBinaryMagic || first == kNameMagic ||
+        first == kTimedMagic) {
       stats_.malformed_frames += 1;
     } else {
       stats_.malformed_lines += 1;
@@ -192,14 +251,17 @@ size_t FrameDecoder::DecodeSome(const char* data, size_t size,
       continue;
     }
     const unsigned char first = static_cast<unsigned char>(data[pos]);
-    if (first == kBinaryMagic || first == kNameMagic) {
+    if (first == kBinaryMagic || first == kNameMagic ||
+        first == kTimedMagic) {
       if (size - pos < kBinaryHeaderBytes) {
         return pos;  // partial header
       }
+      const size_t record_bytes =
+          first == kTimedMagic ? kTimedRecordBytes : kBinaryRecordBytes;
       const uint32_t payload = GetU32(data + pos + 1);
       const bool bad_length =
           payload == 0 || payload > max_frame_bytes_ ||
-          (first == kBinaryMagic && payload % kBinaryRecordBytes != 0);
+          (first != kNameMagic && payload % record_bytes != 0);
       if (bad_length) {
         // Corrupt framing: no resync point exists inside the frame,
         // so poison the stream instead of mis-parsing garbage.
@@ -214,7 +276,8 @@ size_t FrameDecoder::DecodeSome(const char* data, size_t size,
       if (first == kNameMagic) {
         ApplyNameFrame(p, payload);
       } else {
-        const size_t count = payload / kBinaryRecordBytes;
+        const bool timed = first == kTimedMagic;
+        const size_t count = payload / record_bytes;
         for (size_t i = 0; i < count; ++i) {
           const uint32_t wire_id = GetU32(p);
           const auto it = wire_ids_.find(wire_id);
@@ -226,11 +289,18 @@ size_t FrameDecoder::DecodeSome(const char* data, size_t size,
             stream::Record r;
             r.series_id = it->second;
             std::memcpy(&r.value, p + 4, 8);
+            if (timed) {
+              r.ts = GetI64(p + 12);
+              stats_.timed_records += 1;
+            } else {
+              r.ts = stamp_clock_ != nullptr ? stamp_clock_(stamp_ctx_) : 0;
+              stats_.stamped_records += 1;
+            }
             out->push_back(r);
             stats_.records += 1;
             stats_.binary_records += 1;
           }
-          p += kBinaryRecordBytes;
+          p += record_bytes;
         }
         stats_.binary_frames += 1;
       }
@@ -320,17 +390,55 @@ void FrameDecoder::DecodeLine(const char* line, size_t len,
   while (p < end && IsLineSpace(*p)) {
     ++p;
   }
+  // <value>: the token up to the next space (the line may carry a
+  // timestamp token after it).
+  const char* value_end = p;
+  while (value_end < end && !IsLineSpace(*value_end)) {
+    ++value_end;
+  }
   double value = 0.0;
   // std::from_chars: locale-independent, range-checked (no strtod
   // ERANGE-to-HUGE_VAL), and needs no null-terminated scratch copy.
-  const std::from_chars_result value_result = std::from_chars(p, end, value);
+  const std::from_chars_result value_result =
+      std::from_chars(p, value_end, value);
   // Non-finite values (nan/inf literals, out-of-range magnitudes) are
   // rejected like any malformed line: one NaN would otherwise poison
   // a series' pane sums and moments for a whole visible window.
-  if (value_result.ec != std::errc() || value_result.ptr != end ||
+  if (value_result.ec != std::errc() || value_result.ptr != value_end ||
       !std::isfinite(value)) {
     stats_.malformed_lines += 1;
     return;
+  }
+  // Optional <timestamp>: a full int64 token, and nothing after it.
+  // Its absence is the pre-timestamp two-token grammar (the record is
+  // server-stamped); a token that is present but unparsable, or a
+  // fourth token, makes the whole line malformed — exactly one unit
+  // is counted either way.
+  p = value_end;
+  while (p < end && IsLineSpace(*p)) {
+    ++p;
+  }
+  int64_t ts = 0;
+  bool timed = false;
+  if (p < end) {
+    const char* ts_end = p;
+    while (ts_end < end && !IsLineSpace(*ts_end)) {
+      ++ts_end;
+    }
+    const std::from_chars_result ts_result = std::from_chars(p, ts_end, ts);
+    if (ts_result.ec != std::errc() || ts_result.ptr != ts_end) {
+      stats_.malformed_lines += 1;
+      return;
+    }
+    p = ts_end;
+    while (p < end && IsLineSpace(*p)) {
+      ++p;
+    }
+    if (p != end) {
+      stats_.malformed_lines += 1;  // a fourth token
+      return;
+    }
+    timed = true;
   }
   stream::SeriesId id;
   const auto it = text_ids_.find(name);
@@ -342,7 +450,13 @@ void FrameDecoder::DecodeLine(const char* line, size_t len,
     // buffer the probe pointed into.
     text_ids_.emplace(catalog_->NameOf(id), id);
   }
-  out->push_back(stream::Record{id, value});
+  if (timed) {
+    stats_.timed_records += 1;
+  } else {
+    ts = stamp_clock_ != nullptr ? stamp_clock_(stamp_ctx_) : 0;
+    stats_.stamped_records += 1;
+  }
+  out->push_back(stream::Record{id, value, ts});
   stats_.records += 1;
   stats_.text_records += 1;
 }

@@ -9,11 +9,17 @@
 // bytes):
 //
 //   Text (human-debuggable, graphite-style):
-//       <series-name> <value>\n
+//       <series-name> <value> [<timestamp>]\n
 //     - series-name: 1..256 bytes of printable ASCII excluding space
 //       (see stream::IsValidSeriesName); value: a finite double,
 //       emitted as the shortest round-trip decimal (std::to_chars) so
 //       the receiver recovers the exact bits, independent of locale.
+//     - timestamp (optional third token): a decimal int64 in the
+//       sender's tick unit. Two-token lines remain valid — the
+//       receiver stamps them from its own clock (see
+//       FrameDecoder::set_stamp_clock) — so pre-timestamp collectors
+//       keep working unchanged. A present-but-unparsable third token
+//       (or a fourth token) makes the line malformed.
 //     - LF or CRLF terminated; empty lines are ignored; a malformed
 //       line (bad grammar, invalid name, non-finite value) is counted
 //       and skipped, the stream keeps going. Nothing is interned for
@@ -37,14 +43,27 @@
 //       on the same connection; records referencing an unregistered
 //       id are counted (unknown_series_records) and skipped — never
 //       guessed at or silently truncated into some other series.
-//     - 0xA5/0xA6 can never begin a valid text line (they are outside
-//       the name charset), so the frame kinds interleave freely on
-//       one connection.
-//     - A malformed header (zero or oversized payload length; for
-//       0xA5, a length that is not a multiple of 12) poisons the
-//       stream: there is no way to resync inside a corrupt binary
-//       frame, so the connection should be dropped (and counted)
-//       rather than mis-parsed.
+//     - Carries no timestamps: decoded records are stamped by the
+//       receiver's stamp clock (or 0). Still fully supported so
+//       pre-timestamp collectors keep working.
+//
+//   Timestamped binary record frames (0xA7):
+//       0xA7 | u32 payload_bytes (LE) | payload
+//     - payload is payload_bytes/20 records of
+//       { u32 wire_id (LE), f64 value bits (LE), i64 ts (LE) }.
+//     - Identical registration/unknown-id semantics to 0xA5; the only
+//       difference is the trailing per-record timestamp, carried
+//       through to Record::ts verbatim.
+//
+//   Common binary rules:
+//     - 0xA5/0xA6/0xA7 can never begin a valid text line (they are
+//       outside the name charset), so the frame kinds interleave
+//       freely on one connection.
+//     - A malformed header (zero or oversized payload length; a
+//       length that is not a multiple of the record size for
+//       0xA5/0xA7) poisons the stream: there is no way to resync
+//       inside a corrupt binary frame, so the connection should be
+//       dropped (and counted) rather than mis-parsed.
 //
 // FrameDecoder is the incremental decoder behind every server
 // connection: it tolerates frames split across arbitrary read
@@ -88,10 +107,14 @@ const char* WireEncodingName(WireEncoding encoding);
 constexpr unsigned char kBinaryMagic = 0xA5;
 /// First byte of every name-registration frame.
 constexpr unsigned char kNameMagic = 0xA6;
-/// Magic byte plus the u32 payload length (both binary frame kinds).
+/// First byte of every timestamped binary record frame.
+constexpr unsigned char kTimedMagic = 0xA7;
+/// Magic byte plus the u32 payload length (all binary frame kinds).
 constexpr size_t kBinaryHeaderBytes = 1 + 4;
 /// u32 series id plus f64 value bits.
 constexpr size_t kBinaryRecordBytes = sizeof(stream::SeriesId) + 8;
+/// u32 series id + f64 value bits + i64 timestamp.
+constexpr size_t kTimedRecordBytes = sizeof(stream::SeriesId) + 8 + 8;
 /// A name-registration payload: u32 wire id + 1..kMaxSeriesNameBytes
 /// name bytes.
 constexpr size_t kMinNamePayloadBytes = sizeof(stream::SeriesId) + 1;
@@ -105,11 +128,20 @@ constexpr size_t kDefaultMaxFrameBytes = 256 * 1024;
 /// *receiver's* max_frame_bytes / kBinaryRecordBytes.
 constexpr size_t kDefaultMaxFrameRecords =
     kDefaultMaxFrameBytes / kBinaryRecordBytes;
+/// The 0xA7 analogue: most records one timestamped frame may carry
+/// under the default frame bound.
+constexpr size_t kDefaultMaxTimedFrameRecords =
+    kDefaultMaxFrameBytes / kTimedRecordBytes;
 
 /// Appends one record as a text line ("<name> <value>\n"): shortest
 /// round-trip decimal, bit-exact through the decoder, locale-proof.
 /// `name` must satisfy stream::IsValidSeriesName.
 void AppendTextRecord(std::string_view name, double value, std::string* out);
+
+/// Appends one timestamped record as a three-token text line
+/// ("<name> <value> <ts>\n").
+void AppendTextRecord(std::string_view name, double value, int64_t ts,
+                      std::string* out);
 
 /// Appends one name-registration frame declaring `wire_id` -> `name`.
 /// `name` must satisfy stream::IsValidSeriesName.
@@ -126,6 +158,13 @@ void AppendNameFrame(uint32_t wire_id, std::string_view name,
 void AppendBinaryFrame(const stream::Record* records, size_t n,
                        std::string* out);
 
+/// The 0xA7 analogue of AppendBinaryFrame: appends `n` records as one
+/// timestamped binary frame (wire id + value + Record::ts per
+/// record). Same preconditions; n must satisfy
+/// n * kTimedRecordBytes <= max payload.
+void AppendTimedFrame(const stream::Record* records, size_t n,
+                      std::string* out);
+
 /// Stateful encoding front-end: resolves record ids to names through
 /// `catalog` (text) or auto-announces each id with a 0xA6 frame
 /// before its first binary record. One encoder per connection — the
@@ -134,8 +173,12 @@ class WireEncoder {
  public:
   /// `catalog` is borrowed (the sender's name table — ids in encoded
   /// records are *its* ids) and must outlive the encoder.
+  /// `timestamped` selects the timestamp-carrying wire forms: 0xA7
+  /// frames instead of 0xA5, three-token text lines instead of two —
+  /// each record's Record::ts travels verbatim. Off by default so
+  /// existing senders' bytes are unchanged.
   WireEncoder(const stream::SeriesCatalog* catalog, WireEncoding encoding,
-              size_t frame_records);
+              size_t frame_records, bool timestamped = false);
 
   /// Appends `n` records in the configured encoding, chunking binary
   /// payloads into frames of at most frame_records records and
@@ -143,11 +186,13 @@ class WireEncoder {
   void Encode(const stream::Record* records, size_t n, std::string* out);
 
   WireEncoding encoding() const { return encoding_; }
+  bool timestamped() const { return timestamped_; }
 
  private:
   const stream::SeriesCatalog* catalog_;
   WireEncoding encoding_;
   size_t frame_records_;
+  bool timestamped_;
   /// announced_[id] == true once a 0xA6 frame for id has been
   /// emitted; grown on demand to the catalog's size.
   std::vector<bool> announced_;
@@ -161,7 +206,14 @@ struct DecoderStats {
   uint64_t records = 0;
   uint64_t text_records = 0;
   uint64_t binary_records = 0;
-  /// Complete binary record frames decoded.
+  /// Of `records`, how many carried a wire timestamp (three-token
+  /// text lines or 0xA7 frames); the rest were server-stamped.
+  uint64_t timed_records = 0;
+  /// Records that arrived without a wire timestamp and were stamped
+  /// by the decoder (from the stamp clock, or 0 when none is set).
+  /// Invariant: timed_records + stamped_records == records.
+  uint64_t stamped_records = 0;
+  /// Complete binary record frames decoded (0xA5 and 0xA7).
   uint64_t binary_frames = 0;
   /// Name registrations applied (0xA6 frames, including remaps).
   uint64_t name_registrations = 0;
@@ -186,8 +238,23 @@ struct DecoderStats {
 /// (normally ShardedEngine::catalog()).
 class FrameDecoder {
  public:
+  /// Server-stamp clock: called once per record that arrives without
+  /// a wire timestamp (two-token text, 0xA5 frames). A function
+  /// pointer + context (not std::function) keeps the per-record call
+  /// a plain indirect call on the decode hot path.
+  using StampClock = int64_t (*)(void* ctx);
+
   explicit FrameDecoder(stream::SeriesCatalog* catalog,
                         size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Installs (or clears, with nullptr) the clock used to stamp
+  /// records that carry no wire timestamp. Without one such records
+  /// decode with ts == 0 — deterministic, and ignored entirely by the
+  /// engine's arrival-order mode.
+  void set_stamp_clock(StampClock clock, void* ctx) {
+    stamp_clock_ = clock;
+    stamp_ctx_ = ctx;
+  }
 
   /// Decodes as many complete frames from `data[0, n)` (plus any
   /// carried-over partial) as possible, appending records to *out.
@@ -244,6 +311,8 @@ class FrameDecoder {
   bool poisoned_ = false;
   /// Inside an oversized text line, discarding until its newline.
   bool discarding_line_ = false;
+  StampClock stamp_clock_ = nullptr;
+  void* stamp_ctx_ = nullptr;
   DecoderStats stats_;
 };
 

@@ -21,7 +21,9 @@ Status ValidateClientOptions(WireClientOptions* options) {
   // first frame (see WireClientOptions::frame_records); clamp once
   // here so the encoder and Send()'s chunking agree by construction.
   options->frame_records =
-      std::min(options->frame_records, kDefaultMaxFrameRecords);
+      std::min(options->frame_records, options->timestamped
+                                           ? kDefaultMaxTimedFrameRecords
+                                           : kDefaultMaxFrameRecords);
   return Status::OK();
 }
 
@@ -30,7 +32,8 @@ Status ValidateClientOptions(WireClientOptions* options) {
 WireClient::WireClient(Socket sock, const WireClientOptions& options)
     : sock_(std::move(sock)),
       options_(options),
-      encoder_(options.catalog, options.encoding, options.frame_records) {
+      encoder_(options.catalog, options.encoding, options.frame_records,
+               options.timestamped) {
   wire_buffer_.reserve(options_.send_buffer_bytes);
 }
 

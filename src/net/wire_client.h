@@ -25,11 +25,16 @@ struct WireClientOptions {
   /// catalog's ids. Required (borrowed; must outlive the client).
   const stream::SeriesCatalog* catalog = nullptr;
   WireEncoding encoding = WireEncoding::kBinary;
+  /// Send per-record timestamps: 0xA7 frames instead of 0xA5,
+  /// three-token text lines instead of two. Each record's Record::ts
+  /// travels verbatim. Off by default — the pre-timestamp wire bytes
+  /// are unchanged, and the receiver server-stamps.
+  bool timestamped = false;
   /// Records per binary frame (text is unframed lines). Clamped to
-  /// kDefaultMaxFrameRecords at connect — a frame larger than the
-  /// receiver's max_frame_bytes poisons the connection, so servers
-  /// configured below the default bound need a matching smaller value
-  /// here.
+  /// kDefaultMaxFrameRecords (kDefaultMaxTimedFrameRecords when
+  /// timestamped) at connect — a frame larger than the receiver's
+  /// max_frame_bytes poisons the connection, so servers configured
+  /// below the default bound need a matching smaller value here.
   size_t frame_records = 512;
   /// Encoded bytes buffered before an automatic flush.
   size_t send_buffer_bytes = 256 * 1024;

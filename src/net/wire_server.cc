@@ -36,8 +36,10 @@ struct WireServer::Core {
   // ---- one accepted connection, owned by exactly one loop ----------
   struct Connection {
     Connection(Socket s, stream::SeriesCatalog* catalog,
-               size_t max_frame_bytes)
-        : sock(std::move(s)), decoder(catalog, max_frame_bytes) {}
+               const WireServerOptions& options)
+        : sock(std::move(s)), decoder(catalog, options.max_frame_bytes) {
+      decoder.set_stamp_clock(options.stamp_clock, options.stamp_ctx);
+    }
 
     Socket sock;
     FrameDecoder decoder;
@@ -300,7 +302,7 @@ struct WireServer::Core {
   /// Registers an accepted (slot-reserved) socket with this loop.
   void AdoptConnection(Loop* l, Socket sock, bool via_handoff) {
     auto conn = std::make_unique<Connection>(std::move(sock), catalog,
-                                             options.max_frame_bytes);
+                                             options);
     const uint64_t tag = l->next_tag++;
     if (!l->ev.Add(conn->sock.fd(), tag, /*edge_triggered=*/true).ok()) {
       rejected->Increment();
@@ -537,6 +539,7 @@ struct WireServer::Core {
   /// runs on the Stop() thread after every loop has joined.
   void DrainStray(Socket sock) {
     FrameDecoder decoder(catalog, options.max_frame_bytes);
+    decoder.set_stamp_clock(options.stamp_clock, options.stamp_ctx);
     stream::RecordBatch batch;
     std::vector<char> buf(options.read_chunk_bytes);
     for (;;) {

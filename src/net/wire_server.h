@@ -95,6 +95,16 @@ struct WireServerOptions {
   /// Frame bound handed to each connection's FrameDecoder.
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
 
+  /// Server-stamp clock installed on every connection's decoder:
+  /// records arriving without a wire timestamp (two-token text lines,
+  /// 0xA5 frames) get Record::ts = stamp_clock(stamp_ctx) at decode
+  /// time. Timestamped wire input (three-token lines, 0xA7 frames) is
+  /// never re-stamped. Null (the default) stamps 0 — fully
+  /// deterministic, and what the pre-timestamp tests assume. Called
+  /// from event-loop threads; must be thread-safe.
+  FrameDecoder::StampClock stamp_clock = nullptr;
+  void* stamp_ctx = nullptr;
+
   int listen_backlog = 128;
 
   /// Registry the server's asap_wire_* instruments register in. Null

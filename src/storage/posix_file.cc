@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 
 namespace asap {
 namespace storage {
@@ -78,15 +79,50 @@ Status OpenForRead(const std::string& path, FileHandle* out) {
   return Status::OK();
 }
 
+// Write fault injection (see header). Relaxed atomics: tests arm and
+// disarm around single-threaded IO; the hot-path cost when disarmed is
+// one relaxed load that reads 0.
+namespace {
+std::atomic<size_t> g_write_cap{0};            // 0 = uncapped
+std::atomic<int64_t> g_write_budget{-1};       // -1 = never fail
+std::atomic<int64_t> g_written_since_armed{0};
+}  // namespace
+
+void SetWriteFaultInjection(size_t max_bytes_per_write,
+                            int64_t fail_after_total_bytes) {
+  g_write_cap.store(max_bytes_per_write, std::memory_order_relaxed);
+  g_write_budget.store(fail_after_total_bytes, std::memory_order_relaxed);
+  g_written_since_armed.store(0, std::memory_order_relaxed);
+}
+
 Status WriteFull(int fd, const void* data, size_t n) {
   const char* p = static_cast<const char*>(data);
+  const size_t cap = g_write_cap.load(std::memory_order_relaxed);
   while (n > 0) {
-    const ssize_t written = ::write(fd, p, n);
+    size_t attempt = n;
+    if (cap != 0 && attempt > cap) {
+      attempt = cap;  // injected short write
+    }
+    const int64_t budget = g_write_budget.load(std::memory_order_relaxed);
+    if (budget >= 0) {
+      const int64_t used =
+          g_written_since_armed.load(std::memory_order_relaxed);
+      if (used >= budget) {
+        // Injected failure: bytes already transferred stay on disk —
+        // the torn partial write a crash mid-frame leaves behind.
+        return Status::IOError("write: injected fault");
+      }
+      attempt = std::min<size_t>(attempt, static_cast<size_t>(budget - used));
+    }
+    const ssize_t written = ::write(fd, p, attempt);
     if (written < 0) {
       if (errno == EINTR) {
         continue;
       }
       return Status::IOError(std::string("write: ") + ::strerror(errno));
+    }
+    if (budget >= 0) {
+      g_written_since_armed.fetch_add(written, std::memory_order_relaxed);
     }
     p += written;
     n -= static_cast<size_t>(written);

@@ -51,6 +51,17 @@ Status OpenForRead(const std::string& path, FileHandle* out);
 /// writes and EINTR.
 Status WriteFull(int fd, const void* data, size_t n);
 
+/// Test-only fault injection for WriteFull, process-global. While
+/// armed, each underlying ::write transfers at most
+/// `max_bytes_per_write` bytes (exercising the short-write loop), and
+/// once `fail_after_total_bytes` bytes have been written across all
+/// WriteFull calls since arming, the next write fails with IOError —
+/// leaving a torn partial write on disk exactly where a crash or a
+/// full disk would. Disarm with (0, -1). Not for production code
+/// paths; storage tests use it to pin torn-tail recovery.
+void SetWriteFaultInjection(size_t max_bytes_per_write,
+                            int64_t fail_after_total_bytes);
+
 /// Reads exactly n bytes at absolute offset `off` (pread loop); fails
 /// with IOError on EOF before n bytes.
 Status ReadExactAt(int fd, uint64_t off, void* data, size_t n);

@@ -23,13 +23,23 @@ namespace stream {
 using SeriesId = uint32_t;
 
 /// One tagged raw point.
+///
+/// `ts` is the point's timestamp in application-defined ticks (a
+/// collector might use milliseconds since epoch; tests use small
+/// integers). 0 is the unstamped default: sources that predate
+/// timestamps leave it alone, and the engine's arrival-order mode
+/// (StreamingOptions::pane_width_ticks == 0) never reads it. Wire
+/// input without a timestamp (text lines with two tokens, 0xA5
+/// frames) is stamped by the receiving FrameDecoder's stamp clock —
+/// or 0 when none is installed.
 struct Record {
   SeriesId series_id = 0;
   double value = 0.0;
+  int64_t ts = 0;
 };
 
 inline bool operator==(const Record& a, const Record& b) {
-  return a.series_id == b.series_id && a.value == b.value;
+  return a.series_id == b.series_id && a.value == b.value && a.ts == b.ts;
 }
 
 /// A batch of tagged points, in ingestion order. Per-series order

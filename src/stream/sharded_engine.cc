@@ -12,9 +12,79 @@
 #include "common/macros.h"
 #include "common/stopwatch.h"
 #include "storage/store.h"
+#include "stream/sequencer.h"
+#include "window/panes.h"
 
 namespace asap {
 namespace stream {
+
+RecordBatch ConflatePanePartials(RecordBatch batch, size_t pane_size,
+                                 int64_t pane_epoch,
+                                 int64_t pane_width_ticks) {
+  const bool timed = pane_width_ticks > 0;
+  if (batch.size() <= 1 || (!timed && pane_size <= 1)) {
+    return batch;
+  }
+  // Stable group by series id. Ids are catalog-dense and shards see
+  // a hashed subset, so a sort keyed on (id, original index) is
+  // simplest; batches here are bounded by batch_size + one merge.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.series_id < b.series_id;
+                   });
+  RecordBatch out;
+  out.reserve(timed ? batch.size() / 2 + 16
+                    : batch.size() / pane_size + 16);
+  size_t i = 0;
+  while (i < batch.size()) {
+    const SeriesId id = batch[i].series_id;
+    size_t j = i;
+    while (j < batch.size() && batch[j].series_id == id) {
+      ++j;
+    }
+    if (timed) {
+      // Pane-aware: collapse consecutive records of one series that
+      // share a time bucket. A group carries the bucket's mean and
+      // its first timestamp — it re-enters the same pane its records
+      // came from, never a neighbor's.
+      while (i < j) {
+        const int64_t pane = window::PaneIndexForTs(batch[i].ts, pane_epoch,
+                                                    pane_width_ticks);
+        size_t g = i + 1;
+        double sum = batch[i].value;
+        while (g < j && window::PaneIndexForTs(batch[g].ts, pane_epoch,
+                                               pane_width_ticks) == pane) {
+          sum += batch[g].value;
+          ++g;
+        }
+        if (g - i >= 2) {
+          out.push_back(
+              Record{id, sum / static_cast<double>(g - i), batch[i].ts});
+        } else {
+          out.push_back(batch[i]);
+        }
+        i = g;
+      }
+      continue;
+    }
+    // Count-based (arrival mode): complete pane-sized groups collapse
+    // to their mean.
+    while (j - i >= pane_size) {
+      double sum = 0.0;
+      for (size_t k = i; k < i + pane_size; ++k) {
+        sum += batch[k].value;
+      }
+      out.push_back(Record{id, sum / static_cast<double>(pane_size),
+                           batch[i].ts});
+      i += pane_size;
+    }
+    // Trailing short group: raw.
+    for (; i < j; ++i) {
+      out.push_back(batch[i]);
+    }
+  }
+  return out;
+}
 
 // One worker shard: a slice of the fleet's series table plus the
 // bounded batch queue that feeds it. Queue state is guarded by `mu`;
@@ -32,8 +102,14 @@ struct ShardedEngine::Shard {
 
   Shard(const StreamingOptions& series_options, size_t index,
         telemetry::MetricsRegistry* metrics, SeriesCatalog* catalog,
-        storage::DurableStore* storage)
-      : registry(series_options), catalog(catalog), storage(storage) {
+        storage::DurableStore* storage, int64_t sequencer_horizon)
+      : registry(series_options),
+        catalog(catalog),
+        storage(storage),
+        timed(series_options.pane_width_ticks > 0),
+        pane_epoch(series_options.pane_epoch),
+        pane_width(series_options.pane_width_ticks),
+        seq_horizon(sequencer_horizon) {
     const std::string shard_label = std::to_string(index);
     using Labels = std::vector<std::pair<std::string, std::string>>;
     const Labels labels = {{"shard", shard_label}};
@@ -55,17 +131,46 @@ struct ShardedEngine::Shard {
     conflated_total = metrics->GetCounter(
         {"asap_shard_conflated_total",
          "Records collapsed into pane partials at the full queue", labels});
+    // asap_seq_*: registered unconditionally (a scrape sees the family
+    // at 0 even when sequencing is off, so dashboards and the CI greps
+    // need no horizon-dependent wiring).
+    seq_emitted_total = metrics->GetCounter(
+        {"asap_seq_emitted_total",
+         "Records the shard sequencer released in timestamp order", labels});
+    seq_late_total = metrics->GetCounter(
+        {"asap_seq_late_total",
+         "Records dropped as late (older than watermark - horizon)", labels});
+    seq_buffered = metrics->GetGauge(
+        {"asap_seq_buffered",
+         "Records staged in the shard sequencer's reordering window",
+         labels});
   }
 
   SeriesRegistry registry;
   SeriesCatalog* catalog = nullptr;          // for name-keyed registration
   storage::DurableStore* storage = nullptr;  // null = memory-only
 
+  // Timed pane mode (series options' pane grid; see StreamingOptions).
+  bool timed = false;
+  int64_t pane_epoch = 0;
+  int64_t pane_width = 0;
+  // Reordering horizon; > 0 activates the per-run sequencer below.
+  int64_t seq_horizon = 0;
+  /// The shard's reordering stage (stream/sequencer.h), recreated at
+  /// each run start so run reports count one run. Null when
+  /// seq_horizon == 0. Worker-thread only during a run; read after
+  /// join.
+  std::unique_ptr<Sequencer> sequencer;
+  /// sequencer->late_dropped() already folded into seq_late_total.
+  uint64_t late_folded = 0;
+
   // Durable-tier scratch, touched by the worker thread only. Each
   // drained batch accumulates completed-pane means per series run in
   // `flat_panes` (one flat buffer, no per-run allocation) and flushes
   // them in a single AppendPanes call.
   std::unordered_map<SeriesId, uint32_t> storage_sids;  // engine -> store id
+  std::vector<double> run_values;    // per-run value scratch
+  std::vector<int64_t> run_ts;       // per-run timestamp scratch (timed)
   std::vector<double> pane_scratch;  // sink target while one run pushes
   std::vector<double> flat_panes;
   struct PaneRunMeta {
@@ -89,6 +194,9 @@ struct ShardedEngine::Shard {
   std::shared_ptr<telemetry::Counter> records_total;
   std::shared_ptr<telemetry::Counter> dropped_total;
   std::shared_ptr<telemetry::Counter> conflated_total;
+  std::shared_ptr<telemetry::Counter> seq_emitted_total;
+  std::shared_ptr<telemetry::Counter> seq_late_total;
+  std::shared_ptr<telemetry::Gauge> seq_buffered;
   mutable std::mutex registry_mu;
 
   std::mutex mu;
@@ -132,7 +240,9 @@ struct ShardedEngine::Shard {
     } else if (policy == OverflowPolicy::kConflate) {
       if (queue.size() >= capacity) {
         const size_t before = batch.size();
-        RecordBatch collapsed = ConflateBatch(std::move(batch), pane_size);
+        RecordBatch collapsed = ConflatePanePartials(std::move(batch),
+                                                     pane_size, pane_epoch,
+                                                     pane_width);
         conflated += before - collapsed.size();
         conflated_total->Add(before - collapsed.size());
         RecordBatch& back = queue.back();
@@ -162,49 +272,6 @@ struct ShardedEngine::Shard {
     return 0;
   }
 
-  /// Collapses `batch` per series: records are stably grouped by
-  /// series (per-series order preserved), then every complete run of
-  /// `pane_size` records of one series becomes a single record with
-  /// the group mean; a trailing short group passes through raw. With
-  /// unit panes (pane_size == 1) no reduction is possible and the
-  /// batch merges unchanged.
-  static RecordBatch ConflateBatch(RecordBatch batch, size_t pane_size) {
-    if (pane_size <= 1 || batch.size() <= 1) {
-      return batch;
-    }
-    // Stable group by series id. Ids are catalog-dense and shards see
-    // a hashed subset, so a sort keyed on (id, original index) is
-    // simplest; batches here are bounded by batch_size + one merge.
-    std::stable_sort(batch.begin(), batch.end(),
-                     [](const Record& a, const Record& b) {
-                       return a.series_id < b.series_id;
-                     });
-    RecordBatch out;
-    out.reserve(batch.size() / pane_size + 16);
-    size_t i = 0;
-    while (i < batch.size()) {
-      const SeriesId id = batch[i].series_id;
-      size_t j = i;
-      while (j < batch.size() && batch[j].series_id == id) {
-        ++j;
-      }
-      // Complete pane-sized groups collapse to their mean.
-      while (j - i >= pane_size) {
-        double sum = 0.0;
-        for (size_t k = i; k < i + pane_size; ++k) {
-          sum += batch[k].value;
-        }
-        out.push_back(Record{id, sum / static_cast<double>(pane_size)});
-        i += pane_size;
-      }
-      // Trailing short group: raw.
-      for (; i < j; ++i) {
-        out.push_back(batch[i]);
-      }
-    }
-    return out;
-  }
-
   void Close() {
     std::lock_guard<std::mutex> lock(mu);
     closed = true;
@@ -225,87 +292,146 @@ struct ShardedEngine::Shard {
     return true;
   }
 
-  /// Consumes queued batches until the queue closes and drains.
-  /// Records of one series are contiguous runs within a batch only by
-  /// accident; the loop groups whatever runs exist so full panes take
-  /// StreamingAsap's bulk-append fast path. registry_mu is held only
-  /// around the map lookup/insert — never across PushBatch — so a
-  /// concurrent Snapshot waits for a pointer chase, not a window
-  /// search. The operator pointer stays valid outside the lock:
-  /// unordered_map never invalidates references on insert, and this
-  /// worker is the shard's only mutator.
+  /// Feeds one ordered batch into the shard's operators. Records of
+  /// one series are contiguous runs within a batch only by accident;
+  /// the loop groups whatever runs exist so full panes take
+  /// StreamingAsap's bulk-append fast path (timed mode feeds the same
+  /// runs through PushTimed with the run's timestamps). registry_mu
+  /// is held only around the map lookup/insert — never across
+  /// PushBatch — so a concurrent Snapshot waits for a pointer chase,
+  /// not a window search. The operator pointer stays valid outside
+  /// the lock: unordered_map never invalidates references on insert,
+  /// and this worker is the shard's only mutator.
+  void ProcessRecords(const RecordBatch& batch) {
+    size_t i = 0;
+    flat_panes.clear();
+    run_meta.clear();
+    while (i < batch.size()) {
+      const SeriesId id = batch[i].series_id;
+      size_t j = i + 1;
+      while (j < batch.size() && batch[j].series_id == id) {
+        ++j;
+      }
+      run_values.clear();
+      run_values.reserve(j - i);
+      for (size_t k = i; k < j; ++k) {
+        run_values.push_back(batch[k].value);
+      }
+      if (timed) {
+        run_ts.clear();
+        run_ts.reserve(j - i);
+        for (size_t k = i; k < j; ++k) {
+          run_ts.push_back(batch[k].ts);
+        }
+      }
+      StreamingAsap* op = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(registry_mu);
+        op = &registry.GetOrCreate(id);
+      }
+      if (storage != nullptr && storage_ok) {
+        // Catch the panes this run completes: the sink fills the
+        // shard scratch, flushed once per batch below. (Setting the
+        // sink each run is two pointer stores — cheap, and it also
+        // covers operators created by recovery's RestoreSeries.)
+        pane_scratch.clear();
+        op->set_pane_sink(&PaneSinkThunk, &pane_scratch);
+        PushRun(op);
+        op->set_pane_sink(nullptr, nullptr);
+        if (!pane_scratch.empty()) {
+          const uint32_t sid = StoreSidFor(id);
+          if (storage_ok) {
+            run_meta.push_back(
+                PaneRunMeta{sid, flat_panes.size(), pane_scratch.size()});
+            flat_panes.insert(flat_panes.end(), pane_scratch.begin(),
+                              pane_scratch.end());
+          }
+        }
+      } else {
+        PushRun(op);
+      }
+      i = j;
+    }
+    if (!run_meta.empty() && storage_ok) {
+      // One durable append per drained batch: all series' completed
+      // panes ride one WAL frame (batch-granular durability).
+      std::vector<storage::PaneRun> runs;
+      runs.reserve(run_meta.size());
+      for (const PaneRunMeta& m : run_meta) {
+        storage::PaneRun run;
+        run.sid = m.sid;
+        run.values = flat_panes.data() + m.offset;
+        run.count = static_cast<uint32_t>(m.count);
+        runs.push_back(run);
+      }
+      if (!storage->AppendPanes(runs.data(), runs.size()).ok()) {
+        // The store poisons itself on the first IO error; stop
+        // paying the append cost and keep the engine serving reads.
+        storage_ok = false;
+      }
+    }
+  }
+
+  /// One series run into its operator, in the mode the engine runs in.
+  void PushRun(StreamingAsap* op) {
+    if (timed) {
+      op->PushTimed(run_values.data(), run_ts.data(), run_values.size());
+    } else {
+      op->PushBatch(run_values.data(), run_values.size());
+    }
+  }
+
+  /// Consumes queued batches until the queue closes and drains. With
+  /// a sequencer active, every dequeued batch is staged and only the
+  /// records released in timestamp order reach the operators; the
+  /// reordering tail is flushed after the queue closes (end of
+  /// stream), so `points` counts exactly the records operators
+  /// consumed and the run-report identity
+  /// pulled == consumed + dropped + conflated + late holds.
   void WorkerLoop() {
     RecordBatch batch;
-    std::vector<double> run_values;
+    RecordBatch ordered;
     while (Dequeue(&batch)) {
       Stopwatch busy;
-      size_t i = 0;
-      flat_panes.clear();
-      run_meta.clear();
-      while (i < batch.size()) {
-        const SeriesId id = batch[i].series_id;
-        size_t j = i + 1;
-        while (j < batch.size() && batch[j].series_id == id) {
-          ++j;
-        }
-        run_values.clear();
-        run_values.reserve(j - i);
-        for (size_t k = i; k < j; ++k) {
-          run_values.push_back(batch[k].value);
-        }
-        StreamingAsap* op = nullptr;
-        {
-          std::lock_guard<std::mutex> lock(registry_mu);
-          op = &registry.GetOrCreate(id);
-        }
-        if (storage != nullptr && storage_ok) {
-          // Catch the panes this run completes: the sink fills the
-          // shard scratch, flushed once per batch below. (Setting the
-          // sink each run is two pointer stores — cheap, and it also
-          // covers operators created by recovery's RestoreSeries.)
-          pane_scratch.clear();
-          op->set_pane_sink(&PaneSinkThunk, &pane_scratch);
-          op->PushBatch(run_values.data(), run_values.size());
-          op->set_pane_sink(nullptr, nullptr);
-          if (!pane_scratch.empty()) {
-            const uint32_t sid = StoreSidFor(id);
-            if (storage_ok) {
-              run_meta.push_back(
-                  PaneRunMeta{sid, flat_panes.size(), pane_scratch.size()});
-              flat_panes.insert(flat_panes.end(), pane_scratch.begin(),
-                                pane_scratch.end());
-            }
-          }
-        } else {
-          op->PushBatch(run_values.data(), run_values.size());
-        }
-        i = j;
+      const RecordBatch* work = &batch;
+      if (sequencer != nullptr) {
+        ordered.clear();
+        sequencer->Push(batch.data(), batch.size(), &ordered);
+        FoldSequencerCounters(ordered.size());
+        work = &ordered;
       }
-      if (!run_meta.empty() && storage_ok) {
-        // One durable append per drained batch: all series' completed
-        // panes ride one WAL frame (batch-granular durability).
-        std::vector<storage::PaneRun> runs;
-        runs.reserve(run_meta.size());
-        for (const PaneRunMeta& m : run_meta) {
-          storage::PaneRun run;
-          run.sid = m.sid;
-          run.values = flat_panes.data() + m.offset;
-          run.count = static_cast<uint32_t>(m.count);
-          runs.push_back(run);
-        }
-        if (!storage->AppendPanes(runs.data(), runs.size()).ok()) {
-          // The store poisons itself on the first IO error; stop
-          // paying the append cost and keep the engine serving reads.
-          storage_ok = false;
-        }
-      }
-      points += batch.size();
+      ProcessRecords(*work);
+      points += work->size();
       batches += 1;
-      records_total->Add(batch.size());
+      records_total->Add(work->size());
       const uint64_t busy_nanos = busy.ElapsedNanos();
       drain_nanos->Record(busy_nanos);
       busy_seconds += static_cast<double>(busy_nanos) * 1e-9;
     }
+    if (sequencer != nullptr) {
+      Stopwatch busy;
+      ordered.clear();
+      sequencer->Flush(&ordered);
+      FoldSequencerCounters(ordered.size());
+      if (!ordered.empty()) {
+        ProcessRecords(ordered);
+        points += ordered.size();
+        records_total->Add(ordered.size());
+      }
+      const uint64_t busy_nanos = busy.ElapsedNanos();
+      drain_nanos->Record(busy_nanos);
+      busy_seconds += static_cast<double>(busy_nanos) * 1e-9;
+    }
+  }
+
+  /// Folds the sequencer's since-last-call deltas into the asap_seq_*
+  /// instruments (batch-granular, like every other hot-path write).
+  void FoldSequencerCounters(size_t emitted_now) {
+    seq_emitted_total->Add(emitted_now);
+    const uint64_t late_now = sequencer->late_dropped();
+    seq_late_total->Add(late_now - late_folded);
+    late_folded = late_now;
+    seq_buffered->Set(static_cast<double>(sequencer->buffered()));
   }
 
   /// Store id for an engine series id, registering by name on first
@@ -335,6 +461,12 @@ struct ShardedEngine::Shard {
     points = 0;
     batches = 0;
     busy_seconds = 0.0;
+    // Fresh sequencer per run: the watermark and late counts in the
+    // run report cover exactly this run (registry instruments stay
+    // lifetime-cumulative, as everywhere else).
+    sequencer = seq_horizon > 0 ? std::make_unique<Sequencer>(seq_horizon)
+                                : nullptr;
+    late_folded = 0;
   }
 };
 
@@ -349,6 +481,9 @@ Result<ShardedEngine> ShardedEngine::Create(
   }
   if (engine_options.queue_capacity < 1) {
     return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (engine_options.sequencer_horizon_ticks < 0) {
+    return Status::InvalidArgument("sequencer_horizon_ticks must be >= 0");
   }
   // Probe the per-series factory configuration once so invalid options
   // fail here instead of aborting inside a worker thread at first use.
@@ -376,9 +511,9 @@ ShardedEngine::ShardedEngine(const StreamingOptions& series_options,
   }
   shards_.reserve(options_.shards);
   for (size_t i = 0; i < options_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(series_options_, i, metrics_,
-                                              catalog_.get(),
-                                              options_.storage));
+    shards_.push_back(std::make_unique<Shard>(
+        series_options_, i, metrics_, catalog_.get(), options_.storage,
+        options_.sequencer_horizon_ticks));
   }
 }
 
@@ -550,6 +685,8 @@ FleetReport ShardedEngine::Run(MultiSource* source, double budget_seconds) {
     sr.peak_queue_depth = shard.peak_queue_depth;
     sr.dropped = shard.dropped;
     sr.conflated = shard.conflated;
+    sr.late = shard.sequencer != nullptr ? shard.sequencer->late_dropped()
+                                         : 0;
     sr.busy_seconds = shard.busy_seconds;
     shard.registry.ForEach([&sr](SeriesId, const StreamingAsap& op) {
       sr.refreshes += op.frame().refreshes;
@@ -557,6 +694,7 @@ FleetReport ShardedEngine::Run(MultiSource* source, double budget_seconds) {
     report.refreshes += sr.refreshes;
     report.series += sr.series;
     report.conflated += sr.conflated;
+    report.late += sr.late;
     report.shards.push_back(sr);
 
     for (SeriesId id : shard.registry.Ids()) {
@@ -566,6 +704,11 @@ FleetReport ShardedEngine::Run(MultiSource* source, double budget_seconds) {
       series_report.points = op.points_consumed();
       series_report.refreshes = op.frame().refreshes;
       series_report.window = op.frame().window;
+      if (shard.sequencer != nullptr) {
+        const auto& late_map = shard.sequencer->late_by_series();
+        const auto it = late_map.find(id);
+        series_report.late = it != late_map.end() ? it->second : 0;
+      }
       report.per_series.push_back(std::move(series_report));
     }
   }

@@ -88,6 +88,19 @@ struct ShardedEngineOptions {
   /// parity: which records drop depends on shard timing.
   OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
 
+  /// Reordering horizon of the per-shard sequencer (stream/
+  /// sequencer.h), in the same ticks as Record::ts. 0 (the default)
+  /// bypasses sequencing: batches reach the operators in arrival
+  /// order, bitwise the pre-sequencer path. > 0 stages each shard's
+  /// records and releases them in timestamp order once they age past
+  /// the horizon (records more than horizon ticks older than the
+  /// newest timestamp seen are dropped as *late*, surfacing in
+  /// ShardReport/FleetReport::late and asap_seq_late_total). Use with
+  /// timed pane mode (StreamingOptions::pane_width_ticks > 0): a
+  /// horizon of a few pane widths absorbs collector clock skew that
+  /// would otherwise smear points across pane boundaries.
+  int64_t sequencer_horizon_ticks = 0;
+
   /// Registry the engine's asap_shard_* instruments register in.
   /// Null (the default) gives the engine a private registry — exact
   /// per-instance counts, reachable via metrics(). Inject a shared one
@@ -130,6 +143,10 @@ struct ShardReport {
   /// only): collapsed into pane-partial means instead of reaching the
   /// operator individually.
   uint64_t conflated = 0;
+  /// Records the sequencer dropped as late (timestamp more than the
+  /// reordering horizon behind the newest seen; always 0 when
+  /// sequencer_horizon_ticks == 0).
+  uint64_t late = 0;
   /// Wall time the worker spent consuming batches (vs waiting).
   double busy_seconds = 0.0;
 };
@@ -142,6 +159,11 @@ struct SeriesReport {
   uint64_t refreshes = 0;
   /// Final chosen SMA window in panes.
   size_t window = 1;
+  /// This series' records dropped as late by the shard sequencer.
+  /// (A series whose every record was late never reaches a registry
+  /// and gets no SeriesReport row; its drops still count in the shard
+  /// and fleet totals.)
+  uint64_t late = 0;
 };
 
 /// Aggregate result of one fleet run.
@@ -154,6 +176,10 @@ struct FleetReport {
   uint64_t dropped = 0;
   /// Records conflated away across all shards (kConflate only).
   uint64_t conflated = 0;
+  /// Records dropped as late across all shard sequencers. Every
+  /// pulled record lands in exactly one bucket:
+  ///   points == sum(shards[i].points) + dropped + conflated + late.
+  uint64_t late = 0;
   double seconds = 0.0;
   double points_per_second = 0.0;
   /// Sum of lifetime refreshes across all series.
@@ -164,6 +190,23 @@ struct FleetReport {
   /// Sorted by series name.
   std::vector<SeriesReport> per_series;
 };
+
+/// The kConflate collapse, exposed for tests. Records are stably
+/// grouped by series (per-series order preserved); within a series,
+/// pane_width_ticks == 0 collapses every complete run of `pane_size`
+/// consecutive records to one record carrying the group mean (a
+/// trailing short group passes through raw), while pane_width_ticks
+/// > 0 is *pane-aware*: consecutive records of one series that fall
+/// in the same time bucket (floor((ts - pane_epoch) /
+/// pane_width_ticks)) collapse to one record carrying the group mean
+/// and the group's first timestamp — groups never straddle a pane
+/// boundary, so collapse cannot smear values across panes the way
+/// count-based grouping does under timestamped input. Singleton
+/// groups pass through raw. Lossy in weighting either way (a
+/// collapsed group re-enters the pane sum with weight 1).
+RecordBatch ConflatePanePartials(RecordBatch batch, size_t pane_size,
+                                 int64_t pane_epoch,
+                                 int64_t pane_width_ticks);
 
 /// Drives a MultiSource through hash-sharded per-series StreamingAsap
 /// operators on T worker threads. Registries persist across runs, so

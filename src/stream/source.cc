@@ -82,6 +82,13 @@ void InterleavingMultiSource::AddLooping(std::string_view name,
       std::make_unique<LoopingSource>(std::move(values), total_points));
 }
 
+void InterleavingMultiSource::StampTimestamps(int64_t epoch, int64_t tick) {
+  ASAP_CHECK_GE(tick, 1);
+  stamp_ = true;
+  stamp_epoch_ = epoch;
+  stamp_tick_ = tick;
+}
+
 size_t InterleavingMultiSource::NextBatch(size_t max_records,
                                           RecordBatch* out) {
   ASAP_CHECK(out != nullptr);
@@ -114,7 +121,12 @@ size_t InterleavingMultiSource::NextBatch(size_t max_records,
     consecutive_dry = 0;
     out->reserve(out->size() + n);
     for (size_t i = 0; i < n; ++i) {
-      out->push_back(Record{e.id, scratch_[i]});
+      Record r{e.id, scratch_[i]};
+      if (stamp_) {
+        r.ts = stamp_epoch_ + e.emitted * stamp_tick_;
+      }
+      e.emitted += 1;
+      out->push_back(r);
     }
     produced += n;
   }
@@ -157,6 +169,33 @@ RecordBatch InterleaveToRecords(
       if (cursor[i] < series[i].size()) {
         records.push_back(Record{ids[i], series[i][cursor[i]++]});
         --remaining;
+      }
+    }
+  }
+  return records;
+}
+
+RecordBatch InterleaveToRecordsTimed(
+    SeriesCatalog* catalog, const std::vector<std::string>& names,
+    const std::vector<std::vector<double>>& series, int64_t epoch,
+    int64_t tick) {
+  ASAP_CHECK_GE(tick, 1);
+  RecordBatch records = InterleaveToRecords(catalog, names, series);
+  // The round-robin deal visits each live series once per turn, so a
+  // record's sample index within its series is recoverable with one
+  // counter per series.
+  std::vector<int64_t> emitted(series.size(), 0);
+  std::vector<SeriesId> ids;
+  ids.reserve(names.size());
+  for (const std::string& name : names) {
+    ids.push_back(catalog->Intern(name));
+  }
+  for (Record& r : records) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == r.series_id) {
+        r.ts = epoch + emitted[i] * tick;
+        emitted[i] += 1;
+        break;
       }
     }
   }

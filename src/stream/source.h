@@ -127,17 +127,28 @@ class InterleavingMultiSource : public MultiSource {
 
   size_t series_count() const { return entries_.size(); }
 
+  /// Stamps every emitted record with a synthetic uniform-rate
+  /// timestamp: series point j carries ts = epoch + j * tick (a
+  /// per-series sample clock — what a scrape loop at a fixed interval
+  /// would produce). Call before the first NextBatch; tick must be
+  /// >= 1. Default off: records carry ts = 0.
+  void StampTimestamps(int64_t epoch, int64_t tick);
+
  private:
   struct Entry {
     SeriesId id;
     std::unique_ptr<Source> source;
     bool exhausted = false;
+    int64_t emitted = 0;  // per-series sample index (timestamping)
   };
 
   SeriesCatalog* catalog_;
   std::vector<Entry> entries_;
   size_t cursor_ = 0;           // round-robin position
   size_t exhausted_count_ = 0;  // series that have run dry
+  bool stamp_ = false;
+  int64_t stamp_epoch_ = 0;
+  int64_t stamp_tick_ = 1;
   std::vector<double> scratch_;
 };
 
@@ -150,6 +161,16 @@ class InterleavingMultiSource : public MultiSource {
 RecordBatch InterleaveToRecords(
     SeriesCatalog* catalog, const std::vector<std::string>& names,
     const std::vector<std::vector<double>>& series);
+
+/// InterleaveToRecords with uniform-rate timestamps: series i's point
+/// j carries ts = epoch + j * tick (tick >= 1), the same per-series
+/// sample clock InterleavingMultiSource::StampTimestamps stamps — so
+/// a wire replay of this batch compares bitwise against an in-process
+/// run over the stamped source.
+RecordBatch InterleaveToRecordsTimed(
+    SeriesCatalog* catalog, const std::vector<std::string>& names,
+    const std::vector<std::vector<double>>& series, int64_t epoch,
+    int64_t tick);
 
 }  // namespace stream
 }  // namespace asap

@@ -109,6 +109,19 @@ void PaneBuffer::PushBulk(const double* xs, size_t n) {
   }
 }
 
+bool PaneBuffer::PushTimed(double x, int64_t pane_index) {
+  bool committed = false;
+  if (current_.count > 0 && pane_index != current_pane_index_) {
+    CommitCurrent();
+    committed = true;
+  }
+  current_pane_index_ = pane_index;
+  ++points_consumed_;
+  current_.sum += x;
+  current_.count += 1;
+  return committed;
+}
+
 size_t PaneBuffer::PointsUntilPaneCount(size_t target) const {
   if (panes_.size() >= target) {
     return 0;

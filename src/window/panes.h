@@ -12,6 +12,7 @@
 #define ASAP_WINDOW_PANES_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -32,6 +33,20 @@ struct Pane {
 /// Splits x into consecutive panes of `pane_size` points (last pane may
 /// be partial) carrying sum and count.
 std::vector<Pane> BuildPanes(const std::vector<double>& x, size_t pane_size);
+
+/// Time bucket of timestamp `ts` under a pane grid anchored at
+/// `epoch` with `width` ticks per pane: floor((ts - epoch) / width),
+/// exact for negative deltas too (integer division truncates toward
+/// zero; pre-epoch timestamps must map to negative indices, not
+/// collapse into buckets 0 and -1). Requires width > 0.
+inline int64_t PaneIndexForTs(int64_t ts, int64_t epoch, int64_t width) {
+  const int64_t delta = ts - epoch;
+  int64_t index = delta / width;
+  if (delta % width != 0 && delta < 0) {
+    index -= 1;
+  }
+  return index;
+}
 
 /// Computes the sliding-window average of window W / slide S over x via
 /// panes of size gcd(W, S). Only full windows are emitted; results are
@@ -62,6 +77,17 @@ class PaneBuffer {
   /// accumulates whole panes in tight sum loops instead of branching
   /// per point. State is exactly as after n Push() calls.
   void PushBulk(const double* xs, size_t n);
+
+  /// Timed pane mode: accumulates x into the pane identified by
+  /// `pane_index` (a time bucket the caller derives from the point's
+  /// timestamp). The in-progress pane commits when a point of a
+  /// *different* index arrives — panes close on time-bucket
+  /// boundaries, never on a point count, so a pane holds however many
+  /// points fell in its bucket. Returns true if this call committed a
+  /// pane. Do not mix with Push/PushBulk on one buffer: count mode
+  /// never reads the index, timed mode never reads pane_size (beyond
+  /// PointsUntilPaneCount estimates).
+  bool PushTimed(double x, int64_t pane_index);
 
   /// Installs (or clears, with nullptr) the pane-completion sink.
   void set_pane_sink(PaneSink sink, void* ctx) {
@@ -104,6 +130,9 @@ class PaneBuffer {
   size_t max_panes_;
   std::deque<Pane> panes_;  // complete panes only
   Pane current_;            // in-progress pane
+  /// Time bucket current_ belongs to; meaningful only in timed mode
+  /// while current_.count > 0.
+  int64_t current_pane_index_ = 0;
   size_t points_consumed_ = 0;
   PaneSink sink_ = nullptr;
   void* sink_ctx_ = nullptr;

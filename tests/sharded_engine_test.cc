@@ -422,6 +422,294 @@ TEST(ShardedEngineTest, ConflatePolicyCollapsesInsteadOfDropping) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Timed pane mode + the per-shard sequencer.
+
+/// Replays a prebuilt RecordBatch — wire-style input whose records
+/// already carry timestamps (and arbitrary order).
+class BatchSource : public MultiSource {
+ public:
+  explicit BatchSource(RecordBatch records) : records_(std::move(records)) {}
+
+  size_t NextBatch(size_t max_records, RecordBatch* out) override {
+    const size_t n = std::min(max_records, records_.size() - position_);
+    out->insert(out->end(), records_.begin() + static_cast<ptrdiff_t>(position_),
+                records_.begin() + static_cast<ptrdiff_t>(position_ + n));
+    position_ += n;
+    return n;
+  }
+  size_t TotalPoints() const override { return records_.size(); }
+
+ private:
+  RecordBatch records_;
+  size_t position_ = 0;
+};
+
+TEST(ConflatePanePartialsTest, CountModeCollapsesPaneSizedGroups) {
+  const RecordBatch batch = {{1, 1.0, 0}, {1, 2.0, 0}, {1, 3.0, 0},
+                             {1, 4.0, 0}, {1, 5.0, 0}, {1, 6.0, 0},
+                             {1, 7.0, 0}};
+  const RecordBatch out = ConflatePanePartials(batch, 3, 0, 0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].value, 2.0);  // mean(1,2,3)
+  EXPECT_DOUBLE_EQ(out[1].value, 5.0);  // mean(4,5,6)
+  EXPECT_DOUBLE_EQ(out[2].value, 7.0);  // trailing short group: raw
+}
+
+TEST(ConflatePanePartialsTest, TimedModeGroupsByPaneNeverAcrossBoundaries) {
+  // Pane width 10: series 1 has three records in pane 0, one in pane
+  // 1, two in pane 2; series 2 interleaves with two in pane 0. Groups
+  // collapse per (series, pane) and carry the group's first
+  // timestamp, so a collapsed record re-enters its own pane.
+  const RecordBatch batch = {{1, 1.0, 1},  {2, 10.0, 2}, {1, 2.0, 5},
+                             {2, 20.0, 6}, {1, 3.0, 9},  {1, 4.0, 12},
+                             {1, 5.0, 21}, {1, 7.0, 25}};
+  const RecordBatch out = ConflatePanePartials(batch, 999, 0, 10);
+  ASSERT_EQ(out.size(), 4u);
+  // Stable grouping: series 1's groups first (its first record leads).
+  EXPECT_EQ(out[0], (Record{1, 2.0, 1}));    // mean(1,2,3) @ pane 0
+  EXPECT_EQ(out[1], (Record{1, 4.0, 12}));   // singleton: raw
+  EXPECT_EQ(out[2], (Record{1, 6.0, 21}));   // mean(5,7) @ pane 2
+  EXPECT_EQ(out[3], (Record{2, 15.0, 2}));   // mean(10,20) @ pane 0
+}
+
+TEST(ConflatePanePartialsTest, AdjacentPanesDoNotMerge) {
+  // ts 9 and 11 are one tick apart but in different panes — count-
+  // based grouping would have collapsed them (the bug class); pane-
+  // aware grouping must not.
+  const RecordBatch batch = {{1, 1.0, 9}, {1, 2.0, 11}};
+  const RecordBatch out = ConflatePanePartials(batch, 2, 0, 10);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Record{1, 1.0, 9}));
+  EXPECT_EQ(out[1], (Record{1, 2.0, 11}));
+}
+
+StreamingOptions TimedParityOptions() {
+  StreamingOptions options = FleetOptions();
+  // A refresh cadence that never lands on a pane boundary (251k mod
+  // 20 != 0 for every refresh in a 4000-point stream): timed mode
+  // commits a pane one point later than count mode (on the first
+  // point of the next bucket), so a refresh at an exact boundary
+  // would see one fewer pane and break bitwise parity. Off-boundary
+  // refreshes see identical committed pane sets in both modes.
+  options.refresh_every_points = 251;
+  return options;
+}
+
+TEST(ShardedEngineTimedTest, TimedPaneParityMatchesArrivalOrder) {
+  const size_t kSeries = 8;
+  const size_t kPointsPerSeries = 4000;
+  const StreamingOptions arrival_options = TimedParityOptions();
+  const size_t pane_size =
+      StreamingAsap::Create(arrival_options).ValueOrDie().pane_size();
+
+  // Arrival-order reference: one series at a time, count-based panes.
+  std::vector<StreamingAsap> reference;
+  for (size_t i = 0; i < kSeries; ++i) {
+    StreamingAsap op = StreamingAsap::Create(arrival_options).ValueOrDie();
+    for (double x : FleetSeries(i, kPointsPerSeries)) {
+      op.Push(x);
+    }
+    reference.push_back(std::move(op));
+  }
+
+  // Timed engine: uniform 1-tick sample clock, pane width = pane_size
+  // ticks, so pane k holds exactly the points count mode would give
+  // it. Frames must come out bitwise identical at any shard count.
+  StreamingOptions timed_options = arrival_options;
+  timed_options.pane_epoch = 0;
+  timed_options.pane_width_ticks = static_cast<int64_t>(pane_size);
+
+  for (size_t shard_count : {1u, 4u, 8u}) {
+    ShardedEngineOptions engine_options;
+    engine_options.shards = shard_count;
+    engine_options.batch_size = 512;
+    // The interleaver deals unequal per-series shares inside a batch,
+    // so per-series sample clocks skew by up to a couple of batches;
+    // the horizon must cover that skew for in-order-per-series input
+    // to stay late-free (the sorted emit order is the same for any
+    // sufficient horizon).
+    engine_options.sequencer_horizon_ticks =
+        4 * static_cast<int64_t>(engine_options.batch_size);
+    ShardedEngine engine =
+        ShardedEngine::Create(timed_options, engine_options).ValueOrDie();
+
+    InterleavingMultiSource source(engine.catalog());
+    source.StampTimestamps(0, 1);
+    for (size_t i = 0; i < kSeries; ++i) {
+      source.AddVector(HostName(i), FleetSeries(i, kPointsPerSeries));
+    }
+    const FleetReport report = engine.RunToCompletion(&source);
+
+    EXPECT_EQ(report.points, kSeries * kPointsPerSeries);
+    EXPECT_EQ(report.late, 0u) << "in-order input must never be late";
+    for (size_t i = 0; i < kSeries; ++i) {
+      const auto frame = engine.Snapshot(HostName(i));
+      ASSERT_NE(frame, nullptr) << HostName(i);
+      const StreamingAsap::Frame& expected = reference[i].frame();
+      EXPECT_EQ(frame->refreshes, expected.refreshes)
+          << "shards=" << shard_count << " " << HostName(i);
+      EXPECT_EQ(frame->window, expected.window)
+          << "shards=" << shard_count << " " << HostName(i);
+      EXPECT_EQ(frame->series, expected.series)
+          << "shards=" << shard_count << " " << HostName(i);
+    }
+  }
+}
+
+TEST(ShardedEngineTimedTest, ShuffledWithinHorizonMatchesSortedInput) {
+  // Wire-style skew: the same timed records, shuffled within blocks
+  // small enough that no record leaves the reordering horizon, must
+  // produce frames bitwise identical to the in-order replay — the
+  // sequencer undoes the skew before the panes see it.
+  const size_t kSeries = 6;
+  const size_t kPointsPerSeries = 3000;
+  StreamingOptions timed_options = TimedParityOptions();
+  const size_t pane_size =
+      StreamingAsap::Create(timed_options).ValueOrDie().pane_size();
+  timed_options.pane_epoch = 0;
+  timed_options.pane_width_ticks = static_cast<int64_t>(pane_size);
+
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> series;
+  for (size_t i = 0; i < kSeries; ++i) {
+    names.push_back(HostName(i));
+    series.push_back(FleetSeries(i, kPointsPerSeries));
+  }
+
+  auto run = [&](const RecordBatch& records) {
+    ShardedEngineOptions engine_options;
+    engine_options.shards = 3;
+    engine_options.batch_size = 256;
+    engine_options.sequencer_horizon_ticks = 40;
+    ShardedEngine engine =
+        ShardedEngine::Create(timed_options, engine_options).ValueOrDie();
+    // Intern the names in sender order: ids are dense and assigned in
+    // first-sight order, so the prebuilt records' ids resolve to the
+    // same names in this engine's catalog.
+    for (const std::string& name : names) {
+      engine.catalog()->Intern(name);
+    }
+    BatchSource source(records);
+    const FleetReport report = engine.RunToCompletion(&source);
+    EXPECT_EQ(report.late, 0u);
+    std::vector<std::vector<double>> frames;
+    for (size_t i = 0; i < kSeries; ++i) {
+      const auto frame = engine.Snapshot(names[i]);
+      EXPECT_NE(frame, nullptr) << names[i];
+      frames.push_back(frame == nullptr ? std::vector<double>{}
+                                        : frame->series);
+    }
+    return frames;
+  };
+
+  SeriesCatalog catalog;  // shared sender-side catalog for both batches
+  const RecordBatch sorted =
+      InterleaveToRecordsTimed(&catalog, names, series, 0, 1);
+  RecordBatch shuffled = sorted;
+  Pcg32 rng(0xf00d);
+  const size_t kBlock = 24;  // spans ~4 ticks << horizon 40
+  for (size_t start = 0; start + kBlock <= shuffled.size();
+       start += kBlock) {
+    for (size_t k = kBlock - 1; k > 0; --k) {
+      std::swap(shuffled[start + k],
+                shuffled[start + rng.NextBounded(static_cast<uint32_t>(k + 1))]);
+    }
+  }
+
+  const auto frames_sorted = run(sorted);
+  const auto frames_shuffled = run(shuffled);
+  for (size_t i = 0; i < kSeries; ++i) {
+    EXPECT_EQ(frames_shuffled[i], frames_sorted[i]) << names[i];
+    EXPECT_FALSE(frames_sorted[i].empty()) << names[i];
+  }
+}
+
+TEST(ShardedEngineTimedTest, LateRecordsAreCountedExactly) {
+  StreamingOptions timed_options = FleetOptions();
+  timed_options.pane_epoch = 0;
+  timed_options.pane_width_ticks = 10;
+
+  ShardedEngineOptions engine_options;
+  engine_options.shards = 1;
+  engine_options.sequencer_horizon_ticks = 50;
+  ShardedEngine engine =
+      ShardedEngine::Create(timed_options, engine_options).ValueOrDie();
+
+  const SeriesId id = engine.catalog()->Intern("late/a");
+  RecordBatch records;
+  for (int64_t ts = 0; ts < 100; ++ts) {
+    records.push_back(Record{id, 1.0, ts});  // in order: never late
+  }
+  records.push_back(Record{id, 1.0, 200});  // watermark jumps to 200
+  for (int64_t ts = 100; ts < 150; ++ts) {
+    records.push_back(Record{id, 1.0, ts});  // all < floor 150: late
+  }
+  records.push_back(Record{id, 1.0, 150});  // exactly at floor: on time
+  records.push_back(Record{id, 1.0, 160});  // on time
+  BatchSource source(records);
+  const FleetReport report = engine.RunToCompletion(&source);
+
+  EXPECT_EQ(report.points, records.size());
+  EXPECT_EQ(report.late, 50u);
+  ASSERT_EQ(report.shards.size(), 1u);
+  EXPECT_EQ(report.shards[0].late, 50u);
+  EXPECT_EQ(report.shards[0].points + report.late, report.points);
+  ASSERT_EQ(report.per_series.size(), 1u);
+  EXPECT_EQ(report.per_series[0].late, 50u);
+}
+
+TEST(ShardedEngineTimedTest, ConflateAccountingClosesUnderReorderedInput) {
+  // kConflate under timed, skewed input: every pulled record must land
+  // in exactly one bucket — consumed, conflated away, backstop-
+  // dropped, or late — whatever the shard timing did.
+  StreamingOptions timed_options = FleetOptions();
+  timed_options.strategy = SearchStrategy::kExhaustive;
+  timed_options.refresh_every_points = 100;
+  timed_options.pane_epoch = 0;
+  timed_options.pane_width_ticks = 20;
+
+  ShardedEngineOptions engine_options;
+  engine_options.shards = 2;
+  engine_options.batch_size = 512;
+  engine_options.queue_capacity = 1;
+  engine_options.overflow_policy = OverflowPolicy::kConflate;
+  engine_options.sequencer_horizon_ticks = 60;
+  ShardedEngine engine =
+      ShardedEngine::Create(timed_options, engine_options).ValueOrDie();
+
+  InterleavingMultiSource source(engine.catalog());
+  source.StampTimestamps(0, 1);
+  const size_t kSeries = 8;
+  const size_t kPointsPerSeries = 8000;
+  for (size_t i = 0; i < kSeries; ++i) {
+    source.AddVector(HostName(i), FleetSeries(i, kPointsPerSeries));
+  }
+  const FleetReport report = engine.RunToCompletion(&source);
+
+  EXPECT_EQ(report.points, kSeries * kPointsPerSeries);
+  uint64_t consumed = 0;
+  uint64_t conflated = 0;
+  uint64_t dropped = 0;
+  uint64_t late = 0;
+  for (const ShardReport& sr : report.shards) {
+    consumed += sr.points;
+    conflated += sr.conflated;
+    dropped += sr.dropped;
+    late += sr.late;
+    EXPECT_LE(sr.peak_queue_depth, engine_options.queue_capacity);
+  }
+  EXPECT_EQ(conflated, report.conflated);
+  EXPECT_EQ(dropped, report.dropped);
+  EXPECT_EQ(late, report.late);
+  EXPECT_EQ(consumed + conflated + dropped + late, report.points);
+  for (size_t i = 0; i < kSeries; ++i) {
+    const auto frame = engine.Snapshot(HostName(i));
+    ASSERT_NE(frame, nullptr) << HostName(i);
+    EXPECT_GT(frame->refreshes, 0u) << HostName(i);
+  }
+}
+
 TEST(ShardedEngineTest, RegistriesPersistAcrossRuns) {
   ShardedEngine engine = ShardedEngine::Create(FleetOptions()).ValueOrDie();
 

@@ -231,6 +231,99 @@ TEST(WalTest, ScanStopsCleanlyAtTornTail) {
   EXPECT_GT(stats.truncated_bytes, 0u);
 }
 
+TEST(WalTest, ShortWritesAreInvisibleToTheFrameStream) {
+  // Cap every ::write at 5 bytes (the kernel is allowed to transfer
+  // less than asked, and EINTR retries look the same): WriteFull must
+  // loop until the frame is fully on disk, so a scan sees every frame
+  // intact — short writes are a transport detail, never a tear.
+  TempDir dir("wal_short");
+  ASSERT_TRUE(MakeDirs(dir.path()).ok());
+  SetWriteFaultInjection(/*max_bytes_per_write=*/5,
+                         /*fail_after_total_bytes=*/-1);
+  WalOptions options;
+  options.sync = SyncPolicy::kNone;
+  std::vector<std::string> payloads;
+  {
+    auto wal = Wal::Open(dir.path(), 1, options);
+    ASSERT_TRUE(wal.ok());
+    Pcg32 rng(11);
+    for (int i = 0; i < 20; ++i) {
+      std::string p(1 + rng.NextBounded(60), '\0');
+      for (char& c : p) {
+        c = static_cast<char>(rng.NextU32());
+      }
+      payloads.push_back(p);
+      ASSERT_TRUE((*wal)->Append(p.data(), p.size()).ok());
+    }
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  SetWriteFaultInjection(0, -1);  // disarm
+  std::vector<std::string> scanned;
+  WalScanStats stats;
+  ASSERT_TRUE(ScanWal(dir.path(), 1,
+                      [&](uint32_t, const char* p, size_t n) {
+                        scanned.emplace_back(p, n);
+                        return Status::OK();
+                      },
+                      &stats)
+                  .ok());
+  EXPECT_EQ(scanned, payloads);
+  EXPECT_FALSE(stats.tail_truncated);
+}
+
+TEST(WalTest, InjectedMidFrameFailurePinsTruncationAtLastValidFrame) {
+  // Kill the write() stream partway through a frame — short writes
+  // followed by a hard failure, the torn bytes left on disk exactly as
+  // a crash would leave them. The WAL must poison itself (every later
+  // Append fails), and recovery must replay precisely the frames whose
+  // Append returned OK, truncating at the last valid frame boundary.
+  TempDir dir("wal_fault");
+  ASSERT_TRUE(MakeDirs(dir.path()).ok());
+  WalOptions options;
+  options.sync = SyncPolicy::kNone;
+  const std::string good(40, 'g');
+  const size_t kGoodFrames = 10;
+  const size_t frame_bytes = kWalFrameHeaderBytes + good.size();
+  {
+    auto wal = Wal::Open(dir.path(), 1, options);
+    ASSERT_TRUE(wal.ok());
+    for (size_t i = 0; i < kGoodFrames; ++i) {
+      ASSERT_TRUE((*wal)->Append(good.data(), good.size()).ok());
+    }
+    ASSERT_TRUE((*wal)->Sync().ok());
+
+    // Next flush transfers 7+7+6 = 20 bytes — mid-payload — then
+    // fails; the 20 torn bytes stay in the segment file.
+    SetWriteFaultInjection(/*max_bytes_per_write=*/7,
+                           /*fail_after_total_bytes=*/20);
+    const std::string torn(40, 't');
+    const Status failed = (*wal)->Append(torn.data(), torn.size());
+    EXPECT_FALSE(failed.ok());
+    SetWriteFaultInjection(0, -1);  // disarm
+    // Poisoned: the WAL never pretends a later append is durable when
+    // an earlier one vanished into a torn tail.
+    EXPECT_FALSE((*wal)->Append(good.data(), good.size()).ok());
+    EXPECT_FALSE((*wal)->Sync().ok());
+  }
+  SetWriteFaultInjection(0, -1);  // belt and braces (dtor flushes too)
+
+  size_t frames = 0;
+  WalScanStats stats;
+  ASSERT_TRUE(ScanWal(dir.path(), 1,
+                      [&](uint32_t, const char* p, size_t n) {
+                        ++frames;
+                        EXPECT_EQ(std::string(p, n), good);
+                        return Status::OK();
+                      },
+                      &stats)
+                  .ok());
+  EXPECT_EQ(frames, kGoodFrames);
+  EXPECT_TRUE(stats.tail_truncated);
+  EXPECT_EQ(stats.valid_end_offset,
+            kWalSegmentHeaderBytes + kGoodFrames * frame_bytes);
+  EXPECT_EQ(stats.truncated_bytes, 20u);
+}
+
 TEST(DurableStoreTest, RegistersAppendsReadsAndSurvivesReopen) {
   TempDir dir("store");
   std::vector<double> cpu = {1.0, 2.0, 3.0, 4.0};

@@ -366,6 +366,126 @@ TEST(WireProtocolTest, TextAndBinaryInterleaveOnOneStream) {
   EXPECT_EQ(sink.size(), 2u);
 }
 
+TEST(WireProtocolTest, TimedTextRoundTripCarriesTimestamps) {
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
+  RecordBatch out;
+  std::string wire;
+  AppendTextRecord("alpha", 2.5, 1000, &wire);
+  AppendTextRecord("beta", -0.25, -7, &wire);  // negative ticks are data
+  AppendTextRecord("alpha", 3.5, &wire);       // two-token: stamped (0)
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].ts, 1000);
+  EXPECT_EQ(out[1].ts, -7);
+  EXPECT_EQ(out[2].ts, 0);  // no stamp clock installed
+  EXPECT_EQ(decoder.stats().timed_records, 2u);
+  EXPECT_EQ(decoder.stats().stamped_records, 1u);
+  EXPECT_EQ(decoder.stats().timed_records + decoder.stats().stamped_records,
+            decoder.stats().records);
+}
+
+TEST(WireProtocolTest, TimedBinaryRoundTripIsBitwiseExact) {
+  Sender sender;
+  for (Record& r : sender.records) {
+    r.ts = 5000 + static_cast<int64_t>(&r - sender.records.data()) * 17;
+  }
+  std::string wire;
+  WireEncoder encoder(&sender.catalog, WireEncoding::kBinary,
+                      /*frame_records=*/2, /*timestamped=*/true);
+  encoder.Encode(sender.records.data(), sender.records.size(), &wire);
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
+  RecordBatch out;
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  ExpectBitwiseEqual(sink, out, sender.catalog, sender.records);
+  ASSERT_EQ(out.size(), sender.records.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].ts, sender.records[i].ts) << "record " << i;
+  }
+  EXPECT_EQ(decoder.stats().binary_frames, 3u);
+  EXPECT_EQ(decoder.stats().timed_records, sender.records.size());
+  EXPECT_EQ(decoder.stats().stamped_records, 0u);
+}
+
+TEST(WireProtocolTest, TimedAndUntimedFramesInterleaveOnOneStream) {
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
+  std::string wire;
+  AppendNameFrame(1, "mixed", &wire);
+  const RecordBatch untimed = {{1, 1.5}};
+  const RecordBatch timed = {{1, 2.5, 42}};
+  AppendBinaryFrame(untimed.data(), untimed.size(), &wire);
+  AppendTimedFrame(timed.data(), timed.size(), &wire);
+  RecordBatch out;
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].ts, 0);  // 0xA5: server-stamped (no clock -> 0)
+  EXPECT_EQ(out[1].ts, 42);  // 0xA7: wire timestamp verbatim
+  EXPECT_EQ(decoder.stats().timed_records, 1u);
+  EXPECT_EQ(decoder.stats().stamped_records, 1u);
+}
+
+TEST(WireProtocolTest, StampClockStampsOnlyUnstampedRecords) {
+  // The decoder's stamp clock fills in timestamps for wire forms that
+  // carry none (two-token text, 0xA5); records with a wire timestamp
+  // keep it — the server never overrides a collector's clock.
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
+  int64_t clock = 100;
+  decoder.set_stamp_clock(
+      [](void* ctx) { return (*static_cast<int64_t*>(ctx))++; }, &clock);
+  std::string wire;
+  AppendTextRecord("a", 1.0, &wire);       // stamped: 100
+  AppendTextRecord("a", 2.0, 5555, &wire); // wire ts kept
+  AppendNameFrame(0, "b", &wire);
+  const RecordBatch untimed = {{0, 3.0}};  // stamped: 101
+  AppendBinaryFrame(untimed.data(), untimed.size(), &wire);
+  const RecordBatch timed = {{0, 4.0, -3}};
+  AppendTimedFrame(timed.data(), timed.size(), &wire);
+  RecordBatch out;
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].ts, 100);
+  EXPECT_EQ(out[1].ts, 5555);
+  EXPECT_EQ(out[2].ts, 101);
+  EXPECT_EQ(out[3].ts, -3);
+  EXPECT_EQ(clock, 102);  // called exactly once per unstamped record
+  EXPECT_EQ(decoder.stats().timed_records, 2u);
+  EXPECT_EQ(decoder.stats().stamped_records, 2u);
+}
+
+TEST(WireProtocolTest, BadTimestampTokensAreMalformed) {
+  SeriesCatalog sink;
+  FrameDecoder decoder(&sink);
+  RecordBatch out;
+  const std::string wire =
+      "a 1.0 notanumber\n"  // unparsable third token
+      "a 1.0 12x\n"         // trailing junk inside the token
+      "a 1.0 1 2\n"         // fourth token
+      "a 1.0 3.5\n"         // fractional ticks are not int64
+      "a 1.0 9\n";          // the only valid line
+  EXPECT_TRUE(decoder.Feed(wire.data(), wire.size(), &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ts, 9);
+  EXPECT_EQ(decoder.stats().malformed_lines, 4u);
+}
+
+TEST(WireProtocolTest, CorruptTimedFrameLengthPoisonsTheStream) {
+  // 0xA7 payloads must be a multiple of the 20-byte record size.
+  for (uint32_t bad_payload : {0u, 19u, 21u}) {
+    SeriesCatalog sink;
+    FrameDecoder decoder(&sink);
+    std::string wire;
+    wire.push_back(static_cast<char>(kTimedMagic));
+    wire.append(reinterpret_cast<const char*>(&bad_payload), 4);
+    RecordBatch out;
+    EXPECT_FALSE(decoder.Feed(wire.data(), wire.size(), &out))
+        << "payload=" << bad_payload;
+    EXPECT_TRUE(decoder.poisoned());
+  }
+}
+
 TEST(WireProtocolTest, EofFlushesTrailingUnterminatedLine) {
   SeriesCatalog sink;
   FrameDecoder decoder(&sink);
@@ -416,6 +536,39 @@ TEST(WireProtocolTest, EofCountsTruncatedBinaryFrameAsMalformed) {
   }
 }
 
+TEST(WireProtocolTest, EofFlushEmitsAtMostOneUnitAtEveryPrefix) {
+  // The EOF-flush invariant: whatever prefix of a valid stream a
+  // connection dies after, FinishEof emits AT MOST ONE more record —
+  // the single buffered trailing text line, when it happens to be
+  // complete except for its newline. A buffered partial binary frame
+  // never yields records (it is counted malformed instead): binary
+  // records are only ever decoded from length-complete frames.
+  std::string wire;
+  AppendTextRecord("t/one", 1.5, 10, &wire);
+  AppendNameFrame(2, "b/two", &wire);
+  const RecordBatch untimed = {{2, 2.5}, {2, 3.5}};
+  AppendBinaryFrame(untimed.data(), untimed.size(), &wire);
+  const RecordBatch timed = {{2, 4.5, 20}, {2, 5.5, 21}};
+  AppendTimedFrame(timed.data(), timed.size(), &wire);
+  AppendTextRecord("t/one", 6.5, &wire);
+  for (size_t cut = 0; cut <= wire.size(); ++cut) {
+    SeriesCatalog sink;
+    FrameDecoder decoder(&sink);
+    RecordBatch out;
+    EXPECT_TRUE(decoder.Feed(wire.data(), cut, &out)) << "cut=" << cut;
+    const size_t before = out.size();
+    const uint64_t frames_before = decoder.stats().malformed_frames;
+    decoder.FinishEof(&out);
+    EXPECT_LE(out.size() - before, 1u) << "cut=" << cut;
+    EXPECT_EQ(decoder.buffered_bytes(), 0u) << "cut=" << cut;
+    // A truncated binary frame is accounted, never parsed.
+    EXPECT_LE(decoder.stats().malformed_frames - frames_before, 1u);
+    EXPECT_EQ(decoder.stats().timed_records + decoder.stats().stamped_records,
+              decoder.stats().records)
+        << "cut=" << cut;
+  }
+}
+
 // --- Deterministic replay fuzz harness --------------------------------------
 //
 // A seed-driven generator interleaves valid text records, garbage
@@ -440,6 +593,9 @@ struct FuzzScript {
   uint64_t expected_records = 0;
   uint64_t expected_malformed_lines = 0;
   uint64_t expected_unknown = 0;
+  /// Of expected_records, how many carried a wire timestamp (timed
+  /// text lines and 0xA7 records); the rest decode server-stamped.
+  uint64_t expected_timed = 0;
 };
 
 std::string RandomFuzzName(Pcg32* rng) {
@@ -470,9 +626,17 @@ FuzzScript GenerateScript(uint64_t seed) {
     switch (rng.NextBounded(8)) {
       case 0:
       case 1:
-      case 2: {  // valid text record
-        AppendTextRecord(RandomFuzzName(&rng), rng.Gaussian(0.0, 1e3),
-                         &script.wire);
+      case 2: {  // valid text record, timed or not
+        if (rng.NextBounded(2) == 0) {
+          AppendTextRecord(RandomFuzzName(&rng), rng.Gaussian(0.0, 1e3),
+                           static_cast<int64_t>(rng.NextBounded(1u << 20)) -
+                               1000,
+                           &script.wire);
+          script.expected_timed += 1;
+        } else {
+          AppendTextRecord(RandomFuzzName(&rng), rng.Gaussian(0.0, 1e3),
+                           &script.wire);
+        }
         script.units += 1;
         script.expected_records += 1;
         break;
@@ -494,30 +658,40 @@ FuzzScript GenerateScript(uint64_t seed) {
         any_registered = true;
         break;
       }
-      default: {  // 0xA5 record frame, mixing known and unknown ids
+      default: {  // 0xA5 or 0xA7 record frame, mixing known/unknown ids
         if (!any_registered) {
           AppendNameFrame(0, RandomFuzzName(&rng), &script.wire);
           registered[0] = true;
           any_registered = true;
         }
+        const bool timed = rng.NextBounded(2) == 0;
         RecordBatch frame;
         const size_t n = 1 + rng.NextBounded(6);
         for (size_t i = 0; i < n; ++i) {
+          const int64_t ts =
+              static_cast<int64_t>(rng.NextBounded(1u << 20)) - 1000;
           if (rng.NextBounded(4) == 0) {
             // A wire id no 0xA6 on this stream ever declared.
-            frame.push_back(Record{100 + rng.NextBounded(8), 1.0});
+            frame.push_back(Record{100 + rng.NextBounded(8), 1.0, ts});
             script.expected_unknown += 1;
           } else {
             uint32_t id = rng.NextBounded(8);
             while (!registered[id]) {
               id = (id + 1) % 8;
             }
-            frame.push_back(Record{id, rng.Gaussian(0.0, 1e3)});
+            frame.push_back(Record{id, rng.Gaussian(0.0, 1e3), ts});
             script.expected_records += 1;
+            if (timed) {
+              script.expected_timed += 1;
+            }
           }
           script.units += 1;
         }
-        AppendBinaryFrame(frame.data(), frame.size(), &script.wire);
+        if (timed) {
+          AppendTimedFrame(frame.data(), frame.size(), &script.wire);
+        } else {
+          AppendBinaryFrame(frame.data(), frame.size(), &script.wire);
+        }
         break;
       }
     }
@@ -551,6 +725,9 @@ TEST_P(WireFuzz, ReplayAccountingIsExactAcrossRandomSplitPoints) {
   EXPECT_EQ(decoder.stats().malformed_lines,
             script.expected_malformed_lines);
   EXPECT_EQ(decoder.stats().unknown_series_records, script.expected_unknown);
+  EXPECT_EQ(decoder.stats().timed_records, script.expected_timed);
+  EXPECT_EQ(decoder.stats().timed_records + decoder.stats().stamped_records,
+            decoder.stats().records);
   // The accounting identity: every record-bearing unit the generator
   // emitted is consumed, counted malformed, or counted unknown.
   EXPECT_EQ(decoder.stats().records + decoder.stats().malformed_lines +
@@ -608,6 +785,40 @@ TEST_P(WireFuzz, MutatedReplayNeverCrashesAndIsolatesPoison) {
       const size_t before = out.size();
       EXPECT_FALSE(decoder.Feed(good.data(), good.size(), &out));
       EXPECT_EQ(out.size(), before);
+    }
+  }
+}
+
+TEST_P(WireFuzz, TruncatedReplayFlushesAtMostOneUnitAtEof) {
+  // Chop a valid stream at a random byte and die there: FinishEof may
+  // parse at most the one buffered trailing text line; a partial
+  // binary frame becomes exactly one malformed_frames count, never
+  // records. Truncating a valid stream can never poison it.
+  const FuzzScript script = GenerateScript(GetParam());
+  for (uint64_t round = 0; round < 4; ++round) {
+    Pcg32 rng(GetParam() * 5551 + round * 97);
+    const size_t cut =
+        rng.NextBounded(static_cast<uint32_t>(script.wire.size() + 1));
+    SeriesCatalog sink;
+    FrameDecoder decoder(&sink);
+    RecordBatch out;
+    size_t pos = 0;
+    while (pos < cut) {
+      const size_t chunk = std::min<size_t>(1 + rng.NextBounded(64), cut - pos);
+      EXPECT_TRUE(decoder.Feed(script.wire.data() + pos, chunk, &out));
+      pos += chunk;
+    }
+    const size_t before = out.size();
+    const uint64_t frames_before = decoder.stats().malformed_frames;
+    decoder.FinishEof(&out);
+    EXPECT_LE(out.size() - before, 1u) << "cut=" << cut;
+    EXPECT_LE(decoder.stats().malformed_frames - frames_before, 1u);
+    EXPECT_EQ(decoder.buffered_bytes(), 0u);
+    EXPECT_FALSE(decoder.poisoned());
+    EXPECT_EQ(decoder.stats().timed_records + decoder.stats().stamped_records,
+              decoder.stats().records);
+    for (const Record& r : out) {
+      EXPECT_TRUE(stream::IsValidSeriesName(sink.NameOf(r.series_id)));
     }
   }
 }
